@@ -1,0 +1,99 @@
+package ninf
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ninf/internal/protocol"
+)
+
+// A CallbackFunc is a client-side function a running Ninf executable
+// may invoke during a blocking call (§2.3's "client callback
+// functions"). The payload format is an agreement between the
+// executable and the callback; return data travels back to the
+// executable, and a returned error is surfaced there as a remote
+// error.
+type CallbackFunc func(data []byte) ([]byte, error)
+
+// callbackRegistry is embedded in Client.
+type callbackRegistry struct {
+	mu  sync.RWMutex
+	fns map[string]CallbackFunc
+}
+
+// RegisterCallback makes fn invokable by server executables under the
+// given name during this client's blocking calls. Passing nil removes
+// the registration.
+func (c *Client) RegisterCallback(name string, fn CallbackFunc) {
+	c.cb.mu.Lock()
+	defer c.cb.mu.Unlock()
+	if c.cb.fns == nil {
+		c.cb.fns = make(map[string]CallbackFunc)
+	}
+	if fn == nil {
+		delete(c.cb.fns, name)
+		return
+	}
+	c.cb.fns[name] = fn
+}
+
+func (c *Client) lookupCallback(name string) CallbackFunc {
+	c.cb.mu.RLock()
+	defer c.cb.mu.RUnlock()
+	return c.cb.fns[name]
+}
+
+// callRoundTrip performs the MsgCall exchange, answering any
+// MsgCallback frames the server interleaves before the final reply.
+func (c *Client) callRoundTrip(conn net.Conn, payload []byte) (protocol.MsgType, []byte, error) {
+	if conn == nil {
+		return 0, nil, errClientClosed
+	}
+	if err := protocol.WriteFrame(conn, protocol.MsgCall, payload); err != nil {
+		return 0, nil, err
+	}
+	for {
+		typ, p, err := protocol.ReadFrame(conn, c.maxPayload)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch typ {
+		case protocol.MsgCallback:
+			if err := c.answerCallback(conn, p); err != nil {
+				return 0, nil, err
+			}
+		case protocol.MsgError:
+			er, derr := protocol.DecodeErrorReply(p)
+			if derr != nil {
+				return 0, nil, derr
+			}
+			return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+		default:
+			return typ, p, nil
+		}
+	}
+}
+
+// answerCallback runs the registered function and replies. Unknown
+// names and function errors are reported to the server as MsgError;
+// the call itself keeps waiting.
+func (c *Client) answerCallback(conn net.Conn, payload []byte) error {
+	req, err := protocol.DecodeCallbackRequest(payload)
+	if err != nil {
+		return err
+	}
+	fn := c.lookupCallback(req.Name)
+	if fn == nil {
+		return protocol.WriteFrame(conn, protocol.MsgError,
+			protocol.EncodeErrorReply(protocol.CodeUnknownRoutine,
+				fmt.Sprintf("no client callback %q", req.Name)))
+	}
+	data, err := fn(req.Data)
+	if err != nil {
+		return protocol.WriteFrame(conn, protocol.MsgError,
+			protocol.EncodeErrorReply(protocol.CodeExecFailed, err.Error()))
+	}
+	reply := protocol.CallbackReply{Data: data}
+	return protocol.WriteFrame(conn, protocol.MsgCallbackOK, reply.Encode())
+}

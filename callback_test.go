@@ -1,0 +1,208 @@
+package ninf_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ninf"
+	"ninf/internal/idl"
+	"ninf/internal/server"
+)
+
+// startCallbackServer registers a routine that reports progress to the
+// client's "progress" callback, and one that pulls extra data through
+// a "more" callback.
+func startCallbackServer(t *testing.T) func() (net.Conn, error) {
+	t.Helper()
+	reg := server.NewRegistry()
+	err := reg.RegisterIDL(`
+Define steered(mode_in int steps, mode_out double result)
+    "reports progress via the client's 'progress' callback"
+    Calls "go" steered(steps, result);
+Define puller(mode_in int n, mode_out double total)
+    "pulls n extra values via the client's 'more' callback"
+    Calls "go" puller(n, total);
+`, map[string]server.Handler{
+		"steered": func(ctx context.Context, args []idl.Value) error {
+			steps := int(args[0].(int64))
+			for i := 1; i <= steps; i++ {
+				var buf [8]byte
+				binary.BigEndian.PutUint64(buf[:], uint64(i))
+				reply, err := server.Callback(ctx, "progress", buf[:])
+				if err != nil {
+					return err
+				}
+				// The callback can steer: "stop" aborts early.
+				if string(reply) == "stop" {
+					args[1] = float64(i)
+					return nil
+				}
+			}
+			args[1] = float64(steps)
+			return nil
+		},
+		"puller": func(ctx context.Context, args []idl.Value) error {
+			n := int(args[0].(int64))
+			total := 0.0
+			for i := 0; i < n; i++ {
+				reply, err := server.Callback(ctx, "more", nil)
+				if err != nil {
+					return err
+				}
+				total += float64(binary.BigEndian.Uint64(reply))
+			}
+			args[1] = total
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return func() (net.Conn, error) { return net.Dial("tcp", l.Addr().String()) }
+}
+
+func TestCallbackProgressAndSteering(t *testing.T) {
+	dial := startCallbackServer(t)
+	c := newClient(t, dial)
+
+	var seen atomic.Int64
+	c.RegisterCallback("progress", func(data []byte) ([]byte, error) {
+		step := int64(binary.BigEndian.Uint64(data))
+		seen.Store(step)
+		if step == 3 {
+			return []byte("stop"), nil // steer: abort at step 3
+		}
+		return []byte("go"), nil
+	})
+
+	var result float64
+	if _, err := c.Call("steered", 10, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result != 3 {
+		t.Errorf("result = %g, want steering to stop at 3", result)
+	}
+	if seen.Load() != 3 {
+		t.Errorf("saw %d progress reports", seen.Load())
+	}
+}
+
+func TestCallbackPullsData(t *testing.T) {
+	dial := startCallbackServer(t)
+	c := newClient(t, dial)
+	next := uint64(0)
+	c.RegisterCallback("more", func([]byte) ([]byte, error) {
+		next++
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], next)
+		return buf[:], nil
+	})
+	var total float64
+	if _, err := c.Call("puller", 4, &total); err != nil {
+		t.Fatal(err)
+	}
+	if total != 1+2+3+4 {
+		t.Errorf("total = %g, want 10", total)
+	}
+}
+
+func TestCallbackUnregistered(t *testing.T) {
+	dial := startCallbackServer(t)
+	c := newClient(t, dial)
+	var result float64
+	_, err := c.Call("steered", 2, &result)
+	if err == nil || !strings.Contains(err.Error(), "no client callback") {
+		t.Errorf("err = %v, want unknown-callback failure", err)
+	}
+	// The connection survives; subsequent calls work.
+	c.RegisterCallback("progress", func([]byte) ([]byte, error) { return nil, nil })
+	if _, err := c.Call("steered", 2, &result); err != nil {
+		t.Fatalf("call after callback failure: %v", err)
+	}
+	// Unregistering restores the failure.
+	c.RegisterCallback("progress", nil)
+	if _, err := c.Call("steered", 1, &result); err == nil {
+		t.Error("unregistered callback still served")
+	}
+}
+
+func TestCallbackFunctionError(t *testing.T) {
+	dial := startCallbackServer(t)
+	c := newClient(t, dial)
+	c.RegisterCallback("progress", func([]byte) ([]byte, error) {
+		return nil, errors.New("client refused")
+	})
+	var result float64
+	_, err := c.Call("steered", 5, &result)
+	if err == nil || !strings.Contains(err.Error(), "client refused") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallbackUnavailableForTwoPhase(t *testing.T) {
+	// Submitted jobs run with no client connection: the executable's
+	// callback attempt must fail with ErrNoCallback, not hang.
+	dial := startCallbackServer(t)
+	c := newClient(t, dial)
+	c.RegisterCallback("progress", func([]byte) ([]byte, error) { return nil, nil })
+	var result float64
+	job, err := c.Submit("steered", 2, &result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = job.Fetch(true)
+	if err == nil || !strings.Contains(err.Error(), "no client callback channel") {
+		t.Errorf("err = %v, want ErrNoCallback surfaced", err)
+	}
+}
+
+func TestCallbackDuringAsyncCall(t *testing.T) {
+	// Async calls run on their own connections; callbacks must reach
+	// the same registry.
+	dial := startCallbackServer(t)
+	c := newClient(t, dial)
+	calls := atomic.Int64{}
+	c.RegisterCallback("progress", func([]byte) ([]byte, error) {
+		calls.Add(1)
+		return []byte("go"), nil
+	})
+	var r1, r2 float64
+	a1 := c.CallAsync("steered", 3, &r1)
+	a2 := c.CallAsync("steered", 3, &r2)
+	if _, err := a1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r1 != 3 || r2 != 3 {
+		t.Errorf("results %g %g", r1, r2)
+	}
+	if calls.Load() != 6 {
+		t.Errorf("callback invoked %d times, want 6", calls.Load())
+	}
+}
+
+func ExampleClient_RegisterCallback() {
+	// Typical use: progress reporting from a long-running executable.
+	// (No running server in this example; see TestCallbackProgressAndSteering.)
+	var c ninf.Client
+	c.RegisterCallback("progress", func(data []byte) ([]byte, error) {
+		fmt.Printf("progress frame: %d bytes\n", len(data))
+		return nil, nil
+	})
+	// Output:
+}

@@ -1,0 +1,510 @@
+// Package ninf is the client API of a Go reproduction of Ninf, the
+// global computing system of Sato et al., as benchmarked in "Multi-
+// client LAN/WAN Performance Analysis of Ninf" (SC'97).
+//
+// A Client connects to one Ninf computational server and issues
+// Ninf_call-style remote library invocations:
+//
+//	c, _ := ninf.Dial("tcp", "j90.example.org:3000")
+//	defer c.Close()
+//	C := make([]float64, n*n)
+//	rep, err := c.Call("dmmul", n, A, B, C)
+//
+// No stubs, IDL files or header inclusions exist on the client side:
+// the first call to a routine fetches its compiled interface from the
+// server (the two-stage RPC of §2.3) and the client marshals arguments
+// by interpreting it. Out and inout array arguments are filled in
+// place; out scalars are returned through pointers.
+//
+// CallAsync provides Ninf_call_async; Submit/Fetch expose the §5.1
+// two-phase transfer protocol, which releases the connection while the
+// server computes. For multi-server scheduling, transactions and fault
+// tolerance, see the metaserver (internal/metaserver, cmd/ninfmeta).
+package ninf
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ninf/internal/idl"
+	"ninf/internal/protocol"
+)
+
+// Client is a connection to one Ninf computational server. A Client
+// serializes the calls issued through it (Ninf_call is blocking);
+// CallAsync opens additional connections through the dialer.
+type Client struct {
+	dial func() (net.Conn, error)
+
+	mu    sync.Mutex // guards conn use and the interface cache
+	conn  net.Conn
+	cache map[string]*idl.Info
+
+	cb callbackRegistry
+
+	maxPayload int
+}
+
+var errClientClosed = errors.New("ninf: client closed")
+
+// Dial connects to a Ninf server over the named network.
+func Dial(network, addr string) (*Client, error) {
+	dialer := func() (net.Conn, error) { return net.Dial(network, addr) }
+	return NewClient(dialer)
+}
+
+// NewClient builds a client around a dialer, which is used for the
+// primary connection and for each async call. Tests and the network
+// emulator pass dialers returning in-memory or traffic-shaped
+// connections.
+func NewClient(dial func() (net.Conn, error)) (*Client, error) {
+	if dial == nil {
+		return nil, errors.New("ninf: nil dialer")
+	}
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{dial: dial, conn: conn, cache: make(map[string]*idl.Info)}, nil
+}
+
+// SetMaxPayload bounds reply frame payloads (default 1 GiB).
+func (c *Client) SetMaxPayload(n int) { c.maxPayload = n }
+
+// Close releases the primary connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// roundTrip sends one frame on the primary connection and reads the
+// reply, translating MsgError frames to *protocol.RemoteError.
+func (c *Client) roundTrip(t protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return roundTripOn(c.conn, c.maxPayload, t, payload)
+}
+
+func roundTripOn(conn net.Conn, maxPayload int, t protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
+	if conn == nil {
+		return 0, nil, errClientClosed
+	}
+	if err := protocol.WriteFrame(conn, t, payload); err != nil {
+		return 0, nil, err
+	}
+	rt, rp, err := protocol.ReadFrame(conn, maxPayload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rt == protocol.MsgError {
+		er, derr := protocol.DecodeErrorReply(rp)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+	}
+	return rt, rp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	t, _, err := c.roundTrip(protocol.MsgPing, nil)
+	if err != nil {
+		return err
+	}
+	if t != protocol.MsgPong {
+		return fmt.Errorf("ninf: unexpected reply %v to ping", t)
+	}
+	return nil
+}
+
+// List returns the routine names registered on the server.
+func (c *Client) List() ([]string, error) {
+	t, p, err := c.roundTrip(protocol.MsgList, nil)
+	if err != nil {
+		return nil, err
+	}
+	if t != protocol.MsgListReply {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to list", t)
+	}
+	reply, err := protocol.DecodeListReply(p)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Names, nil
+}
+
+// Stats polls the server's scheduling self-report.
+func (c *Client) Stats() (protocol.Stats, error) {
+	t, p, err := c.roundTrip(protocol.MsgStats, nil)
+	if err != nil {
+		return protocol.Stats{}, err
+	}
+	if t != protocol.MsgStatsOK {
+		return protocol.Stats{}, fmt.Errorf("ninf: unexpected reply %v to stats", t)
+	}
+	return protocol.DecodeStats(p)
+}
+
+// Interface returns the compiled IDL of a routine, fetching it from
+// the server on first use (stage one of the two-stage RPC).
+func (c *Client) Interface(name string) (*idl.Info, error) {
+	c.mu.Lock()
+	if info, ok := c.cache[name]; ok {
+		c.mu.Unlock()
+		return info, nil
+	}
+	req := protocol.InterfaceRequest{Name: name}
+	t, p, err := roundTripOn(c.conn, c.maxPayload, protocol.MsgInterface, req.Encode())
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+	if t != protocol.MsgInterfaceOK {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to interface query", t)
+	}
+	info, err := protocol.DecodeInterfaceReply(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.cache[name] = info
+	c.mu.Unlock()
+	return info, nil
+}
+
+// A Report describes one completed Ninf_call with the timestamps the
+// paper instruments (§4.1) and the measured payload sizes.
+type Report struct {
+	Routine string
+	// Submit is when the client issued the call; Received when the
+	// reply finished arriving (client clock). Enqueue, Dequeue and
+	// Complete are the server-side timestamps.
+	Submit, Received           time.Time
+	Enqueue, Dequeue, Complete time.Time
+	// BytesOut/BytesIn are request/reply payload sizes.
+	BytesOut, BytesIn int64
+}
+
+// Total is the wall-clock duration of the whole Ninf_call.
+func (r *Report) Total() time.Duration { return r.Received.Sub(r.Submit) }
+
+// Response is T_enqueue − T_submit, the paper's response time.
+func (r *Report) Response() time.Duration { return r.Enqueue.Sub(r.Submit) }
+
+// Wait is T_dequeue − T_enqueue, the paper's queueing wait.
+func (r *Report) Wait() time.Duration { return r.Dequeue.Sub(r.Enqueue) }
+
+// ComputeTime is T_complete − T_dequeue, the executable's run time.
+func (r *Report) ComputeTime() time.Duration { return r.Complete.Sub(r.Dequeue) }
+
+// Throughput is the paper's Figure 5 metric: total payload bytes over
+// the whole call duration (marshalling and computation included), in
+// bytes/second.
+func (r *Report) Throughput() float64 {
+	d := r.Total().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.BytesOut+r.BytesIn) / d
+}
+
+// Call performs a blocking Ninf_call. Arguments are positional per the
+// routine's IDL:
+//
+//   - in scalars: int, int64, float64, float32, string
+//   - in/inout arrays: []int64, []float64, []float32 (mutated in place
+//     for inout and out)
+//   - out arrays: a correctly-sized slice to fill, or nil to discard
+//   - out scalars: *int64, *float64, *float32, *string, or nil
+func (c *Client) Call(name string, args ...any) (*Report, error) {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	return c.callOn(conn, &c.mu, name, args)
+}
+
+// AsyncCall is a pending Ninf_call_async.
+type AsyncCall struct {
+	report *Report
+	err    error
+	done   chan struct{}
+}
+
+// Wait blocks until the call finishes, returning its report.
+func (a *AsyncCall) Wait() (*Report, error) {
+	<-a.done
+	return a.report, a.err
+}
+
+// Done reports completion without blocking.
+func (a *AsyncCall) Done() bool {
+	select {
+	case <-a.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// CallAsync performs Ninf_call_async: the call proceeds on its own
+// connection while the caller continues. Results land in the argument
+// slices/pointers when Wait returns, not before.
+func (c *Client) CallAsync(name string, args ...any) *AsyncCall {
+	a := &AsyncCall{done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		conn, err := c.dial()
+		if err != nil {
+			a.err = err
+			return
+		}
+		defer conn.Close()
+		a.report, a.err = c.callOn(conn, nil, name, args)
+	}()
+	return a
+}
+
+// callOn runs the blocking call protocol on the given connection. If
+// lock is non-nil it is held around connection I/O (the primary
+// connection is shared; async connections are private).
+func (c *Client) callOn(conn net.Conn, lock *sync.Mutex, name string, args []any) (*Report, error) {
+	info, err := c.Interface(name)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := toValues(info, args)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := protocol.EncodeCallRequest(info, &protocol.CallRequest{Name: name, Args: vals})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(len(payload))}
+	if lock != nil {
+		lock.Lock()
+		defer lock.Unlock()
+	}
+	t, p, err := c.callRoundTrip(conn, payload)
+	if err != nil {
+		return nil, err
+	}
+	if t != protocol.MsgCallOK {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to call", t)
+	}
+	rep.Received = time.Now()
+	rep.BytesIn = int64(len(p))
+
+	tm, out, err := protocol.DecodeCallReply(info, vals, p)
+	if err != nil {
+		return nil, err
+	}
+	rep.Enqueue = time.Unix(0, tm.Enqueue)
+	rep.Dequeue = time.Unix(0, tm.Dequeue)
+	rep.Complete = time.Unix(0, tm.Complete)
+	if err := storeResults(info, args, out); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Job is a two-phase call handle (§5.1): arguments already shipped,
+// results to be fetched later.
+type Job struct {
+	client *Client
+	id     uint64
+	info   *idl.Info
+	args   []any
+	vals   []idl.Value
+	report *Report
+}
+
+// ID returns the server-assigned job identity.
+func (j *Job) ID() uint64 { return j.id }
+
+// Submit ships the arguments of a call and returns immediately with a
+// job handle; the server computes while no connection is tied up. This
+// is the two-phase protocol of §5.1, proposed to keep per-user
+// performance under multi-client load.
+func (c *Client) Submit(name string, args ...any) (*Job, error) {
+	info, err := c.Interface(name)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := toValues(info, args)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := protocol.EncodeCallRequest(info, &protocol.CallRequest{Name: name, Args: vals})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(len(payload))}
+	t, p, err := c.roundTrip(protocol.MsgSubmit, payload)
+	if err != nil {
+		return nil, err
+	}
+	if t != protocol.MsgSubmitOK {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to submit", t)
+	}
+	sr, err := protocol.DecodeSubmitReply(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{client: c, id: sr.JobID, info: info, args: args, vals: vals, report: rep}, nil
+}
+
+// ErrNotReady is returned by Fetch(false) while the job is running.
+var ErrNotReady = errors.New("ninf: job not ready")
+
+// Fetch collects the results of a submitted job, filling the argument
+// slices/pointers passed to Submit. With wait true it blocks until the
+// job completes; otherwise it returns ErrNotReady if still running.
+// A job can be fetched once.
+func (j *Job) Fetch(wait bool) (*Report, error) {
+	req := protocol.FetchRequest{JobID: j.id, Wait: wait}
+	t, p, err := j.client.roundTrip(protocol.MsgFetch, req.Encode())
+	if err != nil {
+		var re *protocol.RemoteError
+		if errors.As(err, &re) && re.Code == protocol.CodeNotReady {
+			return nil, ErrNotReady
+		}
+		return nil, err
+	}
+	if t != protocol.MsgFetchOK {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to fetch", t)
+	}
+	j.report.Received = time.Now()
+	j.report.BytesIn = int64(len(p))
+	tm, out, err := protocol.DecodeCallReply(j.info, j.vals, p)
+	if err != nil {
+		return nil, err
+	}
+	j.report.Enqueue = time.Unix(0, tm.Enqueue)
+	j.report.Dequeue = time.Unix(0, tm.Dequeue)
+	j.report.Complete = time.Unix(0, tm.Complete)
+	if err := storeResults(j.info, j.args, out); err != nil {
+		return nil, err
+	}
+	return j.report, nil
+}
+
+// toValues converts user arguments to the protocol's positional value
+// vector, validating count and basic types.
+func toValues(info *idl.Info, args []any) ([]idl.Value, error) {
+	if len(args) != len(info.Params) {
+		return nil, fmt.Errorf("ninf: %s takes %d arguments, got %d", info.Name, len(info.Params), len(args))
+	}
+	vals := make([]idl.Value, len(args))
+	for i := range args {
+		p := &info.Params[i]
+		if !p.Mode.Ships(false) {
+			// Out-only: the argument is a destination, not a value.
+			continue
+		}
+		switch v := args[i].(type) {
+		case int:
+			vals[i] = int64(v)
+		case int64, float64, float32, string, []int64, []float64, []float32:
+			vals[i] = v
+		case nil:
+			return nil, fmt.Errorf("ninf: %s argument %q (in-mode) is nil", info.Name, p.Name)
+		default:
+			return nil, fmt.Errorf("ninf: %s argument %q has unsupported type %T", info.Name, p.Name, args[i])
+		}
+	}
+	return vals, nil
+}
+
+// storeResults writes decoded out/inout values back into the caller's
+// destinations.
+func storeResults(info *idl.Info, args []any, out []idl.Value) error {
+	for i := range info.Params {
+		p := &info.Params[i]
+		if !p.Mode.Ships(true) {
+			continue
+		}
+		if args[i] == nil {
+			continue // caller discards this result
+		}
+		if err := storeOne(p, args[i], out[i]); err != nil {
+			return fmt.Errorf("ninf: %s result %q: %w", info.Name, p.Name, err)
+		}
+	}
+	return nil
+}
+
+func storeOne(p *idl.Param, dst any, v idl.Value) error {
+	switch d := dst.(type) {
+	case []float64:
+		s, ok := v.([]float64)
+		if !ok || len(s) != len(d) {
+			return fmt.Errorf("cannot store %T (len %d) into []float64 of len %d", v, valueLen(v), len(d))
+		}
+		copy(d, s)
+	case []float32:
+		s, ok := v.([]float32)
+		if !ok || len(s) != len(d) {
+			return fmt.Errorf("cannot store %T into []float32 of len %d", v, len(d))
+		}
+		copy(d, s)
+	case []int64:
+		s, ok := v.([]int64)
+		if !ok || len(s) != len(d) {
+			return fmt.Errorf("cannot store %T into []int64 of len %d", v, len(d))
+		}
+		copy(d, s)
+	case *float64:
+		s, ok := v.(float64)
+		if !ok {
+			return fmt.Errorf("cannot store %T into *float64", v)
+		}
+		*d = s
+	case *float32:
+		s, ok := v.(float32)
+		if !ok {
+			return fmt.Errorf("cannot store %T into *float32", v)
+		}
+		*d = s
+	case *int64:
+		s, ok := v.(int64)
+		if !ok {
+			return fmt.Errorf("cannot store %T into *int64", v)
+		}
+		*d = s
+	case *string:
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("cannot store %T into *string", v)
+		}
+		*d = s
+	default:
+		return fmt.Errorf("unsupported result destination %T", dst)
+	}
+	return nil
+}
+
+func valueLen(v idl.Value) int {
+	switch s := v.(type) {
+	case []float64:
+		return len(s)
+	case []float32:
+		return len(s)
+	case []int64:
+		return len(s)
+	default:
+		return -1
+	}
+}

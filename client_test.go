@@ -1,0 +1,413 @@
+package ninf_test
+
+import (
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ninf"
+	"ninf/internal/ep"
+	"ninf/internal/library"
+	"ninf/internal/linpack"
+	"ninf/internal/protocol"
+	"ninf/internal/server"
+)
+
+// startServer launches a standard-library server on loopback TCP and
+// returns a dialer for it.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, func() (net.Conn, error)) {
+	t.Helper()
+	reg, err := library.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(cfg, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	addr := l.Addr().String()
+	return s, func() (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+func newClient(t *testing.T, dial func() (net.Conn, error)) *ninf.Client {
+	t.Helper()
+	c, err := ninf.NewClient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPingListInterface(t *testing.T) {
+	_, dial := startServer(t, server.Config{Hostname: "itest"})
+	c := newClient(t, dial)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 || names[0] != "dgefa" {
+		t.Errorf("names = %v", names)
+	}
+	info, err := c.Interface("dmmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "dmmul" || len(info.Params) != 4 {
+		t.Errorf("interface = %+v", info)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hostname != "itest" {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRemoteDmmul(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+
+	n := 16
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	linpack.Matgen(a, n)
+	for i := range b {
+		b[i] = float64(i % 7)
+	}
+	remote := make([]float64, n*n)
+	rep, err := c.Call("dmmul", n, a, b, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := make([]float64, n*n)
+	if err := linpack.Dmmul(n, a, b, local); err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if local[i] != remote[i] {
+			t.Fatalf("remote dmmul differs at %d: %g vs %g", i, remote[i], local[i])
+		}
+	}
+	if rep.BytesOut <= int64(8*2*n*n) {
+		t.Errorf("BytesOut = %d, expected > payload of two matrices", rep.BytesOut)
+	}
+	if rep.Total() <= 0 || rep.Throughput() <= 0 {
+		t.Errorf("report timings empty: %+v", rep)
+	}
+}
+
+func TestRemoteLinpackPair(t *testing.T) {
+	// dgefa then dgesl, exactly the paper's remote Linpack execution.
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+
+	n := 64
+	a := make([]float64, n*n)
+	b := linpack.Matgen(a, n)
+	orig := append([]float64(nil), a...)
+
+	fact := append([]float64(nil), a...)
+	ipvt := make([]int64, n)
+	if _, err := c.Call("dgefa", n, fact, ipvt); err != nil {
+		t.Fatal(err)
+	}
+	x := append([]float64(nil), b...)
+	if _, err := c.Call("dgesl", n, fact, ipvt, x); err != nil {
+		t.Fatal(err)
+	}
+	if r := linpack.Residual(orig, n, x, b); r > 10 {
+		t.Errorf("residual %g", r)
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestRemoteLinsolveOneShot(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	for _, routine := range []string{"linsolve", "linsolve_blocked"} {
+		n := 48
+		a := make([]float64, n*n)
+		b := linpack.Matgen(a, n)
+		x := append([]float64(nil), b...)
+		if _, err := c.Call(routine, n, a, x); err != nil {
+			t.Fatalf("%s: %v", routine, err)
+		}
+		if r := linpack.Residual(a, n, x, b); r > 10 {
+			t.Errorf("%s: residual %g", routine, r)
+		}
+	}
+}
+
+func TestRemoteEPMatchesLocal(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+
+	m := 12
+	var sx, sy float64
+	var pairs int64
+	counts := make([]int64, 10)
+	if _, err := c.Call("ep", m, 0, 1<<m, &sx, &sy, &pairs, counts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ep.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx != want.SumX || sy != want.SumY || pairs != want.Pairs {
+		t.Errorf("remote EP = %g,%g,%d; want %g,%g,%d", sx, sy, pairs, want.SumX, want.SumY, want.Pairs)
+	}
+	for i := range counts {
+		if counts[i] != want.Counts[i] {
+			t.Errorf("count[%d] = %d, want %d", i, counts[i], want.Counts[i])
+		}
+	}
+}
+
+func TestCallArgumentErrors(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+
+	// Unknown routine.
+	if _, err := c.Call("no_such_routine", 1); err == nil {
+		t.Error("unknown routine accepted")
+	} else {
+		var re *protocol.RemoteError
+		if !errors.As(err, &re) || re.Code != protocol.CodeUnknownRoutine {
+			t.Errorf("err = %v", err)
+		}
+	}
+	// Arity.
+	if _, err := c.Call("dmmul", 4); err == nil || !strings.Contains(err.Error(), "takes 4 arguments") {
+		t.Errorf("arity: %v", err)
+	}
+	// Wrong array size.
+	if _, err := c.Call("dmmul", 4, make([]float64, 9), make([]float64, 16), make([]float64, 16)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Nil in-mode argument.
+	if _, err := c.Call("dmmul", 4, nil, make([]float64, 16), make([]float64, 16)); err == nil {
+		t.Error("nil in-arg accepted")
+	}
+	// Discarding an out arg with nil is allowed.
+	if _, err := c.Call("dmmul", 2, make([]float64, 4), make([]float64, 4), nil); err != nil {
+		t.Errorf("nil out destination rejected: %v", err)
+	}
+}
+
+func TestAsyncCalls(t *testing.T) {
+	_, dial := startServer(t, server.Config{PEs: 4})
+	c := newClient(t, dial)
+
+	// Fan out several EP ranges concurrently, as Ninf_call_async.
+	m := 14
+	total := int64(1) << m
+	parts := 4
+	calls := make([]*ninf.AsyncCall, parts)
+	sx := make([]float64, parts)
+	sy := make([]float64, parts)
+	pairs := make([]int64, parts)
+	countsBuf := make([][]int64, parts)
+	for i := 0; i < parts; i++ {
+		first := total * int64(i) / int64(parts)
+		last := total * int64(i+1) / int64(parts)
+		countsBuf[i] = make([]int64, 10)
+		calls[i] = c.CallAsync("ep", m, first, last-first, &sx[i], &sy[i], &pairs[i], countsBuf[i])
+	}
+	var merged ep.Result
+	for i, a := range calls {
+		if _, err := a.Wait(); err != nil {
+			t.Fatalf("async %d: %v", i, err)
+		}
+		if !a.Done() {
+			t.Errorf("async %d not done after Wait", i)
+		}
+		part := ep.Result{SumX: sx[i], SumY: sy[i], Pairs: pairs[i]}
+		for j, v := range countsBuf[i] {
+			part.Counts[j] = v
+		}
+		merged.Merge(part)
+	}
+	want, err := ep.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Pairs != want.Pairs || merged.Counts != want.Counts {
+		t.Errorf("async-merged EP = %+v, want %+v", merged, want)
+	}
+}
+
+func TestTwoPhaseSubmitFetch(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+
+	n := 32
+	a := make([]float64, n*n)
+	b := linpack.Matgen(a, n)
+	x := append([]float64(nil), b...)
+	job, err := c.Submit("linsolve", n, a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID() == 0 {
+		t.Error("job ID is zero")
+	}
+	// Poll until ready, then verify results landed in x.
+	var rep *ninf.Report
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep, err = job.Fetch(false)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ninf.ErrNotReady) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r := linpack.Residual(a, n, x, b); r > 10 {
+		t.Errorf("residual %g", r)
+	}
+	if rep.Wait() < 0 || rep.ComputeTime() < 0 {
+		t.Errorf("report %+v has negative durations", rep)
+	}
+	// Second fetch must fail: the job was consumed.
+	if _, err := job.Fetch(true); err == nil {
+		t.Error("refetch succeeded")
+	}
+}
+
+func TestSubmitFetchWait(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	job, err := c.Submit("busy", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Fetch(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecError(t *testing.T) {
+	// busy(-1) fails server-side; the client must see an exec error.
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	_, err := c.Call("busy", -5)
+	var re *protocol.RemoteError
+	if !errors.As(err, &re) || re.Code != protocol.CodeExecFailed {
+		t.Errorf("err = %v", err)
+	}
+	// The connection survives the error.
+	if err := c.Ping(); err != nil {
+		t.Errorf("ping after error: %v", err)
+	}
+}
+
+func TestFaultInjectionVisibleToClient(t *testing.T) {
+	s, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	s.FailNextCalls(1)
+	if _, err := c.Call("busy", 1); err == nil {
+		t.Error("injected fault not surfaced")
+	}
+	if _, err := c.Call("busy", 1); err != nil {
+		t.Errorf("second call failed: %v", err)
+	}
+}
+
+func TestEchoThroughputReport(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	n := 1 << 12
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	out := make([]float64, n)
+	rep, err := c.Call("echo", n, data, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatal("echo corrupted data")
+		}
+	}
+	// Both directions carry the vector: ~2·8n bytes plus overhead.
+	if rep.BytesOut < int64(8*n) || rep.BytesIn < int64(8*n) {
+		t.Errorf("bytes = %d out, %d in", rep.BytesOut, rep.BytesIn)
+	}
+}
+
+func TestScalarOutDestinations(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	var sx, sy float64
+	var pairs int64
+	// nil discards the counts array.
+	if _, err := c.Call("ep", 10, 0, 1<<10, &sx, &sy, &pairs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if pairs == 0 || sx == 0 {
+		t.Errorf("outputs not stored: sx=%g pairs=%d", sx, pairs)
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c, err := ninf.NewClient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Error("ping succeeded on closed client")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestNilDialer(t *testing.T) {
+	if _, err := ninf.NewClient(nil); err == nil {
+		t.Error("nil dialer accepted")
+	}
+}
+
+func TestDOSRemote(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	bins := 16
+	hist := make([]float64, bins)
+	if _, err := c.Call("dos", 12, bins, hist); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range hist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram integral %g", sum)
+	}
+}

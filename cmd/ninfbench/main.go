@@ -1,0 +1,56 @@
+// Command ninfbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ninfbench -list                 # show every experiment
+//	ninfbench -run table3-lan-1pe   # one experiment
+//	ninfbench -all                  # everything, in order
+//	ninfbench -all -quick           # smaller sweeps (for smoke tests)
+//
+// Output rows are shaped like the paper's artifacts; EXPERIMENTS.md
+// records the side-by-side comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ninf/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	runID := flag.String("run", "", "run one experiment by ID")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-24s %-14s %s\n", e.ID, e.Artifact, e.Title)
+		}
+	case *runID != "":
+		e, err := experiments.ByID(*runID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.Run(os.Stdout, opts); err != nil {
+			log.Fatal(err)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			if err := e.Run(os.Stdout, opts); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

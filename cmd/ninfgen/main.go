@@ -1,0 +1,61 @@
+// Command ninfgen is the Ninf stub generator (§2.1): it reads a Ninf
+// IDL file and emits Go source registering each Define on a server,
+// with handler skeletons that unpack the argument vector into typed
+// locals. The library author fills in the call to the actual routine.
+//
+// Usage:
+//
+//	ninfgen -pkg mylib my.idl > stubs.go
+//	ninfgen -check my.idl        # parse and validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ninf/internal/idl"
+)
+
+func main() {
+	pkg := flag.String("pkg", "main", "package name for the generated source")
+	check := flag.Bool("check", false, "only parse and validate the IDL")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "ninfgen: exactly one IDL file required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	infos, err := idl.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *check {
+		for _, in := range infos {
+			inB, outB, berr := in.TransferBytes(sampleArgs(in))
+			detail := ""
+			if berr == nil {
+				detail = fmt.Sprintf(" (sample n=100: %d B in, %d B out)", inB, outB)
+			}
+			fmt.Printf("%s: %d parameters%s\n", in.Name, len(in.Params), detail)
+		}
+		return
+	}
+	os.Stdout.WriteString(idl.GenerateStubs(infos, *pkg))
+}
+
+// sampleArgs builds a plausible argument vector (all integer scalars
+// = 100) for transfer-size reporting.
+func sampleArgs(in *idl.Info) []idl.Value {
+	args := make([]idl.Value, len(in.Params))
+	for i := range in.Params {
+		if in.Params[i].IsScalar() && in.Params[i].Type == idl.Int {
+			args[i] = int64(100)
+		}
+	}
+	return args
+}

@@ -1,0 +1,69 @@
+// Command ninfmeta runs a Ninf metaserver: it monitors a set of
+// computational servers and answers placement queries from clients
+// (§2.4).
+//
+// Usage:
+//
+//	ninfmeta [-addr :3100] [-policy bandwidth-aware|load-only|round-robin]
+//	         [-poll 5s] server1:3000 server2:3000 ...
+//
+// Each positional argument is a computational server address; servers
+// are registered under their address as the name. Clients use
+// metaserver.NewRemoteScheduler (or the multiclient examples) to route
+// transactions through the daemon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"ninf/internal/metaserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":3100", "listen address")
+	policy := flag.String("policy", "bandwidth-aware", "placement policy: bandwidth-aware, load-only, round-robin")
+	poll := flag.Duration("poll", 5*time.Second, "server monitoring interval")
+	power := flag.Float64("power", 100, "assumed server compute rate in Mflops (uniform)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ninfmeta: at least one computational server address is required")
+		os.Exit(2)
+	}
+	pol, err := metaserver.PolicyByName(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninfmeta:", err)
+		os.Exit(2)
+	}
+
+	m := metaserver.New(metaserver.Config{Policy: pol})
+	for _, sa := range flag.Args() {
+		sa := sa
+		err := m.AddServer(sa, sa, *power, func() (net.Conn, error) {
+			return net.DialTimeout("tcp", sa, 5*time.Second)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if n := m.PollOnce(); n < flag.NArg() {
+		log.Printf("ninfmeta: warning: only %d/%d servers answered the first poll", n, flag.NArg())
+	}
+	stop := m.StartMonitor(*poll)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ninfmeta: listening on %s, %s policy, monitoring %d servers every %v",
+		l.Addr(), pol.Name(), flag.NArg(), *poll)
+	if err := m.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

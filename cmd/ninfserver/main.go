@@ -1,0 +1,86 @@
+// Command ninfserver runs a Ninf computational server with the
+// standard numerical library (LINPACK, dmmul, NAS EP, DOS, utilities)
+// registered.
+//
+// Usage:
+//
+//	ninfserver [-addr :3000] [-pes 4] [-mode task|data] [-policy fcfs|sjf|fpfs|fpmpfs]
+//	           [-hostname name] [-maxqueue n]
+//
+// The server answers Ninf RPC on the given address; point ninfcall, the
+// examples, or a metaserver at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"ninf/internal/library"
+	"ninf/internal/server"
+	"ninf/internal/server/sched"
+)
+
+func main() {
+	addr := flag.String("addr", ":3000", "listen address")
+	pes := flag.Int("pes", 4, "number of processors")
+	mode := flag.String("mode", "task", "execution mode: task (1 PE per call) or data (all PEs per call)")
+	policy := flag.String("policy", "fcfs", "job scheduling policy: fcfs, sjf, fpfs, fpmpfs")
+	hostname := flag.String("hostname", "", "name reported in stats (default: OS hostname)")
+	maxQueue := flag.Int("maxqueue", 0, "reject calls beyond this many queued jobs (0 = unlimited)")
+	flag.Parse()
+
+	var execMode server.ExecMode
+	switch *mode {
+	case "task":
+		execMode = server.TaskParallel
+	case "data":
+		execMode = server.DataParallel
+	default:
+		fmt.Fprintf(os.Stderr, "ninfserver: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	pol, err := sched.New(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninfserver:", err)
+		os.Exit(2)
+	}
+	host := *hostname
+	if host == "" {
+		host, _ = os.Hostname()
+	}
+
+	reg, err := library.NewRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := server.New(server.Config{
+		Hostname: host,
+		PEs:      *pes,
+		Mode:     execMode,
+		Policy:   pol,
+		MaxQueue: *maxQueue,
+		Logger:   log.New(os.Stderr, "", log.LstdFlags),
+	}, reg)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ninfserver: %s listening on %s (%d PEs, %s, %s); routines: %v",
+		host, l.Addr(), *pes, execMode, pol.Name(), reg.Names())
+
+	go func() {
+		for range time.Tick(time.Minute) {
+			if n := s.ExpireJobs(time.Now()); n > 0 {
+				log.Printf("ninfserver: expired %d unfetched two-phase jobs", n)
+			}
+		}
+	}()
+	if err := s.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

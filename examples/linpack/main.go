@@ -1,0 +1,100 @@
+// Linpack crossover: the §3 experiment on the real system. The client
+// solves the standard LINPACK problem locally and via Ninf_call to an
+// in-process server, over an emulated LAN link, and prints both curves
+// — showing the crossover at which remote execution overtakes local,
+// the effect Figures 3/4 measure.
+//
+// The "server" here is your own machine running the blocked solver
+// while the "client" uses the unblocked one, mirroring the paper's
+// fast-server/modest-client setup; the link is shaped to a configurable
+// bandwidth.
+//
+//	go run ./examples/linpack [-mbps 4] [-nmax 700]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"ninf"
+	"ninf/internal/emunet"
+	"ninf/internal/library"
+	"ninf/internal/linpack"
+	"ninf/internal/server"
+)
+
+func main() {
+	mbps := flag.Float64("mbps", 4, "emulated LAN bandwidth, MB/s")
+	nmax := flag.Int("nmax", 700, "largest matrix order")
+	flag.Parse()
+
+	reg, err := library.NewRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.Config{Hostname: "linpack-server", PEs: 4}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	link := emunet.NewLink("lan", *mbps*1e6)
+	dial := emunet.Dialer(func() (net.Conn, error) {
+		return net.Dial("tcp", l.Addr().String())
+	}, emunet.Options{Up: []*emunet.Link{link}, Down: []*emunet.Link{link}, Latency: time.Millisecond})
+
+	c, err := ninf.NewClient(dial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	fmt.Printf("emulated link: %.1f MB/s; remote = blocked LU on the server, local = plain LU\n\n", *mbps)
+	fmt.Printf("%6s %14s %14s %14s %10s\n", "n", "local[Mflops]", "ninf[Mflops]", "tput[MB/s]", "residual")
+	crossed := false
+	for n := 100; n <= *nmax; n += 100 {
+		a := make([]float64, n*n)
+		b := linpack.Matgen(a, n)
+
+		// Local execution with the unblocked routine.
+		aLocal := append([]float64(nil), a...)
+		ipvt := make([]int64, n)
+		start := time.Now()
+		if err := linpack.Dgefa(aLocal, n, ipvt); err != nil {
+			log.Fatal(err)
+		}
+		xLocal := append([]float64(nil), b...)
+		if err := linpack.Dgesl(aLocal, n, ipvt, xLocal); err != nil {
+			log.Fatal(err)
+		}
+		localMflops := linpack.Flops(n) / time.Since(start).Seconds() / 1e6
+
+		// Remote execution: one Ninf_call to the blocked solver.
+		x := append([]float64(nil), b...)
+		rep, err := c.Call("linsolve_blocked", n, a, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		remoteMflops := linpack.Flops(n) / rep.Total().Seconds() / 1e6
+		resid := linpack.Residual(a, n, x, b)
+
+		marker := ""
+		if !crossed && remoteMflops > localMflops {
+			marker = "   ← Ninf_call overtakes local"
+			crossed = true
+		}
+		fmt.Printf("%6d %14.1f %14.1f %14.2f %10.2f%s\n",
+			n, localMflops, remoteMflops, rep.Throughput()/1e6, resid, marker)
+		if resid > 10 {
+			log.Fatalf("residual check failed at n=%d", n)
+		}
+	}
+	if !crossed {
+		fmt.Println("\n(no crossover up to nmax — raise -nmax or -mbps, or your host is fast at small n)")
+	}
+}

@@ -1,0 +1,113 @@
+// Steering: client callback functions (§2.3's optional IDL info).
+// A long-running Monte-Carlo executable reports progress to the client
+// after every block of trials through the client's "progress"
+// callback; the client watches the running estimate converge and
+// steers the computation to stop once the estimate is stable — all
+// within one blocking Ninf_call.
+//
+//	go run ./examples/steering
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"net"
+
+	"ninf"
+	"ninf/internal/ep"
+	"ninf/internal/idl"
+	"ninf/internal/server"
+)
+
+// pack/unpack the progress payload: block index and current π estimate.
+func pack(block int64, est float64) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:], uint64(block))
+	binary.BigEndian.PutUint64(b[8:], math.Float64bits(est))
+	return b[:]
+}
+
+func unpack(b []byte) (int64, float64) {
+	return int64(binary.BigEndian.Uint64(b[0:])), math.Float64frombits(binary.BigEndian.Uint64(b[8:]))
+}
+
+func main() {
+	reg := server.NewRegistry()
+	err := reg.RegisterIDL(`
+Define pi_steered(mode_in int blocks, mode_in int blockExp, mode_out double pi, mode_out int used)
+    "Monte-Carlo pi with per-block progress callbacks; client may stop it"
+    Calls "go" piSteered(blocks, blockExp, pi, used);
+`, map[string]server.Handler{
+		"pi_steered": func(ctx context.Context, args []idl.Value) error {
+			blocks := args[0].(int64)
+			m := int(args[1].(int64))
+			perBlock := int64(1) << m
+			accepted, total := int64(0), int64(0)
+			for b := int64(0); b < blocks; b++ {
+				res, err := ep.RunRange(40, b*perBlock, perBlock)
+				if err != nil {
+					return err
+				}
+				accepted += res.Pairs
+				total += perBlock
+				est := 4 * float64(accepted) / float64(total)
+				reply, err := server.Callback(ctx, "progress", pack(b+1, est))
+				if err != nil {
+					return err
+				}
+				if string(reply) == "stop" {
+					args[2] = est
+					args[3] = b + 1
+					return nil
+				}
+			}
+			args[2] = 4 * float64(accepted) / float64(total)
+			args[3] = blocks
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.Config{Hostname: "steering"}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := ninf.Dial("tcp", l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// The client steers: stop as soon as two consecutive block
+	// estimates agree to 4 decimal places.
+	prev := 0.0
+	c.RegisterCallback("progress", func(data []byte) ([]byte, error) {
+		block, est := unpack(data)
+		fmt.Printf("  block %2d: π ≈ %.6f\n", block, est)
+		if math.Abs(est-prev) < 5e-5 && block > 1 {
+			return []byte("stop"), nil
+		}
+		prev = est
+		return []byte("go"), nil
+	})
+
+	var pi float64
+	var used int64
+	fmt.Println("calling pi_steered (up to 64 blocks of 2^18 trials):")
+	if _, err := c.Call("pi_steered", 64, 18, &pi, &used); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconverged after %d blocks: π ≈ %.6f (error %.2e)\n",
+		used, pi, math.Abs(pi-math.Pi))
+	if used >= 64 {
+		fmt.Println("(never steered to stop — estimates kept moving; try more blocks)")
+	}
+}

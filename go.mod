@@ -1,0 +1,3 @@
+module ninf
+
+go 1.22

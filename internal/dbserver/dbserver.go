@@ -1,0 +1,157 @@
+// Package dbserver implements the Ninf numerical database server: the
+// second kind of resource the paper's §2 architecture names ("Ninf
+// computational and database servers"). Clients store and retrieve
+// named numerical vectors and matrices with Ninf_query-style calls
+// over the ordinary Ninf RPC, so a database server is a computational
+// server whose executables close over a Store.
+//
+// The §5.1 two-phase protocol the paper says was "already implemented
+// ... for database queries in Ninf" works out of the box: a db_get can
+// be submitted, the connection dropped, and the result fetched later
+// under its job handle (the tests exercise exactly this).
+//
+// Routines:
+//
+//	db_put(name, n, data[n])        store/overwrite a vector
+//	db_size(name) → n               element count (0 = absent)
+//	db_get(name, n, data[n])        retrieve (n must match db_size)
+//	db_del(name) → existed          remove
+//	db_stats() → entries, elements  store totals
+package dbserver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ninf/internal/idl"
+	"ninf/internal/server"
+)
+
+// A Store holds named numerical vectors. It is safe for concurrent
+// use by the server's executor goroutines.
+type Store struct {
+	mu    sync.RWMutex
+	items map[string][]float64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{items: make(map[string][]float64)}
+}
+
+// Put stores a copy of data under name, replacing any previous value.
+func (s *Store) Put(name string, data []float64) error {
+	if name == "" {
+		return fmt.Errorf("dbserver: empty name")
+	}
+	cp := append([]float64(nil), data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[name] = cp
+	return nil
+}
+
+// Get returns a copy of the named vector.
+func (s *Store) Get(name string) ([]float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.items[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), v...), true
+}
+
+// Size returns the element count of the named vector, 0 if absent.
+func (s *Store) Size(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items[name])
+}
+
+// Delete removes the named vector, reporting whether it existed.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[name]
+	delete(s.items, name)
+	return ok
+}
+
+// Stats returns the entry count and the total stored elements.
+func (s *Store) Stats() (entries, elements int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, v := range s.items {
+		elements += len(v)
+	}
+	return len(s.items), elements
+}
+
+// IDL describes the database interface.
+const IDL = `
+Define db_put(mode_in string name, mode_in int n, mode_in double data[n])
+    "store a named numerical vector"
+    Complexity n
+    Calls "go" dbPut(name, n, data);
+
+Define db_size(mode_in string name, mode_out int n)
+    "element count of a stored vector (0 when absent)"
+    Calls "go" dbSize(name, n);
+
+Define db_get(mode_in string name, mode_in int n, mode_out double data[n])
+    "retrieve a named vector; n must equal db_size(name)"
+    Complexity n
+    Calls "go" dbGet(name, n, data);
+
+Define db_del(mode_in string name, mode_out int existed)
+    "delete a stored vector"
+    Calls "go" dbDel(name, existed);
+
+Define db_stats(mode_out int entries, mode_out int elements)
+    "store totals"
+    Calls "go" dbStats(entries, elements);
+`
+
+// Register binds the database routines, closed over st, to the
+// registry. A server may host both the numerical library and a
+// database on the same registry.
+func Register(reg *server.Registry, st *Store) error {
+	return reg.RegisterIDL(IDL, map[string]server.Handler{
+		"db_put": func(_ context.Context, args []idl.Value) error {
+			return st.Put(args[0].(string), args[2].([]float64))
+		},
+		"db_size": func(_ context.Context, args []idl.Value) error {
+			args[1] = int64(st.Size(args[0].(string)))
+			return nil
+		},
+		"db_get": func(_ context.Context, args []idl.Value) error {
+			name := args[0].(string)
+			n := int(args[1].(int64))
+			v, ok := st.Get(name)
+			if !ok {
+				return fmt.Errorf("dbserver: no entry %q", name)
+			}
+			if len(v) != n {
+				return fmt.Errorf("dbserver: %q has %d elements, request says %d", name, len(v), n)
+			}
+			copy(args[2].([]float64), v)
+			return nil
+		},
+		"db_del": func(_ context.Context, args []idl.Value) error {
+			if st.Delete(args[0].(string)) {
+				args[1] = int64(1)
+			} else {
+				args[1] = int64(0)
+			}
+			return nil
+		},
+		"db_stats": func(_ context.Context, args []idl.Value) error {
+			entries, elements := st.Stats()
+			args[0] = int64(entries)
+			args[1] = int64(elements)
+			return nil
+		},
+	})
+}

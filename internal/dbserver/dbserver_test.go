@@ -1,0 +1,201 @@
+package dbserver
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ninf"
+	"ninf/internal/library"
+	"ninf/internal/server"
+)
+
+func startDB(t *testing.T) (*ninf.Client, *Store) {
+	t.Helper()
+	st := NewStore()
+	reg := server.NewRegistry()
+	if err := Register(reg, st); err != nil {
+		t.Fatal(err)
+	}
+	// A database server can host the numerical library too (§2:
+	// "computational and database servers" share the machinery).
+	if err := library.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Hostname: "dbtest"}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	c, err := ninf.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, st
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, _ := startDB(t)
+	data := []float64{3.14, 2.71, -1, 0}
+	if _, err := c.Call("db_put", "constants", len(data), data); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if _, err := c.Call("db_size", "constants", &n); err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("size = %d", n)
+	}
+	out := make([]float64, n)
+	if _, err := c.Call("db_get", "constants", int(n), out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, data) {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	c, _ := startDB(t)
+	out := make([]float64, 4)
+	if _, err := c.Call("db_get", "missing", 4, out); err == nil {
+		t.Error("missing entry fetched")
+	}
+	if _, err := c.Call("db_put", "v", 2, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("db_get", "v", 4, out); err == nil || !strings.Contains(err.Error(), "elements") {
+		t.Errorf("size mismatch not reported: %v", err)
+	}
+	if _, err := c.Call("db_put", "", 1, []float64{1}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestDeleteAndStats(t *testing.T) {
+	c, _ := startDB(t)
+	if _, err := c.Call("db_put", "a", 3, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("db_put", "b", 2, []float64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var entries, elements int64
+	if _, err := c.Call("db_stats", &entries, &elements); err != nil {
+		t.Fatal(err)
+	}
+	if entries != 2 || elements != 5 {
+		t.Errorf("stats = %d entries, %d elements", entries, elements)
+	}
+	var existed int64
+	if _, err := c.Call("db_del", "a", &existed); err != nil || existed != 1 {
+		t.Errorf("delete a: %v existed=%d", err, existed)
+	}
+	if _, err := c.Call("db_del", "a", &existed); err != nil || existed != 0 {
+		t.Errorf("re-delete a: %v existed=%d", err, existed)
+	}
+}
+
+func TestTwoPhaseQuery(t *testing.T) {
+	// The paper's §5.1: "We have already implemented such a two-phase
+	// protocol for database queries in Ninf" — a db_get via
+	// Submit/Fetch with the connection free in between.
+	c, _ := startDB(t)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if _, err := c.Call("db_put", "big", len(data), data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(data))
+	job, err := c.Submit("db_get", "big", len(data), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client can do unrelated work on the same connection while
+	// the query is in flight.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Fetch(true); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, data) {
+		t.Error("two-phase query corrupted data")
+	}
+}
+
+func TestComputeOverDBData(t *testing.T) {
+	// Store a matrix in the database, then solve against it on the
+	// same server — the compute+database composition the Ninf
+	// architecture diagrams show.
+	c, st := startDB(t)
+	n := 16
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = 1 / float64(i+j+1)
+			if i == j {
+				a[i*n+j] += float64(n)
+			}
+		}
+	}
+	if err := st.Put("matrix", a); err != nil {
+		t.Fatal(err)
+	}
+
+	fetched := make([]float64, n*n)
+	if _, err := c.Call("db_get", "matrix", n*n, fetched); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := append([]float64(nil), b...)
+	if _, err := c.Call("linsolve", n, fetched, x); err != nil {
+		t.Fatal(err)
+	}
+	// Check A·x ≈ b.
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		if d := s - b[i]; d > 1e-8 || d < -1e-8 {
+			t.Fatalf("A·x differs from b at %d by %g", i, d)
+		}
+	}
+}
+
+func TestStoreDirect(t *testing.T) {
+	st := NewStore()
+	if err := st.Put("", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := st.Put("x", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := st.Get("x")
+	if !ok || len(v) != 1 {
+		t.Fatal("get failed")
+	}
+	// Mutating the returned copy must not affect the store.
+	v[0] = 99
+	v2, _ := st.Get("x")
+	if v2[0] != 1 {
+		t.Error("store aliases caller memory")
+	}
+	if st.Size("x") != 1 || st.Size("y") != 0 {
+		t.Error("sizes wrong")
+	}
+	if !st.Delete("x") || st.Delete("x") {
+		t.Error("delete semantics wrong")
+	}
+}

@@ -1,0 +1,181 @@
+package emunet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// transfer pushes n bytes through a shaped pipe and returns the
+// elapsed time.
+func transfer(t *testing.T, w io.Writer, r io.Reader, n int) time.Duration {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.CopyN(io.Discard, r, int64(n))
+		done <- err
+	}()
+	start := time.Now()
+	if _, err := w.Write(make([]byte, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func TestLinkCapsThroughput(t *testing.T) {
+	link := NewLink("lan", 1<<20) // 1 MiB/s
+	a, b := net.Pipe()
+	w := Wrap(a, Options{Up: []*Link{link}})
+	n := 256 << 10 // 256 KiB → ≥ ~0.23 s at 1 MiB/s (minus burst)
+	el := transfer(t, w, b, n)
+	min := 150 * time.Millisecond
+	max := 2 * time.Second
+	if el < min || el > max {
+		t.Errorf("256 KiB over 1 MiB/s took %v, want within [%v, %v]", el, min, max)
+	}
+}
+
+func TestSharedLinkSplitsBandwidth(t *testing.T) {
+	link := NewLink("backbone", 2<<20)
+	n := 256 << 10
+
+	// One stream alone.
+	a1, b1 := net.Pipe()
+	w1 := Wrap(a1, Options{Up: []*Link{link}})
+	solo := transfer(t, w1, b1, n)
+
+	// Two streams sharing the same link concurrently: the aggregate
+	// cannot beat the link capacity, so total wall-clock for 2×n
+	// bytes must be about twice the solo time. Chunk interleaving is
+	// only approximately fair, so assert on the total, not on each
+	// stream.
+	link2 := NewLink("backbone2", 2<<20)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		a, b := net.Pipe()
+		w := Wrap(a, Options{Up: []*Link{link2}})
+		wg.Add(1)
+		go func(w io.Writer, r io.Reader) {
+			defer wg.Done()
+			done := make(chan struct{})
+			go func() { io.CopyN(io.Discard, r, int64(n)); close(done) }()
+			w.Write(make([]byte, n))
+			<-done
+		}(w, b)
+	}
+	wg.Wait()
+	total := time.Since(start)
+	if total < time.Duration(float64(solo)*1.6) {
+		t.Errorf("2×%d B over shared link took %v, solo %v — aggregate exceeded capacity", n, total, solo)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	a, b := net.Pipe()
+	w := Wrap(a, Options{Latency: 30 * time.Millisecond})
+	el := transfer(t, w, b, 64)
+	if el < 30*time.Millisecond {
+		t.Errorf("64 B with 30 ms latency took %v", el)
+	}
+	if el > time.Second {
+		t.Errorf("latency overhead too large: %v", el)
+	}
+}
+
+func TestDataIntegrity(t *testing.T) {
+	link := NewLink("l", 8<<20)
+	a, b := Pipe(Options{Up: []*Link{link}, Down: []*Link{link}})
+	payload := make([]byte, 70000) // crosses many chunks
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		a.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted through shaped pipe")
+	}
+
+	// And the reverse direction.
+	go func() {
+		b.Write(payload[:1000])
+	}()
+	back := make([]byte, 1000)
+	if _, err := io.ReadFull(a, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload[:1000]) {
+		t.Error("reverse payload corrupted")
+	}
+}
+
+func TestDialerWraps(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	link := NewLink("wan", 1<<20)
+	dial := Dialer(func() (net.Conn, error) {
+		return net.Dial("tcp", l.Addr().String())
+	}, Options{Up: []*Link{link}})
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 150*time.Millisecond {
+		t.Errorf("shaped TCP write took only %v", el)
+	}
+}
+
+func TestSetRate(t *testing.T) {
+	link := NewLink("x", 1<<20)
+	if link.Rate() != 1<<20 {
+		t.Errorf("rate = %g", link.Rate())
+	}
+	link.SetRate(2 << 20)
+	if link.Rate() != 2<<20 {
+		t.Errorf("rate = %g after SetRate", link.Rate())
+	}
+	link.SetRate(-1) // ignored
+	if link.Rate() != 2<<20 {
+		t.Errorf("negative rate not ignored")
+	}
+	if link.Name() != "x" {
+		t.Errorf("name = %q", link.Name())
+	}
+}
+
+func TestNewLinkPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-positive capacity")
+		}
+	}()
+	NewLink("bad", 0)
+}

@@ -1,0 +1,98 @@
+package emunet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"ninf/internal/netmodel"
+)
+
+// A Network is a live realization of a netmodel.Spec: shared links are
+// token buckets, and each client slot gets a dialer whose connections
+// are shaped by its site's uplinks, the server link, and its own
+// access capacity — so the same topology that drives the simulator can
+// be exercised over real sockets.
+type Network struct {
+	spec       netmodel.Spec
+	serverLink *Link
+	shared     map[string]*Link
+	clients    []clientSlot
+}
+
+type clientSlot struct {
+	site    string
+	dial    func() (net.Conn, error)
+	access  *Link
+	path    []*Link
+	latency time.Duration
+}
+
+// Build realizes spec over the given raw dialer (typically a loopback
+// TCP dial to an in-process server). Capacities are in the spec's
+// MB/s, optionally scaled (scale > 1 speeds the whole network up so
+// tests finish quickly while preserving every ratio; scale ≤ 0 means
+// 1).
+func Build(spec netmodel.Spec, rawDial func() (net.Conn, error), scale float64) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if rawDial == nil {
+		return nil, fmt.Errorf("emunet: nil dialer")
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	n := &Network{
+		spec:       spec,
+		serverLink: NewLink("server", spec.ServerMBps*netmodel.MB*scale),
+		shared:     make(map[string]*Link, len(spec.Links)),
+	}
+	for _, l := range spec.Links {
+		n.shared[l.Name] = NewLink(l.Name, l.MBps*netmodel.MB*scale)
+	}
+	for _, g := range spec.Groups {
+		for i := 0; i < g.Clients; i++ {
+			slot := clientSlot{
+				site:    g.Site,
+				access:  NewLink(fmt.Sprintf("%s-access-%d", g.Site, i), g.AccessMBps*netmodel.MB*scale),
+				latency: time.Duration(g.LatencySec * float64(time.Second) / scale),
+			}
+			for _, ln := range g.SharedLinks {
+				slot.path = append(slot.path, n.shared[ln])
+			}
+			slot.path = append(slot.path, n.serverLink)
+			links := append([]*Link{slot.access}, slot.path...)
+			opts := Options{Up: links, Down: links, Latency: slot.latency}
+			slot.dial = Dialer(rawDial, opts)
+			n.clients = append(n.clients, slot)
+		}
+	}
+	return n, nil
+}
+
+// Clients reports the number of client slots.
+func (n *Network) Clients() int { return len(n.clients) }
+
+// Dialer returns the shaped dialer of client slot i.
+func (n *Network) Dialer(i int) (func() (net.Conn, error), error) {
+	if i < 0 || i >= len(n.clients) {
+		return nil, fmt.Errorf("emunet: client %d out of range [0,%d)", i, len(n.clients))
+	}
+	return n.clients[i].dial, nil
+}
+
+// Site reports which site client slot i belongs to.
+func (n *Network) Site(i int) string {
+	if i < 0 || i >= len(n.clients) {
+		return ""
+	}
+	return n.clients[i].site
+}
+
+// ServerLink exposes the shared server ingress link (for tests that
+// adjust capacity mid-run).
+func (n *Network) ServerLink() *Link { return n.serverLink }
+
+// SharedLink returns the named shared link, or nil.
+func (n *Network) SharedLink(name string) *Link { return n.shared[name] }

@@ -1,0 +1,187 @@
+// Package ep implements the NAS Parallel Benchmarks "embarrassingly
+// parallel" (EP) kernel used by the paper's compute-bound experiments,
+// plus the density-of-states style parameter sweep mentioned in §4.3.1.
+//
+// EP generates 2^m pairs of uniform pseudorandom numbers with the NPB
+// linear congruential generator (modulus 2^46, multiplier 5^13),
+// transforms acceptable pairs into independent Gaussian deviates with
+// the Marsaglia polar method, and tallies the deviates into ten square
+// annuli. Communication is O(1) regardless of m — the property the
+// paper relies on for its "LAN ≈ WAN for EP" conclusion.
+package ep
+
+import (
+	"fmt"
+	"math"
+)
+
+// NPB pseudorandom generator constants: x_{k+1} = a·x_k mod 2^46.
+const (
+	lcgA    = 1220703125 // 5^13
+	lcgMod  = 1 << 46    // modulus
+	lcgMask = lcgMod - 1 // 46-bit mask
+	Seed    = 271828183  // NPB default seed
+)
+
+// Class sizes from the NPB specification, expressed as the log2 of the
+// number of random-number *pairs*. The paper benchmarks the "sample"
+// size 2^24 per PE and classes A (2^28) and B (2^30) for the metaserver
+// experiment (Figure 11).
+const (
+	ClassSample = 24
+	ClassA      = 28
+	ClassB      = 30
+)
+
+// Rand46 is the NPB 46-bit linear congruential generator.
+type Rand46 struct {
+	x uint64
+}
+
+// NewRand46 returns a generator seeded with s (only the low 46 bits are
+// used; a zero seed is replaced by the NPB default).
+func NewRand46(s uint64) *Rand46 {
+	s &= lcgMask
+	if s == 0 {
+		s = Seed
+	}
+	return &Rand46{x: s}
+}
+
+// Next returns the next deviate uniform in (0,1).
+func (r *Rand46) Next() float64 {
+	r.x = (r.x * lcgA) & lcgMask
+	return float64(r.x) / float64(lcgMod)
+}
+
+// Skip advances the generator by k steps in O(log k) time using
+// modular exponentiation of the multiplier. This is how EP partitions
+// one logical random stream across PEs deterministically: worker i
+// jumps to offset i·chunk and the union of all workers' outputs is
+// exactly the sequential stream.
+func (r *Rand46) Skip(k uint64) {
+	r.x = (r.x * powMod(lcgA, k)) & lcgMask
+}
+
+// powMod computes a^k mod 2^46 by binary exponentiation.
+func powMod(a, k uint64) uint64 {
+	result := uint64(1)
+	base := a & lcgMask
+	for k > 0 {
+		if k&1 == 1 {
+			result = (result * base) & lcgMask
+		}
+		base = (base * base) & lcgMask
+		k >>= 1
+	}
+	return result
+}
+
+// Result accumulates the EP kernel outputs: the sums of the Gaussian
+// deviates and the counts per annulus. Results from disjoint portions
+// of the stream combine with Merge, which is exact because every field
+// is a sum.
+type Result struct {
+	SumX   float64
+	SumY   float64
+	Counts [10]int64
+	Pairs  int64 // accepted pairs
+}
+
+// Merge adds other into r.
+func (r *Result) Merge(other Result) {
+	r.SumX += other.SumX
+	r.SumY += other.SumY
+	r.Pairs += other.Pairs
+	for i := range r.Counts {
+		r.Counts[i] += other.Counts[i]
+	}
+}
+
+// Ops returns the nominal operation count the paper uses for EP
+// performance accounting: 2^{m+1} for 2^m trials.
+func Ops(m int) float64 { return math.Pow(2, float64(m+1)) }
+
+// Run executes the full kernel for 2^m pairs starting from the NPB
+// seed. Equivalent to RunRange(m, 0, 1<<m).
+func Run(m int) (Result, error) { return RunRange(m, 0, 1<<uint(m)) }
+
+// RunRange executes pairs [first, first+count) of the 2^m-pair EP
+// problem. Splitting the index space across workers and merging the
+// results reproduces Run(m) exactly; the property tests verify this.
+func RunRange(m int, first, count int64) (Result, error) {
+	total := int64(1) << uint(m)
+	if m < 0 || m > 40 {
+		return Result{}, fmt.Errorf("ep: class exponent %d out of range", m)
+	}
+	if first < 0 || count < 0 || first+count > total {
+		return Result{}, fmt.Errorf("ep: range [%d,%d) outside [0,%d)", first, first+count, total)
+	}
+	r := NewRand46(Seed)
+	// Each pair consumes two deviates.
+	r.Skip(uint64(2 * first))
+	var res Result
+	for i := int64(0); i < count; i++ {
+		x := 2*r.Next() - 1
+		y := 2*r.Next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx := x * f
+		gy := y * f
+		res.SumX += gx
+		res.SumY += gy
+		res.Pairs++
+		l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if l > 9 {
+			l = 9
+		}
+		res.Counts[l]++
+	}
+	return res, nil
+}
+
+// DOS approximates the paper's density-of-states companion workload: a
+// Monte-Carlo histogram of a model spectral function sampled at
+// 2^m points over [lo, hi). Like EP it is compute-bound with O(1)
+// communication; it exists so the examples exercise an "EP-style
+// practical application" (§4.3.1) distinct from EP itself.
+func DOS(m int, lo, hi float64, bins int) ([]float64, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("ep: DOS needs positive bin count, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("ep: DOS needs hi > lo, got [%g,%g)", lo, hi)
+	}
+	if m < 0 || m > 40 {
+		return nil, fmt.Errorf("ep: class exponent %d out of range", m)
+	}
+	r := NewRand46(Seed)
+	hist := make([]float64, bins)
+	n := int64(1) << uint(m)
+	width := hi - lo
+	for i := int64(0); i < n; i++ {
+		e := lo + width*r.Next()
+		// Model density: two Gaussian bands, a crude tight-binding
+		// spectrum.
+		d := math.Exp(-(e-1)*(e-1)*4) + 0.6*math.Exp(-(e+1)*(e+1)*2)
+		b := int(float64(bins) * (e - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b] += d
+	}
+	// Normalize to unit integral for scale-free comparison.
+	sum := 0.0
+	for _, v := range hist {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range hist {
+			hist[i] /= sum
+		}
+	}
+	return hist, nil
+}

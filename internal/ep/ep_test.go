@@ -1,0 +1,197 @@
+package ep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRand46Determinism(t *testing.T) {
+	a := NewRand46(Seed)
+	b := NewRand46(Seed)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}
+
+func TestRand46Range(t *testing.T) {
+	r := NewRand46(Seed)
+	for i := 0; i < 10000; i++ {
+		v := r.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("deviate %g outside (0,1) at step %d", v, i)
+		}
+	}
+}
+
+func TestRand46ZeroSeed(t *testing.T) {
+	r := NewRand46(0)
+	s := NewRand46(Seed)
+	if r.Next() != s.Next() {
+		t.Error("zero seed not replaced with NPB default")
+	}
+}
+
+func TestSkipMatchesSequential(t *testing.T) {
+	for _, k := range []uint64{0, 1, 2, 17, 1000, 123457} {
+		seq := NewRand46(Seed)
+		for i := uint64(0); i < k; i++ {
+			seq.Next()
+		}
+		jmp := NewRand46(Seed)
+		jmp.Skip(k)
+		if a, b := seq.Next(), jmp.Next(); a != b {
+			t.Errorf("Skip(%d): %g vs sequential %g", k, b, a)
+		}
+	}
+}
+
+func TestSkipComposes(t *testing.T) {
+	f := func(a, b uint16) bool {
+		one := NewRand46(Seed)
+		one.Skip(uint64(a) + uint64(b))
+		two := NewRand46(Seed)
+		two.Skip(uint64(a))
+		two.Skip(uint64(b))
+		return one.Next() == two.Next()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUniformityStats(t *testing.T) {
+	// With 2^16 pairs the acceptance rate must be near π/4 and the
+	// Gaussian sums near zero.
+	res, err := Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(1) << 16
+	rate := float64(res.Pairs) / float64(total)
+	if math.Abs(rate-math.Pi/4) > 0.01 {
+		t.Errorf("acceptance rate %g, want ≈ %g", rate, math.Pi/4)
+	}
+	meanX := res.SumX / float64(res.Pairs)
+	meanY := res.SumY / float64(res.Pairs)
+	if math.Abs(meanX) > 0.02 || math.Abs(meanY) > 0.02 {
+		t.Errorf("Gaussian means %g, %g; want ≈ 0", meanX, meanY)
+	}
+	// Nearly all Gaussian deviates fall in the first few annuli.
+	if res.Counts[0] == 0 || res.Counts[9] > res.Counts[0] {
+		t.Errorf("suspicious annulus counts %v", res.Counts)
+	}
+}
+
+func TestRangePartitionExactness(t *testing.T) {
+	// Splitting the index space across any worker count must merge to
+	// exactly the sequential result: this is what makes metaserver
+	// task-parallel EP give the same answer as one server.
+	m := 12
+	want, err := Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 7, 32} {
+		total := int64(1) << uint(m)
+		var merged Result
+		for w := 0; w < workers; w++ {
+			first := total * int64(w) / int64(workers)
+			last := total * int64(w+1) / int64(workers)
+			part, err := RunRange(m, first, last-first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged.Merge(part)
+		}
+		// Counts and pair tallies are integers and must be exact;
+		// the Gaussian sums are floats whose addition order differs
+		// across partitions, so allow last-ulp slack.
+		if merged.Pairs != want.Pairs {
+			t.Errorf("workers=%d: pairs %d, want %d", workers, merged.Pairs, want.Pairs)
+		}
+		if merged.Counts != want.Counts {
+			t.Errorf("workers=%d: counts %v, want %v", workers, merged.Counts, want.Counts)
+		}
+		if math.Abs(merged.SumX-want.SumX) > 1e-9*math.Abs(want.SumX) ||
+			math.Abs(merged.SumY-want.SumY) > 1e-9*math.Abs(want.SumY) {
+			t.Errorf("workers=%d: sums %g,%g want %g,%g", workers, merged.SumX, merged.SumY, want.SumX, want.SumY)
+		}
+	}
+}
+
+func TestRunRangeValidation(t *testing.T) {
+	if _, err := RunRange(10, -1, 5); err == nil {
+		t.Error("negative first accepted")
+	}
+	if _, err := RunRange(10, 0, 1<<11); err == nil {
+		t.Error("overlong range accepted")
+	}
+	if _, err := RunRange(-1, 0, 0); err == nil {
+		t.Error("negative class accepted")
+	}
+	if _, err := RunRange(41, 0, 0); err == nil {
+		t.Error("oversized class accepted")
+	}
+}
+
+func TestOps(t *testing.T) {
+	if Ops(24) != float64(int64(1)<<25) {
+		t.Errorf("Ops(24) = %g", Ops(24))
+	}
+}
+
+func TestDOS(t *testing.T) {
+	hist, err := DOS(14, -3, 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	maxI := 0
+	for i, v := range hist {
+		if v < 0 {
+			t.Fatalf("negative density at bin %d", i)
+		}
+		sum += v
+		if v > hist[maxI] {
+			maxI = i
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram integral %g, want 1", sum)
+	}
+	// The dominant band is centered at e=+1, i.e. bin ≈ 2/3 of range.
+	if c := float64(maxI) / 32; c < 0.55 || c > 0.80 {
+		t.Errorf("dominant band at relative position %g, want ≈ 0.67", c)
+	}
+	// Deterministic across calls.
+	hist2, _ := DOS(14, -3, 3, 32)
+	for i := range hist {
+		if hist[i] != hist2[i] {
+			t.Fatal("DOS not deterministic")
+		}
+	}
+}
+
+func TestDOSValidation(t *testing.T) {
+	if _, err := DOS(10, 0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := DOS(10, 1, 1, 8); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := DOS(99, 0, 1, 8); err == nil {
+		t.Error("huge class accepted")
+	}
+}
+
+func BenchmarkEP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ninf/internal/machine"
+	"ninf/internal/metrics"
+	"ninf/internal/netmodel"
+	"ninf/internal/ninfsim"
+)
+
+func init() {
+	table8 := &Experiment{
+		ID:       "table8-ep",
+		Title:    "multi-client EP on the J90, LAN and single-site WAN",
+		Artifact: "Table 8",
+	}
+	table8.Run = func(w io.Writer, opts Options) error {
+		header(w, table8)
+		fmt.Fprintf(w, "%4s %3s | %-20s | %-15s | %-15s | %-15s | %6s %6s %6s\n",
+			"env", "c", "Perf[Mops] max/min/mean", "Response[sec]", "Wait[sec]",
+			"Transmission[s]", "CPU%", "Load", "times")
+		envs := []struct {
+			name string
+			net  func(c int) netmodel.Spec
+		}{
+			{"LAN", netmodel.LANJ90},
+			{"WAN", netmodel.SingleSiteWAN},
+		}
+		for _, env := range envs {
+			for _, c := range []int{1, 2, 4, 8, 16} {
+				res, err := ninfsim.Run(ninfsim.Config{
+					Server: machine.MustCatalog("j90"),
+					Net:    env.net(c), Workload: ninfsim.EP, EPExp: 24,
+					Duration: opts.dur(8000),
+					Seed:     opts.seed() + uint64(c),
+				})
+				if err != nil {
+					return err
+				}
+				var perf, resp, wait, trans metrics.Series
+				for i := range res.Calls {
+					call := &res.Calls[i]
+					perf.Add(call.PerfMflops()) // Mops for EP
+					resp.Add(call.ResponseSec())
+					wait.Add(call.WaitSec())
+					trans.Add(call.CommSec)
+				}
+				fmt.Fprintf(w, "%4s %3d | %-20s | %-15s | %-15s | %-15s | %6.2f %6.2f %6d\n",
+					env.name, c,
+					perf.Triple("%.3f"), resp.Triple("%.2f"), wait.Triple("%.2f"),
+					trans.Triple("%.2f"),
+					res.CPUUtil, res.LoadAverage, res.Times())
+			}
+		}
+		fmt.Fprintln(w, "(paper: perf ≈0.167 Mops flat to c=4, halves at c=8, quarters at c=16;")
+		fmt.Fprintln(w, " LAN ≈ WAN throughout; CPU saturates at 100% from c=4 on)")
+		return nil
+	}
+	register(table8)
+
+	fig11 := &Experiment{
+		ID:       "fig11-ep-metaserver",
+		Title:    "metaserver task-parallel EP on the 32-node Alpha cluster",
+		Artifact: "Figure 11",
+	}
+	fig11.Run = func(w io.Writer, opts Options) error {
+		header(w, fig11)
+		fmt.Fprintln(w, "model: T(p) = p·t_dispatch + t_comm + 2^(m+1)/(p·r_EP)")
+		fmt.Fprintf(w, "       t_dispatch = %.2fs (Java metaserver, serialized), r_EP = %.1f Mops/node\n\n",
+			dispatchOverhead, machine.MustCatalog("alpha-node").EPMopsPerPE)
+		classes := []struct {
+			name string
+			m    int
+		}{
+			{"sample (2^24)", 24},
+			{"class A (2^28)", 28},
+			{"class B (2^30)", 30},
+		}
+		procs := []int{1, 2, 4, 8, 16, 32}
+		fmt.Fprintf(w, "%-16s", "class \\ p")
+		for _, p := range procs {
+			fmt.Fprintf(w, "%12d", p)
+		}
+		fmt.Fprintln(w)
+		for _, cl := range classes {
+			fmt.Fprintf(w, "%-16s", cl.name+" T[s]")
+			t1 := metaserverEPTime(cl.m, 1)
+			for _, p := range procs {
+				fmt.Fprintf(w, "%12.1f", metaserverEPTime(cl.m, p))
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "%-16s", "  speedup")
+			for _, p := range procs {
+				fmt.Fprintf(w, "%12.1f", t1/metaserverEPTime(cl.m, p))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "\n(paper: almost linear speedup for classes A and B; significant slowdown")
+		fmt.Fprintln(w, " for the small sample size, caused by the Java metaserver's per-call")
+		fmt.Fprintln(w, " scheduling and distribution overhead)")
+		return nil
+	}
+	register(fig11)
+}
+
+// dispatchOverhead is the per-Ninf_call scheduling/distribution cost of
+// the 1997 Java prototype metaserver (§4.3.1), charged serially.
+const dispatchOverhead = 0.15
+
+// commOverhead is the O(1) EP argument/result shipping cost per call.
+const commOverhead = 0.05
+
+// metaserverEPTime models the Figure 11 execution: the metaserver
+// dispatches p Ninf_calls serially, each computing 2^m/p trials on its
+// own Alpha node; the slowest call finishes last.
+func metaserverEPTime(m, p int) float64 {
+	rate := machine.MustCatalog("alpha-node").EPMopsPerPE * 1e6
+	ops := math.Pow(2, float64(m+1))
+	return float64(p)*dispatchOverhead + commOverhead + ops/(float64(p)*rate)
+}

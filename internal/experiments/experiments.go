@@ -1,0 +1,86 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each experiment is registered under the ID used
+// by cmd/ninfbench and by the benchmarks in bench_test.go, runs the
+// simulator (or the real in-process Ninf system, for the ablations)
+// with the corresponding scenario, and prints rows shaped like the
+// paper's artifact so the two can be compared side by side.
+//
+// Absolute numbers are not expected to match 1997 hardware; the shapes
+// are: who wins, by what factor, and where the crossovers fall.
+// EXPERIMENTS.md records paper-vs-measured for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks simulated durations/sweeps for benchmark loops;
+	// the default settings match the paper's run lengths.
+	Quick bool
+	// Seed makes simulation-backed experiments reproducible.
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// dur picks a simulated duration given quick mode.
+func (o Options) dur(full float64) float64 {
+	if o.Quick {
+		return full / 8
+	}
+	return full
+}
+
+// An Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the stable name, e.g. "table3-lan-1pe".
+	ID string
+	// Title is a human-readable one-liner.
+	Title string
+	// Artifact names the paper table/figure reproduced.
+	Artifact string
+	// Run executes the experiment, writing its rows to w.
+	Run func(w io.Writer, opts Options) error
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate ID " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (try 'list')", id)
+	}
+	return e, nil
+}
+
+// header prints a titled rule.
+func header(w io.Writer, e *Experiment) {
+	fmt.Fprintf(w, "== %s — %s (%s) ==\n", e.ID, e.Title, e.Artifact)
+}

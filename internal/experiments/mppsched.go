@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"ninf"
+	"ninf/internal/idl"
+	"ninf/internal/metrics"
+	"ninf/internal/server"
+	"ninf/internal/server/sched"
+)
+
+func init() {
+	e := &Experiment{
+		ID:       "ablation-mpp-sched",
+		Title:    "multi-PE job scheduling: FCFS vs FPFS vs FPMPFS backfilling",
+		Artifact: "§5.3 discussion",
+	}
+	e.Run = func(w io.Writer, opts Options) error {
+		header(w, e)
+		return runMPPSchedAblation(w, opts)
+	}
+	register(e)
+}
+
+// runMPPSchedAblation builds the §5.3 scenario on the real server: a
+// 4-PE machine receives a wide (4-PE) job stuck behind a busy PE, with
+// narrow (1-PE) jobs behind it. FCFS blocks at the head and idles
+// three PEs; Fit-Processors-First-Served backfills the narrow jobs;
+// FPMPFS additionally prefers the widest fitting job once room opens.
+func runMPPSchedAblation(w io.Writer, opts Options) error {
+	jobMs := 120
+	if opts.Quick {
+		jobMs = 40
+	}
+	fmt.Fprintf(w, "-- 4-PE server: busy PE + queued [wide(4PE) narrow(1PE)×6], %d ms each --\n", jobMs)
+
+	for _, polName := range []string{"fcfs", "fpfs", "fpmpfs"} {
+		pol, err := sched.New(polName)
+		if err != nil {
+			return err
+		}
+		makespan, narrowMean, err := runWidthMix(pol, jobMs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-7s makespan %.3f s, narrow-job mean turnaround %.3f s\n",
+			polName, makespan.Seconds(), narrowMean)
+	}
+	fmt.Fprintln(w, "(FCFS idles 3 PEs behind the blocked wide job; the fit-processors")
+	fmt.Fprintln(w, " policies backfill narrow jobs and cut both metrics — §5.3/FPFS/FPMPFS)")
+	return nil
+}
+
+// runWidthMix submits the §5.3 width mix under one policy and returns
+// the makespan and the mean turnaround of the narrow jobs.
+func runWidthMix(pol sched.Policy, jobMs int) (time.Duration, float64, error) {
+	reg := server.NewRegistry()
+	spin := func(ctx context.Context, args []idl.Value) error {
+		deadline := time.Now().Add(time.Duration(args[0].(int64)) * time.Millisecond)
+		for time.Now().Before(deadline) {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		return nil
+	}
+	// The same routine registered at two PE widths.
+	narrowInfo, err := idl.ParseOne(`Define narrow(mode_in int ms) Complexity ms Calls "go" spin(ms);`)
+	if err != nil {
+		return 0, 0, err
+	}
+	wideInfo, err := idl.ParseOne(`Define wide(mode_in int ms) Complexity ms Calls "go" spin(ms);`)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := reg.Register(&server.Executable{Info: narrowInfo, Handler: spin, PEs: 1}); err != nil {
+		return 0, 0, err
+	}
+	if err := reg.Register(&server.Executable{Info: wideInfo, Handler: spin, PEs: 4}); err != nil {
+		return 0, 0, err
+	}
+
+	s := server.New(server.Config{PEs: 4, Policy: pol}, reg)
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	go s.Serve(l)
+	c, err := ninf.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+
+	// Occupy one PE so the wide job cannot start immediately.
+	gate, err := c.Submit("narrow", 2*jobMs)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	wideJob, err := c.Submit("wide", jobMs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var narrows []*ninf.Job
+	for i := 0; i < 6; i++ {
+		j, err := c.Submit("narrow", jobMs)
+		if err != nil {
+			return 0, 0, err
+		}
+		narrows = append(narrows, j)
+	}
+
+	if _, err := gate.Fetch(true); err != nil {
+		return 0, 0, err
+	}
+	var narrowTurnaround metrics.Series
+	for _, j := range narrows {
+		rep, err := j.Fetch(true)
+		if err != nil {
+			return 0, 0, err
+		}
+		narrowTurnaround.Add(rep.Complete.Sub(rep.Enqueue).Seconds())
+	}
+	if _, err := wideJob.Fetch(true); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), narrowTurnaround.Mean(), nil
+}

@@ -1,0 +1,51 @@
+package idl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(dmmulIDL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	info, err := ParseOne(dmmulIDL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, info); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalBytecode(b *testing.B) {
+	e, err := ParseExpr("2*n^3/3 + 2*n^2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := CompileExpr(e, map[string]int{"n": 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	argAt := func(int) (int64, error) { return 1400, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBytecode(code, argAt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

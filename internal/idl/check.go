@@ -1,0 +1,87 @@
+package idl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is wrapped by all semantic-check failures.
+var ErrInvalid = errors.New("idl: invalid interface")
+
+func checkErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Check validates an interface description:
+//
+//   - parameter names are unique and non-empty;
+//   - every dimension expression references only scalar, in-shipping
+//     (mode_in or mode_inout) integer parameters declared *earlier* in
+//     the signature, so a left-to-right marshaller always has the
+//     values it needs;
+//   - string parameters are scalar (no string arrays);
+//   - the Complexity expression references only scalar in-shipping
+//     integer parameters;
+//   - the Calls clause names only declared parameters;
+//   - a Calls target is present.
+//
+// Parse runs Check automatically; servers run it again on registration
+// so hand-built Info values get the same screening.
+func Check(in *Info) error {
+	if in.Name == "" {
+		return checkErrf("missing interface name")
+	}
+	if in.Target == "" {
+		return checkErrf("%s: missing Calls target", in.Name)
+	}
+
+	seen := make(map[string]int, len(in.Params))
+	// scalarIn collects parameters legal to reference from dimension
+	// and complexity expressions.
+	scalarIn := make(map[string]bool)
+	for i := range in.Params {
+		p := &in.Params[i]
+		if p.Name == "" {
+			return checkErrf("%s: parameter %d has no name", in.Name, i)
+		}
+		if prev, dup := seen[p.Name]; dup {
+			return checkErrf("%s: duplicate parameter %q (positions %d and %d)", in.Name, p.Name, prev, i)
+		}
+		seen[p.Name] = i
+		if p.Mode < In || p.Mode > InOut {
+			return checkErrf("%s: parameter %q has invalid mode %d", in.Name, p.Name, int(p.Mode))
+		}
+		if p.Type < Int || p.Type > String {
+			return checkErrf("%s: parameter %q has invalid type %d", in.Name, p.Name, int(p.Type))
+		}
+		if p.Type == String && !p.IsScalar() {
+			return checkErrf("%s: parameter %q: string arrays are not supported", in.Name, p.Name)
+		}
+		for di, d := range p.Dims {
+			for _, ref := range Refs(d) {
+				if !scalarIn[ref] {
+					return checkErrf("%s: parameter %q dimension %d references %q, which is not an earlier scalar in-mode integer parameter",
+						in.Name, p.Name, di, ref)
+				}
+			}
+		}
+		if p.IsScalar() && p.Type == Int && p.Mode.Ships(false) {
+			scalarIn[p.Name] = true
+		}
+	}
+
+	if in.Complexity != nil {
+		for _, ref := range Refs(in.Complexity) {
+			if !scalarIn[ref] {
+				return checkErrf("%s: Complexity references %q, which is not a scalar in-mode integer parameter", in.Name, ref)
+			}
+		}
+	}
+
+	for _, arg := range in.TargetArgs {
+		if _, ok := seen[arg]; !ok {
+			return checkErrf("%s: Calls argument %q is not a declared parameter", in.Name, arg)
+		}
+	}
+	return nil
+}

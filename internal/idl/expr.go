@@ -1,0 +1,402 @@
+package idl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// An Expr is an integer expression over scalar in-mode arguments:
+// array dimensions and complexity declarations are Exprs.
+type Expr interface {
+	// Eval computes the expression given values for the scalar
+	// arguments it references.
+	Eval(env map[string]int64) (int64, error)
+	// refs appends the names of referenced arguments.
+	refs(dst []string) []string
+	fmt.Stringer
+}
+
+// ErrUnboundRef reports a reference to a scalar argument absent from
+// the evaluation environment.
+var ErrUnboundRef = errors.New("idl: unbound argument reference")
+
+// ErrDivByZero reports division (or modulo) by zero during expression
+// evaluation.
+var ErrDivByZero = errors.New("idl: division by zero")
+
+// Num is an integer literal.
+type Num int64
+
+// Eval implements Expr.
+func (n Num) Eval(map[string]int64) (int64, error) { return int64(n), nil }
+
+func (n Num) refs(dst []string) []string { return dst }
+
+// String implements fmt.Stringer.
+func (n Num) String() string { return fmt.Sprintf("%d", int64(n)) }
+
+// Ref is a reference to a scalar in-mode argument by name.
+type Ref string
+
+// Eval implements Expr.
+func (r Ref) Eval(env map[string]int64) (int64, error) {
+	v, ok := env[string(r)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnboundRef, string(r))
+	}
+	return v, nil
+}
+
+func (r Ref) refs(dst []string) []string { return append(dst, string(r)) }
+
+// String implements fmt.Stringer.
+func (r Ref) String() string { return string(r) }
+
+// Op identifies a binary operator.
+type Op byte
+
+// Binary operators, in increasing precedence order of their groups.
+const (
+	OpAdd Op = '+'
+	OpSub Op = '-'
+	OpMul Op = '*'
+	OpDiv Op = '/'
+	OpMod Op = '%'
+	OpPow Op = '^'
+)
+
+// BinOp is a binary operation node.
+type BinOp struct {
+	Op   Op
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b *BinOp) Eval(env map[string]int64) (int64, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return applyOp(b.Op, l, r)
+}
+
+func applyOp(op Op, l, r int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, ErrDivByZero
+		}
+		return l / r, nil
+	case OpMod:
+		if r == 0 {
+			return 0, ErrDivByZero
+		}
+		return l % r, nil
+	case OpPow:
+		// Dimension and complexity formulas never need exponents
+		// beyond the width of int64; larger values are certainly a
+		// bug (and would loop for years), so reject them.
+		if r < 0 || r > 63 {
+			return 0, fmt.Errorf("idl: exponent %d outside [0,63]", r)
+		}
+		out := int64(1)
+		for i := int64(0); i < r; i++ {
+			out *= l
+		}
+		return out, nil
+	default:
+		return 0, fmt.Errorf("idl: unknown operator %q", byte(op))
+	}
+}
+
+func (b *BinOp) refs(dst []string) []string { return b.R.refs(b.L.refs(dst)) }
+
+func opPrec(op Op) int {
+	switch op {
+	case OpAdd, OpSub:
+		return 1
+	case OpMul, OpDiv, OpMod:
+		return 2
+	case OpPow:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer, parenthesizing only where required.
+func (b *BinOp) String() string {
+	var sb strings.Builder
+	writeOperand(&sb, b.L, opPrec(b.Op), false)
+	fmt.Fprintf(&sb, "%c", byte(b.Op))
+	writeOperand(&sb, b.R, opPrec(b.Op), true)
+	return sb.String()
+}
+
+func writeOperand(sb *strings.Builder, e Expr, parentPrec int, isRight bool) {
+	if sub, ok := e.(*BinOp); ok {
+		p := opPrec(sub.Op)
+		// Right operands of equal precedence need parens because
+		// the operators are left-associative (except ^, which is
+		// emitted fully parenthesized on the right by this rule
+		// only when precedence demands; for simplicity we
+		// parenthesize equal-precedence right children).
+		if p < parentPrec || (p == parentPrec && isRight) {
+			sb.WriteByte('(')
+			sb.WriteString(sub.String())
+			sb.WriteByte(')')
+			return
+		}
+	}
+	sb.WriteString(e.String())
+}
+
+// Refs returns the distinct argument names referenced by the
+// expression, in first-appearance order.
+func Refs(e Expr) []string {
+	all := e.refs(nil)
+	seen := make(map[string]bool, len(all))
+	var out []string
+	for _, n := range all {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Bytecode: the wire form of an Expr, a stack-machine program. This is
+// the "interpretable code" shipped to clients in the two-stage RPC.
+// Programs are sequences of instructions:
+//
+//	opPushConst <int64>   push a constant
+//	opPushArg   <uint32>  push the value of scalar parameter #n
+//	opAdd..opPow          pop two, apply, push
+//
+// Argument references are compiled to parameter indices so the client
+// need not ship names back and forth.
+const (
+	opPushConst byte = 0x01
+	opPushArg   byte = 0x02
+	opAdd       byte = 0x10
+	opSub       byte = 0x11
+	opMul       byte = 0x12
+	opDiv       byte = 0x13
+	opMod       byte = 0x14
+	opPow       byte = 0x15
+)
+
+func opToByte(op Op) byte {
+	switch op {
+	case OpAdd:
+		return opAdd
+	case OpSub:
+		return opSub
+	case OpMul:
+		return opMul
+	case OpDiv:
+		return opDiv
+	case OpMod:
+		return opMod
+	case OpPow:
+		return opPow
+	}
+	return 0
+}
+
+func byteToOp(b byte) (Op, bool) {
+	switch b {
+	case opAdd:
+		return OpAdd, true
+	case opSub:
+		return OpSub, true
+	case opMul:
+		return OpMul, true
+	case opDiv:
+		return OpDiv, true
+	case opMod:
+		return OpMod, true
+	case opPow:
+		return OpPow, true
+	}
+	return 0, false
+}
+
+// CompileExpr lowers an expression to bytecode, resolving argument
+// references through nameToIndex (parameter name → position).
+func CompileExpr(e Expr, nameToIndex map[string]int) ([]byte, error) {
+	var out []byte
+	var walk func(Expr) error
+	walk = func(e Expr) error {
+		switch v := e.(type) {
+		case Num:
+			out = append(out, opPushConst)
+			out = appendInt64(out, int64(v))
+		case Ref:
+			idx, ok := nameToIndex[string(v)]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUnboundRef, string(v))
+			}
+			out = append(out, opPushArg)
+			out = appendUint32(out, uint32(idx))
+		case *BinOp:
+			if err := walk(v.L); err != nil {
+				return err
+			}
+			if err := walk(v.R); err != nil {
+				return err
+			}
+			b := opToByte(v.Op)
+			if b == 0 {
+				return fmt.Errorf("idl: cannot compile operator %q", byte(v.Op))
+			}
+			out = append(out, b)
+		default:
+			return fmt.Errorf("idl: cannot compile %T", e)
+		}
+		return nil
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompileExpr rebuilds an expression tree from bytecode, mapping
+// argument indices back to names through indexToName. It is the exact
+// inverse of CompileExpr, which the property tests verify.
+func DecompileExpr(code []byte, indexToName []string) (Expr, error) {
+	var stack []Expr
+	i := 0
+	for i < len(code) {
+		op := code[i]
+		i++
+		switch op {
+		case opPushConst:
+			if i+8 > len(code) {
+				return nil, errors.New("idl: truncated constant in bytecode")
+			}
+			stack = append(stack, Num(readInt64(code[i:])))
+			i += 8
+		case opPushArg:
+			if i+4 > len(code) {
+				return nil, errors.New("idl: truncated argument index in bytecode")
+			}
+			idx := int(readUint32(code[i:]))
+			i += 4
+			if idx < 0 || idx >= len(indexToName) {
+				return nil, fmt.Errorf("idl: bytecode argument index %d out of range", idx)
+			}
+			stack = append(stack, Ref(indexToName[idx]))
+		default:
+			o, ok := byteToOp(op)
+			if !ok {
+				return nil, fmt.Errorf("idl: unknown opcode %#x", op)
+			}
+			if len(stack) < 2 {
+				return nil, errors.New("idl: stack underflow in bytecode")
+			}
+			l, r := stack[len(stack)-2], stack[len(stack)-1]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, &BinOp{Op: o, L: l, R: r})
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("idl: bytecode leaves %d values on stack, want 1", len(stack))
+	}
+	return stack[0], nil
+}
+
+// EvalBytecode interprets compiled dimension code directly against
+// positional scalar argument values, the way Ninf_call does on the
+// client: no tree reconstruction, just the stack machine.
+func EvalBytecode(code []byte, argAt func(i int) (int64, error)) (int64, error) {
+	var stack [16]int64
+	sp := 0
+	push := func(v int64) error {
+		if sp >= len(stack) {
+			return errors.New("idl: bytecode stack overflow")
+		}
+		stack[sp] = v
+		sp++
+		return nil
+	}
+	i := 0
+	for i < len(code) {
+		op := code[i]
+		i++
+		switch op {
+		case opPushConst:
+			if i+8 > len(code) {
+				return 0, errors.New("idl: truncated constant in bytecode")
+			}
+			if err := push(readInt64(code[i:])); err != nil {
+				return 0, err
+			}
+			i += 8
+		case opPushArg:
+			if i+4 > len(code) {
+				return 0, errors.New("idl: truncated argument index in bytecode")
+			}
+			v, err := argAt(int(readUint32(code[i:])))
+			if err != nil {
+				return 0, err
+			}
+			if err := push(v); err != nil {
+				return 0, err
+			}
+			i += 4
+		default:
+			o, ok := byteToOp(op)
+			if !ok {
+				return 0, fmt.Errorf("idl: unknown opcode %#x", op)
+			}
+			if sp < 2 {
+				return 0, errors.New("idl: stack underflow in bytecode")
+			}
+			v, err := applyOp(o, stack[sp-2], stack[sp-1])
+			if err != nil {
+				return 0, err
+			}
+			sp -= 2
+			if err := push(v); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if sp != 1 {
+		return 0, fmt.Errorf("idl: bytecode leaves %d values on stack, want 1", sp)
+	}
+	return stack[0], nil
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func readInt64(b []byte) int64 {
+	return int64(b[0])<<56 | int64(b[1])<<48 | int64(b[2])<<40 | int64(b[3])<<32 |
+		int64(b[4])<<24 | int64(b[5])<<16 | int64(b[6])<<8 | int64(b[7])
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func readUint32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

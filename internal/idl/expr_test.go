@@ -1,0 +1,193 @@
+package idl
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestExprEval(t *testing.T) {
+	env := map[string]int64{"n": 10, "m": 3}
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1", 1},
+		{"n", 10},
+		{"n+1", 11},
+		{"n*n", 100},
+		{"2*n^3/3 + 2*n^2", 866},
+		{"(n+m)*2", 26},
+		{"n-m*2", 4},
+		{"n%m", 1},
+		{"-n+20", 10},
+		{"2^10", 1024},
+		{"n/m", 3},
+		{"8*n^2 + 20*n", 1000},
+	}
+	for _, tc := range cases {
+		got, err := mustExpr(t, tc.src).Eval(env)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	env := map[string]int64{"n": 10}
+	if _, err := mustExpr(t, "x+1").Eval(env); !errors.Is(err, ErrUnboundRef) {
+		t.Errorf("unbound ref: %v", err)
+	}
+	if _, err := mustExpr(t, "n/0").Eval(env); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("div by zero: %v", err)
+	}
+	if _, err := mustExpr(t, "n%0").Eval(env); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("mod by zero: %v", err)
+	}
+	if _, err := mustExpr(t, "2^(0-1)").Eval(env); err == nil {
+		t.Error("negative exponent accepted")
+	}
+}
+
+func TestExprStringReparse(t *testing.T) {
+	srcs := []string{
+		"2*n^3/3 + 2*n^2",
+		"8*n^2 + 20*n",
+		"(n+m)*(n-m)",
+		"n-(m-1)",
+		"n/m/2",
+		"n-m-1",
+		"2^n",
+	}
+	env := map[string]int64{"n": 7, "m": 2}
+	for _, src := range srcs {
+		e := mustExpr(t, src)
+		re := mustExpr(t, e.String())
+		v1, err1 := e.Eval(env)
+		v2, err2 := re.Eval(env)
+		if err1 != nil || err2 != nil || v1 != v2 {
+			t.Errorf("%q → %q: %d/%v vs %d/%v", src, e.String(), v1, err1, v2, err2)
+		}
+	}
+}
+
+func TestRefs(t *testing.T) {
+	e := mustExpr(t, "n*m + n*2 + k")
+	got := Refs(e)
+	want := []string{"n", "m", "k"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Refs = %v, want %v", got, want)
+	}
+}
+
+// randomExpr builds a random expression over the given names for
+// property testing of compile/decompile.
+func randomExpr(r *rand.Rand, names []string, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return Num(r.Int63n(1000))
+		}
+		return Ref(names[r.Intn(len(names))])
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpMod, OpPow}
+	return &BinOp{
+		Op: ops[r.Intn(len(ops))],
+		L:  randomExpr(r, names, depth-1),
+		R:  randomExpr(r, names, depth-1),
+	}
+}
+
+func TestCompileDecompileProperty(t *testing.T) {
+	names := []string{"n", "m", "k"}
+	idx := map[string]int{"n": 0, "m": 1, "k": 2}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		e := randomExpr(r, names, 4)
+		code, err := CompileExpr(e, idx)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		back, err := DecompileExpr(code, names)
+		if err != nil {
+			t.Fatalf("decompile %s: %v", e, err)
+		}
+		if !reflect.DeepEqual(e, back) {
+			t.Fatalf("round trip changed tree: %s vs %s", e, back)
+		}
+		// The bytecode interpreter must agree with tree evaluation.
+		env := map[string]int64{"n": 5, "m": 7, "k": 2}
+		v1, err1 := e.Eval(env)
+		v2, err2 := EvalBytecode(code, func(i int) (int64, error) {
+			return env[names[i]], nil
+		})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: eval err %v vs bytecode err %v", e, err1, err2)
+		}
+		if err1 == nil && v1 != v2 {
+			t.Fatalf("%s: eval %d vs bytecode %d", e, v1, v2)
+		}
+	}
+}
+
+func TestEvalBytecodeQuick(t *testing.T) {
+	// Constant-only expressions must survive compile→eval for any
+	// int64 pair under addition.
+	f := func(a, b int64) bool {
+		e := &BinOp{Op: OpAdd, L: Num(a), R: Num(b)}
+		code, err := CompileExpr(e, nil)
+		if err != nil {
+			return false
+		}
+		v, err := EvalBytecode(code, func(int) (int64, error) { return 0, nil })
+		return err == nil && v == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecompileMalformed(t *testing.T) {
+	cases := [][]byte{
+		{opAdd},                 // stack underflow
+		{opPushConst, 1, 2},     // truncated constant
+		{opPushArg, 0, 0, 0, 9}, // arg index out of range
+		{0x7f},                  // unknown opcode
+		{},                      // empty program
+		{opPushConst, 0, 0, 0, 0, 0, 0, 0, 1, opPushConst, 0, 0, 0, 0, 0, 0, 0, 2}, // 2 values left
+	}
+	argAt := func(i int) (int64, error) {
+		if i != 0 {
+			return 0, errors.New("argument index out of range")
+		}
+		return 1, nil
+	}
+	for i, code := range cases {
+		if _, err := DecompileExpr(code, []string{"n"}); err == nil {
+			t.Errorf("case %d: malformed bytecode accepted", i)
+		}
+		if _, err := EvalBytecode(code, argAt); err == nil {
+			t.Errorf("case %d: malformed bytecode evaluated", i)
+		}
+	}
+}
+
+func TestCompileUnboundRef(t *testing.T) {
+	if _, err := CompileExpr(Ref("zz"), map[string]int{"n": 0}); !errors.Is(err, ErrUnboundRef) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package idl
+
+import (
+	goparser "go/parser"
+	gotoken "go/token"
+	"strings"
+	"testing"
+)
+
+func TestGenerateStubsParses(t *testing.T) {
+	infos, err := Parse(`
+Define dmmul(mode_in int n, mode_in double A[n][n], mode_in double B[n][n], mode_out double C[n][n])
+    "matrix multiply" Required "libxxx.o" Complexity 2*n^3
+    Calls "C" mmul(n, A, B, C);
+Define ep_kernel(mode_in int m, mode_out double sx, mode_out int q[10])
+    Calls "go" ep(m, sx, q);
+Define tagit(mode_in string label, mode_in int len, mode_inout double v[len])
+    Calls "go" tag(label, len, v);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := GenerateStubs(infos, "mylib")
+
+	// The generated source must be syntactically valid Go.
+	fset := gotoken.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "stubs.go", src, 0); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+
+	for _, want := range []string{
+		"package mylib",
+		"func Register(reg *server.Registry) error",
+		`"dmmul": dmmulHandler`,
+		"func dmmulHandler(ctx context.Context, args []idl.Value) error",
+		"n := args[0].(int64)",
+		"A := args[1].([]float64)",
+		// ep_kernel's underscore is stripped for the Go identifier.
+		"func epkernelHandler",
+		// out scalars get an assignment hint, not a cast.
+		"assign args[1] = <double sx result>",
+		// reserved-ish names are renamed.
+		"lenArg := args[1].(int64)",
+		"label := args[0].(string)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q\n%s", want, src)
+		}
+	}
+
+	// The embedded IDL must reparse to the same interfaces.
+	start := strings.Index(src, "const idlSource = `")
+	end := strings.LastIndex(src, "`")
+	if start < 0 || end <= start {
+		t.Fatal("no embedded IDL found")
+	}
+	embedded := src[start+len("const idlSource = `") : end]
+	back, err := Parse(embedded)
+	if err != nil {
+		t.Fatalf("embedded IDL does not reparse: %v", err)
+	}
+	if len(back) != len(infos) {
+		t.Errorf("embedded IDL has %d defines, want %d", len(back), len(infos))
+	}
+}

@@ -1,0 +1,307 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind classifies lexical tokens of the IDL.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokCaret
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	case tokCaret:
+		return "'^'"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+// A token is one lexical unit with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// A SyntaxError describes a lexical or grammatical error with its
+// position in the IDL source.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("idl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer scans IDL source into tokens. Comments run from // or # to end
+// of line; /* */ block comments are also accepted.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == -1:
+			return nil
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.pos:], "/*"):
+			start := *l
+			l.advance()
+			l.advance()
+			for !strings.HasPrefix(l.src[l.pos:], "*/") {
+				if l.peek() == -1 {
+					return start.errorf("unterminated block comment")
+				}
+				l.advance()
+			}
+			l.advance()
+			l.advance()
+		default:
+			return nil
+		}
+	}
+}
+
+// hexDigits consumes exactly n hex digits and returns their value.
+func (l *lexer) hexDigits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		r := l.advance()
+		var d uint32
+		switch {
+		case r >= '0' && r <= '9':
+			d = uint32(r - '0')
+		case r >= 'a' && r <= 'f':
+			d = uint32(r-'a') + 10
+		case r >= 'A' && r <= 'F':
+			d = uint32(r-'A') + 10
+		default:
+			return 0, l.errorf("invalid hex digit %q in escape", r)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	tok := token{line: l.line, col: l.col}
+	r := l.peek()
+	switch {
+	case r == -1:
+		tok.kind = tokEOF
+		return tok, nil
+	case r == '_' || unicode.IsLetter(r):
+		start := l.pos
+		for {
+			r := l.peek()
+			if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+				l.advance()
+				continue
+			}
+			break
+		}
+		tok.kind = tokIdent
+		tok.text = l.src[start:l.pos]
+		return tok, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		tok.kind = tokNumber
+		tok.text = l.src[start:l.pos]
+		return tok, nil
+	case r == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			r := l.advance()
+			switch r {
+			case -1, '\n':
+				return token{}, &SyntaxError{Line: tok.line, Col: tok.col, Msg: "unterminated string literal"}
+			case '\\':
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
+				case 'v':
+					sb.WriteByte('\v')
+				case 'f':
+					sb.WriteByte('\f')
+				case 'a':
+					sb.WriteByte('\a')
+				case 'b':
+					sb.WriteByte('\b')
+				case '0':
+					sb.WriteByte(0)
+				case '"', '\\', '\'':
+					sb.WriteRune(esc)
+				case 'x':
+					v, err := l.hexDigits(2)
+					if err != nil {
+						return token{}, err
+					}
+					sb.WriteByte(byte(v))
+				case 'u':
+					v, err := l.hexDigits(4)
+					if err != nil {
+						return token{}, err
+					}
+					sb.WriteRune(rune(v))
+				case 'U':
+					v, err := l.hexDigits(8)
+					if err != nil {
+						return token{}, err
+					}
+					sb.WriteRune(rune(v))
+				default:
+					return token{}, l.errorf("unknown escape \\%c", esc)
+				}
+			case '"':
+				tok.kind = tokString
+				tok.text = sb.String()
+				return tok, nil
+			default:
+				sb.WriteRune(r)
+			}
+		}
+	}
+	l.advance()
+	switch r {
+	case '(':
+		tok.kind = tokLParen
+	case ')':
+		tok.kind = tokRParen
+	case '[':
+		tok.kind = tokLBracket
+	case ']':
+		tok.kind = tokRBracket
+	case ',':
+		tok.kind = tokComma
+	case ';':
+		tok.kind = tokSemi
+	case '+':
+		tok.kind = tokPlus
+	case '-':
+		tok.kind = tokMinus
+	case '*':
+		tok.kind = tokStar
+	case '/':
+		tok.kind = tokSlash
+	case '%':
+		tok.kind = tokPercent
+	case '^':
+		tok.kind = tokCaret
+	default:
+		return token{}, &SyntaxError{Line: tok.line, Col: tok.col, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+	tok.text = string(r)
+	return tok, nil
+}

@@ -1,0 +1,226 @@
+// Package library registers the paper's benchmark routines as Ninf
+// executables: the LINPACK pair (dgefa/dgesl) in both plain and
+// blocked ("optimized") variants, the dmmul running example, the NAS
+// EP kernel with range splitting for metaserver task parallelism, the
+// DOS-style sweep, and small utility routines used by tests and
+// examples.
+//
+// This is the Go analogue of the libraries the paper registered from
+// libSci and Oguni's matrix software: each routine is described by
+// Ninf IDL (including Complexity clauses for SJF scheduling) and bound
+// to a handler produced the way the stub generator would.
+package library
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ninf/internal/ep"
+	"ninf/internal/idl"
+	"ninf/internal/linpack"
+	"ninf/internal/server"
+)
+
+// IDL is the interface description of every routine in the standard
+// library. cmd/ninfgen can regenerate the registration stubs from it.
+const IDL = `
+# LINPACK: LU factor and solve, the paper's communication-intensive
+# benchmark core. Complexity matches the paper's Tcomp model.
+Define dgefa(mode_in int n,
+             mode_inout double a[n][n],
+             mode_out int ipvt[n])
+    "LU decomposition with partial pivoting (LINPACK dgefa)"
+    Required "linpack"
+    Complexity 2*n^3/3
+    Calls "go" dgefa(n, a, ipvt);
+
+Define dgesl(mode_in int n,
+             mode_in double a[n][n],
+             mode_in int ipvt[n],
+             mode_inout double b[n])
+    "solve A x = b from dgefa factors (LINPACK dgesl)"
+    Required "linpack"
+    Complexity 2*n^2
+    Calls "go" dgesl(n, a, ipvt, b);
+
+# One-shot factor+solve, what the client benchmark loop invokes.
+Define linsolve(mode_in int n,
+                mode_in double a[n][n],
+                mode_inout double b[n])
+    "LU factor + solve in one Ninf_call (sgetrf/sgetrs analogue)"
+    Required "linpack"
+    Complexity 2*n^3/3 + 2*n^2
+    Calls "go" linsolve(n, a, b);
+
+# Blocked ("optimized") variant, the glub4/gslv4 analogue.
+Define linsolve_blocked(mode_in int n,
+                        mode_in double a[n][n],
+                        mode_inout double b[n])
+    "blocked LU factor + solve"
+    Required "linpack"
+    Complexity 2*n^3/3 + 2*n^2
+    Calls "go" linsolve_blocked(n, a, b);
+
+Define dmmul(mode_in int n,
+             mode_in double A[n][n],
+             mode_in double B[n][n],
+             mode_out double C[n][n])
+    "dmmul is double precision matrix multiply"
+    Required "libxxx.o"
+    Complexity 2*n^3
+    Calls "go" mmul(n, A, B, C);
+
+# NAS EP over an index sub-range: the metaserver splits [first,
+# first+count) across servers and merges results exactly.
+Define ep(mode_in int m,
+          mode_in int first,
+          mode_in int count,
+          mode_out double sx,
+          mode_out double sy,
+          mode_out int pairs,
+          mode_out int counts[10])
+    "NAS Parallel Benchmarks EP kernel over an index range"
+    Required "npb"
+    Complexity 4*count
+    Calls "go" ep(m, first, count, sx, sy, pairs, counts);
+
+Define dos(mode_in int m,
+           mode_in int bins,
+           mode_out double hist[bins])
+    "density-of-states style Monte-Carlo sweep"
+    Required "npb"
+    Complexity 2^m
+    Calls "go" dos(m, bins, hist);
+
+# Utilities for tests, examples and calibration.
+Define echo(mode_in int n,
+            mode_in double data[n],
+            mode_out double copy[n])
+    "returns its input; measures round-trip throughput (Figure 5)"
+    Complexity n
+    Calls "go" echo(n, data, copy);
+
+Define busy(mode_in int millis)
+    "spins for the given number of milliseconds"
+    Complexity millis
+    Calls "go" busy(millis);
+`
+
+// RegisterAll adds every standard routine to the registry.
+func RegisterAll(reg *server.Registry) error {
+	return reg.RegisterIDL(IDL, map[string]server.Handler{
+		"dgefa":            dgefaHandler,
+		"dgesl":            dgeslHandler,
+		"linsolve":         linsolveHandler,
+		"linsolve_blocked": linsolveBlockedHandler,
+		"dmmul":            dmmulHandler,
+		"ep":               epHandler,
+		"dos":              dosHandler,
+		"echo":             echoHandler,
+		"busy":             busyHandler,
+	})
+}
+
+// NewRegistry returns a registry pre-loaded with the standard library.
+func NewRegistry() (*server.Registry, error) {
+	reg := server.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+func dgefaHandler(_ context.Context, args []idl.Value) error {
+	n := int(args[0].(int64))
+	return linpack.Dgefa(args[1].([]float64), n, args[2].([]int64))
+}
+
+func dgeslHandler(_ context.Context, args []idl.Value) error {
+	n := int(args[0].(int64))
+	return linpack.Dgesl(args[1].([]float64), n, args[2].([]int64), args[3].([]float64))
+}
+
+func linsolveHandler(_ context.Context, args []idl.Value) error {
+	n := int(args[0].(int64))
+	a := append([]float64(nil), args[1].([]float64)...)
+	b := args[2].([]float64)
+	ipvt := make([]int64, n)
+	if err := linpack.Dgefa(a, n, ipvt); err != nil {
+		return err
+	}
+	return linpack.Dgesl(a, n, ipvt, b)
+}
+
+func linsolveBlockedHandler(_ context.Context, args []idl.Value) error {
+	n := int(args[0].(int64))
+	a := append([]float64(nil), args[1].([]float64)...)
+	b := args[2].([]float64)
+	ipvt := make([]int64, n)
+	if err := linpack.DgefaBlocked(a, n, ipvt, 0); err != nil {
+		return err
+	}
+	return linpack.Dgesl(a, n, ipvt, b)
+}
+
+func dmmulHandler(_ context.Context, args []idl.Value) error {
+	n := int(args[0].(int64))
+	return linpack.Dmmul(n, args[1].([]float64), args[2].([]float64), args[3].([]float64))
+}
+
+func epHandler(_ context.Context, args []idl.Value) error {
+	m := int(args[0].(int64))
+	first := args[1].(int64)
+	count := args[2].(int64)
+	res, err := ep.RunRange(m, first, count)
+	if err != nil {
+		return err
+	}
+	args[3] = res.SumX
+	args[4] = res.SumY
+	args[5] = res.Pairs
+	counts := args[6].([]int64)
+	for i, c := range res.Counts {
+		counts[i] = c
+	}
+	return nil
+}
+
+func dosHandler(_ context.Context, args []idl.Value) error {
+	m := int(args[0].(int64))
+	bins := int(args[1].(int64))
+	hist, err := ep.DOS(m, -3, 3, bins)
+	if err != nil {
+		return err
+	}
+	copy(args[2].([]float64), hist)
+	return nil
+}
+
+func echoHandler(_ context.Context, args []idl.Value) error {
+	src, ok := args[1].([]float64)
+	if !ok {
+		return fmt.Errorf("library: echo: bad input %T", args[1])
+	}
+	copy(args[2].([]float64), src)
+	return nil
+}
+
+func busyHandler(ctx context.Context, args []idl.Value) error {
+	ms := args[0].(int64)
+	if ms < 0 {
+		return fmt.Errorf("library: busy: negative duration %d", ms)
+	}
+	deadline := time.Now().Add(time.Duration(ms) * time.Millisecond)
+	for time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		// Spin in small slices so cancellation is prompt without a
+		// busy loop hammering the scheduler.
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package machine
+
+import "testing"
+
+func TestCatalogNames(t *testing.T) {
+	for _, n := range Names() {
+		m, err := Catalog(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if m.PEs < 1 || m.PeakMflops <= 0 || m.HalfN < 0 {
+			t.Errorf("%s: implausible %+v", n, m)
+		}
+	}
+	if _, err := Catalog("cray-3"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestCatalogReturnsCopies(t *testing.T) {
+	a := MustCatalog("j90")
+	a.PeakMflops = 1
+	b := MustCatalog("j90")
+	if b.PeakMflops == 1 {
+		t.Error("catalog entries are shared, mutation leaked")
+	}
+}
+
+// TestJ90Calibration pins the curves to the paper's measurements.
+func TestJ90Calibration(t *testing.T) {
+	j90 := MustCatalog("j90")
+
+	// §3.2: "J90's Local achieves 600 Mflops when n=1600" (4 PE).
+	if got := j90.LocalMflopsAll(1600); got < 500 || got > 650 {
+		t.Errorf("J90 4-PE Local(1600) = %.0f Mflops, want ≈ 600", got)
+	}
+	// Table 3 back-calculation: one-PE rate ≈ 168 Mflops at n=600.
+	if got := j90.LocalMflops(600); got < 150 || got > 185 {
+		t.Errorf("J90 1-PE rate(600) = %.0f, want ≈ 168", got)
+	}
+	// and ≈ 185 Mflops at n=1400.
+	if got := j90.LocalMflops(1400); got < 170 || got > 200 {
+		t.Errorf("J90 1-PE rate(1400) = %.0f, want ≈ 185", got)
+	}
+	// Vector machine: strong ramp between n=100 and n=1600.
+	if j90.LocalMflops(100)/j90.LocalMflops(1600) > 0.6 {
+		t.Error("J90 curve too flat for a vector machine")
+	}
+}
+
+func TestWorkstationsNearlyFlat(t *testing.T) {
+	for _, name := range []string{"supersparc", "ultrasparc", "alpha"} {
+		m := MustCatalog(name)
+		ratio := m.LocalMflops(200) / m.LocalMflops(1600)
+		if ratio < 0.7 {
+			t.Errorf("%s: Local(200)/Local(1600) = %.2f, want nearly flat (Figure 3)", name, ratio)
+		}
+	}
+}
+
+func TestClientHierarchy(t *testing.T) {
+	// Figure 3/4 ordering at n = 1000: SuperSPARC < UltraSPARC <
+	// Alpha-std < Alpha-opt < J90 (4PE).
+	ss := MustCatalog("supersparc").LocalMflops(1000)
+	us := MustCatalog("ultrasparc").LocalMflops(1000)
+	as := MustCatalog("alpha-std").LocalMflops(1000)
+	ao := MustCatalog("alpha").LocalMflops(1000)
+	j4 := MustCatalog("j90").LocalMflopsAll(1000)
+	if !(ss < us && us < as && as < ao && ao < j4) {
+		t.Errorf("hierarchy violated: ss=%.0f us=%.0f astd=%.0f aopt=%.0f j90=%.0f", ss, us, as, ao, j4)
+	}
+	// Figure 3 anchors.
+	if ss < 8 || ss > 13 {
+		t.Errorf("SuperSPARC local = %.1f, want ≈ 10", ss)
+	}
+	if us < 30 || us > 40 {
+		t.Errorf("UltraSPARC local = %.1f, want ≈ 35", us)
+	}
+}
+
+func TestEPRates(t *testing.T) {
+	// Table 8: one EP task on the J90 delivers ≈ 0.167 Mops.
+	j90 := MustCatalog("j90")
+	if j90.EPMopsPerPE < 0.15 || j90.EPMopsPerPE > 0.18 {
+		t.Errorf("J90 EP rate %.3f, want ≈ 0.167", j90.EPMopsPerPE)
+	}
+	// The Alpha nodes are much faster on the scalar EP kernel.
+	if MustCatalog("alpha-node").EPMopsPerPE < 5*j90.EPMopsPerPE {
+		t.Error("Alpha node should dominate J90 on EP")
+	}
+}
+
+func TestDataParallelGain(t *testing.T) {
+	j90 := MustCatalog("j90")
+	// 4-PE rate must beat 1-PE by well over 2× (Table 4 vs Table 3
+	// single-client performance edge).
+	if j90.LinpackRateAll(1400) < 2.5*j90.LinpackRate1(1400) {
+		t.Error("data-parallel gain too small")
+	}
+}

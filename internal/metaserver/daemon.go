@@ -1,0 +1,213 @@
+package metaserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ninf"
+	"ninf/internal/protocol"
+)
+
+// Serve runs the metaserver daemon protocol on a listener: clients
+// send MsgSchedule to obtain a placement, MsgObserve to report call
+// outcomes, and MsgPing for liveness. Serve returns when the listener
+// closes.
+func (m *Metaserver) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			m.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn handles one client connection.
+func (m *Metaserver) ServeConn(conn net.Conn) {
+	for {
+		typ, payload, err := protocol.ReadFrame(conn, 0)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case protocol.MsgPing:
+			if protocol.WriteFrame(conn, protocol.MsgPong, nil) != nil {
+				return
+			}
+		case protocol.MsgSchedule:
+			req, err := protocol.DecodeScheduleRequest(payload)
+			if err != nil {
+				if writeErr(conn, protocol.CodeBadArguments, err.Error()) != nil {
+					return
+				}
+				continue
+			}
+			pl, err := m.Place(ninf.SchedRequest{
+				Routine:  req.Routine,
+				InBytes:  req.InBytes,
+				OutBytes: req.OutBytes,
+				Ops:      req.Ops,
+				Exclude:  req.Exclude,
+			})
+			if err != nil {
+				if writeErr(conn, protocol.CodeOverloaded, err.Error()) != nil {
+					return
+				}
+				continue
+			}
+			reply := protocol.ScheduleReply{Name: pl.Name, Addr: m.addrOf(pl.Name)}
+			if protocol.WriteFrame(conn, protocol.MsgScheduleOK, reply.Encode()) != nil {
+				return
+			}
+		case protocol.MsgObserve:
+			req, err := protocol.DecodeObserveRequest(payload)
+			if err != nil {
+				if writeErr(conn, protocol.CodeBadArguments, err.Error()) != nil {
+					return
+				}
+				continue
+			}
+			m.Observe(req.Name, req.Bytes, time.Duration(req.Nanos), req.Failed)
+			if protocol.WriteFrame(conn, protocol.MsgObserveOK, nil) != nil {
+				return
+			}
+		default:
+			if writeErr(conn, protocol.CodeInternal, fmt.Sprintf("unexpected frame %v", typ)) != nil {
+				return
+			}
+		}
+	}
+}
+
+func (m *Metaserver) addrOf(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.servers[name]; ok {
+		return e.Addr
+	}
+	return ""
+}
+
+func writeErr(conn io.Writer, code uint32, detail string) error {
+	return protocol.WriteFrame(conn, protocol.MsgError, protocol.EncodeErrorReply(code, detail))
+}
+
+// RemoteScheduler is the client side of the daemon protocol: a
+// ninf.Scheduler that forwards placement decisions to a metaserver
+// process over the network.
+type RemoteScheduler struct {
+	// DialMeta opens a connection to the metaserver.
+	DialMeta func() (net.Conn, error)
+	// DialServer opens a connection to a computational server given
+	// the address advertised by the metaserver. nil means net.Dial
+	// over TCP.
+	DialServer func(addr string) (net.Conn, error)
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewRemoteScheduler connects to a metaserver daemon at addr over TCP.
+func NewRemoteScheduler(addr string) *RemoteScheduler {
+	return &RemoteScheduler{
+		DialMeta: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}
+}
+
+func (r *RemoteScheduler) roundTrip(typ protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		conn, err := r.DialMeta()
+		if err != nil {
+			return 0, nil, err
+		}
+		r.conn = conn
+	}
+	if err := protocol.WriteFrame(r.conn, typ, payload); err != nil {
+		r.conn.Close()
+		r.conn = nil
+		return 0, nil, err
+	}
+	rt, rp, err := protocol.ReadFrame(r.conn, 0)
+	if err != nil {
+		r.conn.Close()
+		r.conn = nil
+		return 0, nil, err
+	}
+	if rt == protocol.MsgError {
+		er, derr := protocol.DecodeErrorReply(rp)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+	}
+	return rt, rp, nil
+}
+
+// Place implements ninf.Scheduler.
+func (r *RemoteScheduler) Place(req ninf.SchedRequest) (ninf.Placement, error) {
+	wire := protocol.ScheduleRequest{
+		Routine:  req.Routine,
+		InBytes:  req.InBytes,
+		OutBytes: req.OutBytes,
+		Ops:      req.Ops,
+		Exclude:  req.Exclude,
+	}
+	typ, p, err := r.roundTrip(protocol.MsgSchedule, wire.Encode())
+	if err != nil {
+		return ninf.Placement{}, err
+	}
+	if typ != protocol.MsgScheduleOK {
+		return ninf.Placement{}, fmt.Errorf("metaserver: unexpected reply %v to schedule", typ)
+	}
+	reply, err := protocol.DecodeScheduleReply(p)
+	if err != nil {
+		return ninf.Placement{}, err
+	}
+	dialServer := r.DialServer
+	if dialServer == nil {
+		dialServer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	addr := reply.Addr
+	return ninf.Placement{
+		Name: reply.Name,
+		Dial: func() (net.Conn, error) { return dialServer(addr) },
+	}, nil
+}
+
+// Observe implements ninf.Scheduler.
+func (r *RemoteScheduler) Observe(serverName string, bytes int64, elapsed time.Duration, failed bool) {
+	wire := protocol.ObserveRequest{
+		Name:   serverName,
+		Bytes:  bytes,
+		Nanos:  int64(elapsed),
+		Failed: failed,
+	}
+	// Observations are advisory; errors are deliberately dropped.
+	r.roundTrip(protocol.MsgObserve, wire.Encode())
+}
+
+// Close releases the metaserver connection.
+func (r *RemoteScheduler) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		err := r.conn.Close()
+		r.conn = nil
+		return err
+	}
+	return nil
+}
+
+var _ ninf.Scheduler = (*RemoteScheduler)(nil)

@@ -1,0 +1,477 @@
+// Package metaserver implements the Ninf metaserver (§2.4): it
+// monitors multiple computational servers, performs scheduling and
+// load balancing of client Ninf_calls, and supports the parallel,
+// fault-tolerant execution of transaction blocks.
+//
+// The metaserver tracks two kinds of information per server: the
+// server's own self-report (load average, CPU utilization, queue
+// depth, polled via the Stats RPC) and the achievable client↔server
+// bandwidth observed from completed calls. The paper's central WAN
+// finding (§4.2.3, §6) is that load-only placement — what NetSolve's
+// agents did — fails for communication-intensive work in WAN settings
+// because point-to-point bandwidth, not server load, dominates; the
+// BandwidthAware policy encodes the proposed fix, and LoadOnly is kept
+// as the baseline for the ablation benchmark.
+package metaserver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"ninf"
+	"ninf/internal/protocol"
+	"ninf/internal/server"
+)
+
+// A Snapshot is the scheduler-visible view of one server.
+type Snapshot struct {
+	Name  string
+	Addr  string
+	Alive bool
+	// PowerMflops is the configured peak compute rate estimate.
+	PowerMflops float64
+	// Bandwidth is the observed achievable bandwidth in bytes/second
+	// (EWMA over completed calls), or the configured initial value
+	// before any observation.
+	Bandwidth float64
+	// Stats is the last successful poll.
+	Stats protocol.Stats
+	// TraceCompute maps routine name → mean observed compute time on
+	// this server, from the §5.1 execution trace fetched during
+	// polling. Cost-based policies use it to predict computation for
+	// routines whose IDL declares no Complexity clause.
+	TraceCompute map[string]time.Duration
+	// LastSeen is when the server last answered a poll.
+	LastSeen time.Time
+}
+
+// A Policy picks a server for one request. Only alive servers are
+// offered. It returns an index into snaps, or -1 if none is
+// acceptable.
+type Policy interface {
+	Pick(snaps []*Snapshot, req ninf.SchedRequest) int
+	Name() string
+}
+
+// Config parameterizes a Metaserver.
+type Config struct {
+	// Policy picks servers; nil means BandwidthAware.
+	Policy Policy
+	// InitialBandwidth seeds the bandwidth estimate of servers with
+	// no observations yet (default 1 MB/s).
+	InitialBandwidth float64
+	// BandwidthDecay is the EWMA weight of a new observation
+	// (default 0.3).
+	BandwidthDecay float64
+	// FailThreshold marks a server dead after this many consecutive
+	// failed calls or polls (default 3).
+	FailThreshold int
+}
+
+// Metaserver monitors servers and places calls. It implements
+// ninf.Scheduler, so transactions can run over it directly.
+type Metaserver struct {
+	cfg    Config
+	policy Policy
+
+	mu      sync.Mutex
+	servers map[string]*entry
+	order   []string
+	rr      int // round-robin cursor for tie-breaking
+}
+
+type entry struct {
+	Snapshot
+	dial     func() (net.Conn, error)
+	fails    int
+	observed bool
+}
+
+// New creates a metaserver.
+func New(cfg Config) *Metaserver {
+	if cfg.InitialBandwidth <= 0 {
+		cfg.InitialBandwidth = 1e6
+	}
+	if cfg.BandwidthDecay <= 0 || cfg.BandwidthDecay > 1 {
+		cfg.BandwidthDecay = 0.3
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	p := cfg.Policy
+	if p == nil {
+		p = BandwidthAware{}
+	}
+	return &Metaserver{cfg: cfg, policy: p, servers: make(map[string]*entry)}
+}
+
+// AddServer registers a computational server under a unique name.
+// powerMflops is the administrator's estimate of its compute rate,
+// used by cost-based policies. addr is advertised to remote clients;
+// dial is how this process reaches the server.
+func (m *Metaserver) AddServer(name, addr string, powerMflops float64, dial func() (net.Conn, error)) error {
+	if name == "" || dial == nil {
+		return errors.New("metaserver: server needs a name and a dialer")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.servers[name]; dup {
+		return fmt.Errorf("metaserver: server %q already registered", name)
+	}
+	e := &entry{dial: dial}
+	e.Name = name
+	e.Addr = addr
+	e.Alive = true
+	e.PowerMflops = powerMflops
+	e.Bandwidth = m.cfg.InitialBandwidth
+	m.servers[name] = e
+	m.order = append(m.order, name)
+	return nil
+}
+
+// RemoveServer drops a server from scheduling.
+func (m *Metaserver) RemoveServer(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.servers[name]; !ok {
+		return
+	}
+	delete(m.servers, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Servers returns snapshots in registration order.
+func (m *Metaserver) Servers() []*Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Snapshot, 0, len(m.order))
+	for _, n := range m.order {
+		s := m.servers[n].Snapshot
+		out = append(out, &s)
+	}
+	return out
+}
+
+// PollOnce probes every server's Stats RPC once, updating liveness and
+// self-reports. It returns the number of servers that answered.
+func (m *Metaserver) PollOnce() int {
+	m.mu.Lock()
+	type probe struct {
+		name string
+		dial func() (net.Conn, error)
+	}
+	probes := make([]probe, 0, len(m.order))
+	for _, n := range m.order {
+		probes = append(probes, probe{n, m.servers[n].dial})
+	}
+	m.mu.Unlock()
+
+	ok := 0
+	var wg sync.WaitGroup
+	results := make([]*protocol.Stats, len(probes))
+	traces := make([]map[string]time.Duration, len(probes))
+	for i, p := range probes {
+		wg.Add(1)
+		go func(i int, p probe) {
+			defer wg.Done()
+			st, tr, err := pollStats(p.dial)
+			if err == nil {
+				results[i] = &st
+				traces[i] = tr
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, p := range probes {
+		e, present := m.servers[p.name]
+		if !present {
+			continue
+		}
+		if results[i] != nil {
+			e.Stats = *results[i]
+			e.TraceCompute = traces[i]
+			e.Alive = true
+			e.fails = 0
+			e.LastSeen = now
+			ok++
+		} else {
+			e.fails++
+			if e.fails >= m.cfg.FailThreshold {
+				e.Alive = false
+			}
+		}
+	}
+	return ok
+}
+
+func pollStats(dial func() (net.Conn, error)) (protocol.Stats, map[string]time.Duration, error) {
+	conn, err := dial()
+	if err != nil {
+		return protocol.Stats{}, nil, err
+	}
+	defer conn.Close()
+	if err := protocol.WriteFrame(conn, protocol.MsgStats, nil); err != nil {
+		return protocol.Stats{}, nil, err
+	}
+	typ, p, err := protocol.ReadFrame(conn, 0)
+	if err != nil {
+		return protocol.Stats{}, nil, err
+	}
+	if typ != protocol.MsgStatsOK {
+		return protocol.Stats{}, nil, fmt.Errorf("metaserver: unexpected reply %v to stats", typ)
+	}
+	st, err := protocol.DecodeStats(p)
+	if err != nil {
+		return protocol.Stats{}, nil, err
+	}
+	// Fetch the §5.1 execution trace on the same connection; servers
+	// without history return an empty list.
+	if err := protocol.WriteFrame(conn, protocol.MsgTrace, nil); err != nil {
+		return st, nil, nil // stats succeeded; trace is best-effort
+	}
+	typ, p, err = protocol.ReadFrame(conn, 0)
+	if err != nil || typ != protocol.MsgTraceOK {
+		return st, nil, nil
+	}
+	ts, err := server.DecodeTraces(p)
+	if err != nil {
+		return st, nil, nil
+	}
+	trace := make(map[string]time.Duration, len(ts))
+	for _, rt := range ts {
+		trace[rt.Name] = rt.MeanCompute
+	}
+	return st, trace, nil
+}
+
+// StartMonitor polls all servers every interval until the returned
+// stop function is called.
+func (m *Metaserver) StartMonitor(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.PollOnce()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// ErrNoServer is returned by Place when no registered, alive,
+// non-excluded server exists.
+var ErrNoServer = errors.New("metaserver: no eligible server")
+
+// Place implements ninf.Scheduler.
+func (m *Metaserver) Place(req ninf.SchedRequest) (ninf.Placement, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	excluded := make(map[string]bool, len(req.Exclude))
+	for _, x := range req.Exclude {
+		excluded[x] = true
+	}
+	var snaps []*Snapshot
+	var entries []*entry
+	for _, n := range m.order {
+		e := m.servers[n]
+		if !e.Alive || excluded[n] {
+			continue
+		}
+		s := e.Snapshot
+		snaps = append(snaps, &s)
+		entries = append(entries, e)
+	}
+	if len(snaps) == 0 {
+		return ninf.Placement{}, ErrNoServer
+	}
+	// Rotate candidates so equal-cost servers spread round-robin.
+	m.rr++
+	off := m.rr % len(snaps)
+	rot := make([]*Snapshot, len(snaps))
+	rotE := make([]*entry, len(entries))
+	for i := range snaps {
+		rot[i] = snaps[(i+off)%len(snaps)]
+		rotE[i] = entries[(i+off)%len(entries)]
+	}
+	idx := m.policy.Pick(rot, req)
+	if idx < 0 || idx >= len(rot) {
+		return ninf.Placement{}, ErrNoServer
+	}
+	chosen := rotE[idx]
+	// Placements optimistically count toward load so a burst of
+	// placements spreads even before stats refresh.
+	chosen.Stats.Queued++
+	return ninf.Placement{Name: chosen.Name, Dial: chosen.dial}, nil
+}
+
+// Observe implements ninf.Scheduler: feedback from completed calls
+// updates the bandwidth estimate and failure accounting.
+func (m *Metaserver) Observe(serverName string, bytes int64, elapsed time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.servers[serverName]
+	if !ok {
+		return
+	}
+	if e.Stats.Queued > 0 {
+		e.Stats.Queued--
+	}
+	if failed {
+		e.fails++
+		if e.fails >= m.cfg.FailThreshold {
+			e.Alive = false
+		}
+		return
+	}
+	e.fails = 0
+	e.Alive = true
+	if bytes > 0 && elapsed > 0 {
+		obs := float64(bytes) / elapsed.Seconds()
+		if !e.observed {
+			e.Bandwidth = obs
+			e.observed = true
+		} else {
+			a := m.cfg.BandwidthDecay
+			e.Bandwidth = a*obs + (1-a)*e.Bandwidth
+		}
+	}
+}
+
+var _ ninf.Scheduler = (*Metaserver)(nil)
+
+// LoadOnly is the NetSolve-style baseline policy: pick the alive
+// server with the smallest load average, ignoring communication
+// entirely (§6).
+type LoadOnly struct{}
+
+// Pick implements Policy.
+func (LoadOnly) Pick(snaps []*Snapshot, _ ninf.SchedRequest) int {
+	best := -1
+	for i, s := range snaps {
+		if best == -1 || load(s) < load(snaps[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func load(s *Snapshot) float64 {
+	// Running jobs occupy the machine and queued placements not yet
+	// reflected in the polled load average count too, so bursts
+	// spread and fresh load is visible before the EWMA catches up.
+	return s.Stats.LoadAverage + float64(s.Stats.Queued) + float64(s.Stats.Running)
+}
+
+// Name implements Policy.
+func (LoadOnly) Name() string { return "load-only" }
+
+// BandwidthAware estimates the wall-clock of the call on each server —
+// communication at the observed bandwidth plus computation at the
+// configured power degraded by current load — and picks the minimum.
+// This is the placement rule §5.1/§6 call for: communication-intensive
+// tasks go where bandwidth is, compute-intensive tasks where cycles
+// are.
+type BandwidthAware struct{}
+
+// Pick implements Policy.
+func (BandwidthAware) Pick(snaps []*Snapshot, req ninf.SchedRequest) int {
+	best := -1
+	bestCost := math.Inf(1)
+	for i, s := range snaps {
+		c := costOn(s, req)
+		if c < bestCost {
+			bestCost = c
+			best = i
+		}
+	}
+	return best
+}
+
+func costOn(s *Snapshot, req ninf.SchedRequest) float64 {
+	cost := 0.0
+	if bw := s.Bandwidth; bw > 0 {
+		cost += float64(req.InBytes+req.OutBytes) / bw
+	}
+	switch {
+	case req.Ops > 0 && s.PowerMflops > 0:
+		// Load inflates compute time: a loaded server shares its
+		// processors among load+1 ways.
+		cost += float64(req.Ops) / (s.PowerMflops * 1e6) * (1 + load(s))
+	case req.Ops == 0 && s.TraceCompute != nil:
+		// No IDL complexity: predict from this server's execution
+		// trace (§5.1).
+		if d, ok := s.TraceCompute[req.Routine]; ok {
+			cost += d.Seconds() * (1 + load(s))
+		}
+	}
+	return cost
+}
+
+// Name implements Policy.
+func (BandwidthAware) Name() string { return "bandwidth-aware" }
+
+// RoundRobin spreads calls evenly across alive servers, the right
+// policy for homogeneous task-parallel fan-out (the Figure 11 EP
+// cluster experiment).
+type RoundRobin struct{}
+
+// Pick implements Policy.
+func (RoundRobin) Pick(snaps []*Snapshot, _ ninf.SchedRequest) int {
+	if len(snaps) == 0 {
+		return -1
+	}
+	// The metaserver rotates candidates per placement, so index 0
+	// walks the ring. Prefer the least-burdened among the first few
+	// to avoid pile-ups when calls outnumber servers.
+	best := 0
+	for i, s := range snaps {
+		if float64(s.Stats.Queued)+float64(s.Stats.Running) <
+			float64(snaps[best].Stats.Queued)+float64(snaps[best].Stats.Running) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// PolicyByName returns the named policy: "load-only",
+// "bandwidth-aware" or "round-robin".
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "load-only":
+		return LoadOnly{}, nil
+	case "bandwidth-aware":
+		return BandwidthAware{}, nil
+	case "round-robin":
+		return RoundRobin{}, nil
+	default:
+		return nil, fmt.Errorf("metaserver: unknown policy %q", name)
+	}
+}
+
+// SortSnapshotsByName orders snapshots for stable test output.
+func SortSnapshotsByName(s []*Snapshot) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+}

@@ -1,0 +1,58 @@
+package metaserver
+
+import (
+	"testing"
+	"time"
+
+	"ninf"
+	"ninf/internal/server"
+)
+
+func TestPollFetchesTraces(t *testing.T) {
+	m := New(Config{})
+	_, addr, dial := startServer(t, server.Config{Hostname: "traced"})
+	if err := m.AddServer("traced", addr, 100, dial); err != nil {
+		t.Fatal(err)
+	}
+	// Execute something so the server has history.
+	c, err := ninf.NewClient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("busy", 20); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.PollOnce(); got != 1 {
+		t.Fatalf("PollOnce = %d", got)
+	}
+	snap := m.Servers()[0]
+	if snap.TraceCompute == nil {
+		t.Fatal("no trace fetched during poll")
+	}
+	if d := snap.TraceCompute["busy"]; d < 15*time.Millisecond {
+		t.Errorf("busy mean compute %v, want ≥ ~20ms", d)
+	}
+}
+
+func TestCostUsesTraceWhenOpsUnknown(t *testing.T) {
+	// Two servers with equal bandwidth/load; one is known (from its
+	// trace) to run the routine much faster. With Ops unknown, the
+	// bandwidth-aware policy must prefer it.
+	fast := &Snapshot{Name: "fast", Alive: true, PowerMflops: 100, Bandwidth: 1e6,
+		TraceCompute: map[string]time.Duration{"render": 100 * time.Millisecond}}
+	slow := &Snapshot{Name: "slow", Alive: true, PowerMflops: 100, Bandwidth: 1e6,
+		TraceCompute: map[string]time.Duration{"render": 10 * time.Second}}
+	snaps := []*Snapshot{slow, fast}
+	req := ninf.SchedRequest{Routine: "render", InBytes: 1000, OutBytes: 1000}
+	if got := (BandwidthAware{}).Pick(snaps, req); snaps[got].Name != "fast" {
+		t.Errorf("picked %s, want the trace-fast server", snaps[got].Name)
+	}
+	// With Ops declared, the IDL prediction wins and traces are
+	// ignored — both servers then cost the same, any pick is valid.
+	req.Ops = 1 << 20
+	if got := (BandwidthAware{}).Pick(snaps, req); got < 0 {
+		t.Error("no pick with declared ops")
+	}
+}

@@ -1,0 +1,87 @@
+// Package metrics provides the small statistical aggregates the
+// paper's tables report: max/min/mean triples over per-call series,
+// plus percentile helpers used by the ablation benchmarks.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// A Series accumulates scalar observations.
+type Series struct {
+	vals []float64
+}
+
+// Add appends an observation.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N is the number of observations.
+func (s *Series) N() int { return len(s.vals) }
+
+// Max returns the maximum (0 when empty).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum (0 when empty).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.vals {
+		if v < m {
+			m = v
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank
+// on a sorted copy.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Triple formats the paper's max/min/mean cell.
+func (s *Series) Triple(format string) string {
+	return fmt.Sprintf(format+"/"+format+"/"+format, s.Max(), s.Min(), s.Mean())
+}

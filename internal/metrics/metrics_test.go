@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Percentile(50) != 0 || s.N() != 0 {
+		t.Error("empty series not all-zero")
+	}
+}
+
+func TestBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Max() != 5 || s.Min() != 1 {
+		t.Errorf("n=%d max=%g min=%g", s.N(), s.Max(), s.Min())
+	}
+	if math.Abs(s.Mean()-2.8) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := s.Triple("%.1f"); got != "5.0/1.0/2.8" {
+		t.Errorf("triple = %q", got)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Series
+		for _, v := range vals {
+			// Exclude values whose sum could overflow: the mean of
+			// near-MaxFloat64 inputs is legitimately ±Inf and the
+			// ordering property does not apply.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+			s.Add(v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max() &&
+			s.Percentile(50) >= s.Min() && s.Percentile(50) <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

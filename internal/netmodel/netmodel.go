@@ -1,0 +1,212 @@
+// Package netmodel describes the network environments of the paper's
+// testbed as plain topology specifications: link capacities, shared
+// site links, and latencies. The specifications are pure data — the
+// simulator (internal/ninfsim) instantiates them as fluid resources,
+// and the emulation layer (internal/emunet) can realize them over real
+// sockets.
+//
+// Calibration sources: Table 2 (client↔server FTP throughput), §4.1
+// ("The FTP throughput between the client and the server was measured
+// to be approximately 0.17 MB/s" for Ocha-U↔ETL), Figure 5 (Ninf_call
+// saturation throughputs), and Figure 9 (the four-site WAN layout).
+package netmodel
+
+import "fmt"
+
+// MB is one megabyte in bytes, the unit of Table 2.
+const MB = 1e6
+
+// NinfEfficiency is the fraction of raw FTP throughput that Ninf RPC
+// achieves end to end (Figure 5 vs Table 2: XDR marshalling and
+// framing cost a modest constant factor; "various communication
+// overhead such as XDR marshalling is not affecting performance
+// significantly").
+const NinfEfficiency = 0.85
+
+// PairFTPMBps returns the Table 2 FTP throughput in MB/s between a
+// client and a server architecture. Names follow the machine catalog.
+func PairFTPMBps(client, server string) (float64, error) {
+	key := client + "->" + server
+	if v, ok := pairFTP[key]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("netmodel: no Table 2 entry for %s", key)
+}
+
+var pairFTP = map[string]float64{
+	"supersparc->ultrasparc": 4.0,
+	"supersparc->alpha":      4.0,
+	"supersparc->j90":        2.8,
+	"ultrasparc->alpha":      7.4,
+	"ultrasparc->j90":        2.7,
+	"alpha->j90":             2.9,
+	// Same-architecture pairs used by Figure 5's ≈6 MB/s lines.
+	"ultrasparc->ultrasparc": 7.4,
+	"alpha->alpha":           7.4,
+}
+
+// A LinkSpec names a shared segment with finite capacity.
+type LinkSpec struct {
+	Name string
+	MBps float64
+}
+
+// A GroupSpec describes a set of identical clients at one place.
+type GroupSpec struct {
+	// Site labels the group (Ocha-U, U-Tokyo, …).
+	Site string
+	// Clients is the number of clients in the group.
+	Clients int
+	// AccessMBps is each client's dedicated access capacity.
+	AccessMBps float64
+	// SharedLinks names the links (defined in Spec.Links) that every
+	// flow from this group traverses: the site's WAN uplink, the
+	// backbone segment, etc.
+	SharedLinks []string
+	// LatencySec is the one-way client↔server propagation delay.
+	LatencySec float64
+}
+
+// A Spec is a complete client/server network scenario.
+type Spec struct {
+	Name string
+	// ServerMBps is the server's access-link capacity, shared by all
+	// flows (the J90's network interface plus its protocol stack).
+	ServerMBps float64
+	// PerFlowMBps caps each individual transfer, modeling the
+	// per-connection XDR/TCP processing rate at the server (the
+	// Figure 5 saturation levels); 0 means no per-flow cap.
+	PerFlowMBps float64
+	// Links defines the shared segments referenced by groups.
+	Links []LinkSpec
+	// Groups places the clients.
+	Groups []GroupSpec
+}
+
+// TotalClients sums the group sizes.
+func (s *Spec) TotalClients() int {
+	n := 0
+	for _, g := range s.Groups {
+		n += g.Clients
+	}
+	return n
+}
+
+// Validate checks internal consistency: positive capacities and
+// resolvable link references.
+func (s *Spec) Validate() error {
+	if s.ServerMBps <= 0 {
+		return fmt.Errorf("netmodel: %s: non-positive server capacity", s.Name)
+	}
+	links := make(map[string]bool, len(s.Links))
+	for _, l := range s.Links {
+		if l.MBps <= 0 {
+			return fmt.Errorf("netmodel: %s: link %q has non-positive capacity", s.Name, l.Name)
+		}
+		if links[l.Name] {
+			return fmt.Errorf("netmodel: %s: duplicate link %q", s.Name, l.Name)
+		}
+		links[l.Name] = true
+	}
+	for _, g := range s.Groups {
+		if g.Clients <= 0 || g.AccessMBps <= 0 || g.LatencySec < 0 {
+			return fmt.Errorf("netmodel: %s: group %q ill-formed", s.Name, g.Site)
+		}
+		for _, ln := range g.SharedLinks {
+			if !links[ln] {
+				return fmt.Errorf("netmodel: %s: group %q references unknown link %q", s.Name, g.Site, ln)
+			}
+		}
+	}
+	return nil
+}
+
+// LANJ90 is the §4.1 LAN setting: c Alpha-cluster clients and the J90
+// server on the ETL LAN. Per-client access is fast; the J90's own
+// interface (≈2.5 MB/s of achievable Ninf throughput, Figure 5)
+// bounds each transfer and the aggregate.
+func LANJ90(c int) Spec {
+	return Spec{
+		Name:        "lan-j90",
+		ServerMBps:  4.0,
+		PerFlowMBps: 2.5,
+		Groups: []GroupSpec{{
+			Site: "ETL-cluster", Clients: c,
+			AccessMBps: 4.0, LatencySec: 0.001,
+		}},
+	}
+}
+
+// LANSMP is the Table 5 setting: the SuperSPARC SMP server on a slower
+// departmental segment.
+func LANSMP(c int) Spec {
+	return Spec{
+		Name:        "lan-smp",
+		ServerMBps:  1.3,
+		PerFlowMBps: 1.1,
+		Groups: []GroupSpec{{
+			Site: "ETL-cluster", Clients: c,
+			AccessMBps: 4.0, LatencySec: 0.001,
+		}},
+	}
+}
+
+// SingleSiteWAN is the §4.1 WAN setting: c SuperSPARC clients at
+// Ochanomizu University, 60 km from the ETL J90, all sharing the
+// 0.17 MB/s measured path.
+func SingleSiteWAN(c int) Spec {
+	return Spec{
+		Name:       "wan-single-site",
+		ServerMBps: 2.5,
+		Links:      []LinkSpec{{Name: "ochau-uplink", MBps: 0.17}},
+		Groups: []GroupSpec{{
+			Site: "Ocha-U", Clients: c,
+			AccessMBps: 4.0, SharedLinks: []string{"ochau-uplink"},
+			LatencySec: 0.015,
+		}},
+	}
+}
+
+// MultiSiteWAN is the §4.2.3 setting (Figure 9): clients at four
+// university sites on different backbones, all calling the ETL J90.
+// Each site has its own uplink near the measured 0.17 MB/s; the
+// server's WAN ingress sustains most, but not all, of their sum —
+// which is exactly why the paper sees aggregate bandwidth "deteriorate
+// only by 9%~18%" for one client per site rather than collapse.
+func MultiSiteWAN(perSite int) Spec {
+	return Spec{
+		Name:       "wan-multi-site",
+		ServerMBps: 0.58,
+		Links: []LinkSpec{
+			{Name: "ochau-uplink", MBps: 0.17},
+			{Name: "utokyo-uplink", MBps: 0.18},
+			{Name: "nitech-uplink", MBps: 0.16},
+			{Name: "titech-uplink", MBps: 0.17},
+		},
+		Groups: []GroupSpec{
+			{Site: "Ocha-U", Clients: perSite, AccessMBps: 4, SharedLinks: []string{"ochau-uplink"}, LatencySec: 0.015},
+			{Site: "U-Tokyo", Clients: perSite, AccessMBps: 4, SharedLinks: []string{"utokyo-uplink"}, LatencySec: 0.012},
+			{Site: "NITech", Clients: perSite, AccessMBps: 4, SharedLinks: []string{"nitech-uplink"}, LatencySec: 0.025},
+			{Site: "TITech", Clients: perSite, AccessMBps: 4, SharedLinks: []string{"titech-uplink"}, LatencySec: 0.014},
+		},
+	}
+}
+
+// SingleClientLAN is the §3 single-client benchmark environment for an
+// arbitrary client/server pair: capacity from Table 2 scaled by the
+// Ninf protocol efficiency.
+func SingleClientLAN(client, server string) (Spec, error) {
+	ftp, err := PairFTPMBps(client, server)
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Name:        "lan-" + client + "-" + server,
+		ServerMBps:  ftp * NinfEfficiency,
+		PerFlowMBps: ftp * NinfEfficiency,
+		Groups: []GroupSpec{{
+			Site: client, Clients: 1,
+			AccessMBps: ftp, LatencySec: 0.001,
+		}},
+	}, nil
+}

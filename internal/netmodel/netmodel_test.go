@@ -1,0 +1,88 @@
+package netmodel
+
+import "testing"
+
+func TestPairFTP(t *testing.T) {
+	// Spot-check Table 2.
+	cases := []struct {
+		c, s string
+		want float64
+	}{
+		{"supersparc", "ultrasparc", 4.0},
+		{"supersparc", "j90", 2.8},
+		{"ultrasparc", "alpha", 7.4},
+		{"ultrasparc", "j90", 2.7},
+		{"alpha", "j90", 2.9},
+	}
+	for _, tc := range cases {
+		got, err := PairFTPMBps(tc.c, tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("PairFTPMBps(%s,%s) = %g, %v; want %g", tc.c, tc.s, got, err, tc.want)
+		}
+	}
+	if _, err := PairFTPMBps("cray", "cray"); err == nil {
+		t.Error("unknown pair accepted")
+	}
+}
+
+func TestScenariosValidate(t *testing.T) {
+	specs := []Spec{
+		LANJ90(1), LANJ90(16), LANSMP(4),
+		SingleSiteWAN(8), MultiSiteWAN(1), MultiSiteWAN(4),
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	sc, err := SingleClientLAN("supersparc", "j90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := SingleClientLAN("x", "y"); err == nil {
+		t.Error("unknown pair accepted")
+	}
+}
+
+func TestTotalClients(t *testing.T) {
+	s := MultiSiteWAN(4)
+	if s.TotalClients() != 16 {
+		t.Errorf("clients = %d, want 16", s.TotalClients())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := []Spec{
+		{Name: "no-server", ServerMBps: 0},
+		{Name: "bad-link", ServerMBps: 1, Links: []LinkSpec{{Name: "l", MBps: 0}}},
+		{Name: "dup-link", ServerMBps: 1, Links: []LinkSpec{{Name: "l", MBps: 1}, {Name: "l", MBps: 2}}},
+		{Name: "bad-group", ServerMBps: 1, Groups: []GroupSpec{{Site: "s", Clients: 0, AccessMBps: 1}}},
+		{Name: "dangling", ServerMBps: 1, Groups: []GroupSpec{{Site: "s", Clients: 1, AccessMBps: 1, SharedLinks: []string{"zz"}}}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", s.Name)
+		}
+	}
+}
+
+func TestMultiSiteAggregateExceedsSingleSite(t *testing.T) {
+	// The §4.2.3 premise: the sum of the four site uplinks exceeds
+	// any single uplink several-fold, and the server ingress admits
+	// most of the aggregate (9–18% degradation, not 75%).
+	ms := MultiSiteWAN(1)
+	sum := 0.0
+	for _, l := range ms.Links {
+		sum += l.MBps
+	}
+	if sum < 3*0.17 {
+		t.Errorf("aggregate uplink %g too small", sum)
+	}
+	degr := 1 - ms.ServerMBps/sum
+	if degr < 0.05 || degr > 0.25 {
+		t.Errorf("server ingress implies %.0f%% degradation, want 9–18%%", degr*100)
+	}
+}

@@ -1,0 +1,490 @@
+// Package ninfsim is the global computing simulator for Ninf that the
+// paper's §7 proposes: a discrete-event model of clients, networks and
+// computational servers with which the multi-client LAN/WAN benchmarks
+// can be re-run reproducibly under arbitrary topologies and parameters.
+//
+// The model reproduces the paper's measurement setup (§4.1):
+//
+//   - Each client ticks every S seconds; at a tick, an idle client
+//     issues a Ninf_call with probability P and blocks until it
+//     completes.
+//   - A call passes through the phases the paper instruments: connect
+//     (response time, T_enqueue−T_submit), fork&exec of the Ninf
+//     executable (wait time, T_dequeue−T_enqueue), argument transfer,
+//     computation, and result transfer.
+//   - Transfers are fluid flows over the client access link, any
+//     shared site uplinks, and the server link — so multiple clients
+//     at one site contend exactly as in §4.2.2, and multiple sites
+//     aggregate as in §4.2.3.
+//   - Computation is a fluid demand on the server's processor pool:
+//     task-parallel calls occupy at most one PE each and timeshare
+//     beyond PEs concurrent calls; data-parallel calls use the whole
+//     pool and split it when several are active (§4.1's two execution
+//     options).
+//   - The server accounts CPU utilization (compute plus XDR
+//     marshalling cost plus OS baseline) and a load average.
+package ninfsim
+
+import (
+	"fmt"
+	"math"
+
+	"ninf/internal/machine"
+	"ninf/internal/netmodel"
+	"ninf/internal/sim"
+)
+
+// Mode selects the server's library execution style (§4.1).
+type Mode int
+
+// Execution modes.
+const (
+	// TaskParallel serves each Ninf_call on one PE.
+	TaskParallel Mode = iota
+	// DataParallel gives every call all PEs in sequence, the
+	// optimized-parallel-library option.
+	DataParallel
+)
+
+// Workload selects the benchmark kernel.
+type Workload int
+
+// Workloads.
+const (
+	// Linpack is the communication-heavy LU factor+solve: 8n²+20n
+	// bytes shipped for 2/3·n³+2n² flops (§3.1).
+	Linpack Workload = iota
+	// EP is the NAS embarrassingly-parallel kernel: O(1) bytes for
+	// 2^(m+1) operations (§4.3).
+	EP
+	// Echo ships EchoBytes each way with negligible computation,
+	// used to trace the Figure 5 throughput curve.
+	Echo
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Server is the machine model hosting the Ninf server.
+	Server *machine.Machine
+	// Mode is the execution style for Linpack/Echo calls. EP always
+	// runs task-parallel, as in the paper.
+	Mode Mode
+	// Net is the network scenario; Net.Groups defines the clients.
+	Net netmodel.Spec
+	// Workload picks the kernel.
+	Workload Workload
+	// N is the Linpack order.
+	N int
+	// EPExp is m: each EP call runs 2^m trials (default 24).
+	EPExp int
+	// EchoBytes is the one-way payload for Echo calls.
+	EchoBytes float64
+	// S is the client tick interval in seconds (default 3, §4.1).
+	S float64
+	// P is the per-tick call probability (default 0.5, §4.1).
+	P float64
+	// Duration is the measurement window in virtual seconds
+	// (default 600). Calls started inside the window are recorded;
+	// the run drains them afterwards.
+	Duration float64
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+}
+
+// A Call records one completed Ninf_call with the paper's timestamps.
+type Call struct {
+	Client  int
+	Site    string
+	Submit  float64
+	Enqueue float64
+	Dequeue float64
+	// Complete is when the client finished receiving results.
+	Complete float64
+	// CommSec is the time spent in the two transfer phases.
+	CommSec float64
+	// Bytes is the total payload both ways.
+	Bytes float64
+	// Work is the nominal operation count credited to the call.
+	Work float64
+}
+
+// TotalSec is the client-observed duration of the whole call.
+func (c *Call) TotalSec() float64 { return c.Complete - c.Submit }
+
+// ResponseSec is T_enqueue − T_submit (§4.1).
+func (c *Call) ResponseSec() float64 { return c.Enqueue - c.Submit }
+
+// WaitSec is T_dequeue − T_enqueue (§4.1).
+func (c *Call) WaitSec() float64 { return c.Dequeue - c.Enqueue }
+
+// PerfMflops is the paper's client-observed performance metric:
+// nominal operations over total call time.
+func (c *Call) PerfMflops() float64 {
+	t := c.TotalSec()
+	if t <= 0 {
+		return 0
+	}
+	return c.Work / t / 1e6
+}
+
+// ThroughputMBps is the Figure 5/Tables metric: payload bytes over
+// time spent communicating.
+func (c *Call) ThroughputMBps() float64 {
+	if c.CommSec <= 0 {
+		return 0
+	}
+	return c.Bytes / c.CommSec / netmodel.MB
+}
+
+// Result aggregates one run.
+type Result struct {
+	Calls []Call
+	// CPUUtil is the server CPU utilization over the window, in
+	// percent (compute + XDR marshalling + OS baseline).
+	CPUUtil float64
+	// LoadAverage is the time-mean run-queue length over the window
+	// plus the OS baseline.
+	LoadAverage float64
+	// Duration is the measurement window.
+	Duration float64
+}
+
+// Times is the paper's "times" column: completed calls.
+func (r *Result) Times() int { return len(r.Calls) }
+
+// baseLoad is the background run-queue contribution of the OS and the
+// Ninf daemon, visible in the paper's idle WAN rows (load ≈ 0.4).
+const baseLoad = 0.35
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("ninfsim: nil server machine")
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.S <= 0 {
+		cfg.S = 3
+	}
+	if cfg.P <= 0 || cfg.P > 1 {
+		cfg.P = 0.5
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 600
+	}
+	if cfg.EPExp <= 0 {
+		cfg.EPExp = 24
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Workload == Linpack && cfg.N <= 0 {
+		return nil, fmt.Errorf("ninfsim: Linpack needs a positive order N")
+	}
+	if cfg.Workload == Echo && cfg.EchoBytes <= 0 {
+		return nil, fmt.Errorf("ninfsim: Echo needs positive EchoBytes")
+	}
+
+	r := &runner{cfg: cfg}
+	r.eng = sim.NewEngine()
+	r.sys = sim.NewSystem(r.eng)
+	r.cpu = r.sys.NewResource("cpu", float64(cfg.Server.PEs))
+	r.serverLink = r.sys.NewResource("server-link", cfg.Net.ServerMBps*netmodel.MB)
+	r.perFlowCap = cfg.Net.PerFlowMBps * netmodel.MB
+	r.shared = make(map[string]*sim.Resource, len(cfg.Net.Links))
+	for _, l := range cfg.Net.Links {
+		r.shared[l.Name] = r.sys.NewResource(l.Name, l.MBps*netmodel.MB)
+	}
+
+	r.flows = make(map[*sim.Demand]float64)
+	r.eng.After(1, r.sampleLoad)
+
+	id := 0
+	for _, g := range cfg.Net.Groups {
+		for i := 0; i < g.Clients; i++ {
+			c := &client{
+				run:    r,
+				id:     id,
+				group:  g,
+				rng:    sim.NewRNG(cfg.Seed*1_000_003 + uint64(id)),
+				access: r.sys.NewResource(fmt.Sprintf("access-%d", id), g.AccessMBps*netmodel.MB),
+			}
+			for _, ln := range g.SharedLinks {
+				c.path = append(c.path, r.shared[ln])
+			}
+			c.path = append(c.path, r.serverLink)
+			id++
+			// Stagger first ticks uniformly over one interval.
+			r.eng.At(c.rng.Float64()*cfg.S, c.tick)
+		}
+	}
+
+	// Measure the window, then drain in-flight calls.
+	r.eng.RunUntil(cfg.Duration)
+	computeUtil := r.cpu.Utilization(0)
+	loadMean := r.loadIntegral/cfg.Duration + baseLoad
+	xdrUtil := r.xdrBusyPE / (float64(cfg.Server.PEs) * cfg.Duration)
+	util := (computeUtil + xdrUtil + cfg.Server.BaseUtil) * 100
+	if util > 100 {
+		util = 100
+	}
+	r.eng.Run()
+
+	return &Result{
+		Calls:       r.calls,
+		CPUUtil:     util,
+		LoadAverage: loadMean,
+		Duration:    cfg.Duration,
+	}, nil
+}
+
+type runner struct {
+	cfg        Config
+	eng        *sim.Engine
+	sys        *sim.System
+	cpu        *sim.Resource
+	serverLink *sim.Resource
+	shared     map[string]*sim.Resource
+
+	calls      []Call
+	xdrBusyPE  float64 // PE-seconds spent marshalling, inside window
+	perFlowCap float64 // bytes/s per transfer (0 → unlimited)
+
+	// Load-average state: computing jobs contribute their run-queue
+	// weight directly; transferring jobs contribute according to how
+	// CPU-bound their XDR decode is (see sampleLoad). The integral
+	// is advanced by a 1 Hz sampler.
+	computeLoad  float64
+	inCall       int
+	flows        map[*sim.Demand]float64 // active transfers → run-queue weight
+	loadIntegral float64
+	loadLastT    float64
+}
+
+// sampleLoad integrates the instantaneous run-queue length at 1 Hz.
+// Computing jobs count their full weight. A job whose arguments or
+// results are in flight is runnable only while the XDR decoder has
+// backlog: its flow delivers rate bytes/s while its process — sharing
+// PEs with the other in-call processes — can decode about
+// XDRMBps·PEs/inCall. On a fast LAN the decoder is the bottleneck and
+// transferring processes count fully (the paper's load ≈ c at high c);
+// on a 0.17 MB/s WAN path they are blocked on recv and the load stays
+// near the OS baseline (Tables 6/7).
+func (r *runner) sampleLoad() {
+	now := r.eng.Now()
+	if now > r.loadLastT && r.loadLastT < r.cfg.Duration {
+		end := math.Min(now, r.cfg.Duration)
+		inst := r.computeLoad
+		if r.inCall > 0 {
+			decode := r.cfg.Server.XDRMBps * netmodel.MB * float64(r.cfg.Server.PEs) / float64(r.inCall)
+			for f, w := range r.flows {
+				share := f.Rate() / decode
+				if share > 1 {
+					share = 1
+				}
+				inst += share * w
+			}
+		}
+		r.loadIntegral += inst * (end - r.loadLastT)
+		r.loadLastT = end
+	}
+	if now < r.cfg.Duration {
+		r.eng.After(1, r.sampleLoad)
+	}
+}
+
+// workFor returns (inBytes, outBytes, work, epCall) for one call.
+func (r *runner) workFor() (in, out, work float64, ep bool) {
+	switch r.cfg.Workload {
+	case Linpack:
+		n := float64(r.cfg.N)
+		return 8*n*n + 12*n, 8 * n, 2.0/3.0*n*n*n + 2*n*n, false
+	case EP:
+		return 4096, 4096, math.Pow(2, float64(r.cfg.EPExp+1)), true
+	default: // Echo
+		return r.cfg.EchoBytes, r.cfg.EchoBytes, 1, false
+	}
+}
+
+type client struct {
+	run    *runner
+	id     int
+	group  netmodel.GroupSpec
+	rng    *sim.RNG
+	access *sim.Resource
+	path   []*sim.Resource // shared links + server link
+	busy   bool
+}
+
+// tick is the §4.1 client behaviour: every S seconds, an idle client
+// issues a call with probability P.
+func (c *client) tick() {
+	r := c.run
+	if r.eng.Now() < r.cfg.Duration {
+		r.eng.After(r.cfg.S, c.tick)
+	}
+	if c.busy || r.eng.Now() >= r.cfg.Duration {
+		return
+	}
+	if c.rng.Bool(r.cfg.P) {
+		c.busy = true
+		c.startCall()
+	}
+}
+
+// startCall drives one Ninf_call through its phases.
+func (c *client) startCall() {
+	r := c.run
+	srv := r.cfg.Server
+	inB, outB, work, ep := r.workFor()
+
+	call := Call{
+		Client: c.id,
+		Site:   c.group.Site,
+		Submit: r.eng.Now(),
+		Bytes:  inB + outB,
+		Work:   work,
+	}
+
+	// Phase 1 — connect. The response time is a TCP handshake over
+	// the path plus accept latency; a small fraction of connects
+	// lose the SYN and pay the classic ~5 s retransmission timeout,
+	// visible throughout the paper's max-response columns.
+	resp := 2*c.group.LatencySec + 0.003 + c.rng.Exp(0.008)
+	if c.rng.Bool(0.02) {
+		resp += 5
+	}
+	r.eng.After(resp, func() {
+		call.Enqueue = r.eng.Now()
+		r.inCall++
+
+		// Phase 2 — fork&exec of the Ninf executable plus the
+		// initial protocol exchange (one more round trip).
+		wait := srv.ForkOverhead + 2*c.group.LatencySec + c.rng.Exp(0.004)
+		if c.rng.Bool(0.02) {
+			wait += c.rng.Exp(0.5) // occasional scheduling straggler
+		}
+		r.eng.After(wait, func() {
+			call.Dequeue = r.eng.Now()
+			loadW := c.loadContribution(ep)
+
+			// Phase 3 — ship arguments.
+			commStart := r.eng.Now()
+			c.flow(inB, loadW, func() {
+				call.CommSec += r.eng.Now() - commStart
+
+				// Phase 4 — compute.
+				c.compute(work, ep, func() {
+
+					// Phase 5 — ship results.
+					outStart := r.eng.Now()
+					c.flow(outB, loadW, func() {
+						call.CommSec += r.eng.Now() - outStart
+						call.Complete = r.eng.Now()
+						r.inCall--
+						// Charge XDR marshalling CPU for the window.
+						if call.Submit < r.cfg.Duration {
+							r.xdrBusyPE += call.Bytes / (srv.XDRMBps * netmodel.MB)
+							r.calls = append(r.calls, call)
+						}
+						c.busy = false
+					})
+				})
+			})
+		})
+	})
+}
+
+// loadContribution is the run-queue weight of one in-flight call: a
+// task-parallel job is one process; a data-parallel job keeps about
+// half its threads runnable on average (calibrated against Tables 3/4:
+// load ≈ c for 1-PE runs and ≈ c·PEs/2 for 4-PE runs at saturation).
+func (c *client) loadContribution(ep bool) float64 {
+	if ep || c.run.cfg.Mode == TaskParallel {
+		return 1
+	}
+	return float64(c.run.cfg.Server.PEs) / 2
+}
+
+// flow pushes bytes over the client's path as a fluid demand, after a
+// fixed per-transfer cost: one propagation delay plus the XDR
+// marshalling setup. The paper's Figure 5 throughput includes these
+// ("we decided to include the time for marshalling the arguments in
+// our throughput figures"), which is why small messages see far less
+// than the link capacity.
+func (c *client) flow(bytes, loadW float64, then func()) {
+	if bytes <= 0 {
+		then()
+		return
+	}
+	const marshalSetup = 0.002
+	c.run.eng.After(c.group.LatencySec+marshalSetup, func() {
+		res := make([]*sim.Resource, 0, len(c.path)+1)
+		res = append(res, c.access)
+		res = append(res, c.path...)
+		d := &sim.Demand{
+			Remaining: bytes,
+			UnitRate:  1,
+			Cap:       c.run.perFlowCap,
+			Resources: res,
+		}
+		d.OnDone = func() {
+			delete(c.run.flows, d)
+			then()
+		}
+		c.run.flows[d] = loadW
+		c.run.sys.Start(d)
+	})
+}
+
+// compute runs the kernel on the server's processor pool, counting
+// the job's run-queue weight while it computes.
+func (c *client) compute(work float64, ep bool, then func()) {
+	r := c.run
+	srv := r.cfg.Server
+	w := c.loadContribution(ep)
+	r.computeLoad += w
+	inner := then
+	then = func() {
+		r.computeLoad -= w
+		inner()
+	}
+	switch {
+	case r.cfg.Workload == Echo:
+		// Echo has no numerical kernel: just the server-side copy.
+		r.eng.After(0.0005, then)
+	case ep:
+		// EP runs task-parallel on the scalar unit.
+		r.sys.Start(&sim.Demand{
+			Remaining: work,
+			UnitRate:  srv.EPMopsPerPE * 1e6,
+			Weight:    1,
+			Cap:       1,
+			Resources: []*sim.Resource{r.cpu},
+			OnDone:    then,
+		})
+	case r.cfg.Mode == DataParallel:
+		// Fixed parallel startup, then the whole pool (shared with
+		// any concurrent data-parallel calls).
+		r.eng.After(srv.ParallelOverhead, func() {
+			r.sys.Start(&sim.Demand{
+				Remaining: work,
+				UnitRate:  srv.LinpackRateAll(r.cfg.N) / float64(srv.PEs),
+				Weight:    float64(srv.PEs),
+				Cap:       float64(srv.PEs),
+				Resources: []*sim.Resource{r.cpu},
+				OnDone:    then,
+			})
+		})
+	default:
+		r.sys.Start(&sim.Demand{
+			Remaining: work,
+			UnitRate:  srv.LinpackRate1(r.cfg.N),
+			Weight:    1,
+			Cap:       1,
+			Resources: []*sim.Resource{r.cpu},
+			OnDone:    then,
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package protocol
+
+import (
+	"testing"
+
+	"ninf/internal/idl"
+)
+
+// benchInfo is a dmmul-shaped interface used by the marshalling
+// benchmarks.
+func benchInfo(b *testing.B) *idl.Info {
+	b.Helper()
+	info, err := idl.ParseOne(`
+Define dmmul(mode_in int n, mode_in double A[n][n], mode_in double B[n][n], mode_out double C[n][n])
+    Complexity 2*n^3 Calls "go" dmmul(n, A, B, C);`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return info
+}
+
+func BenchmarkEncodeCallRequest(b *testing.B) {
+	info := benchInfo(b)
+	n := 128
+	a := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	args := []idl.Value{int64(n), a, bb, nil}
+	b.SetBytes(int64(2 * 8 * n * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeCallRequest(info, &CallRequest{Name: "dmmul", Args: args}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeCallArgs(b *testing.B) {
+	info := benchInfo(b)
+	n := 128
+	args := []idl.Value{int64(n), make([]float64, n*n), make([]float64, n*n), nil}
+	p, err := EncodeCallRequest(info, &CallRequest{Name: "dmmul", Args: args})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, rest, err := DecodeCallName(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(rest)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCallArgs(info, rest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

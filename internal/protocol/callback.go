@@ -1,0 +1,60 @@
+package protocol
+
+import "ninf/internal/xdr"
+
+// Callback frames implement the §2.3 "client callback functions"
+// facility: while a Ninf executable runs a blocking call, the server
+// may invoke a function registered on the client — progress reporting,
+// steering, pulling extra data — over the same connection. The client,
+// which is waiting for MsgCallOK, answers MsgCallback frames inline
+// and keeps waiting.
+const (
+	// MsgCallback is sent server→client during a blocking call.
+	MsgCallback MsgType = iota + 96
+	// MsgCallbackOK carries the client's reply payload.
+	MsgCallbackOK
+)
+
+// CallbackRequest is the payload of MsgCallback: a callback name plus
+// an opaque argument blob (the executable and the client agree on its
+// format; numerical callbacks typically use XDR vectors).
+type CallbackRequest struct {
+	Name string
+	Data []byte
+}
+
+// Encode serializes the request.
+func (m *CallbackRequest) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutString(m.Name)
+	e.PutOpaque(m.Data)
+	return buf.b
+}
+
+// DecodeCallbackRequest parses a MsgCallback payload.
+func DecodeCallbackRequest(p []byte) (CallbackRequest, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := CallbackRequest{Name: d.String(), Data: d.Opaque()}
+	return m, d.Err()
+}
+
+// CallbackReply is the payload of MsgCallbackOK.
+type CallbackReply struct {
+	Data []byte
+}
+
+// Encode serializes the reply.
+func (m *CallbackReply) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutOpaque(m.Data)
+	return buf.b
+}
+
+// DecodeCallbackReply parses a MsgCallbackOK payload.
+func DecodeCallbackReply(p []byte) (CallbackReply, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := CallbackReply{Data: d.Opaque()}
+	return m, d.Err()
+}

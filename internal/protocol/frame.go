@@ -1,0 +1,229 @@
+// Package protocol implements the Ninf RPC wire protocol: framed,
+// XDR-encoded messages over a byte stream (TCP in deployment, in-memory
+// pipes in tests, shaped connections under emulation).
+//
+// The protocol is the paper's §2.1/§2.3 design: a client first asks the
+// server for the compiled IDL of a routine (stage one of the two-stage
+// RPC), then interprets that description to marshal a call (stage two).
+// No stubs, headers, or linking exist on the client side.
+//
+// In addition to the classic blocking call, the package carries the
+// §5.1 two-phase transaction: arguments are submitted and the
+// connection may be dropped; the client later fetches results under a
+// job handle.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ninf/internal/xdr"
+)
+
+// Frame constants.
+const (
+	// Magic identifies a Ninf RPC frame ("NINF").
+	Magic = 0x4e494e46
+
+	// Version is the protocol version spoken by this package.
+	Version = 1
+
+	// headerSize is the fixed frame header length in bytes:
+	// magic, version, type, payload length — four uint32s.
+	headerSize = 16
+
+	// DefaultMaxPayload bounds the size of a single frame payload.
+	// A 1600×1600 double matrix is ~20 MB; 1 GiB leaves ample room
+	// while still rejecting corrupt lengths.
+	DefaultMaxPayload = 1 << 30
+)
+
+// MsgType identifies the kind of a frame.
+type MsgType uint32
+
+// Frame types.
+const (
+	MsgError MsgType = iota + 1
+	MsgPing
+	MsgPong
+	MsgList // request: none; reply: MsgListReply
+	MsgListReply
+	MsgInterface   // stage-one request: routine name
+	MsgInterfaceOK // stage-one reply: compiled IDL
+	MsgCall        // stage-two blocking call
+	MsgCallOK      // blocking call reply with results
+	MsgSubmit      // two-phase: ship arguments, get a job handle
+	MsgSubmitOK
+	MsgFetch // two-phase: poll/collect results by handle
+	MsgFetchOK
+	MsgStats // monitoring probe from the metaserver
+	MsgStatsOK
+	MsgTrace // execution-trace query (§5.1 predictor data)
+	MsgTraceOK
+)
+
+// String returns a symbolic name for the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgError:
+		return "Error"
+	case MsgPing:
+		return "Ping"
+	case MsgPong:
+		return "Pong"
+	case MsgList:
+		return "List"
+	case MsgListReply:
+		return "ListReply"
+	case MsgInterface:
+		return "Interface"
+	case MsgInterfaceOK:
+		return "InterfaceOK"
+	case MsgCall:
+		return "Call"
+	case MsgCallOK:
+		return "CallOK"
+	case MsgSubmit:
+		return "Submit"
+	case MsgSubmitOK:
+		return "SubmitOK"
+	case MsgFetch:
+		return "Fetch"
+	case MsgFetchOK:
+		return "FetchOK"
+	case MsgStats:
+		return "Stats"
+	case MsgStatsOK:
+		return "StatsOK"
+	case MsgTrace:
+		return "Trace"
+	case MsgTraceOK:
+		return "TraceOK"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint32(t))
+	}
+}
+
+// Framing errors.
+var (
+	ErrBadMagic   = errors.New("protocol: bad frame magic")
+	ErrBadVersion = errors.New("protocol: unsupported protocol version")
+	ErrOversized  = errors.New("protocol: frame exceeds payload limit")
+)
+
+// WriteFrame writes one frame: header plus payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	var hdr [headerSize]byte
+	putU32(hdr[0:], Magic)
+	putU32(hdr[4:], Version)
+	putU32(hdr[8:], uint32(t))
+	putU32(hdr[12:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("protocol: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("protocol: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, enforcing the payload limit (0 means
+// DefaultMaxPayload).
+func ReadFrame(r io.Reader, maxPayload int) (MsgType, []byte, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// EOF between frames is a clean close; pass it through
+		// undecorated so callers can detect it.
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("protocol: read header: %w", err)
+	}
+	if getU32(hdr[0:]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if v := getU32(hdr[4:]); v != Version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	t := MsgType(getU32(hdr[8:]))
+	n := int(getU32(hdr[12:]))
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrOversized, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("protocol: read payload: %w", err)
+	}
+	return t, payload, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// An ErrorReply is the payload of MsgError: a code plus human-readable
+// detail.
+type ErrorReply struct {
+	Code   uint32
+	Detail string
+}
+
+// Error codes carried in MsgError frames.
+const (
+	CodeUnknownRoutine uint32 = iota + 1
+	CodeBadArguments
+	CodeExecFailed
+	CodeOverloaded
+	CodeUnknownJob
+	CodeNotReady
+	CodeInternal
+)
+
+// EncodeErrorReply serializes an error reply payload.
+func EncodeErrorReply(code uint32, detail string) []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutUint32(code)
+	e.PutString(detail)
+	return buf.b
+}
+
+// DecodeErrorReply parses an error reply payload.
+func DecodeErrorReply(p []byte) (ErrorReply, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	er := ErrorReply{Code: d.Uint32(), Detail: d.String()}
+	return er, d.Err()
+}
+
+// RemoteError is the client-side representation of a MsgError frame.
+type RemoteError struct {
+	Code   uint32
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("ninf: remote error %d: %s", e.Code, e.Detail)
+}
+
+// writerBuf is a minimal growable write buffer (bytes.Buffer without
+// the read machinery).
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,77 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame checks the frame reader never panics and never returns
+// both a payload and an error.
+func FuzzReadFrame(f *testing.F) {
+	var ok bytes.Buffer
+	WriteFrame(&ok, MsgCall, []byte("payload"))
+	f.Add(ok.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			return
+		}
+		// A successfully-read frame must re-serialize to a prefix of
+		// the input.
+		var out bytes.Buffer
+		if werr := WriteFrame(&out, typ, payload); werr != nil {
+			t.Fatal(werr)
+		}
+		if !bytes.HasPrefix(data, out.Bytes()) {
+			t.Fatal("re-encoded frame is not a prefix of the input")
+		}
+	})
+}
+
+// FuzzDecodePayloads checks every payload decoder is panic-free on
+// arbitrary bytes.
+func FuzzDecodePayloads(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 'a', 'b', 'c', 'd'})
+	f.Add(bytes.Repeat([]byte{0x7f}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		DecodeInterfaceRequest(data)
+		DecodeListReply(data)
+		DecodeSubmitReply(data)
+		DecodeFetchRequest(data)
+		DecodeStats(data)
+		DecodeErrorReply(data)
+		DecodeScheduleRequest(data)
+		DecodeScheduleReply(data)
+		DecodeObserveRequest(data)
+		DecodeCallbackRequest(data)
+		DecodeCallbackReply(data)
+		if name, rest, err := DecodeCallName(data); err == nil {
+			_ = name
+			_ = rest
+		}
+	})
+}
+
+// FuzzFrameStream feeds random bytes as a stream of frames; the reader
+// must terminate (EOF or error) without panic.
+func FuzzFrameStream(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, MsgPing, nil)
+	WriteFrame(&buf, MsgList, nil)
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 100; i++ {
+			if _, _, err := ReadFrame(r, 1<<16); err != nil {
+				if err == io.EOF {
+					return
+				}
+				return
+			}
+		}
+	})
+}

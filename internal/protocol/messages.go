@@ -1,0 +1,502 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"ninf/internal/idl"
+	"ninf/internal/xdr"
+)
+
+func bytesReader(p []byte) io.Reader { return bytes.NewReader(p) }
+
+// InterfaceRequest is the payload of MsgInterface.
+type InterfaceRequest struct {
+	Name string
+}
+
+// Encode serializes the request.
+func (m *InterfaceRequest) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutString(m.Name)
+	return buf.b
+}
+
+// DecodeInterfaceRequest parses a MsgInterface payload.
+func DecodeInterfaceRequest(p []byte) (InterfaceRequest, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := InterfaceRequest{Name: d.String()}
+	return m, d.Err()
+}
+
+// EncodeInterfaceReply serializes the compiled IDL for MsgInterfaceOK.
+func EncodeInterfaceReply(info *idl.Info) ([]byte, error) {
+	var buf writerBuf
+	if err := idl.Encode(&buf, info); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// DecodeInterfaceReply parses a MsgInterfaceOK payload.
+func DecodeInterfaceReply(p []byte) (*idl.Info, error) {
+	return idl.Decode(bytesReader(p))
+}
+
+// ListReply is the payload of MsgListReply: the registered routine
+// names in registration order.
+type ListReply struct {
+	Names []string
+}
+
+// Encode serializes the reply.
+func (m *ListReply) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutUint32(uint32(len(m.Names)))
+	for _, n := range m.Names {
+		e.PutString(n)
+	}
+	return buf.b
+}
+
+// DecodeListReply parses a MsgListReply payload.
+func DecodeListReply(p []byte) (ListReply, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	n := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return ListReply{}, err
+	}
+	if n > 1<<20 {
+		return ListReply{}, fmt.Errorf("protocol: implausible list length %d", n)
+	}
+	m := ListReply{Names: make([]string, 0, n)}
+	for i := 0; i < n; i++ {
+		m.Names = append(m.Names, d.String())
+	}
+	return m, d.Err()
+}
+
+// CallRequest is the payload of MsgCall and MsgSubmit: a routine name
+// plus every in-shipping argument, positionally, encoded per the IDL.
+// Scalar values that only matter server-side (mode_out) are never
+// shipped.
+type CallRequest struct {
+	Name string
+	// Args holds one entry per IDL parameter. Out-only parameters
+	// may be nil; in-shipping entries must be concrete values.
+	Args []idl.Value
+}
+
+// EncodeCallRequest serializes a call against its interface.
+func EncodeCallRequest(info *idl.Info, req *CallRequest) ([]byte, error) {
+	if len(req.Args) != len(info.Params) {
+		return nil, fmt.Errorf("protocol: %s takes %d arguments, got %d", info.Name, len(info.Params), len(req.Args))
+	}
+	counts, err := info.DimSizes(req.Args)
+	if err != nil {
+		return nil, err
+	}
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutString(req.Name)
+	for i := range info.Params {
+		p := &info.Params[i]
+		if !p.Mode.Ships(false) {
+			continue
+		}
+		if err := encodeArg(e, p, counts[i], req.Args[i]); err != nil {
+			return nil, fmt.Errorf("protocol: %s argument %q: %w", info.Name, p.Name, err)
+		}
+	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// DecodeCallName peeks only the routine name from a MsgCall payload so
+// the server can look up the interface before decoding arguments.
+func DecodeCallName(p []byte) (name string, rest []byte, err error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	name = d.String()
+	if err := d.Err(); err != nil {
+		return "", nil, err
+	}
+	return name, p[d.Len():], nil
+}
+
+// DecodeCallArgs decodes the in-shipping arguments of a call against
+// its interface, allocating zeroed values for out-only parameters so
+// the executable can fill them. Dimension expressions are evaluated
+// left to right as scalars arrive, exactly as Ninf_call's interpreter
+// does.
+func DecodeCallArgs(info *idl.Info, rest []byte) ([]idl.Value, error) {
+	d := xdr.NewDecoder(bytesReader(rest))
+	args := make([]idl.Value, len(info.Params))
+	// First pass: decode in-shipping values in order. Scalars land in
+	// args as they are read so later dims can be evaluated.
+	for i := range info.Params {
+		p := &info.Params[i]
+		if !p.Mode.Ships(false) {
+			continue
+		}
+		count, err := paramCount(info, p, args)
+		if err != nil {
+			return nil, err
+		}
+		v, err := decodeArg(d, p, count)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: %s argument %q: %w", info.Name, p.Name, err)
+		}
+		args[i] = v
+	}
+	// Second pass: allocate out-only parameters.
+	for i := range info.Params {
+		p := &info.Params[i]
+		if p.Mode != idl.Out {
+			continue
+		}
+		count, err := paramCount(info, p, args)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = zeroValue(p, count)
+	}
+	return args, nil
+}
+
+// EncodeCallReply serializes a MsgCallOK payload: server-side timings
+// followed by the out-shipping arguments.
+func EncodeCallReply(info *idl.Info, t Timings, args []idl.Value) ([]byte, error) {
+	counts, err := info.DimSizes(args)
+	if err != nil {
+		return nil, err
+	}
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	t.encode(e)
+	for i := range info.Params {
+		p := &info.Params[i]
+		if !p.Mode.Ships(true) {
+			continue
+		}
+		if err := encodeArg(e, p, counts[i], args[i]); err != nil {
+			return nil, fmt.Errorf("protocol: %s result %q: %w", info.Name, p.Name, err)
+		}
+	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// DecodeCallReply decodes a MsgCallOK payload. The returned slice has
+// one entry per parameter: out-shipping entries hold decoded values,
+// others are nil. callArgs supplies the scalar inputs needed to size
+// the out arrays.
+func DecodeCallReply(info *idl.Info, callArgs []idl.Value, p []byte) (Timings, []idl.Value, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	var t Timings
+	t.decode(d)
+	if err := d.Err(); err != nil {
+		return t, nil, err
+	}
+	counts, err := info.DimSizes(callArgs)
+	if err != nil {
+		return t, nil, err
+	}
+	out := make([]idl.Value, len(info.Params))
+	for i := range info.Params {
+		pa := &info.Params[i]
+		if !pa.Mode.Ships(true) {
+			continue
+		}
+		v, err := decodeArg(d, pa, counts[i])
+		if err != nil {
+			return t, nil, fmt.Errorf("protocol: %s result %q: %w", info.Name, pa.Name, err)
+		}
+		out[i] = v
+	}
+	return t, out, d.Err()
+}
+
+// Timings carries the server-side timestamps the paper instruments
+// (§4.1): when the call was accepted (enqueue), when the executable
+// was invoked (dequeue), and when it completed. Times are nanoseconds
+// on the server clock.
+type Timings struct {
+	Enqueue  int64
+	Dequeue  int64
+	Complete int64
+}
+
+func (t *Timings) encode(e *xdr.Encoder) {
+	e.PutInt64(t.Enqueue)
+	e.PutInt64(t.Dequeue)
+	e.PutInt64(t.Complete)
+}
+
+func (t *Timings) decode(d *xdr.Decoder) {
+	t.Enqueue = d.Int64()
+	t.Dequeue = d.Int64()
+	t.Complete = d.Int64()
+}
+
+// SubmitReply is the payload of MsgSubmitOK: a handle for the second
+// phase.
+type SubmitReply struct {
+	JobID uint64
+}
+
+// Encode serializes the reply.
+func (m *SubmitReply) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutUint64(m.JobID)
+	return buf.b
+}
+
+// DecodeSubmitReply parses a MsgSubmitOK payload.
+func DecodeSubmitReply(p []byte) (SubmitReply, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := SubmitReply{JobID: d.Uint64()}
+	return m, d.Err()
+}
+
+// FetchRequest is the payload of MsgFetch.
+type FetchRequest struct {
+	JobID uint64
+	// Wait asks the server to block until the job finishes rather
+	// than reply CodeNotReady immediately.
+	Wait bool
+}
+
+// Encode serializes the request.
+func (m *FetchRequest) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutUint64(m.JobID)
+	e.PutBool(m.Wait)
+	return buf.b
+}
+
+// DecodeFetchRequest parses a MsgFetch payload.
+func DecodeFetchRequest(p []byte) (FetchRequest, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := FetchRequest{JobID: d.Uint64(), Wait: d.Bool()}
+	return m, d.Err()
+}
+
+// Stats is the payload of MsgStatsOK: the server self-report the
+// metaserver polls for scheduling (§2.4).
+type Stats struct {
+	Hostname    string
+	PEs         int64
+	Running     int64
+	Queued      int64
+	TotalCalls  int64
+	LoadAverage float64 // 1-minute style load average
+	CPUUtil     float64 // fraction 0..1 since last probe window
+}
+
+// Encode serializes the stats.
+func (m *Stats) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutString(m.Hostname)
+	e.PutInt64(m.PEs)
+	e.PutInt64(m.Running)
+	e.PutInt64(m.Queued)
+	e.PutInt64(m.TotalCalls)
+	e.PutFloat64(m.LoadAverage)
+	e.PutFloat64(m.CPUUtil)
+	return buf.b
+}
+
+// DecodeStats parses a MsgStatsOK payload.
+func DecodeStats(p []byte) (Stats, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := Stats{
+		Hostname:    d.String(),
+		PEs:         d.Int64(),
+		Running:     d.Int64(),
+		Queued:      d.Int64(),
+		TotalCalls:  d.Int64(),
+		LoadAverage: d.Float64(),
+		CPUUtil:     d.Float64(),
+	}
+	return m, d.Err()
+}
+
+// paramCount evaluates one parameter's element count against the
+// scalar arguments decoded so far.
+func paramCount(info *idl.Info, p *idl.Param, args []idl.Value) (int, error) {
+	count := 1
+	env := scalarEnvSoFar(info, args)
+	for _, dim := range p.Dims {
+		n, err := dim.Eval(env)
+		if err != nil {
+			return 0, fmt.Errorf("protocol: %s dimension of %q: %w", info.Name, p.Name, err)
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("protocol: %s dimension of %q is negative", info.Name, p.Name)
+		}
+		count *= int(n)
+	}
+	return count, nil
+}
+
+func scalarEnvSoFar(info *idl.Info, args []idl.Value) map[string]int64 {
+	env := make(map[string]int64)
+	for i := range info.Params {
+		p := &info.Params[i]
+		if !p.IsScalar() || p.Type != idl.Int {
+			continue
+		}
+		switch v := args[i].(type) {
+		case int64:
+			env[p.Name] = v
+		case int:
+			env[p.Name] = int64(v)
+		}
+	}
+	return env
+}
+
+// zeroValue allocates the zero value for an out-only parameter.
+func zeroValue(p *idl.Param, count int) idl.Value {
+	if p.IsScalar() {
+		switch p.Type {
+		case idl.Int:
+			return int64(0)
+		case idl.Double:
+			return float64(0)
+		case idl.Float:
+			return float32(0)
+		case idl.String:
+			return ""
+		}
+	}
+	switch p.Type {
+	case idl.Int:
+		return make([]int64, count)
+	case idl.Double:
+		return make([]float64, count)
+	case idl.Float:
+		return make([]float32, count)
+	}
+	return nil
+}
+
+// encodeArg writes one argument value per its IDL parameter.
+func encodeArg(e *xdr.Encoder, p *idl.Param, count int, v idl.Value) error {
+	if p.IsScalar() {
+		switch p.Type {
+		case idl.Int:
+			switch x := v.(type) {
+			case int64:
+				e.PutInt64(x)
+			case int:
+				e.PutInt64(int64(x))
+			default:
+				return fmt.Errorf("want int, got %T", v)
+			}
+		case idl.Double:
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("want float64, got %T", v)
+			}
+			e.PutFloat64(x)
+		case idl.Float:
+			switch x := v.(type) {
+			case float32:
+				e.PutFloat32(x)
+			case float64:
+				e.PutFloat32(float32(x))
+			default:
+				return fmt.Errorf("want float32, got %T", v)
+			}
+		case idl.String:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("want string, got %T", v)
+			}
+			e.PutString(x)
+		}
+		return e.Err()
+	}
+	switch p.Type {
+	case idl.Int:
+		x, ok := v.([]int64)
+		if !ok {
+			return fmt.Errorf("want []int64, got %T", v)
+		}
+		if len(x) != count {
+			return fmt.Errorf("array length %d, IDL dimensions give %d", len(x), count)
+		}
+		e.PutInt64s(x)
+	case idl.Double:
+		x, ok := v.([]float64)
+		if !ok {
+			return fmt.Errorf("want []float64, got %T", v)
+		}
+		if len(x) != count {
+			return fmt.Errorf("array length %d, IDL dimensions give %d", len(x), count)
+		}
+		e.PutFloat64s(x)
+	case idl.Float:
+		x, ok := v.([]float32)
+		if !ok {
+			return fmt.Errorf("want []float32, got %T", v)
+		}
+		if len(x) != count {
+			return fmt.Errorf("array length %d, IDL dimensions give %d", len(x), count)
+		}
+		e.PutFloat32s(x)
+	default:
+		return fmt.Errorf("unsupported array type %v", p.Type)
+	}
+	return e.Err()
+}
+
+// decodeArg reads one argument value per its IDL parameter.
+func decodeArg(d *xdr.Decoder, p *idl.Param, count int) (idl.Value, error) {
+	if p.IsScalar() {
+		switch p.Type {
+		case idl.Int:
+			return d.Int64(), d.Err()
+		case idl.Double:
+			return d.Float64(), d.Err()
+		case idl.Float:
+			return d.Float32(), d.Err()
+		case idl.String:
+			return d.String(), d.Err()
+		}
+		return nil, fmt.Errorf("unsupported scalar type %v", p.Type)
+	}
+	switch p.Type {
+	case idl.Int:
+		v := d.Int64s()
+		if d.Err() == nil && len(v) != count {
+			return nil, fmt.Errorf("array length %d, IDL dimensions give %d", len(v), count)
+		}
+		return v, d.Err()
+	case idl.Double:
+		v := d.Float64s()
+		if d.Err() == nil && len(v) != count {
+			return nil, fmt.Errorf("array length %d, IDL dimensions give %d", len(v), count)
+		}
+		return v, d.Err()
+	case idl.Float:
+		v := d.Float32s()
+		if d.Err() == nil && len(v) != count {
+			return nil, fmt.Errorf("array length %d, IDL dimensions give %d", len(v), count)
+		}
+		return v, d.Err()
+	default:
+		return nil, fmt.Errorf("unsupported array type %v", p.Type)
+	}
+}

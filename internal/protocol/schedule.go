@@ -1,0 +1,119 @@
+package protocol
+
+import "ninf/internal/xdr"
+
+// Scheduling frames, spoken between clients and the metaserver daemon
+// (§2.4). They extend the base protocol: a metaserver answers MsgPing
+// and MsgStats like a computational server, plus MsgSchedule.
+const (
+	// MsgSchedule asks the metaserver to place one Ninf_call.
+	MsgSchedule MsgType = iota + 64
+	// MsgScheduleOK carries the chosen server.
+	MsgScheduleOK
+	// MsgObserve reports a completed (or failed) call back to the
+	// metaserver so it can track achievable bandwidth per client,
+	// the quantity §4.2.3 shows must drive WAN placement.
+	MsgObserve
+	// MsgObserveOK acknowledges an observation.
+	MsgObserveOK
+)
+
+// ScheduleRequest describes a pending call for placement. Byte counts
+// are the client's own estimate from its argument sizes; Ops is the
+// IDL-declared complexity when the client knows it, else 0.
+type ScheduleRequest struct {
+	Routine  string
+	InBytes  int64
+	OutBytes int64
+	Ops      int64
+	// Exclude lists server names the client wants avoided, used for
+	// fault-tolerant retry on a different server.
+	Exclude []string
+}
+
+// Encode serializes the request.
+func (m *ScheduleRequest) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutString(m.Routine)
+	e.PutInt64(m.InBytes)
+	e.PutInt64(m.OutBytes)
+	e.PutInt64(m.Ops)
+	e.PutUint32(uint32(len(m.Exclude)))
+	for _, x := range m.Exclude {
+		e.PutString(x)
+	}
+	return buf.b
+}
+
+// DecodeScheduleRequest parses a MsgSchedule payload.
+func DecodeScheduleRequest(p []byte) (ScheduleRequest, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := ScheduleRequest{
+		Routine:  d.String(),
+		InBytes:  d.Int64(),
+		OutBytes: d.Int64(),
+		Ops:      d.Int64(),
+	}
+	n := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return m, err
+	}
+	for i := 0; i < n && i < 1024; i++ {
+		m.Exclude = append(m.Exclude, d.String())
+	}
+	return m, d.Err()
+}
+
+// ScheduleReply names the chosen server and its dial address.
+type ScheduleReply struct {
+	Name string
+	Addr string
+}
+
+// Encode serializes the reply.
+func (m *ScheduleReply) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutString(m.Name)
+	e.PutString(m.Addr)
+	return buf.b
+}
+
+// DecodeScheduleReply parses a MsgScheduleOK payload.
+func DecodeScheduleReply(p []byte) (ScheduleReply, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := ScheduleReply{Name: d.String(), Addr: d.String()}
+	return m, d.Err()
+}
+
+// ObserveRequest feeds a completed call back to the metaserver.
+type ObserveRequest struct {
+	Name   string // server the call ran on
+	Bytes  int64  // payload bytes both ways
+	Nanos  int64  // wall-clock duration
+	Failed bool   // the call errored (server suspect)
+}
+
+// Encode serializes the observation.
+func (m *ObserveRequest) Encode() []byte {
+	var buf writerBuf
+	e := xdr.NewEncoder(&buf)
+	e.PutString(m.Name)
+	e.PutInt64(m.Bytes)
+	e.PutInt64(m.Nanos)
+	e.PutBool(m.Failed)
+	return buf.b
+}
+
+// DecodeObserveRequest parses a MsgObserve payload.
+func DecodeObserveRequest(p []byte) (ObserveRequest, error) {
+	d := xdr.NewDecoder(bytesReader(p))
+	m := ObserveRequest{
+		Name:   d.String(),
+		Bytes:  d.Int64(),
+		Nanos:  d.Int64(),
+		Failed: d.Bool(),
+	}
+	return m, d.Err()
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// accounting tracks the quantities the paper instruments on the server
+// side: a Unix-style exponentially-damped load average over the run
+// queue, cumulative busy processor-time for CPU utilization, and call
+// counters.
+type accounting struct {
+	mu        sync.Mutex
+	pes       int
+	start     time.Time
+	lastLoad  time.Time
+	load      float64       // damped load average
+	busy      time.Duration // accumulated PE-busy time
+	runningPE int           // PEs currently busy
+	lastBusy  time.Time     // last time runningPE changed
+	queued    int
+	running   int
+	total     int64
+}
+
+// loadTau is the damping constant of the load average, matching the
+// classic 1-minute Unix loadavg.
+const loadTau = 60 * time.Second
+
+func newAccounting(pes int, now time.Time) *accounting {
+	return &accounting{pes: pes, start: now, lastLoad: now, lastBusy: now}
+}
+
+// advance folds elapsed time into the damped load average and the busy
+// accumulator. Callers hold mu.
+func (a *accounting) advance(now time.Time) {
+	if dt := now.Sub(a.lastLoad); dt > 0 {
+		k := float64(a.running + a.queued)
+		decay := math.Exp(-dt.Seconds() / loadTau.Seconds())
+		a.load = a.load*decay + k*(1-decay)
+		a.lastLoad = now
+	}
+	if dt := now.Sub(a.lastBusy); dt > 0 {
+		a.busy += time.Duration(float64(dt) * float64(a.runningPE))
+		a.lastBusy = now
+	}
+}
+
+func (a *accounting) jobQueued(now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
+	a.queued++
+	a.total++
+}
+
+func (a *accounting) jobStarted(now time.Time, pes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
+	a.queued--
+	a.running++
+	a.runningPE += pes
+}
+
+func (a *accounting) jobAbandoned(now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
+	a.queued--
+}
+
+func (a *accounting) jobFinished(now time.Time, pes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
+	a.running--
+	a.runningPE -= pes
+}
+
+// snapshot returns (load average, cumulative CPU utilization in [0,1],
+// queued, running, total calls).
+func (a *accounting) snapshot(now time.Time) (load, util float64, queued, running int, total int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.advance(now)
+	up := now.Sub(a.start)
+	if up > 0 && a.pes > 0 {
+		util = float64(a.busy) / (float64(up) * float64(a.pes))
+		if util > 1 {
+			util = 1
+		}
+	}
+	return a.load, util, a.queued, a.running, a.total
+}

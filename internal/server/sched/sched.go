@@ -1,0 +1,148 @@
+// Package sched provides the job-selection policies discussed in the
+// paper for the Ninf computational server: the deployed
+// First-Come-First-Served discipline (§5.2), Shortest-Job-First based
+// on IDL-declared complexity (§5.2), and the Fit-Processors variants
+// for multi-PE servers (§5.3, citing Aida et al.).
+//
+// A policy inspects the queue of waiting jobs and the number of free
+// processors and names the job to dispatch next. Policies are pure
+// selection rules: the server owns the queue, the processors, and all
+// locking.
+package sched
+
+import "fmt"
+
+// A Job is the scheduler-visible description of one queued Ninf_call.
+type Job struct {
+	// ID is the server-assigned job identity, used in logs.
+	ID uint64
+	// Seq is the arrival order (monotone); FCFS and tie-breaks use it.
+	Seq uint64
+	// PEs is the number of processors the job will occupy: 1 under
+	// task-parallel execution, all of them under data-parallel.
+	PEs int
+	// PredictedOps is the operation count from the routine's IDL
+	// Complexity clause, or 0 when the IDL declares none. SJF falls
+	// back to FCFS ordering among jobs without predictions.
+	PredictedOps int64
+}
+
+// A Policy selects the next job to dispatch. queue is in arrival order;
+// freePEs is the number of idle processors. It returns the index of the
+// job to start, or -1 to leave everything queued.
+type Policy interface {
+	Next(queue []*Job, freePEs int) int
+	Name() string
+}
+
+// New returns the named policy: "fcfs", "sjf", "fpfs" or "fpmpfs".
+func New(name string) (Policy, error) {
+	switch name {
+	case "fcfs":
+		return FCFS{}, nil
+	case "sjf":
+		return SJF{}, nil
+	case "fpfs":
+		return FPFS{}, nil
+	case "fpmpfs":
+		return FPMPFS{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}
+
+// FCFS dispatches strictly in arrival order; if the head job does not
+// fit in the free processors nothing runs (head-of-line blocking).
+// This is the behaviour of the current Ninf server, which "merely
+// fork&execs a Ninf executable in a FCFS manner" (§5.2).
+type FCFS struct{}
+
+// Next implements Policy.
+func (FCFS) Next(queue []*Job, freePEs int) int {
+	if len(queue) == 0 || queue[0].PEs > freePEs {
+		return -1
+	}
+	return 0
+}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// SJF dispatches the fitting job with the smallest predicted operation
+// count, using the IDL Complexity clause as the predictor (§5.2). Jobs
+// without predictions sort after predicted ones; ties break by arrival.
+type SJF struct{}
+
+// Next implements Policy.
+func (SJF) Next(queue []*Job, freePEs int) int {
+	best := -1
+	for i, j := range queue {
+		if j.PEs > freePEs {
+			continue
+		}
+		if best == -1 || lessSJF(j, queue[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func lessSJF(a, b *Job) bool {
+	ka, kb := a.PredictedOps, b.PredictedOps
+	// Unpredicted jobs (0) are treated as longest.
+	switch {
+	case ka == 0 && kb == 0:
+		return a.Seq < b.Seq
+	case ka == 0:
+		return false
+	case kb == 0:
+		return true
+	case ka != kb:
+		return ka < kb
+	default:
+		return a.Seq < b.Seq
+	}
+}
+
+// Name implements Policy.
+func (SJF) Name() string { return "sjf" }
+
+// FPFS (Fit Processors First Served) dispatches the earliest job that
+// fits in the free processors, skipping over a blocked head (§5.3).
+type FPFS struct{}
+
+// Next implements Policy.
+func (FPFS) Next(queue []*Job, freePEs int) int {
+	for i, j := range queue {
+		if j.PEs <= freePEs {
+			return i
+		}
+	}
+	return -1
+}
+
+// Name implements Policy.
+func (FPFS) Name() string { return "fpfs" }
+
+// FPMPFS (Fit Processors Most Processors First Served) dispatches,
+// among fitting jobs, the one requesting the most processors; ties
+// break by arrival (§5.3). It packs wide jobs first to reduce idle PEs.
+type FPMPFS struct{}
+
+// Next implements Policy.
+func (FPMPFS) Next(queue []*Job, freePEs int) int {
+	best := -1
+	for i, j := range queue {
+		if j.PEs > freePEs {
+			continue
+		}
+		if best == -1 || j.PEs > queue[best].PEs ||
+			(j.PEs == queue[best].PEs && j.Seq < queue[best].Seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (FPMPFS) Name() string { return "fpmpfs" }

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func jobs(spec ...[3]int64) []*Job {
+	out := make([]*Job, len(spec))
+	for i, s := range spec {
+		out[i] = &Job{ID: uint64(i), Seq: uint64(i), PEs: int(s[0]), PredictedOps: s[1]}
+		_ = s[2]
+	}
+	return out
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"fcfs", "sjf", "fpfs", "fpmpfs"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("Name() = %q, want %q", p.Name(), name)
+		}
+	}
+	if _, err := New("lifo"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFCFS(t *testing.T) {
+	q := jobs([3]int64{4, 0, 0}, [3]int64{1, 0, 0})
+	// Head needs 4 PEs; only 2 free → head-of-line blocking.
+	if got := (FCFS{}).Next(q, 2); got != -1 {
+		t.Errorf("blocked head: got %d", got)
+	}
+	if got := (FCFS{}).Next(q, 4); got != 0 {
+		t.Errorf("fitting head: got %d", got)
+	}
+	if got := (FCFS{}).Next(nil, 4); got != -1 {
+		t.Errorf("empty queue: got %d", got)
+	}
+}
+
+func TestSJF(t *testing.T) {
+	q := []*Job{
+		{Seq: 0, PEs: 1, PredictedOps: 900},
+		{Seq: 1, PEs: 1, PredictedOps: 100},
+		{Seq: 2, PEs: 1, PredictedOps: 500},
+	}
+	if got := (SJF{}).Next(q, 1); got != 1 {
+		t.Errorf("got %d, want 1 (smallest ops)", got)
+	}
+	// Unpredicted jobs go last.
+	q = []*Job{
+		{Seq: 0, PEs: 1, PredictedOps: 0},
+		{Seq: 1, PEs: 1, PredictedOps: 100},
+	}
+	if got := (SJF{}).Next(q, 1); got != 1 {
+		t.Errorf("got %d, want predicted job", got)
+	}
+	// All unpredicted → FCFS.
+	q = []*Job{
+		{Seq: 5, PEs: 1},
+		{Seq: 6, PEs: 1},
+	}
+	if got := (SJF{}).Next(q, 1); got != 0 {
+		t.Errorf("got %d, want arrival order", got)
+	}
+	// Too-wide jobs are skipped.
+	q = []*Job{
+		{Seq: 0, PEs: 4, PredictedOps: 1},
+		{Seq: 1, PEs: 1, PredictedOps: 999},
+	}
+	if got := (SJF{}).Next(q, 2); got != 1 {
+		t.Errorf("got %d, want fitting job", got)
+	}
+}
+
+func TestFPFS(t *testing.T) {
+	q := []*Job{
+		{Seq: 0, PEs: 4},
+		{Seq: 1, PEs: 2},
+		{Seq: 2, PEs: 1},
+	}
+	if got := (FPFS{}).Next(q, 2); got != 1 {
+		t.Errorf("got %d, want first fitting", got)
+	}
+	if got := (FPFS{}).Next(q, 1); got != 2 {
+		t.Errorf("got %d", got)
+	}
+	if got := (FPFS{}).Next(q, 8); got != 0 {
+		t.Errorf("got %d", got)
+	}
+	if got := (FPFS{}).Next(q, 0); got != -1 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestFPMPFS(t *testing.T) {
+	q := []*Job{
+		{Seq: 0, PEs: 1},
+		{Seq: 1, PEs: 3},
+		{Seq: 2, PEs: 3},
+		{Seq: 3, PEs: 8},
+	}
+	// 4 free → widest fitting is 3 PEs; earliest of the two is Seq 1.
+	if got := (FPMPFS{}).Next(q, 4); got != 1 {
+		t.Errorf("got %d, want widest-then-earliest", got)
+	}
+	if got := (FPMPFS{}).Next(q, 8); got != 3 {
+		t.Errorf("got %d, want widest", got)
+	}
+	if got := (FPMPFS{}).Next(q, 0); got != -1 {
+		t.Errorf("got %d", got)
+	}
+}
+
+// TestPoliciesAlwaysPickFitting is a property: every policy either
+// returns -1 or the index of a job that fits in the free processors.
+func TestPoliciesAlwaysPickFitting(t *testing.T) {
+	policies := []Policy{FCFS{}, SJF{}, FPFS{}, FPMPFS{}}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(8)
+		q := make([]*Job, n)
+		for i := range q {
+			q[i] = &Job{
+				Seq:          uint64(i),
+				PEs:          1 + rng.Intn(8),
+				PredictedOps: int64(rng.Intn(3)) * int64(rng.Intn(1000)),
+			}
+		}
+		free := rng.Intn(10)
+		for _, p := range policies {
+			got := p.Next(q, free)
+			if got == -1 {
+				// Must be correct for FPFS/FPMPFS/SJF: no job fits.
+				if p.Name() != "fcfs" {
+					for _, j := range q {
+						if j.PEs <= free {
+							t.Fatalf("%s returned -1 with fitting job (free=%d, q=%v)", p.Name(), free, jobsPEs(q))
+						}
+					}
+				}
+				continue
+			}
+			if got < 0 || got >= len(q) {
+				t.Fatalf("%s returned out-of-range %d", p.Name(), got)
+			}
+			if q[got].PEs > free {
+				t.Fatalf("%s picked non-fitting job (%d PEs, %d free)", p.Name(), q[got].PEs, free)
+			}
+		}
+	}
+}
+
+func jobsPEs(q []*Job) []int {
+	out := make([]int, len(q))
+	for i, j := range q {
+		out[i] = j.PEs
+	}
+	return out
+}

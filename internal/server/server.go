@@ -1,0 +1,553 @@
+// Package server implements the Ninf computational server (§2.1): a
+// process that services remote computing requests by managing the
+// communication and activation of registered Ninf executables.
+//
+// Requests arrive as Ninf RPC frames. The server answers interface
+// queries (stage one of the two-stage RPC), executes blocking calls,
+// and supports the §5.1 two-phase submit/fetch protocol. Execution is
+// governed by a processor pool and a pluggable scheduling policy
+// (FCFS as deployed; SJF/FPFS/FPMPFS as the paper's proposed
+// improvements), with the choice between task-parallel (one PE per
+// call) and data-parallel (all PEs per call) library execution that
+// §4.1 benchmarks.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ninf/internal/idl"
+	"ninf/internal/protocol"
+	"ninf/internal/server/sched"
+)
+
+// ExecMode selects how many processors each Ninf_call occupies.
+type ExecMode int
+
+// Execution modes (§4.1).
+const (
+	// TaskParallel serves each call with one PE, up to PEs calls
+	// concurrently — the conventional approach of non-numerical
+	// servers.
+	TaskParallel ExecMode = iota
+	// DataParallel allocates all processors to each call in
+	// sequence, the optimized-parallel-library approach.
+	DataParallel
+)
+
+// String returns a symbolic name for the mode.
+func (m ExecMode) String() string {
+	switch m {
+	case TaskParallel:
+		return "task-parallel"
+	case DataParallel:
+		return "data-parallel"
+	default:
+		return fmt.Sprintf("ExecMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Server. The zero value is usable: one PE,
+// task-parallel, FCFS.
+type Config struct {
+	// Hostname labels the server in stats replies.
+	Hostname string
+	// PEs is the processor count (default 1).
+	PEs int
+	// Mode picks task- or data-parallel execution.
+	Mode ExecMode
+	// Policy schedules queued jobs; nil means FCFS.
+	Policy sched.Policy
+	// MaxQueue rejects new calls with CodeOverloaded once this many
+	// jobs are waiting; 0 means unlimited.
+	MaxQueue int
+	// JobTTL bounds how long two-phase results are retained after
+	// completion before being dropped (default 5 minutes).
+	JobTTL time.Duration
+	// MaxPayload bounds incoming frame payloads (default 1 GiB).
+	MaxPayload int
+	// Logger receives diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server is a Ninf computational server.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	policy   sched.Policy
+	acct     *accounting
+	trace    *tracer
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*task
+	freePEs int
+	seq     uint64
+	jobs    map[uint64]*task // two-phase jobs by ID
+	closed  bool
+
+	nextJob  atomic.Uint64
+	failNext atomic.Int64 // fault injection: calls to fail
+
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+}
+
+// task is one queued or running Ninf_call.
+type task struct {
+	job  sched.Job
+	ex   *Executable
+	args []idl.Value
+	ctx  context.Context
+
+	timings protocol.Timings
+	err     error
+	done    chan struct{}
+
+	reqBytes int64 // request payload size, for the execution trace
+
+	// two-phase bookkeeping
+	twoPhase bool
+	reply    []byte
+	expire   time.Time
+}
+
+// New creates a server around a registry.
+func New(cfg Config, reg *Registry) *Server {
+	if cfg.PEs <= 0 {
+		cfg.PEs = 1
+	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = 5 * time.Minute
+	}
+	if cfg.Hostname == "" {
+		cfg.Hostname = "ninf-server"
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = sched.FCFS{}
+	}
+	s := &Server{
+		cfg:       cfg,
+		registry:  reg,
+		policy:    pol,
+		acct:      newAccounting(cfg.PEs, time.Now()),
+		trace:     newTracer(),
+		freePEs:   cfg.PEs,
+		jobs:      make(map[uint64]*task),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	return s
+}
+
+// Registry exposes the server's registry, e.g. for late registration.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// logf logs through the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until the listener is closed or the
+// server shut down. Each connection is handled on its own goroutine;
+// requests on one connection are processed in order, matching the
+// blocking semantics of Ninf_call.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close shuts the server down: stops listeners, severs connections,
+// cancels running handlers, and wakes waiters.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.cancelBase()
+	s.wg.Wait()
+	return nil
+}
+
+// FailNextCalls arranges for the next n executions to fail with an
+// execution error — the fault-injection hook used to exercise
+// metaserver retry.
+func (s *Server) FailNextCalls(n int) { s.failNext.Store(int64(n)) }
+
+// Stats returns the server's current self-report.
+func (s *Server) Stats() protocol.Stats {
+	load, util, queued, running, total := s.acct.snapshot(time.Now())
+	return protocol.Stats{
+		Hostname:    s.cfg.Hostname,
+		PEs:         int64(s.cfg.PEs),
+		Running:     int64(running),
+		Queued:      int64(queued),
+		TotalCalls:  total,
+		LoadAverage: load,
+		CPUUtil:     util,
+	}
+}
+
+// ServeConn processes frames from one connection until EOF or error.
+// Exported so tests and the emulation layer can drive the server over
+// arbitrary net.Conns (pipes, shaped links).
+func (s *Server) ServeConn(conn net.Conn) {
+	for {
+		typ, payload, err := protocol.ReadFrame(conn, s.cfg.MaxPayload)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("ninf server: read: %v", err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, typ, payload); err != nil {
+			s.logf("ninf server: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, payload []byte) error {
+	switch typ {
+	case protocol.MsgPing:
+		return protocol.WriteFrame(conn, protocol.MsgPong, nil)
+
+	case protocol.MsgList:
+		reply := protocol.ListReply{Names: s.registry.Names()}
+		return protocol.WriteFrame(conn, protocol.MsgListReply, reply.Encode())
+
+	case protocol.MsgStats:
+		st := s.Stats()
+		return protocol.WriteFrame(conn, protocol.MsgStatsOK, st.Encode())
+
+	case protocol.MsgTrace:
+		return protocol.WriteFrame(conn, protocol.MsgTraceOK, encodeTraces(s.Trace()))
+
+	case protocol.MsgInterface:
+		req, err := protocol.DecodeInterfaceRequest(payload)
+		if err != nil {
+			return s.sendError(conn, protocol.CodeBadArguments, err.Error())
+		}
+		ex := s.registry.Lookup(req.Name)
+		if ex == nil {
+			return s.sendError(conn, protocol.CodeUnknownRoutine, fmt.Sprintf("no routine %q", req.Name))
+		}
+		p, err := protocol.EncodeInterfaceReply(ex.Info)
+		if err != nil {
+			return s.sendError(conn, protocol.CodeInternal, err.Error())
+		}
+		return protocol.WriteFrame(conn, protocol.MsgInterfaceOK, p)
+
+	case protocol.MsgCall:
+		// Blocking calls carry a callback channel: the executable can
+		// invoke client-registered functions over this connection
+		// while it runs (§2.3).
+		ctx := context.WithValue(s.baseCtx, callbackKey, s.connInvoker(conn))
+		t, code, err := s.admit(payload, false, ctx)
+		if err != nil {
+			return s.sendError(conn, code, err.Error())
+		}
+		<-t.done
+		if t.err != nil {
+			return s.sendError(conn, protocol.CodeExecFailed, t.err.Error())
+		}
+		reply, err := protocol.EncodeCallReply(t.ex.Info, t.timings, t.args)
+		if err != nil {
+			return s.sendError(conn, protocol.CodeInternal, err.Error())
+		}
+		return protocol.WriteFrame(conn, protocol.MsgCallOK, reply)
+
+	case protocol.MsgSubmit:
+		t, code, err := s.admit(payload, true, nil)
+		if err != nil {
+			return s.sendError(conn, code, err.Error())
+		}
+		reply := protocol.SubmitReply{JobID: t.job.ID}
+		return protocol.WriteFrame(conn, protocol.MsgSubmitOK, reply.Encode())
+
+	case protocol.MsgFetch:
+		req, err := protocol.DecodeFetchRequest(payload)
+		if err != nil {
+			return s.sendError(conn, protocol.CodeBadArguments, err.Error())
+		}
+		return s.fetch(conn, req)
+
+	default:
+		return s.sendError(conn, protocol.CodeInternal, fmt.Sprintf("unexpected frame %v", typ))
+	}
+}
+
+func (s *Server) sendError(conn net.Conn, code uint32, detail string) error {
+	return protocol.WriteFrame(conn, protocol.MsgError, protocol.EncodeErrorReply(code, detail))
+}
+
+// admit decodes a call payload, enqueues the job, and (for two-phase
+// submissions) records it in the job table. It returns the task; for
+// blocking calls the caller waits on task.done.
+func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context) (*task, uint32, error) {
+	if ctx == nil {
+		ctx = s.baseCtx
+	}
+	name, rest, err := protocol.DecodeCallName(payload)
+	if err != nil {
+		return nil, protocol.CodeBadArguments, err
+	}
+	ex := s.registry.Lookup(name)
+	if ex == nil {
+		return nil, protocol.CodeUnknownRoutine, fmt.Errorf("no routine %q", name)
+	}
+	args, err := protocol.DecodeCallArgs(ex.Info, rest)
+	if err != nil {
+		return nil, protocol.CodeBadArguments, err
+	}
+
+	pes := s.peAllocation(ex)
+	t := &task{
+		ex:       ex,
+		args:     args,
+		ctx:      ctx,
+		done:     make(chan struct{}),
+		twoPhase: twoPhase,
+		reqBytes: int64(len(payload)),
+	}
+	t.job.PEs = pes
+	if ops, ok := ex.Info.PredictedOps(args); ok {
+		t.job.PredictedOps = ops
+	} else if d := s.trace.predictCompute(name); d > 0 {
+		// §5.1 fallback: no Complexity clause in the IDL, so predict
+		// from the server execution trace. Nanoseconds serve as the
+		// ops currency; SJF only compares magnitudes.
+		t.job.PredictedOps = int64(d)
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, protocol.CodeInternal, errors.New("server shutting down")
+	}
+	if s.cfg.MaxQueue > 0 && len(s.queue) >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, protocol.CodeOverloaded, fmt.Errorf("queue full (%d jobs)", s.cfg.MaxQueue)
+	}
+	s.seq++
+	t.job.Seq = s.seq
+	t.job.ID = s.nextJob.Add(1)
+	t.timings.Enqueue = now.UnixNano()
+	s.queue = append(s.queue, t)
+	if twoPhase {
+		s.jobs[t.job.ID] = t
+	}
+	s.acct.jobQueued(now)
+	s.schedule()
+	s.mu.Unlock()
+	return t, 0, nil
+}
+
+// peAllocation resolves how many processors a call occupies.
+func (s *Server) peAllocation(ex *Executable) int {
+	pes := ex.PEs
+	if pes == 0 {
+		if s.cfg.Mode == DataParallel {
+			pes = s.cfg.PEs
+		} else {
+			pes = 1
+		}
+	}
+	if pes > s.cfg.PEs {
+		pes = s.cfg.PEs
+	}
+	return pes
+}
+
+// schedule dispatches queued jobs while the policy finds one that fits.
+// Callers hold mu.
+func (s *Server) schedule() {
+	for {
+		if s.closed {
+			// Fail queued jobs so waiters do not hang.
+			for _, t := range s.queue {
+				t.err = errors.New("server: shut down before execution")
+				s.acct.jobAbandoned(time.Now())
+				close(t.done)
+			}
+			s.queue = nil
+			return
+		}
+		jobs := make([]*sched.Job, len(s.queue))
+		for i, t := range s.queue {
+			jobs[i] = &t.job
+		}
+		idx := s.policy.Next(jobs, s.freePEs)
+		if idx < 0 || idx >= len(s.queue) {
+			return
+		}
+		t := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.freePEs -= t.job.PEs
+		now := time.Now()
+		t.timings.Dequeue = now.UnixNano()
+		s.acct.jobStarted(now, t.job.PEs)
+		s.wg.Add(1)
+		go s.run(t)
+	}
+}
+
+// run executes one job and returns its processors.
+func (s *Server) run(t *task) {
+	defer s.wg.Done()
+	err := s.execute(t)
+	now := time.Now()
+	t.timings.Complete = now.UnixNano()
+	t.err = err
+	s.trace.record(t.ex.Info.Name,
+		time.Duration(t.timings.Dequeue-t.timings.Enqueue),
+		time.Duration(t.timings.Complete-t.timings.Dequeue),
+		t.reqBytes, err != nil)
+
+	s.mu.Lock()
+	s.freePEs += t.job.PEs
+	s.acct.jobFinished(now, t.job.PEs)
+	if t.twoPhase {
+		t.expire = now.Add(s.cfg.JobTTL)
+		// Pre-encode the reply so fetch is cheap and argument
+		// buffers can be released.
+		if err == nil {
+			if p, encErr := protocol.EncodeCallReply(t.ex.Info, t.timings, t.args); encErr == nil {
+				t.reply = p
+			} else {
+				t.err = encErr
+			}
+		}
+		t.args = nil
+	}
+	s.schedule()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(t.done)
+}
+
+// execute invokes the handler, honouring fault injection and panics.
+func (s *Server) execute(t *task) (err error) {
+	if n := s.failNext.Load(); n > 0 && s.failNext.CompareAndSwap(n, n-1) {
+		return errors.New("injected fault")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("executable %s panicked: %v", t.ex.Info.Name, r)
+		}
+	}()
+	return t.ex.Handler(t.ctx, t.args)
+}
+
+// fetch answers a MsgFetch: not-ready, error, or the retained reply.
+func (s *Server) fetch(conn net.Conn, req protocol.FetchRequest) error {
+	s.mu.Lock()
+	t, ok := s.jobs[req.JobID]
+	s.mu.Unlock()
+	if !ok {
+		return s.sendError(conn, protocol.CodeUnknownJob, fmt.Sprintf("no job %d", req.JobID))
+	}
+	if req.Wait {
+		<-t.done
+	}
+	select {
+	case <-t.done:
+	default:
+		return s.sendError(conn, protocol.CodeNotReady, fmt.Sprintf("job %d still running", req.JobID))
+	}
+	s.mu.Lock()
+	delete(s.jobs, req.JobID)
+	s.mu.Unlock()
+	if t.err != nil {
+		return s.sendError(conn, protocol.CodeExecFailed, t.err.Error())
+	}
+	return protocol.WriteFrame(conn, protocol.MsgFetchOK, t.reply)
+}
+
+// ExpireJobs drops completed two-phase jobs whose TTL passed; servers
+// embedded in long-running processes call this periodically (the
+// ninfserver command runs it on a ticker).
+func (s *Server) ExpireJobs(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, t := range s.jobs {
+		select {
+		case <-t.done:
+			if !t.expire.IsZero() && now.After(t.expire) {
+				delete(s.jobs, id)
+				n++
+			}
+		default:
+		}
+	}
+	return n
+}

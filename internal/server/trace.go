@@ -1,0 +1,103 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// A RoutineTrace is the per-routine execution history the server
+// accumulates: §5.1 proposes exactly this ("IDL and server execution
+// trace will give us effective information for predicting the
+// communication transfer time versus computing time"). The metaserver
+// and the SJF policy consume it; clients can fetch it with the Trace
+// RPC.
+type RoutineTrace struct {
+	Name string
+	// Count is the number of completed executions.
+	Count int64
+	// Failures counts executions that returned an error.
+	Failures int64
+	// MeanCompute is the mean wall-clock of the executable itself
+	// (dequeue→complete).
+	MeanCompute time.Duration
+	// MeanWait is the mean queueing delay (enqueue→dequeue).
+	MeanWait time.Duration
+	// MeanBytes is the mean request payload size.
+	MeanBytes int64
+}
+
+// tracer accumulates execution history per routine.
+type tracer struct {
+	mu sync.Mutex
+	m  map[string]*traceAcc
+}
+
+type traceAcc struct {
+	count, failures int64
+	totalCompute    time.Duration
+	totalWait       time.Duration
+	totalBytes      int64
+}
+
+func newTracer() *tracer { return &tracer{m: make(map[string]*traceAcc)} }
+
+// record folds one completed execution into the history.
+func (tr *tracer) record(name string, wait, compute time.Duration, bytes int64, failed bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	acc, ok := tr.m[name]
+	if !ok {
+		acc = &traceAcc{}
+		tr.m[name] = acc
+	}
+	acc.count++
+	if failed {
+		acc.failures++
+	}
+	acc.totalCompute += compute
+	acc.totalWait += wait
+	acc.totalBytes += bytes
+}
+
+// predictCompute returns the mean observed compute time of a routine,
+// or 0 when there is no history yet. The SJF policy uses this as a
+// fallback predictor for routines whose IDL declares no Complexity.
+func (tr *tracer) predictCompute(name string) time.Duration {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	acc, ok := tr.m[name]
+	if !ok || acc.count == 0 {
+		return 0
+	}
+	return acc.totalCompute / time.Duration(acc.count)
+}
+
+// snapshot returns the history for every routine, sorted by name.
+func (tr *tracer) snapshot() []RoutineTrace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]RoutineTrace, 0, len(tr.m))
+	for name, acc := range tr.m {
+		rt := RoutineTrace{
+			Name:      name,
+			Count:     acc.count,
+			Failures:  acc.failures,
+			MeanBytes: acc.totalBytes / acc.count,
+		}
+		rt.MeanCompute = acc.totalCompute / time.Duration(acc.count)
+		rt.MeanWait = acc.totalWait / time.Duration(acc.count)
+		out = append(out, rt)
+	}
+	sortTraces(out)
+	return out
+}
+
+func sortTraces(ts []RoutineTrace) {
+	// Insertion sort: the routine count is small and this avoids an
+	// import for one call site.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Name < ts[j-1].Name; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"ninf/internal/xdr"
+)
+
+// Trace returns the server's execution history per routine.
+func (s *Server) Trace() []RoutineTrace { return s.trace.snapshot() }
+
+// encodeTraces serializes the history for MsgTraceOK.
+func encodeTraces(ts []RoutineTrace) []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	e.PutUint32(uint32(len(ts)))
+	for i := range ts {
+		t := &ts[i]
+		e.PutString(t.Name)
+		e.PutInt64(t.Count)
+		e.PutInt64(t.Failures)
+		e.PutInt64(int64(t.MeanCompute))
+		e.PutInt64(int64(t.MeanWait))
+		e.PutInt64(t.MeanBytes)
+	}
+	return buf.Bytes()
+}
+
+// DecodeTraces parses a MsgTraceOK payload. It lives here rather than
+// in protocol because RoutineTrace is the server's type; the client
+// API re-exports it.
+func DecodeTraces(p []byte) ([]RoutineTrace, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	n := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("server: implausible trace count %d", n)
+	}
+	out := make([]RoutineTrace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, RoutineTrace{
+			Name:        d.String(),
+			Count:       d.Int64(),
+			Failures:    d.Int64(),
+			MeanCompute: time.Duration(d.Int64()),
+			MeanWait:    time.Duration(d.Int64()),
+			MeanBytes:   d.Int64(),
+		})
+	}
+	return out, d.Err()
+}

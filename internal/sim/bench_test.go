@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// BenchmarkWaterfill measures one rate reallocation with a realistic
+// multi-client population: 32 flows over shared links plus 16 compute
+// demands on a processor pool.
+func BenchmarkWaterfill(b *testing.B) {
+	e := NewEngine()
+	s := NewSystem(e)
+	serverLink := s.NewResource("server", 4e6)
+	cpu := s.NewResource("cpu", 4)
+	var all []*Demand
+	for i := 0; i < 32; i++ {
+		site := s.NewResource("site", 2e6)
+		d := &Demand{Remaining: 1e12, UnitRate: 1, Resources: []*Resource{site, serverLink}}
+		s.Start(d)
+		all = append(all, d)
+	}
+	for i := 0; i < 16; i++ {
+		d := &Demand{Remaining: 1e15, UnitRate: 1e8, Cap: 1, Resources: []*Resource{cpu}}
+		s.Start(d)
+		all = append(all, d)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.waterfill()
+	}
+	b.StopTimer()
+	for _, d := range all {
+		s.Cancel(d)
+	}
+}
+
+// BenchmarkEngineChurn measures raw event throughput.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, tick)
+	e.Run()
+}

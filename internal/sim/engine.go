@@ -1,0 +1,115 @@
+// Package sim is a deterministic discrete-event simulation kernel with
+// fluid-flow resource sharing, built to host the global-computing
+// simulator the paper's §7 calls for ("One current plan we have is to
+// build a global computing simulator for Ninf, on which we could
+// readily test different client network topologies under various
+// communication and other parameters").
+//
+// Two pieces:
+//
+//   - Engine: a virtual clock and an event queue. Events fire in time
+//     order; ties break by scheduling order, so runs are reproducible.
+//   - System/Resource/Demand (fluid.go): continuous work (bytes over a
+//     link, flops on a processor pool) modeled as fluid demands on
+//     capacity-constrained resources, with weighted max-min fair
+//     sharing recomputed whenever the demand set changes.
+//
+// Network transfers and computations both map to demands, so shared
+// backbones, processor timesharing, and their interaction — the heart
+// of the paper's multi-client results — come out of one mechanism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is a callback scheduled at a virtual time.
+type event struct {
+	at  float64
+	seq uint64 // tie-break: FIFO among equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler over a virtual clock measured
+// in seconds.
+type Engine struct {
+	now float64
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: it indicates a simulation bug that would silently corrupt
+// causality.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %g before now %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// rateEps is the tolerance for water-filling arithmetic.
+const rateEps = 1e-9
+
+// A Resource is a capacity-constrained facility: a network link
+// (capacity in bytes/second) or a processor pool (capacity in PEs).
+// Demands attached to the resource share its capacity by weighted
+// max-min fairness.
+type Resource struct {
+	name     string
+	capacity float64
+	sys      *System
+
+	demands map[*Demand]struct{}
+
+	// busyIntegral accumulates ∫ allocation dt for utilization
+	// reporting; lastT is the time of the last accumulation.
+	busyIntegral float64
+	lastT        float64
+	curAlloc     float64
+}
+
+// Name returns the resource label.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Utilization returns the mean fraction of capacity in use over
+// [since, now].
+func (r *Resource) Utilization(since float64) float64 {
+	r.accumulate(r.sys.eng.Now())
+	dt := r.sys.eng.Now() - since
+	if dt <= 0 || r.capacity <= 0 {
+		return 0
+	}
+	return r.busyIntegral / (dt * r.capacity)
+}
+
+// ResetUtilization restarts the utilization accumulator at the current
+// time.
+func (r *Resource) ResetUtilization() {
+	r.accumulate(r.sys.eng.Now())
+	r.busyIntegral = 0
+}
+
+func (r *Resource) accumulate(now float64) {
+	if now > r.lastT {
+		r.busyIntegral += r.curAlloc * (now - r.lastT)
+		r.lastT = now
+	}
+}
+
+// ActiveDemands reports how many demands are currently attached.
+func (r *Resource) ActiveDemands() int { return len(r.demands) }
+
+// A Demand is a finite amount of fluid work pushed through one or more
+// resources. Its instantaneous progress rate is
+//
+//	rate = allocation × UnitRate
+//
+// where allocation (in resource units: bytes/s or PEs) is a single
+// value constrained simultaneously by every resource on its path and
+// by Cap, assigned by weighted max-min fair water-filling.
+type Demand struct {
+	// Remaining is the work left, in work units (bytes, flops).
+	Remaining float64
+	// UnitRate converts one resource unit held for one second into
+	// work units: 1 for byte flows over links, the per-PE flops rate
+	// for computations on processor pools.
+	UnitRate float64
+	// Weight scales the demand's fair share (a data-parallel job on
+	// P processors has weight P; a task-parallel job weight 1).
+	Weight float64
+	// Cap bounds the allocation in resource units (a task-parallel
+	// job cannot use more than 1 PE; +Inf for unbounded flows).
+	Cap float64
+	// Resources is the demand's path: every listed resource must
+	// grant the same allocation concurrently.
+	Resources []*Resource
+	// OnDone fires when Remaining reaches zero (after the demand is
+	// detached and rates are rebalanced).
+	OnDone func()
+
+	alloc  float64
+	active bool
+}
+
+// Rate returns the current progress rate in work units per second.
+func (d *Demand) Rate() float64 { return d.alloc * d.UnitRate }
+
+// Allocation returns the current resource-unit allocation.
+func (d *Demand) Allocation() float64 { return d.alloc }
+
+// A System binds fluid resources to an engine: it reallocates rates
+// when the demand set changes and fires completion events at the right
+// virtual times.
+type System struct {
+	eng       *Engine
+	demands   map[*Demand]struct{}
+	resources []*Resource
+	lastAdv   float64
+	gen       uint64 // invalidates stale completion events
+}
+
+// NewSystem creates a fluid system on an engine.
+func NewSystem(e *Engine) *System {
+	return &System{eng: e, demands: make(map[*Demand]struct{})}
+}
+
+// NewResource creates a resource with the given capacity (>0).
+func (s *System) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q needs positive capacity", name))
+	}
+	r := &Resource{
+		name:     name,
+		capacity: capacity,
+		sys:      s,
+		demands:  make(map[*Demand]struct{}),
+		lastT:    s.eng.Now(),
+	}
+	s.resources = append(s.resources, r)
+	return r
+}
+
+// Start activates a demand. Zero-work demands complete immediately
+// (via an event at the current time).
+func (s *System) Start(d *Demand) {
+	if d.active {
+		panic("sim: demand already active")
+	}
+	if d.Weight <= 0 {
+		d.Weight = 1
+	}
+	if d.UnitRate <= 0 {
+		panic("sim: demand needs positive UnitRate")
+	}
+	if d.Cap <= 0 {
+		d.Cap = math.Inf(1)
+	}
+	if len(d.Resources) == 0 && math.IsInf(d.Cap, 1) {
+		panic("sim: unconstrained demand (no resources, no cap)")
+	}
+	s.advance()
+	d.active = true
+	s.demands[d] = struct{}{}
+	for _, r := range d.Resources {
+		r.demands[d] = struct{}{}
+	}
+	s.rebalance()
+}
+
+// Cancel removes a demand without firing OnDone.
+func (s *System) Cancel(d *Demand) {
+	if !d.active {
+		return
+	}
+	s.advance()
+	s.detach(d)
+	s.rebalance()
+}
+
+func (s *System) detach(d *Demand) {
+	d.active = false
+	d.alloc = 0
+	delete(s.demands, d)
+	for _, r := range d.Resources {
+		delete(r.demands, d)
+	}
+}
+
+// advance integrates all demand progress and resource accounting up to
+// the current virtual time.
+func (s *System) advance() {
+	now := s.eng.Now()
+	dt := now - s.lastAdv
+	if dt > 0 {
+		for d := range s.demands {
+			d.Remaining -= d.Rate() * dt
+			if d.Remaining < 0 {
+				d.Remaining = 0
+			}
+		}
+	}
+	s.lastAdv = now
+	// Resource integrals advance lazily with their current rates.
+	for d := range s.demands {
+		for _, r := range d.Resources {
+			r.accumulate(now)
+		}
+	}
+}
+
+// rebalance recomputes all allocations by progressive filling and
+// schedules the next completion event.
+func (s *System) rebalance() {
+	s.waterfill()
+	// Refresh resource accounting rates for every resource, including
+	// ones a completed demand just vacated.
+	now := s.eng.Now()
+	for _, r := range s.resources {
+		r.accumulate(now)
+		sum := 0.0
+		for dd := range r.demands {
+			sum += dd.alloc
+		}
+		r.curAlloc = sum
+	}
+
+	// Schedule the next completion.
+	s.gen++
+	gen := s.gen
+	next := math.Inf(1)
+	for d := range s.demands {
+		if rate := d.Rate(); rate > rateEps {
+			if t := d.Remaining / rate; t < next {
+				next = t
+			}
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	s.eng.After(next, func() { s.onCompletionEvent(gen) })
+}
+
+func (s *System) onCompletionEvent(gen uint64) {
+	if gen != s.gen {
+		return // superseded by a later rebalance
+	}
+	s.advance()
+	var done []*Demand
+	for d := range s.demands {
+		if d.Remaining <= rateEps*math.Max(1, d.Rate()) {
+			done = append(done, d)
+		}
+	}
+	for _, d := range done {
+		d.Remaining = 0
+		s.detach(d)
+	}
+	s.rebalance()
+	for _, d := range done {
+		if d.OnDone != nil {
+			d.OnDone()
+		}
+	}
+}
+
+// waterfill assigns allocations by weighted max-min progressive
+// filling with per-demand caps. All active demands participate.
+func (s *System) waterfill() {
+	if len(s.demands) == 0 {
+		return
+	}
+	type rstate struct {
+		remaining float64
+		weight    float64 // sum of weights of unfrozen demands
+		count     int
+	}
+	res := make(map[*Resource]*rstate)
+	unfrozen := make(map[*Demand]struct{}, len(s.demands))
+	for d := range s.demands {
+		d.alloc = 0
+		unfrozen[d] = struct{}{}
+		for _, r := range d.Resources {
+			if _, ok := res[r]; !ok {
+				res[r] = &rstate{remaining: r.capacity}
+			}
+		}
+	}
+	for d := range unfrozen {
+		for _, r := range d.Resources {
+			st := res[r]
+			st.weight += d.Weight
+			st.count++
+		}
+	}
+
+	for len(unfrozen) > 0 {
+		// The water level rises uniformly (per unit weight); find
+		// the first constraint to bind.
+		inc := math.Inf(1)
+		for d := range unfrozen {
+			if lvl := (d.Cap - d.alloc) / d.Weight; lvl < inc {
+				inc = lvl
+			}
+			for _, r := range d.Resources {
+				st := res[r]
+				if st.weight > 0 {
+					if lvl := st.remaining / st.weight; lvl < inc {
+						inc = lvl
+					}
+				}
+			}
+		}
+		if math.IsInf(inc, 1) {
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Raise everyone by inc, charge resources.
+		for d := range unfrozen {
+			d.alloc += inc * d.Weight
+			for _, r := range d.Resources {
+				res[r].remaining -= inc * d.Weight
+			}
+		}
+		// Freeze demands at their cap or on exhausted resources.
+		var frozen []*Demand
+		for d := range unfrozen {
+			if d.alloc >= d.Cap-rateEps {
+				d.alloc = d.Cap
+				frozen = append(frozen, d)
+				continue
+			}
+			for _, r := range d.Resources {
+				if res[r].remaining <= rateEps*math.Max(1, r.capacity) {
+					frozen = append(frozen, d)
+					break
+				}
+			}
+		}
+		if len(frozen) == 0 {
+			// Numerical safety: freeze everything to guarantee
+			// termination (should not happen).
+			for d := range unfrozen {
+				frozen = append(frozen, d)
+			}
+		}
+		for _, d := range frozen {
+			delete(unfrozen, d)
+			for _, r := range d.Resources {
+				st := res[r]
+				st.weight -= d.Weight
+				st.count--
+			}
+		}
+	}
+}

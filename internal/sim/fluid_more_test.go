@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMidFlightArrival: a flow alone at full rate is joined halfway by
+// a second flow; the first must slow to half rate from that instant.
+// 600 B at 100 B/s alone would end at t=6; the joiner arrives at t=3
+// (first has 300 left), so both run at 50: first ends at 3+300/50=9.
+func TestMidFlightArrival(t *testing.T) {
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("l", 100)
+	var firstDone, secondDone float64
+	s.Start(&Demand{Remaining: 600, UnitRate: 1, Resources: []*Resource{link},
+		OnDone: func() { firstDone = e.Now() }})
+	e.At(3, func() {
+		s.Start(&Demand{Remaining: 600, UnitRate: 1, Resources: []*Resource{link},
+			OnDone: func() { secondDone = e.Now() }})
+	})
+	e.Run()
+	if math.Abs(firstDone-9) > 1e-6 {
+		t.Errorf("first done at %g, want 9", firstDone)
+	}
+	// Second: 300 at 50 until t=9, then 300... at t=9 it has
+	// 600-6*50=300 left, alone at 100 → t=12.
+	if math.Abs(secondDone-12) > 1e-6 {
+		t.Errorf("second done at %g, want 12", secondDone)
+	}
+}
+
+// TestWorkConservationOverTime: total work completed through a link
+// equals capacity × time when the link is kept saturated.
+func TestWorkConservationOverTime(t *testing.T) {
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("l", 10)
+	totalDone := 0.0
+	var spawn func()
+	n := 0
+	spawn = func() {
+		if n >= 20 {
+			return
+		}
+		n++
+		s.Start(&Demand{Remaining: 5, UnitRate: 1, Resources: []*Resource{link},
+			OnDone: func() {
+				totalDone += 5
+				spawn()
+			}})
+	}
+	// Two generators keep ≥1 flow active at all times.
+	spawn()
+	spawn()
+	e.Run()
+	elapsed := e.Now()
+	if math.Abs(totalDone-20*5) > 1e-9 {
+		t.Fatalf("completed %g work", totalDone)
+	}
+	if math.Abs(elapsed-totalDone/10) > 1e-6 {
+		t.Errorf("elapsed %g for %g work at 10/s — link not work-conserving", elapsed, totalDone)
+	}
+	if u := link.Utilization(0); math.Abs(u-1) > 1e-6 {
+		t.Errorf("utilization %g, want 1", u)
+	}
+}
+
+// TestDemandWithOnlyCap: a demand with no resources but a finite cap
+// progresses at cap × unit rate.
+func TestDemandWithOnlyCap(t *testing.T) {
+	e := NewEngine()
+	s := NewSystem(e)
+	var done float64
+	s.Start(&Demand{Remaining: 100, UnitRate: 1, Cap: 10,
+		OnDone: func() { done = e.Now() }})
+	e.Run()
+	if math.Abs(done-10) > 1e-6 {
+		t.Errorf("done at %g, want 10", done)
+	}
+}
+
+// TestManyDemandsScale sanity-checks the waterfill with hundreds of
+// concurrent demands (the multi-client experiments spawn this many).
+func TestManyDemandsScale(t *testing.T) {
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("l", 1000)
+	finished := 0
+	for i := 0; i < 400; i++ {
+		s.Start(&Demand{Remaining: 10, UnitRate: 1, Resources: []*Resource{link},
+			OnDone: func() { finished++ }})
+	}
+	e.Run()
+	if finished != 400 {
+		t.Fatalf("finished %d, want 400", finished)
+	}
+	// 400 × 10 work at 1000/s = 4 s.
+	if math.Abs(e.Now()-4) > 1e-6 {
+		t.Errorf("elapsed %g, want 4", e.Now())
+	}
+}
+
+// TestEngineReproducibility: two identical simulations must produce
+// identical event sequences (the determinism the paper's §7 simulator
+// needs for reproducible benchmarks).
+func TestEngineReproducibility(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		s := NewSystem(e)
+		link := s.NewResource("l", 7)
+		rng := NewRNG(5)
+		var times []float64
+		for i := 0; i < 30; i++ {
+			at := rng.Float64() * 10
+			size := 1 + rng.Float64()*20
+			e.At(at, func() {
+				s.Start(&Demand{Remaining: size, UnitRate: 1, Resources: []*Resource{link},
+					OnDone: func() { times = append(times, e.Now()) }})
+			})
+		}
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

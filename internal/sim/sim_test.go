@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(2, func() { got = append(got, 2) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(1, func() { got = append(got, 11) }) // FIFO among ties
+	e.At(3, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("now = %g", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(0.5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 1.5 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 || e.Now() != 5 || e.Pending() != 1 {
+		t.Errorf("fired=%d now=%g pending=%d", fired, e.Now(), e.Pending())
+	}
+}
+
+func TestSingleDemandCompletion(t *testing.T) {
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("link", 100) // 100 B/s
+	doneAt := -1.0
+	s.Start(&Demand{
+		Remaining: 500,
+		UnitRate:  1,
+		Resources: []*Resource{link},
+		OnDone:    func() { doneAt = e.Now() },
+	})
+	e.Run()
+	if math.Abs(doneAt-5) > 1e-9 {
+		t.Errorf("done at %g, want 5", doneAt)
+	}
+}
+
+func TestEqualSharing(t *testing.T) {
+	// Two equal flows on a 100 B/s link, both 500 B: each runs at 50,
+	// both finish at t=10.
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("link", 100)
+	var done []float64
+	for i := 0; i < 2; i++ {
+		s.Start(&Demand{
+			Remaining: 500, UnitRate: 1,
+			Resources: []*Resource{link},
+			OnDone:    func() { done = append(done, e.Now()) },
+		})
+	}
+	e.Run()
+	if len(done) != 2 {
+		t.Fatalf("done = %v", done)
+	}
+	for _, d := range done {
+		if math.Abs(d-10) > 1e-6 {
+			t.Errorf("finish at %g, want 10", d)
+		}
+	}
+}
+
+func TestShareRedistributionOnCompletion(t *testing.T) {
+	// Flows of 300 B and 900 B on a 100 B/s link: both at 50 B/s until
+	// t=6 when the small one finishes; the big one then takes the
+	// full link: 600 remaining at 100 B/s → t=12.
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("link", 100)
+	var small, big float64
+	s.Start(&Demand{Remaining: 300, UnitRate: 1, Resources: []*Resource{link},
+		OnDone: func() { small = e.Now() }})
+	s.Start(&Demand{Remaining: 900, UnitRate: 1, Resources: []*Resource{link},
+		OnDone: func() { big = e.Now() }})
+	e.Run()
+	if math.Abs(small-6) > 1e-6 || math.Abs(big-12) > 1e-6 {
+		t.Errorf("small=%g big=%g, want 6, 12", small, big)
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	// Weight 3 vs weight 1 on 100 B/s: rates 75 and 25.
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("link", 100)
+	heavy := &Demand{Remaining: 750, UnitRate: 1, Weight: 3, Resources: []*Resource{link}}
+	light := &Demand{Remaining: 750, UnitRate: 1, Weight: 1, Resources: []*Resource{link}}
+	s.Start(heavy)
+	s.Start(light)
+	if math.Abs(heavy.Rate()-75) > 1e-9 || math.Abs(light.Rate()-25) > 1e-9 {
+		t.Errorf("rates = %g, %g", heavy.Rate(), light.Rate())
+	}
+	e.Run()
+}
+
+func TestPerDemandCap(t *testing.T) {
+	// One task-parallel job on a 4-PE machine, capped at 1 PE: rate
+	// must be 1 PE × unitRate, leaving 3 idle.
+	e := NewEngine()
+	s := NewSystem(e)
+	cpu := s.NewResource("cpu", 4)
+	d := &Demand{Remaining: 100e6, UnitRate: 50e6, Cap: 1, Resources: []*Resource{cpu}}
+	s.Start(d)
+	if math.Abs(d.Rate()-50e6) > 1 {
+		t.Errorf("rate = %g, want 50e6", d.Rate())
+	}
+	// Adding a 4-thread data-parallel job: 5 runnable threads on 4
+	// PEs timeshare, so the task-parallel job drops to 0.8 PE and
+	// the wide job gets 3.2 — exactly OS processor sharing.
+	wide := &Demand{Remaining: 300e6, UnitRate: 50e6, Weight: 4, Resources: []*Resource{cpu}}
+	s.Start(wide)
+	if math.Abs(d.Allocation()-0.8) > 1e-9 {
+		t.Errorf("capped allocation = %g, want 0.8", d.Allocation())
+	}
+	if math.Abs(wide.Allocation()-3.2) > 1e-9 {
+		t.Errorf("wide allocation = %g, want 3.2", wide.Allocation())
+	}
+	e.Run()
+}
+
+func TestMultiResourcePathBottleneck(t *testing.T) {
+	// A flow over a 10 B/s access link and a 100 B/s backbone runs at
+	// 10; a second flow using only the backbone gets 90.
+	e := NewEngine()
+	s := NewSystem(e)
+	access := s.NewResource("access", 10)
+	backbone := s.NewResource("backbone", 100)
+	slow := &Demand{Remaining: 1000, UnitRate: 1, Resources: []*Resource{access, backbone}}
+	fast := &Demand{Remaining: 1000, UnitRate: 1, Resources: []*Resource{backbone}}
+	s.Start(slow)
+	s.Start(fast)
+	if math.Abs(slow.Rate()-10) > 1e-9 {
+		t.Errorf("slow = %g, want 10 (access-limited)", slow.Rate())
+	}
+	if math.Abs(fast.Rate()-90) > 1e-9 {
+		t.Errorf("fast = %g, want 90 (max-min residual)", fast.Rate())
+	}
+	e.Run()
+}
+
+func TestSharedBackboneAggregation(t *testing.T) {
+	// The paper's multi-site WAN shape in miniature: four sites with
+	// 10 B/s access links feeding a 35 B/s server link. Aggregate is
+	// 35 (server-limited), each flow ≈ 8.75 — far better than four
+	// clients behind ONE 10 B/s site link (2.5 each).
+	e := NewEngine()
+	s := NewSystem(e)
+	serverLink := s.NewResource("server", 35)
+	var flows []*Demand
+	for i := 0; i < 4; i++ {
+		site := s.NewResource("site", 10)
+		d := &Demand{Remaining: 1e6, UnitRate: 1, Resources: []*Resource{site, serverLink}}
+		s.Start(d)
+		flows = append(flows, d)
+	}
+	total := 0.0
+	for _, d := range flows {
+		total += d.Rate()
+	}
+	if math.Abs(total-35) > 1e-6 {
+		t.Errorf("aggregate = %g, want 35", total)
+	}
+	var rates []float64
+	for _, d := range flows {
+		rates = append(rates, d.Rate())
+	}
+	sort.Float64s(rates)
+	if rates[0] < 8 || rates[3] > 10 {
+		t.Errorf("rates = %v, want ≈8.75 each", rates)
+	}
+	// Cancel the rest: we only tested instantaneous rates.
+	for _, d := range flows {
+		s.Cancel(d)
+	}
+	e.Run()
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	// 1 task on 4 PEs for 10 s, then idle for 10 s → utilization over
+	// 20 s is 12.5%.
+	e := NewEngine()
+	s := NewSystem(e)
+	cpu := s.NewResource("cpu", 4)
+	s.Start(&Demand{Remaining: 10, UnitRate: 1, Cap: 1, Resources: []*Resource{cpu}})
+	e.Run()
+	e.RunUntil(20)
+	if u := cpu.Utilization(0); math.Abs(u-0.125) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.125", u)
+	}
+	cpu.ResetUtilization()
+	e.RunUntil(30)
+	if u := cpu.Utilization(20); u != 0 {
+		t.Errorf("utilization after reset = %g", u)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("l", 10)
+	fired := false
+	d := &Demand{Remaining: 100, UnitRate: 1, Resources: []*Resource{link}, OnDone: func() { fired = true }}
+	s.Start(d)
+	e.RunUntil(2)
+	s.Cancel(d)
+	s.Cancel(d) // idempotent
+	e.Run()
+	if fired {
+		t.Error("OnDone fired after cancel")
+	}
+	if math.Abs(d.Remaining-80) > 1e-6 {
+		t.Errorf("remaining = %g, want 80", d.Remaining)
+	}
+}
+
+func TestZeroWorkDemandCompletes(t *testing.T) {
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("l", 10)
+	fired := false
+	s.Start(&Demand{Remaining: 0, UnitRate: 1, Resources: []*Resource{link}, OnDone: func() { fired = true }})
+	e.Run()
+	if !fired {
+		t.Error("zero-work demand never completed")
+	}
+}
+
+func TestChainedDemands(t *testing.T) {
+	// Model a Ninf_call: send 100 B at 10 B/s, compute 50 flops at
+	// 10 flops/s, receive 20 B at 10 B/s → total 10+5+2 = 17 s.
+	e := NewEngine()
+	s := NewSystem(e)
+	link := s.NewResource("link", 10)
+	cpu := s.NewResource("cpu", 1)
+	var finished float64
+	s.Start(&Demand{Remaining: 100, UnitRate: 1, Resources: []*Resource{link}, OnDone: func() {
+		s.Start(&Demand{Remaining: 50, UnitRate: 10, Cap: 1, Resources: []*Resource{cpu}, OnDone: func() {
+			s.Start(&Demand{Remaining: 20, UnitRate: 1, Resources: []*Resource{link}, OnDone: func() {
+				finished = e.Now()
+			}})
+		}})
+	}})
+	e.Run()
+	if math.Abs(finished-17) > 1e-6 {
+		t.Errorf("finished at %g, want 17", finished)
+	}
+}
+
+func TestWaterfillConservation(t *testing.T) {
+	// Property: random demand sets never over-subscribe any resource
+	// and allocations respect caps.
+	rng := NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		e := NewEngine()
+		s := NewSystem(e)
+		nRes := 1 + rng.Intn(4)
+		res := make([]*Resource, nRes)
+		for i := range res {
+			res[i] = s.NewResource("r", 1+rng.Float64()*99)
+		}
+		nDem := 1 + rng.Intn(8)
+		var demands []*Demand
+		for i := 0; i < nDem; i++ {
+			var path []*Resource
+			for _, r := range res {
+				if rng.Bool(0.5) {
+					path = append(path, r)
+				}
+			}
+			if len(path) == 0 {
+				path = []*Resource{res[0]}
+			}
+			d := &Demand{
+				Remaining: 1e6,
+				UnitRate:  1,
+				Weight:    0.5 + rng.Float64()*3,
+				Resources: path,
+			}
+			if rng.Bool(0.3) {
+				d.Cap = rng.Float64() * 10
+				if d.Cap == 0 {
+					d.Cap = 1
+				}
+			}
+			s.Start(d)
+			demands = append(demands, d)
+		}
+		for _, r := range res {
+			sum := 0.0
+			for d := range r.demands {
+				sum += d.alloc
+			}
+			if sum > r.capacity*(1+1e-6) {
+				t.Fatalf("resource oversubscribed: %g > %g", sum, r.capacity)
+			}
+		}
+		for _, d := range demands {
+			if d.alloc > d.Cap*(1+1e-6) {
+				t.Fatalf("cap violated: %g > %g", d.alloc, d.Cap)
+			}
+			if d.alloc < 0 {
+				t.Fatalf("negative allocation %g", d.alloc)
+			}
+		}
+		// Work conservation: at least one constraint binds for each
+		// demand unless it hit its cap.
+		for _, d := range demands {
+			if d.alloc >= d.Cap*(1-1e-6) {
+				continue
+			}
+			bound := false
+			for _, r := range d.Resources {
+				sum := 0.0
+				for dd := range r.demands {
+					sum += dd.alloc
+				}
+				if sum >= r.capacity*(1-1e-6) {
+					bound = true
+					break
+				}
+			}
+			if !bound {
+				t.Fatalf("demand neither capped nor bottlenecked (alloc %g, cap %g)", d.alloc, d.Cap)
+			}
+		}
+		for _, d := range demands {
+			s.Cancel(d)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	c := NewRNG(43)
+	if a.Uint64() == c.Uint64() {
+		t.Error("different seeds gave same value (suspicious)")
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	r := NewRNG(1)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean %g", mean)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3)
+	}
+	if mean := sum / float64(n); math.Abs(mean-3) > 0.1 {
+		t.Errorf("exp mean %g, want 3", mean)
+	}
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[r.Intn(4)]++
+	}
+	for k, c := range counts {
+		if k < 0 || k > 3 || c < n/5 {
+			t.Errorf("Intn skewed: %v", counts)
+		}
+	}
+	tr, fa := 0, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			tr++
+		} else {
+			fa++
+		}
+	}
+	if math.Abs(float64(tr)/float64(n)-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) rate %g", float64(tr)/float64(n))
+	}
+}

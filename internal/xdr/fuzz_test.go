@@ -1,0 +1,47 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoder drives every decoding method over arbitrary input; the
+// decoder must never panic and must latch its first error.
+func FuzzDecoder(f *testing.F) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.PutString("seed")
+	e.PutFloat64s([]float64{1, 2, 3})
+	e.PutInt64(-9)
+	f.Add(buf.Bytes(), uint8(0))
+	f.Add([]byte{}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 32), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, which uint8) {
+		d := NewDecoder(bytes.NewReader(data))
+		d.SetMaxBytes(1 << 16)
+		switch which % 8 {
+		case 0:
+			_ = d.String()
+		case 1:
+			d.Float64s()
+		case 2:
+			d.Int64s()
+		case 3:
+			d.Opaque()
+		case 4:
+			d.Bool()
+		case 5:
+			d.Float32s()
+		case 6:
+			d.Int32s()
+		case 7:
+			d.FixedOpaque(int(uint(len(data)) % 64))
+		}
+		first := d.Err()
+		// Error latch: further reads keep the same error.
+		_ = d.Uint32()
+		if first != nil && d.Err() != first {
+			t.Fatal("error latch broken")
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package ninf
+
+import (
+	"fmt"
+
+	"ninf/internal/protocol"
+	"ninf/internal/server"
+)
+
+// RoutineTrace is the per-routine execution history a server
+// accumulates (§5.1's "server execution trace"): call counts, failure
+// counts, and mean wait/compute/payload figures.
+type RoutineTrace = server.RoutineTrace
+
+// Trace fetches the server's execution history. Metaservers and
+// schedulers use it to predict computation time for routines whose IDL
+// declares no Complexity clause.
+func (c *Client) Trace() ([]RoutineTrace, error) {
+	t, p, err := c.roundTrip(protocol.MsgTrace, nil)
+	if err != nil {
+		return nil, err
+	}
+	if t != protocol.MsgTraceOK {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to trace", t)
+	}
+	return server.DecodeTraces(p)
+}

@@ -1,0 +1,397 @@
+package ninf
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"ninf/internal/idl"
+)
+
+// SchedRequest describes one pending Ninf_call for placement by a
+// Scheduler. Byte counts are estimates from argument sizes; Ops is the
+// IDL complexity when known (0 otherwise). Exclude lists servers to
+// avoid, used on fault-tolerant retry.
+type SchedRequest struct {
+	Routine  string
+	InBytes  int64
+	OutBytes int64
+	Ops      int64
+	Exclude  []string
+}
+
+// Placement names a chosen server and how to reach it.
+type Placement struct {
+	Name string
+	Dial func() (net.Conn, error)
+}
+
+// A Scheduler places Ninf_calls on computational servers and receives
+// feedback about completed calls. The metaserver implements this; so
+// does a trivial single-server scheduler. Observe lets the scheduler
+// track per-server achievable bandwidth — the quantity the paper shows
+// must drive placement in WAN settings (§4.2.3) — and server health.
+type Scheduler interface {
+	Place(req SchedRequest) (Placement, error)
+	Observe(serverName string, bytes int64, elapsed time.Duration, failed bool)
+}
+
+// SingleServer returns a Scheduler that places every call on one
+// server: the degenerate case of a metaserver, useful for tests and
+// for running transaction code against a lone server.
+func SingleServer(name string, dial func() (net.Conn, error)) Scheduler {
+	return &singleServer{name: name, dial: dial}
+}
+
+type singleServer struct {
+	name string
+	dial func() (net.Conn, error)
+}
+
+func (s *singleServer) Place(req SchedRequest) (Placement, error) {
+	for _, x := range req.Exclude {
+		if x == s.name {
+			return Placement{}, fmt.Errorf("ninf: only server %q is excluded", s.name)
+		}
+	}
+	return Placement{Name: s.name, Dial: s.dial}, nil
+}
+
+func (s *singleServer) Observe(string, int64, time.Duration, bool) {}
+
+// A Transaction is a Ninf_transaction_begin/end block (§2.4): the
+// calls recorded inside it are not executed immediately; a data-
+// dependency graph over their arguments is built, and End schedules
+// independent calls to (possibly many) computational servers in
+// parallel, retrying failed calls on other servers.
+type Transaction struct {
+	sched       Scheduler
+	maxAttempts int
+
+	mu      sync.Mutex
+	calls   []*txCall
+	clients map[string]*Client
+	ended   bool
+}
+
+type txCall struct {
+	name string
+	args []any
+
+	reads  []uintptr
+	writes []uintptr
+
+	deps    []int // indices of earlier calls this one must follow
+	report  *Report
+	err     error
+	servers []string // servers tried, for exclusion on retry
+}
+
+// BeginTransaction opens a transaction over the given scheduler.
+func BeginTransaction(s Scheduler) *Transaction {
+	return &Transaction{sched: s, maxAttempts: 3, clients: make(map[string]*Client)}
+}
+
+// SetMaxAttempts adjusts how many servers a failing call is tried on
+// before the transaction reports the failure (default 3).
+func (tx *Transaction) SetMaxAttempts(n int) {
+	if n > 0 {
+		tx.maxAttempts = n
+	}
+}
+
+// Call records one Ninf_call in the transaction. Argument conventions
+// match Client.Call. Nothing executes until End.
+func (tx *Transaction) Call(name string, args ...any) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	tx.calls = append(tx.calls, &txCall{name: name, args: args})
+}
+
+// Reports returns the per-call reports after End, in Call order.
+// Entries whose call failed are nil.
+func (tx *Transaction) Reports() []*Report {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	out := make([]*Report, len(tx.calls))
+	for i, c := range tx.calls {
+		out[i] = c.report
+	}
+	return out
+}
+
+// Errs returns the per-call errors after End, in Call order.
+func (tx *Transaction) Errs() []error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	out := make([]error, len(tx.calls))
+	for i, c := range tx.calls {
+		out[i] = c.err
+	}
+	return out
+}
+
+// End closes the block: it fetches the interfaces of the routines
+// involved, builds the dependency DAG over the recorded arguments,
+// executes independent calls concurrently on scheduler-placed servers
+// with fault-tolerant retry, and waits for everything. It returns the
+// first error if any call ultimately failed.
+func (tx *Transaction) End() error {
+	tx.mu.Lock()
+	if tx.ended {
+		tx.mu.Unlock()
+		return errors.New("ninf: transaction already ended")
+	}
+	tx.ended = true
+	calls := tx.calls
+	tx.mu.Unlock()
+	defer tx.closeClients()
+
+	if len(calls) == 0 {
+		return nil
+	}
+
+	// Fetch each distinct routine's interface once so argument modes
+	// are known for precise dependency analysis.
+	infos := make(map[string]*idl.Info)
+	for _, c := range calls {
+		if _, ok := infos[c.name]; ok {
+			continue
+		}
+		info, err := tx.fetchInterface(c.name, c.args)
+		if err != nil {
+			return fmt.Errorf("ninf: transaction: %w", err)
+		}
+		infos[c.name] = info
+	}
+
+	for _, c := range calls {
+		c.analyze(infos[c.name])
+	}
+	buildDeps(calls)
+
+	// Execute in dependency order: launch every call whose deps are
+	// done, wait for completions, repeat.
+	done := make([]chan struct{}, len(calls))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var wg sync.WaitGroup
+	for i, c := range calls {
+		wg.Add(1)
+		go func(i int, c *txCall) {
+			defer wg.Done()
+			defer close(done[i])
+			for _, d := range c.deps {
+				<-done[d]
+				if calls[d].err != nil {
+					c.err = fmt.Errorf("ninf: dependency %s failed: %w", calls[d].name, calls[d].err)
+					return
+				}
+			}
+			c.report, c.err = tx.execute(infos[c.name], c)
+		}(i, c)
+	}
+	wg.Wait()
+
+	for _, c := range calls {
+		if c.err != nil {
+			return c.err
+		}
+	}
+	return nil
+}
+
+// fetchInterface places a lightweight request and performs the
+// stage-one RPC against the chosen server, with retry.
+func (tx *Transaction) fetchInterface(name string, args []any) (*idl.Info, error) {
+	var exclude []string
+	var lastErr error
+	for attempt := 0; attempt < tx.maxAttempts; attempt++ {
+		pl, err := tx.sched.Place(SchedRequest{Routine: name, Exclude: exclude})
+		if err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (after: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		c, err := tx.client(pl)
+		if err == nil {
+			info, ierr := c.Interface(name)
+			if ierr == nil {
+				return info, nil
+			}
+			err = ierr
+		}
+		lastErr = err
+		exclude = append(exclude, pl.Name)
+		tx.sched.Observe(pl.Name, 0, 0, true)
+	}
+	return nil, lastErr
+}
+
+// execute runs one call with placement and retry.
+func (tx *Transaction) execute(info *idl.Info, c *txCall) (*Report, error) {
+	inB, outB := estimateBytes(info, c.args)
+	var ops int64
+	if vals, err := toValues(info, c.args); err == nil {
+		if n, ok := info.PredictedOps(vals); ok {
+			ops = n
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < tx.maxAttempts; attempt++ {
+		pl, err := tx.sched.Place(SchedRequest{
+			Routine: c.name, InBytes: inB, OutBytes: outB, Ops: ops,
+			Exclude: c.servers,
+		})
+		if err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (after: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		c.servers = append(c.servers, pl.Name)
+		client, err := tx.client(pl)
+		if err != nil {
+			tx.sched.Observe(pl.Name, 0, 0, true)
+			lastErr = err
+			continue
+		}
+		// Each call runs on its own connection so independent calls
+		// placed on the same server still proceed in parallel.
+		rep, err := client.CallAsync(c.name, c.args...).Wait()
+		if err != nil {
+			tx.sched.Observe(pl.Name, 0, 0, true)
+			lastErr = err
+			continue
+		}
+		tx.sched.Observe(pl.Name, rep.BytesOut+rep.BytesIn, rep.Total(), false)
+		return rep, nil
+	}
+	return nil, fmt.Errorf("ninf: %s failed on %d servers: %w", c.name, tx.maxAttempts, lastErr)
+}
+
+func (tx *Transaction) client(pl Placement) (*Client, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if c, ok := tx.clients[pl.Name]; ok {
+		return c, nil
+	}
+	c, err := NewClient(pl.Dial)
+	if err != nil {
+		return nil, err
+	}
+	tx.clients[pl.Name] = c
+	return c, nil
+}
+
+func (tx *Transaction) closeClients() {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	for _, c := range tx.clients {
+		c.Close()
+	}
+	tx.clients = make(map[string]*Client)
+}
+
+// analyze computes the call's read and write sets: the identities of
+// the mutable argument values it consumes and produces, classified by
+// the IDL access modes.
+func (c *txCall) analyze(info *idl.Info) {
+	for i, a := range c.args {
+		if a == nil || i >= len(info.Params) {
+			continue
+		}
+		id, mutable := valueID(a)
+		if !mutable {
+			continue
+		}
+		m := info.Params[i].Mode
+		if m.Ships(false) {
+			c.reads = append(c.reads, id)
+		}
+		if m.Ships(true) {
+			c.writes = append(c.writes, id)
+		}
+	}
+}
+
+// valueID returns a stable identity for slice and pointer arguments
+// (the data pointer), and reports whether the argument is a mutable
+// aggregate at all.
+func valueID(a any) (uintptr, bool) {
+	v := reflect.ValueOf(a)
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.Len() == 0 {
+			return 0, false
+		}
+		return v.Pointer(), true
+	case reflect.Pointer:
+		return v.Pointer(), true
+	default:
+		return 0, false
+	}
+}
+
+// buildDeps adds an edge from every earlier call A to a later call B
+// when they conflict: A writes something B reads or writes, or A reads
+// something B writes. Program order is preserved for conflicting
+// pairs; disjoint calls run in parallel.
+func buildDeps(calls []*txCall) {
+	for j := 1; j < len(calls); j++ {
+		b := calls[j]
+		for i := 0; i < j; i++ {
+			a := calls[i]
+			if intersects(a.writes, b.reads) || intersects(a.writes, b.writes) || intersects(a.reads, b.writes) {
+				b.deps = append(b.deps, i)
+			}
+		}
+	}
+}
+
+func intersects(x, y []uintptr) bool {
+	for _, a := range x {
+		for _, b := range y {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// estimateBytes sizes a call's payloads from its arguments and the
+// interface modes, for the scheduler's communication model.
+func estimateBytes(info *idl.Info, args []any) (in, out int64) {
+	for i, a := range args {
+		if i >= len(info.Params) {
+			break
+		}
+		var n int64
+		switch v := a.(type) {
+		case []float64:
+			n = int64(8 * len(v))
+		case []int64:
+			n = int64(8 * len(v))
+		case []float32:
+			n = int64(4 * len(v))
+		case string:
+			n = int64(len(v))
+		default:
+			n = 8
+		}
+		m := info.Params[i].Mode
+		if m.Ships(false) {
+			in += n
+		}
+		if m.Ships(true) {
+			out += n
+		}
+	}
+	return in, out
+}

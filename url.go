@@ -1,0 +1,63 @@
+package ninf
+
+import (
+	"fmt"
+	"net"
+	"strings"
+)
+
+// CallURL performs a one-shot Ninf_call addressed by URL, the paper's
+// second client form (§2.2):
+//
+//	Ninf_call("http://server:3000/dmmul", n, A, B, C)
+//
+// Accepted schemes are ninf:// and http:// (the paper used HTTP-style
+// naming before dedicated schemes existed); the path names the
+// routine. A connection is dialed for the call and closed afterwards,
+// so CallURL suits occasional calls — keep a Client for call loops.
+func CallURL(url string, args ...any) (*Report, error) {
+	addr, routine, err := SplitURL(url)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Call(routine, args...)
+}
+
+// SplitURL parses a Ninf routine URL into a dial address and a routine
+// name. Forms:
+//
+//	ninf://host:port/routine
+//	http://host:port/routine
+//	host:port/routine
+//
+// The default port 3000 (ninfserver's default) is assumed when absent.
+func SplitURL(url string) (addr, routine string, err error) {
+	rest := url
+	for _, scheme := range []string{"ninf://", "http://"} {
+		if strings.HasPrefix(rest, scheme) {
+			rest = rest[len(scheme):]
+			break
+		}
+	}
+	if strings.Contains(rest, "://") {
+		return "", "", fmt.Errorf("ninf: unsupported scheme in %q", url)
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 || slash == len(rest)-1 {
+		return "", "", fmt.Errorf("ninf: URL %q has no routine path", url)
+	}
+	addr = rest[:slash]
+	routine = rest[slash+1:]
+	if addr == "" || strings.Contains(routine, "/") {
+		return "", "", fmt.Errorf("ninf: malformed routine URL %q", url)
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		addr = net.JoinHostPort(addr, "3000")
+	}
+	return addr, routine, nil
+}

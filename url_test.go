@@ -1,0 +1,87 @@
+package ninf_test
+
+import (
+	"strings"
+	"testing"
+
+	"ninf"
+	"ninf/internal/library"
+	"ninf/internal/linpack"
+	"ninf/internal/server"
+)
+
+import "net"
+
+func TestSplitURL(t *testing.T) {
+	cases := []struct {
+		url           string
+		addr, routine string
+	}{
+		{"ninf://host:3000/dmmul", "host:3000", "dmmul"},
+		{"http://host:3100/dgefa", "host:3100", "dgefa"},
+		{"host:4000/ep", "host:4000", "ep"},
+		{"host/linsolve", "host:3000", "linsolve"}, // default port
+	}
+	for _, tc := range cases {
+		addr, routine, err := ninf.SplitURL(tc.url)
+		if err != nil {
+			t.Errorf("%s: %v", tc.url, err)
+			continue
+		}
+		if addr != tc.addr || routine != tc.routine {
+			t.Errorf("%s → %q %q, want %q %q", tc.url, addr, routine, tc.addr, tc.routine)
+		}
+	}
+	for _, bad := range []string{
+		"gopher://host/r", "hostonly", "host:3000/", "/routine", "host:1/a/b",
+	} {
+		if _, _, err := ninf.SplitURL(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestCallURL(t *testing.T) {
+	reg, err := library.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+
+	n := 8
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	linpack.Matgen(a, n)
+	copy(b, a)
+	got := make([]float64, n*n)
+	// The paper's §2.2 URL form.
+	rep, err := ninf.CallURL("http://"+l.Addr().String()+"/dmmul", n, a, b, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n*n)
+	if err := linpack.Dmmul(n, a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("URL call result differs at %d", i)
+		}
+	}
+	if rep.Routine != "dmmul" {
+		t.Errorf("report routine %q", rep.Routine)
+	}
+
+	if _, err := ninf.CallURL("ninf://127.0.0.1:1/dmmul", n, a, b, got); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+	if _, err := ninf.CallURL("bad url", 1); err == nil || !strings.Contains(err.Error(), "URL") {
+		t.Errorf("bad URL: %v", err)
+	}
+}
