@@ -92,6 +92,64 @@ func BenchmarkNinfCallMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkCall measures end-to-end Ninf_call latency and allocation
+// over loopback TCP across the payload spectrum: 8 B (control-plane
+// floor), 64 KiB (typical argument vector), and 8 MiB (n=1000-class
+// matrix traffic). With pooled frame buffers the steady-state alloc
+// count is flat across sizes.
+func BenchmarkCall(b *testing.B) {
+	sizes := []struct {
+		name string
+		n    int // float64 elements: payload is 8*n bytes each way
+	}{
+		{"8B", 1},
+		{"64KiB", 8192},
+		{"8MiB", 1 << 20},
+	}
+	for _, sz := range sizes {
+		b.Run(sz.name, func(b *testing.B) {
+			c, cleanup := benchClient(b, server.Config{})
+			defer cleanup()
+			in := make([]float64, sz.n)
+			for i := range in {
+				in[i] = float64(i)
+			}
+			out := make([]float64, sz.n)
+			if _, err := c.Call("echo", sz.n, in, out); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(2 * 8 * sz.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Call("echo", sz.n, in, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCallAsync measures the same exchange through the pooled
+// async path, one call in flight at a time, so the cost of pool
+// checkout (health probe included) is visible.
+func BenchmarkCallAsync(b *testing.B) {
+	c, cleanup := benchClient(b, server.Config{})
+	defer cleanup()
+	in := make([]float64, 8)
+	out := make([]float64, 8)
+	if _, err := c.CallAsync("echo", 8, in, out).Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CallAsync("echo", 8, in, out).Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorCell measures the discrete-event simulator on one
 // Table 3 cell (n=1000, c=8, 1600 simulated seconds).
 func BenchmarkSimulatorCell(b *testing.B) {

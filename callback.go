@@ -46,31 +46,39 @@ func (c *Client) lookupCallback(name string) CallbackFunc {
 
 // callRoundTrip performs the MsgCall exchange, answering any
 // MsgCallback frames the server interleaves before the final reply.
-func (c *Client) callRoundTrip(conn net.Conn, payload []byte) (protocol.MsgType, []byte, error) {
+// It consumes req (released once written) and returns the reply in a
+// pooled buffer the caller must Release after decoding.
+func (c *Client) callRoundTrip(conn net.Conn, req *protocol.Buffer) (protocol.MsgType, *protocol.Buffer, error) {
 	if conn == nil {
+		req.Release()
 		return 0, nil, errClientClosed
 	}
-	if err := protocol.WriteFrame(conn, protocol.MsgCall, payload); err != nil {
+	err := protocol.WriteFrameBuf(conn, protocol.MsgCall, req)
+	req.Release()
+	if err != nil {
 		return 0, nil, err
 	}
 	for {
-		typ, p, err := protocol.ReadFrame(conn, c.maxPayload)
+		typ, fb, err := protocol.ReadFrameBuf(conn, c.maxPayload)
 		if err != nil {
 			return 0, nil, err
 		}
 		switch typ {
 		case protocol.MsgCallback:
-			if err := c.answerCallback(conn, p); err != nil {
+			err := c.answerCallback(conn, fb.Payload())
+			fb.Release()
+			if err != nil {
 				return 0, nil, err
 			}
 		case protocol.MsgError:
-			er, derr := protocol.DecodeErrorReply(p)
+			er, derr := protocol.DecodeErrorReply(fb.Payload())
+			fb.Release()
 			if derr != nil {
 				return 0, nil, derr
 			}
 			return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
 		default:
-			return typ, p, nil
+			return typ, fb, nil
 		}
 	}
 }

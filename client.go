@@ -35,9 +35,12 @@ import (
 
 // Client is a connection to one Ninf computational server. A Client
 // serializes the calls issued through it (Ninf_call is blocking);
-// CallAsync opens additional connections through the dialer.
+// CallAsync and Submit/Fetch draw connections from a bounded idle pool
+// fed by the dialer, so a burst of async calls reuses established
+// connections instead of dialing per call.
 type Client struct {
 	dial func() (net.Conn, error)
+	pool *connPool
 
 	mu    sync.Mutex // guards conn use and the interface cache
 	conn  net.Conn
@@ -68,14 +71,26 @@ func NewClient(dial func() (net.Conn, error)) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{dial: dial, conn: conn, cache: make(map[string]*idl.Info)}, nil
+	return &Client{
+		dial:  dial,
+		pool:  newConnPool(dial, DefaultPoolSize),
+		conn:  conn,
+		cache: make(map[string]*idl.Info),
+	}, nil
 }
 
 // SetMaxPayload bounds reply frame payloads (default 1 GiB).
 func (c *Client) SetMaxPayload(n int) { c.maxPayload = n }
 
-// Close releases the primary connection.
+// SetPoolSize bounds the idle connections retained for CallAsync and
+// Submit/Fetch (default DefaultPoolSize). It does not cap concurrency:
+// when every pooled connection is busy, additional calls dial through
+// the dialer and the surplus connections are closed on return.
+func (c *Client) SetPoolSize(n int) { c.pool.setMaxIdle(n) }
+
+// Close releases the primary connection and the idle pool.
 func (c *Client) Close() error {
+	c.pool.closeAll()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -113,6 +128,34 @@ func roundTripOn(conn net.Conn, maxPayload int, t protocol.MsgType, payload []by
 		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
 	}
 	return rt, rp, nil
+}
+
+// roundTripBufOn is the pooled-buffer round trip used by the two-phase
+// protocol: it consumes req (released once written) and returns the
+// reply in a pooled buffer the caller must Release after decoding.
+func roundTripBufOn(conn net.Conn, maxPayload int, t protocol.MsgType, req *protocol.Buffer) (protocol.MsgType, *protocol.Buffer, error) {
+	if conn == nil {
+		req.Release()
+		return 0, nil, errClientClosed
+	}
+	err := protocol.WriteFrameBuf(conn, t, req)
+	req.Release()
+	if err != nil {
+		return 0, nil, err
+	}
+	rt, fb, err := protocol.ReadFrameBuf(conn, maxPayload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rt == protocol.MsgError {
+		er, derr := protocol.DecodeErrorReply(fb.Payload())
+		fb.Release()
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+	}
+	return rt, fb, nil
 }
 
 // Ping checks liveness.
@@ -231,7 +274,11 @@ func (c *Client) Call(name string, args ...any) (*Report, error) {
 	c.mu.Lock()
 	conn := c.conn
 	c.mu.Unlock()
-	return c.callOn(conn, &c.mu, name, args)
+	info, vals, req, err := c.prepCall(name, args)
+	if err != nil {
+		return nil, err
+	}
+	return c.exchangeCall(conn, &c.mu, info, vals, req, args)
 }
 
 // AsyncCall is a pending Ninf_call_async.
@@ -258,56 +305,89 @@ func (a *AsyncCall) Done() bool {
 }
 
 // CallAsync performs Ninf_call_async: the call proceeds on its own
-// connection while the caller continues. Results land in the argument
-// slices/pointers when Wait returns, not before.
+// pooled connection while the caller continues. Results land in the
+// argument slices/pointers when Wait returns, not before. Connections
+// are returned to the idle pool after a clean exchange (including a
+// remote error, which leaves the stream in sync) and closed on I/O
+// errors.
 func (c *Client) CallAsync(name string, args ...any) *AsyncCall {
 	a := &AsyncCall{done: make(chan struct{})}
 	go func() {
 		defer close(a.done)
-		conn, err := c.dial()
+		info, vals, req, err := c.prepCall(name, args)
 		if err != nil {
 			a.err = err
 			return
 		}
-		defer conn.Close()
-		a.report, a.err = c.callOn(conn, nil, name, args)
+		conn, err := c.pool.get()
+		if err != nil {
+			req.Release()
+			a.err = err
+			return
+		}
+		a.report, a.err = c.exchangeCall(conn, nil, info, vals, req, args)
+		if connReusable(a.err) {
+			c.pool.put(conn)
+		} else {
+			conn.Close()
+		}
 	}()
 	return a
 }
 
-// callOn runs the blocking call protocol on the given connection. If
-// lock is non-nil it is held around connection I/O (the primary
-// connection is shared; async connections are private).
-func (c *Client) callOn(conn net.Conn, lock *sync.Mutex, name string, args []any) (*Report, error) {
+// connReusable reports whether a pooled connection is still in frame
+// sync after an exchange that returned err: a nil error or a decoded
+// remote error leaves the stream clean; anything else (dial, I/O,
+// framing, decode trouble) means the connection must be discarded.
+func connReusable(err error) bool {
+	if err == nil {
+		return true
+	}
+	var re *protocol.RemoteError
+	return errors.As(err, &re)
+}
+
+// prepCall resolves the interface and marshals the arguments into a
+// pooled frame buffer, before any connection is committed. On success
+// the caller owns the returned buffer.
+func (c *Client) prepCall(name string, args []any) (*idl.Info, []idl.Value, *protocol.Buffer, error) {
 	info, err := c.Interface(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	vals, err := toValues(info, args)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	payload, err := protocol.EncodeCallRequest(info, &protocol.CallRequest{Name: name, Args: vals})
+	req, err := protocol.EncodeCallRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+	return info, vals, req, nil
+}
 
-	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(len(payload))}
+// exchangeCall runs the blocking call protocol on the given
+// connection, consuming (and releasing) the prepared request buffer.
+// If lock is non-nil it is held around connection I/O (the primary
+// connection is shared; pooled connections are private to the call).
+func (c *Client) exchangeCall(conn net.Conn, lock *sync.Mutex, info *idl.Info, vals []idl.Value, req *protocol.Buffer, args []any) (*Report, error) {
+	rep := &Report{Routine: info.Name, Submit: time.Now(), BytesOut: int64(req.Len())}
 	if lock != nil {
 		lock.Lock()
 		defer lock.Unlock()
 	}
-	t, p, err := c.callRoundTrip(conn, payload)
+	t, reply, err := c.callRoundTrip(conn, req)
 	if err != nil {
 		return nil, err
 	}
+	defer reply.Release()
 	if t != protocol.MsgCallOK {
 		return nil, fmt.Errorf("ninf: unexpected reply %v to call", t)
 	}
 	rep.Received = time.Now()
-	rep.BytesIn = int64(len(p))
+	rep.BytesIn = int64(reply.Len())
 
-	tm, out, err := protocol.DecodeCallReply(info, vals, p)
+	tm, out, err := protocol.DecodeCallReply(info, vals, reply.Payload())
 	if err != nil {
 		return nil, err
 	}
@@ -337,29 +417,34 @@ func (j *Job) ID() uint64 { return j.id }
 // Submit ships the arguments of a call and returns immediately with a
 // job handle; the server computes while no connection is tied up. This
 // is the two-phase protocol of §5.1, proposed to keep per-user
-// performance under multi-client load.
+// performance under multi-client load. The exchange runs on a pooled
+// connection, so a train of submissions reuses one connection rather
+// than dialing per job.
 func (c *Client) Submit(name string, args ...any) (*Job, error) {
-	info, err := c.Interface(name)
+	info, vals, req, err := c.prepCall(name, args)
 	if err != nil {
 		return nil, err
 	}
-	vals, err := toValues(info, args)
+	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(req.Len())}
+	conn, err := c.pool.get()
+	if err != nil {
+		req.Release()
+		return nil, err
+	}
+	t, p, err := roundTripBufOn(conn, c.maxPayload, protocol.MsgSubmit, req)
+	if connReusable(err) {
+		c.pool.put(conn)
+	} else {
+		conn.Close()
+	}
 	if err != nil {
 		return nil, err
 	}
-	payload, err := protocol.EncodeCallRequest(info, &protocol.CallRequest{Name: name, Args: vals})
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(len(payload))}
-	t, p, err := c.roundTrip(protocol.MsgSubmit, payload)
-	if err != nil {
-		return nil, err
-	}
+	defer p.Release()
 	if t != protocol.MsgSubmitOK {
 		return nil, fmt.Errorf("ninf: unexpected reply %v to submit", t)
 	}
-	sr, err := protocol.DecodeSubmitReply(p)
+	sr, err := protocol.DecodeSubmitReply(p.Payload())
 	if err != nil {
 		return nil, err
 	}
@@ -372,10 +457,22 @@ var ErrNotReady = errors.New("ninf: job not ready")
 // Fetch collects the results of a submitted job, filling the argument
 // slices/pointers passed to Submit. With wait true it blocks until the
 // job completes; otherwise it returns ErrNotReady if still running.
-// A job can be fetched once.
+// A job can be fetched once. Like Submit, the exchange runs on a
+// pooled connection (a not-ready poll leaves the stream in sync, so
+// polling reuses one connection).
 func (j *Job) Fetch(wait bool) (*Report, error) {
+	c := j.client
 	req := protocol.FetchRequest{JobID: j.id, Wait: wait}
-	t, p, err := j.client.roundTrip(protocol.MsgFetch, req.Encode())
+	conn, err := c.pool.get()
+	if err != nil {
+		return nil, err
+	}
+	t, p, err := roundTripBufOn(conn, c.maxPayload, protocol.MsgFetch, req.EncodeBuf())
+	if connReusable(err) {
+		c.pool.put(conn)
+	} else {
+		conn.Close()
+	}
 	if err != nil {
 		var re *protocol.RemoteError
 		if errors.As(err, &re) && re.Code == protocol.CodeNotReady {
@@ -383,12 +480,13 @@ func (j *Job) Fetch(wait bool) (*Report, error) {
 		}
 		return nil, err
 	}
+	defer p.Release()
 	if t != protocol.MsgFetchOK {
 		return nil, fmt.Errorf("ninf: unexpected reply %v to fetch", t)
 	}
 	j.report.Received = time.Now()
-	j.report.BytesIn = int64(len(p))
-	tm, out, err := protocol.DecodeCallReply(j.info, j.vals, p)
+	j.report.BytesIn = int64(p.Len())
+	tm, out, err := protocol.DecodeCallReply(j.info, j.vals, p.Payload())
 	if err != nil {
 		return nil, err
 	}

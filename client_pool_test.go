@@ -1,0 +1,238 @@
+package ninf_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ninf"
+	"ninf/internal/library"
+	"ninf/internal/server"
+)
+
+// faultConn wraps a connection with an injectable write fault and a
+// close flag, so tests can break a pooled connection on demand.
+type faultConn struct {
+	net.Conn
+	failWrites *atomic.Bool
+	closed     atomic.Bool
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.failWrites.Load() {
+		return 0, errors.New("injected write failure")
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// recListener records the server side of each accepted connection so
+// tests can kill connections from the far end.
+type recListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *recListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *recListener) closeAccepted() {
+	l.mu.Lock()
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// startPoolServer launches a server on a recording listener and
+// returns a counting, fault-injecting dialer.
+func startPoolServer(t *testing.T) (*recListener, *atomic.Int64, *atomic.Bool, func() (net.Conn, error), func() *faultConn) {
+	t.Helper()
+	reg, err := library.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{}, reg)
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &recListener{Listener: inner}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+
+	dials := new(atomic.Int64)
+	failWrites := new(atomic.Bool)
+	var mu sync.Mutex
+	var last *faultConn
+	dial := func() (net.Conn, error) {
+		dials.Add(1)
+		c, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		fc := &faultConn{Conn: c, failWrites: failWrites}
+		mu.Lock()
+		last = fc
+		mu.Unlock()
+		return fc, nil
+	}
+	lastConn := func() *faultConn {
+		mu.Lock()
+		defer mu.Unlock()
+		return last
+	}
+	return l, dials, failWrites, dial, lastConn
+}
+
+func asyncPing(t *testing.T, c *ninf.Client) {
+	t.Helper()
+	n := 4
+	in := make([]float64, n)
+	out := make([]float64, n)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	if _, err := c.CallAsync("echo", n, in, out).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if out[n-1] != in[n-1] {
+		t.Fatalf("echo out = %v", out)
+	}
+}
+
+func TestAsyncDialsBoundedByPool(t *testing.T) {
+	// N >> poolSize sequential async calls must ride the idle pool:
+	// the dialer fires at most once for the primary connection plus
+	// poolSize times for the pool.
+	_, dials, _, dial, _ := startPoolServer(t)
+	c := newClient(t, dial)
+	const poolSize = 2
+	c.SetPoolSize(poolSize)
+
+	const calls = 16
+	for i := 0; i < calls; i++ {
+		asyncPing(t, c)
+	}
+	if got := dials.Load(); got > 1+poolSize {
+		t.Errorf("%d sequential async calls used %d dials, want <= %d", calls, got, 1+poolSize)
+	}
+	// Sequential calls never hold more than one connection at a time,
+	// so in practice exactly one pooled dial happens.
+	if got := dials.Load(); got != 2 {
+		t.Errorf("dials = %d, want 2 (primary + one pooled)", got)
+	}
+}
+
+func TestSubmitFetchReusePool(t *testing.T) {
+	_, dials, _, dial, _ := startPoolServer(t)
+	c := newClient(t, dial)
+
+	for i := 0; i < 5; i++ {
+		n := 3
+		in := []float64{1, 2, 3}
+		out := make([]float64, n)
+		job, err := c.Submit("echo", n, in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := job.Fetch(true); err != nil {
+			t.Fatal(err)
+		}
+		if out[2] != 3 {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	if got := dials.Load(); got != 2 {
+		t.Errorf("5 submit+fetch pairs used %d dials, want 2", got)
+	}
+}
+
+func TestPoolDiscardsConnOnWriteError(t *testing.T) {
+	_, dials, failWrites, dial, lastConn := startPoolServer(t)
+	c := newClient(t, dial)
+
+	asyncPing(t, c) // warm the interface cache and pool one connection
+	pooled := lastConn()
+	if pooled == nil || dials.Load() != 2 {
+		t.Fatalf("expected one pooled connection after warmup, dials = %d", dials.Load())
+	}
+
+	failWrites.Store(true)
+	if _, err := c.CallAsync("echo", 1, []float64{1}, make([]float64, 1)).Wait(); err == nil {
+		t.Fatal("call with broken transport unexpectedly succeeded")
+	}
+	failWrites.Store(false)
+
+	if !pooled.closed.Load() {
+		t.Error("connection not closed after I/O error")
+	}
+	// The broken connection must not be reused: the next call dials.
+	asyncPing(t, c)
+	if got := dials.Load(); got != 3 {
+		t.Errorf("dials = %d, want 3 (fresh dial after discard)", got)
+	}
+}
+
+func TestPoolHealthCheckOnCheckout(t *testing.T) {
+	l, dials, _, dial, _ := startPoolServer(t)
+	c := newClient(t, dial)
+
+	asyncPing(t, c)
+	if dials.Load() != 2 {
+		t.Fatalf("dials after warmup = %d, want 2", dials.Load())
+	}
+
+	// Kill every connection from the server side; the idle connection
+	// is now dead but the client cannot know until it looks.
+	l.closeAccepted()
+	time.Sleep(50 * time.Millisecond) // let the FIN reach the client
+
+	// Checkout must detect the dead connection and dial a fresh one —
+	// the call succeeds rather than erroring on a stale stream.
+	asyncPing(t, c)
+	if got := dials.Load(); got != 3 {
+		t.Errorf("dials = %d, want 3 (health check replaced dead conn)", got)
+	}
+}
+
+func TestSetPoolSizeClosesSurplus(t *testing.T) {
+	_, dials, _, dial, _ := startPoolServer(t)
+	c := newClient(t, dial)
+
+	// Hold several connections concurrently so more than one lands in
+	// the pool on completion.
+	var calls []*ninf.AsyncCall
+	for i := 0; i < 4; i++ {
+		calls = append(calls, c.CallAsync("echo", 2, []float64{1, 2}, make([]float64, 2)))
+	}
+	for _, a := range calls {
+		if _, err := a.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := dials.Load()
+
+	c.SetPoolSize(0) // closes everything idle
+	asyncPing(t, c)  // must dial: the pool retains nothing
+	if got := dials.Load(); got != base+1 {
+		t.Errorf("dials = %d, want %d after shrinking pool to zero", got, base+1)
+	}
+}

@@ -27,6 +27,7 @@ package idl
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Mode is an argument access mode.
@@ -153,17 +154,29 @@ func (in *Info) ParamIndex(name string) int {
 	return -1
 }
 
+// envPool recycles expression environments: the maps are built and
+// discarded on every marshalling call, so pooling keeps the per-call
+// data path free of map allocations. Cleared maps keep their buckets.
+var envPool = sync.Pool{New: func() any { return make(map[string]int64, 8) }}
+
+func releaseEnv(env map[string]int64) {
+	clear(env)
+	envPool.Put(env)
+}
+
 // scalarEnv builds the expression environment from the scalar in-mode
 // arguments of a call. args must be positional, one value per Param;
-// non-scalar and out-only entries are ignored.
+// non-scalar and out-only entries are ignored. The caller must return
+// the environment with releaseEnv.
 func (in *Info) scalarEnv(args []Value) (map[string]int64, error) {
-	env := make(map[string]int64)
+	env := envPool.Get().(map[string]int64)
 	for i := range in.Params {
 		p := &in.Params[i]
 		if !p.IsScalar() || !p.Mode.Ships(false) {
 			continue
 		}
 		if i >= len(args) {
+			releaseEnv(env)
 			return nil, fmt.Errorf("idl: %s: missing argument %q", in.Name, p.Name)
 		}
 		switch v := args[i].(type) {
@@ -174,6 +187,7 @@ func (in *Info) scalarEnv(args []Value) (map[string]int64, error) {
 		case float64:
 			env[p.Name] = int64(v)
 		case nil:
+			releaseEnv(env)
 			return nil, fmt.Errorf("idl: %s: scalar argument %q is nil", in.Name, p.Name)
 		default:
 			// Non-integer scalars (strings, doubles that are not
@@ -191,6 +205,7 @@ func (in *Info) DimSizes(args []Value) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer releaseEnv(env)
 	counts := make([]int, len(in.Params))
 	for i := range in.Params {
 		p := &in.Params[i]
@@ -220,6 +235,7 @@ func (in *Info) PredictedOps(args []Value) (int64, bool) {
 	if err != nil {
 		return 0, false
 	}
+	defer releaseEnv(env)
 	n, err := in.Complexity.Eval(env)
 	if err != nil || n < 0 {
 		return 0, false

@@ -182,6 +182,7 @@ func DgefaBlocked(a []float64, n int, ipvt []int64, block int) error {
 	if block < 1 {
 		block = DefaultBlock
 	}
+	workers := workersFor(n)
 	for kb := 0; kb < n; kb += block {
 		kend := kb + block
 		if kend > n {
@@ -240,19 +241,26 @@ func DgefaBlocked(a []float64, n int, ipvt []int64, block int) error {
 			}
 		}
 		// Trailing update: A22 -= L21 · U12, blocked over k for reuse.
-		for i := kend; i < n; i++ {
-			rowI := a[i*n : i*n+n]
-			for k := kb; k < kend; k++ {
-				m := rowI[k]
-				if m == 0 {
-					continue
-				}
-				rowK := a[k*n : k*n+n]
-				for j := kend; j < n; j++ {
-					rowI[j] -= m * rowK[j]
+		// This is the O(n³) bulk of the factorization; rows are
+		// independent (the panel rows kb:kend are read-only here), so
+		// it is split across the kernel workers. Each worker runs the
+		// serial loop over its rows, keeping the factors bit-identical
+		// to the serial path.
+		parallelRows(kend, n, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				rowI := a[i*n : i*n+n]
+				for k := kb; k < kend; k++ {
+					m := rowI[k]
+					if m == 0 {
+						continue
+					}
+					rowK := a[k*n : k*n+n]
+					for j := kend; j < n; j++ {
+						rowI[j] -= m * rowK[j]
+					}
 				}
 			}
-		}
+		})
 	}
 	if n > 0 {
 		if a[(n-1)*n+(n-1)] == 0 {
@@ -264,7 +272,9 @@ func DgefaBlocked(a []float64, n int, ipvt []int64, block int) error {
 
 // Dmmul computes C = A·B for n×n row-major matrices, the paper's §2.2
 // example routine. The inner loops are ordered i-k-j for stride-1
-// access on both operands.
+// access on both operands. At or above the parallel threshold the row
+// loop is split across GOMAXPROCS workers (rows of C are independent),
+// with results bit-identical to the serial path.
 func Dmmul(n int, a, b, c []float64) error {
 	if err := checkSquare(a, n); err != nil {
 		return err
@@ -272,11 +282,20 @@ func Dmmul(n int, a, b, c []float64) error {
 	if len(b) != n*n || len(c) != n*n {
 		return fmt.Errorf("linpack: operand lengths %d/%d, want %d", len(b), len(c), n*n)
 	}
-	for i := range c {
-		c[i] = 0
-	}
-	for i := 0; i < n; i++ {
+	parallelRows(0, n, workersFor(n), func(start, end int) {
+		dmmulRows(n, a, b, c, start, end)
+	})
+	return nil
+}
+
+// dmmulRows computes rows [start, end) of C = A·B with the serial
+// i-k-j kernel.
+func dmmulRows(n int, a, b, c []float64, start, end int) {
+	for i := start; i < end; i++ {
 		rowC := c[i*n : i*n+n]
+		for j := range rowC {
+			rowC[j] = 0
+		}
 		for k := 0; k < n; k++ {
 			aik := a[i*n+k]
 			if aik == 0 {
@@ -288,7 +307,6 @@ func Dmmul(n int, a, b, c []float64) error {
 			}
 		}
 	}
-	return nil
 }
 
 // Matgen fills a with the standard LINPACK benchmark test matrix (a

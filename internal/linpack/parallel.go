@@ -1,0 +1,96 @@
+package linpack
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel parallelism. Dmmul and DgefaBlocked split their row-wise
+// work across GOMAXPROCS goroutines — the software analogue of the
+// paper's data-parallel J90 runs, where one Ninf_call occupies all
+// PEs. Each worker executes the exact serial inner loops over its row
+// range, so parallel results are bit-identical to the serial ones.
+// Below ParallelThreshold (or with a single worker) the kernels run
+// the serial path unchanged.
+
+// defaultParallelThreshold is the matrix order below which the kernels
+// stay serial: under ~192 the per-call goroutine fork/join overhead
+// outweighs the arithmetic.
+const defaultParallelThreshold = 192
+
+var (
+	parallelThreshold atomic.Int64
+	kernelWorkers     atomic.Int64 // 0 means GOMAXPROCS
+)
+
+func init() { parallelThreshold.Store(defaultParallelThreshold) }
+
+// SetParallelThreshold adjusts the matrix order below which Dmmul and
+// DgefaBlocked run serially; n <= 0 restores the default.
+func SetParallelThreshold(n int) {
+	if n <= 0 {
+		n = defaultParallelThreshold
+	}
+	parallelThreshold.Store(int64(n))
+}
+
+// SetKernelWorkers fixes the number of worker goroutines the parallel
+// kernels use; n <= 0 restores the default of GOMAXPROCS.
+func SetKernelWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int64(n))
+}
+
+// workersFor resolves the worker count for a kernel invocation on a
+// matrix of order n.
+func workersFor(n int) int {
+	if n < int(parallelThreshold.Load()) {
+		return 1
+	}
+	w := int(kernelWorkers.Load())
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRows splits the row range [lo, hi) into contiguous chunks
+// and runs fn on each chunk concurrently across the given number of
+// workers. fn must only write rows inside its chunk. With one worker
+// (or a single row) it degenerates to a direct call.
+func parallelRows(lo, hi, workers int, fn func(start, end int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(lo, hi)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := lo; start < hi; start += chunk {
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

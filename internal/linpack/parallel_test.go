@@ -1,0 +1,211 @@
+package linpack
+
+import (
+	"runtime"
+	"testing"
+)
+
+// forceWorkers pins the kernel worker count and parallel threshold for
+// the duration of a test, restoring the defaults afterwards.
+func forceWorkers(t *testing.T, workers, threshold int) {
+	t.Helper()
+	SetKernelWorkers(workers)
+	SetParallelThreshold(threshold)
+	t.Cleanup(func() {
+		SetKernelWorkers(0)
+		SetParallelThreshold(0)
+	})
+}
+
+func TestDmmulParallelBitIdentical(t *testing.T) {
+	// The parallel row split must reproduce the serial product
+	// bit-for-bit: each worker runs the same inner loops over its rows.
+	n := 65 // odd size exercises uneven chunking
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	Matgen(a, n)
+	copy(b, a)
+
+	serial := make([]float64, n*n)
+	forceWorkers(t, 1, 1)
+	if err := Dmmul(n, a, b, serial); err != nil {
+		t.Fatal(err)
+	}
+
+	par := make([]float64, n*n)
+	for _, workers := range []int{2, 3, 4, 7} {
+		SetKernelWorkers(workers)
+		if err := Dmmul(n, a, b, par); err != nil {
+			t.Fatal(err)
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: C[%d] = %v, serial %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestDgefaBlockedParallelBitIdentical(t *testing.T) {
+	// The parallel trailing-matrix update must leave factors and
+	// pivots bit-identical to the serial blocked path (which in turn
+	// matches Dgefa — see TestBlockedMatchesUnblocked).
+	n := 129
+	src := make([]float64, n*n)
+	Matgen(src, n)
+
+	serialA := append([]float64(nil), src...)
+	serialP := make([]int64, n)
+	forceWorkers(t, 1, 1)
+	if err := DgefaBlocked(serialA, n, serialP, 32); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 5} {
+		SetKernelWorkers(workers)
+		parA := append([]float64(nil), src...)
+		parP := make([]int64, n)
+		if err := DgefaBlocked(parA, n, parP, 32); err != nil {
+			t.Fatal(err)
+		}
+		for i := range parA {
+			if parA[i] != serialA[i] {
+				t.Fatalf("workers=%d: a[%d] = %v, serial %v", workers, i, parA[i], serialA[i])
+			}
+		}
+		for i := range parP {
+			if parP[i] != serialP[i] {
+				t.Fatalf("workers=%d: ipvt[%d] = %d, serial %d", workers, i, parP[i], serialP[i])
+			}
+		}
+	}
+}
+
+func TestParallelSolveResidual(t *testing.T) {
+	// End-to-end: a parallel blocked factor + solve still passes the
+	// LINPACK residual criterion.
+	forceWorkers(t, 4, 1)
+	n := 200
+	a := make([]float64, n*n)
+	b := Matgen(a, n)
+	ac := append([]float64(nil), a...)
+	ipvt := make([]int64, n)
+	if err := DgefaBlocked(ac, n, ipvt, 0); err != nil {
+		t.Fatal(err)
+	}
+	x := append([]float64(nil), b...)
+	if err := Dgesl(ac, n, ipvt, x); err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, n, x, b); r > 10 {
+		t.Errorf("residual %g, want < 10", r)
+	}
+}
+
+func TestSerialFallbackBelowThreshold(t *testing.T) {
+	// Below the threshold workersFor must report a single worker, and
+	// the kernels must still be correct there.
+	SetKernelWorkers(0)
+	SetParallelThreshold(0)
+	if w := workersFor(defaultParallelThreshold - 1); w != 1 {
+		t.Errorf("workersFor(threshold-1) = %d, want 1", w)
+	}
+	forceWorkers(t, 8, 1000)
+	if w := workersFor(999); w != 1 {
+		t.Errorf("below custom threshold: workers = %d, want 1", w)
+	}
+	if w := workersFor(1000); w != 8 {
+		t.Errorf("at custom threshold: workers = %d, want 8", w)
+	}
+}
+
+func TestParallelRowsCoversRange(t *testing.T) {
+	marks := make([]int32, 100)
+	parallelRows(0, len(marks), 7, func(start, end int) {
+		for i := start; i < end; i++ {
+			marks[i]++
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("row %d visited %d times", i, m)
+		}
+	}
+	// Degenerate ranges must not panic or spin.
+	parallelRows(5, 5, 4, func(int, int) { t.Fatal("fn called on empty range") })
+}
+
+// benchKernelWorkers restores kernel tuning after a benchmark.
+func benchKernelWorkers(b *testing.B, workers, threshold int) {
+	b.Helper()
+	SetKernelWorkers(workers)
+	SetParallelThreshold(threshold)
+	b.Cleanup(func() {
+		SetKernelWorkers(0)
+		SetParallelThreshold(0)
+	})
+}
+
+func benchmarkDmmul(b *testing.B, n, workers int) {
+	threshold := 1
+	if workers == 1 {
+		threshold = n + 1 // force the serial path
+	}
+	benchKernelWorkers(b, workers, threshold)
+	a := make([]float64, n*n)
+	Matgen(a, n)
+	bb := append([]float64(nil), a...)
+	c := make([]float64, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Dmmul(n, a, bb, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflops")
+}
+
+func BenchmarkDmmulSerial(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(sizeName(n), func(b *testing.B) { benchmarkDmmul(b, n, 1) })
+	}
+}
+
+func BenchmarkDmmulParallel(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(sizeName(n), func(b *testing.B) { benchmarkDmmul(b, n, runtime.GOMAXPROCS(0)) })
+	}
+}
+
+func benchmarkDgefaBlockedWorkers(b *testing.B, n, workers int) {
+	threshold := 1
+	if workers == 1 {
+		threshold = n + 1
+	}
+	benchKernelWorkers(b, workers, threshold)
+	src := make([]float64, n*n)
+	Matgen(src, n)
+	a := make([]float64, n*n)
+	ipvt := make([]int64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, src)
+		if err := DgefaBlocked(a, n, ipvt, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(Flops(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mflops")
+}
+
+func BenchmarkDgefaBlockedSerial(b *testing.B) {
+	for _, n := range []int{500, 1000} {
+		b.Run(sizeName(n), func(b *testing.B) { benchmarkDgefaBlockedWorkers(b, n, 1) })
+	}
+}
+
+func BenchmarkDgefaBlockedParallel(b *testing.B) {
+	for _, n := range []int{500, 1000} {
+		b.Run(sizeName(n), func(b *testing.B) { benchmarkDgefaBlockedWorkers(b, n, runtime.GOMAXPROCS(0)) })
+	}
+}

@@ -11,11 +11,15 @@ import (
 
 // A Series accumulates scalar observations.
 type Series struct {
-	vals []float64
+	vals   []float64
+	sorted []float64 // memoized sorted copy; nil when stale
 }
 
 // Add appends an observation.
-func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = nil
+}
 
 // N is the number of observations.
 func (s *Series) N() int { return len(s.vals) }
@@ -61,13 +65,17 @@ func (s *Series) Mean() float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank
-// on a sorted copy.
+// on a sorted copy. The copy is memoized across calls and invalidated
+// by Add, so reporting many percentiles from one series sorts once.
 func (s *Series) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.vals...)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.vals...)
+		sort.Float64s(s.sorted)
+	}
+	sorted := s.sorted
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -38,6 +38,53 @@ func TestBasics(t *testing.T) {
 	}
 }
 
+func TestPercentileMemoInvalidatedByAdd(t *testing.T) {
+	var s Series
+	for _, v := range []float64{9, 2, 7} {
+		s.Add(v)
+	}
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("p100 = %g, want 9", got)
+	}
+	if s.sorted == nil {
+		t.Fatal("sorted copy not memoized after Percentile")
+	}
+	// A second call must reuse the cached slice, not re-sort.
+	cached := &s.sorted[0]
+	if got := s.Percentile(0); got != 2 {
+		t.Fatalf("p0 = %g, want 2", got)
+	}
+	if &s.sorted[0] != cached {
+		t.Error("Percentile re-sorted despite no intervening Add")
+	}
+	// Add must invalidate so new observations are seen.
+	s.Add(11)
+	if s.sorted != nil {
+		t.Error("Add did not invalidate the memoized copy")
+	}
+	if got := s.Percentile(100); got != 11 {
+		t.Errorf("p100 after Add = %g, want 11", got)
+	}
+	// The memo must never reorder the raw observations.
+	if s.vals[0] != 9 || s.vals[3] != 11 {
+		t.Errorf("vals reordered: %v", s.vals)
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	var s Series
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i * 7919 % 10007))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Percentile(50)
+		s.Percentile(95)
+		s.Percentile(99)
+	}
+}
+
 func TestProperties(t *testing.T) {
 	f := func(vals []float64) bool {
 		var s Series

@@ -25,18 +25,19 @@ type CallbackRequest struct {
 
 // Encode serializes the request.
 func (m *CallbackRequest) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutString(m.Name)
-	e.PutOpaque(m.Data)
-	return buf.b
+	return encodePayload(xdr.SizeString(len(m.Name))+xdr.SizeOpaque(len(m.Data)), func(e *xdr.Encoder) {
+		e.PutString(m.Name)
+		e.PutOpaque(m.Data)
+	})
 }
 
 // DecodeCallbackRequest parses a MsgCallback payload.
 func DecodeCallbackRequest(p []byte) (CallbackRequest, error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	m := CallbackRequest{Name: d.String(), Data: d.Opaque()}
-	return m, d.Err()
+	pd := acquireDecoder(p)
+	m := CallbackRequest{Name: pd.d.String(), Data: pd.d.Opaque()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
 }
 
 // CallbackReply is the payload of MsgCallbackOK.
@@ -46,15 +47,16 @@ type CallbackReply struct {
 
 // Encode serializes the reply.
 func (m *CallbackReply) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutOpaque(m.Data)
-	return buf.b
+	return encodePayload(xdr.SizeOpaque(len(m.Data)), func(e *xdr.Encoder) {
+		e.PutOpaque(m.Data)
+	})
 }
 
 // DecodeCallbackReply parses a MsgCallbackOK payload.
 func DecodeCallbackReply(p []byte) (CallbackReply, error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	m := CallbackReply{Data: d.Opaque()}
-	return m, d.Err()
+	pd := acquireDecoder(p)
+	m := CallbackReply{Data: pd.d.Opaque()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
 }

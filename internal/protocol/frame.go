@@ -17,6 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"net"
+	"sync"
 
 	"ninf/internal/xdr"
 )
@@ -112,20 +115,197 @@ var (
 	ErrOversized  = errors.New("protocol: frame exceeds payload limit")
 )
 
-// WriteFrame writes one frame: header plus payload.
-func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
-	var hdr [headerSize]byte
-	putU32(hdr[0:], Magic)
-	putU32(hdr[4:], Version)
-	putU32(hdr[8:], uint32(t))
-	putU32(hdr[12:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("protocol: write header: %w", err)
+// Buffer pooling. Frame buffers are recycled through size-classed
+// sync.Pools so that steady-state calls assemble, write, and read
+// frames without allocating. Capacities run in powers of two from
+// 1 KiB to 64 MiB; buffers outside that range are not pooled.
+const (
+	minPoolBits = 10 // 1 KiB
+	maxPoolBits = 26 // 64 MiB
+)
+
+var bufPools [maxPoolBits - minPoolBits + 1]sync.Pool
+
+// poolClassFor returns the index of the smallest size class holding n
+// bytes, or -1 when n exceeds the largest pooled capacity.
+func poolClassFor(n int) int {
+	if n <= 1<<minPoolBits {
+		return 0
 	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return fmt.Errorf("protocol: write payload: %w", err)
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c > maxPoolBits {
+		return -1
+	}
+	return c - minPoolBits
+}
+
+// poolClassOf returns the index of the largest size class not
+// exceeding capacity c, or -1 when c is below the smallest class.
+func poolClassOf(c int) int {
+	if c < 1<<minPoolBits {
+		return -1
+	}
+	i := bits.Len(uint(c)) - 1 // floor(log2 c)
+	if i > maxPoolBits {
+		i = maxPoolBits
+	}
+	return i - minPoolBits
+}
+
+// A Buffer is a pooled frame-assembly buffer: headerSize bytes are
+// reserved at the front for the frame header and the payload follows
+// contiguously, so a finished frame goes to the wire with a single
+// Write. Buffers come from AcquireBuffer and must be handed back with
+// Release once the payload is no longer referenced; decoded values
+// never alias the buffer, so releasing after decode is always safe.
+type Buffer struct {
+	b        []byte // b[:headerSize] header, b[headerSize:] payload
+	enc      xdr.Encoder
+	released bool
+}
+
+// AcquireBuffer returns a frame buffer with capacity for at least
+// sizeHint payload bytes, drawing from the pool when possible. A hint
+// of 0 is fine for small control messages; callers that know the
+// payload size (the call encode/decode paths do) should pass it so the
+// buffer lands in the right size class and is reused at steady state.
+func AcquireBuffer(sizeHint int) *Buffer {
+	need := headerSize + sizeHint
+	ci := poolClassFor(need)
+	if ci >= 0 {
+		if v := bufPools[ci].Get(); v != nil {
+			fb := v.(*Buffer)
+			fb.b = fb.b[:headerSize]
+			fb.released = false
+			return fb
 		}
+	}
+	size := need
+	if ci >= 0 {
+		size = 1 << (minPoolBits + ci)
+	}
+	return &Buffer{b: make([]byte, headerSize, size)}
+}
+
+// Release returns the buffer to its size-class pool. The buffer (and
+// any slice of its payload) must not be used afterwards. Releasing nil
+// or an already-released buffer is a no-op so single-owner cleanup
+// paths stay simple; ownership still must not be shared.
+func (fb *Buffer) Release() {
+	if fb == nil || fb.released {
+		return
+	}
+	fb.released = true
+	ci := poolClassOf(cap(fb.b))
+	if ci < 0 {
+		return
+	}
+	bufPools[ci].Put(fb)
+}
+
+// Len reports the current payload length.
+func (fb *Buffer) Len() int { return len(fb.b) - headerSize }
+
+// Payload returns the payload bytes assembled (or read) so far. The
+// slice aliases the buffer and dies with Release.
+func (fb *Buffer) Payload() []byte { return fb.b[headerSize:] }
+
+// Reset drops the payload, keeping capacity.
+func (fb *Buffer) Reset() { fb.b = fb.b[:headerSize] }
+
+// Write appends p to the payload, implementing io.Writer so XDR
+// encoders can target the buffer directly.
+func (fb *Buffer) Write(p []byte) (int, error) {
+	fb.b = append(fb.b, p...)
+	return len(p), nil
+}
+
+// Encoder returns the buffer's embedded XDR encoder, rearmed to append
+// to the payload. The encoder is pooled with the buffer, so its bulk
+// chunk storage is reused across frames.
+func (fb *Buffer) Encoder() *xdr.Encoder {
+	fb.enc.Reset(fb)
+	return &fb.enc
+}
+
+// WriteFrameBuf stamps the frame header into the buffer's reserved
+// prefix and writes header plus payload with a single Write call — one
+// syscall on a TCP connection.
+func WriteFrameBuf(w io.Writer, t MsgType, fb *Buffer) error {
+	putU32(fb.b[0:], Magic)
+	putU32(fb.b[4:], Version)
+	putU32(fb.b[8:], uint32(t))
+	putU32(fb.b[12:], uint32(fb.Len()))
+	if _, err := w.Write(fb.b); err != nil {
+		return fmt.Errorf("protocol: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrameBuf reads one frame into a pooled buffer (0 means
+// DefaultMaxPayload, as for ReadFrame). The caller owns the buffer and
+// must Release it once the payload has been decoded.
+func ReadFrameBuf(r io.Reader, maxPayload int) (MsgType, *Buffer, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("protocol: read header: %w", err)
+	}
+	if getU32(hdr[0:]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if v := getU32(hdr[4:]); v != Version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	t := MsgType(getU32(hdr[8:]))
+	n := int(getU32(hdr[12:]))
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrOversized, n)
+	}
+	fb := AcquireBuffer(n)
+	fb.b = fb.b[:headerSize+n]
+	if _, err := io.ReadFull(r, fb.b[headerSize:]); err != nil {
+		fb.Release()
+		return 0, nil, fmt.Errorf("protocol: read payload: %w", err)
+	}
+	return t, fb, nil
+}
+
+// frameWriter is the pooled scratch for WriteFrame's vectored path.
+type frameWriter struct {
+	hdr [headerSize]byte
+	vec net.Buffers
+	arr [2][]byte
+}
+
+var frameWriterPool = sync.Pool{New: func() any { return new(frameWriter) }}
+
+// WriteFrame writes one frame: header plus payload. Header and payload
+// go out in a single vectored write (writev on TCP connections), so a
+// frame never straddles two syscalls. Callers that assemble payloads
+// in a Buffer should prefer WriteFrameBuf, which skips the gather.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	fw := frameWriterPool.Get().(*frameWriter)
+	putU32(fw.hdr[0:], Magic)
+	putU32(fw.hdr[4:], Version)
+	putU32(fw.hdr[8:], uint32(t))
+	putU32(fw.hdr[12:], uint32(len(payload)))
+	var err error
+	if len(payload) == 0 {
+		_, err = w.Write(fw.hdr[:])
+	} else {
+		fw.vec = append(net.Buffers(fw.arr[:0]), fw.hdr[:], payload)
+		_, err = fw.vec.WriteTo(w)
+		fw.arr[0], fw.arr[1] = nil, nil // drop the payload reference
+	}
+	frameWriterPool.Put(fw)
+	if err != nil {
+		return fmt.Errorf("protocol: write frame: %w", err)
 	}
 	return nil
 }
@@ -194,18 +374,19 @@ const (
 
 // EncodeErrorReply serializes an error reply payload.
 func EncodeErrorReply(code uint32, detail string) []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutUint32(code)
-	e.PutString(detail)
-	return buf.b
+	return encodePayload(4+xdr.SizeString(len(detail)), func(e *xdr.Encoder) {
+		e.PutUint32(code)
+		e.PutString(detail)
+	})
 }
 
 // DecodeErrorReply parses an error reply payload.
 func DecodeErrorReply(p []byte) (ErrorReply, error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	er := ErrorReply{Code: d.Uint32(), Detail: d.String()}
-	return er, d.Err()
+	pd := acquireDecoder(p)
+	er := ErrorReply{Code: pd.d.Uint32(), Detail: pd.d.String()}
+	err := pd.d.Err()
+	pd.release()
+	return er, err
 }
 
 // RemoteError is the client-side representation of a MsgError frame.
@@ -217,13 +398,4 @@ type RemoteError struct {
 // Error implements the error interface.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("ninf: remote error %d: %s", e.Code, e.Detail)
-}
-
-// writerBuf is a minimal growable write buffer (bytes.Buffer without
-// the read machinery).
-type writerBuf struct{ b []byte }
-
-func (w *writerBuf) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
 }

@@ -1,0 +1,152 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestPoolClassRounding(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {1024, 0}, {1025, 1}, {2048, 1},
+		{64 << 10, 6}, {(64 << 10) + 1, 7},
+		{64 << 20, maxPoolBits - minPoolBits},
+		{(64 << 20) + 1, -1},
+	}
+	for _, c := range cases {
+		if got := poolClassFor(c.n); got != c.class {
+			t.Errorf("poolClassFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	// Capacity released at class k must come back from an acquire of
+	// the same class.
+	if got := poolClassOf(2048); got != 1 {
+		t.Errorf("poolClassOf(2048) = %d, want 1", got)
+	}
+	if got := poolClassOf(3000); got != 1 {
+		t.Errorf("poolClassOf(3000) = %d, want 1 (floor)", got)
+	}
+	if got := poolClassOf(512); got != -1 {
+		t.Errorf("poolClassOf(512) = %d, want -1 (below smallest class)", got)
+	}
+}
+
+func TestBufferLifecycle(t *testing.T) {
+	fb := AcquireBuffer(100)
+	if fb.Len() != 0 {
+		t.Errorf("fresh buffer Len = %d", fb.Len())
+	}
+	fb.Write([]byte("hello"))
+	if fb.Len() != 5 || string(fb.Payload()) != "hello" {
+		t.Errorf("after write: len=%d payload=%q", fb.Len(), fb.Payload())
+	}
+	fb.Reset()
+	if fb.Len() != 0 {
+		t.Errorf("after reset: len=%d", fb.Len())
+	}
+	e := fb.Encoder()
+	e.PutString("xdr")
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Len() != 8 { // 4-byte length + "xdr" + 1 pad
+		t.Errorf("encoded len = %d, want 8", fb.Len())
+	}
+	fb.Release()
+	fb.Release() // second release must be a no-op, not a double-put
+}
+
+func TestWriteReadFrameBuf(t *testing.T) {
+	fb := AcquireBuffer(64)
+	payload := []byte("pooled frame payload")
+	fb.Write(payload)
+
+	var wire bytes.Buffer
+	if err := WriteFrameBuf(&wire, MsgCall, fb); err != nil {
+		t.Fatal(err)
+	}
+	fb.Release()
+	if wire.Len() != headerSize+len(payload) {
+		t.Errorf("wire length = %d, want %d", wire.Len(), headerSize+len(payload))
+	}
+
+	// The pooled reader must interoperate with the legacy writer and
+	// vice versa: both speak the same frame format.
+	typ, rfb, err := ReadFrameBuf(bytes.NewReader(wire.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rfb.Release()
+	if typ != MsgCall || !bytes.Equal(rfb.Payload(), payload) {
+		t.Errorf("round trip: type=%v payload=%q", typ, rfb.Payload())
+	}
+
+	typ2, p2, err := ReadFrame(bytes.NewReader(wire.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ2 != MsgCall || !bytes.Equal(p2, payload) {
+		t.Errorf("legacy read of pooled frame: type=%v payload=%q", typ2, p2)
+	}
+}
+
+func TestReadFrameBufRespectsMaxPayload(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, MsgCall, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrameBuf(bytes.NewReader(wire.Bytes()), 100); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestReadFrameBufTruncated(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, MsgCall, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := wire.Bytes()[:wire.Len()-10]
+	if _, _, err := ReadFrameBuf(bytes.NewReader(trunc), 0); err == nil {
+		t.Error("truncated frame accepted")
+	} else if err == io.EOF {
+		t.Errorf("truncated payload should not be plain EOF, got %v", err)
+	}
+}
+
+func TestBufferGrowsPastHint(t *testing.T) {
+	fb := AcquireBuffer(8)
+	defer fb.Release()
+	big := make([]byte, 100<<10)
+	fb.Write(big)
+	if fb.Len() != len(big) {
+		t.Errorf("len = %d, want %d", fb.Len(), len(big))
+	}
+	var wire bytes.Buffer
+	if err := WriteFrameBuf(&wire, MsgSubmit, fb); err != nil {
+		t.Fatal(err)
+	}
+	typ, p, err := ReadFrame(bytes.NewReader(wire.Bytes()), 0)
+	if err != nil || typ != MsgSubmit || len(p) != len(big) {
+		t.Errorf("grown buffer round trip: %v %v len=%d", err, typ, len(p))
+	}
+}
+
+func TestAcquireReusesReleasedCapacity(t *testing.T) {
+	// Not guaranteed by sync.Pool in general, but single-goroutine
+	// acquire/release of the same class reliably round-trips through
+	// the private pool cache; regression-guards the recycle wiring.
+	fb := AcquireBuffer(2000)
+	fb.Write(make([]byte, 2000))
+	ptr := &fb.b[0]
+	fb.Release()
+	fb2 := AcquireBuffer(1500) // same 2 KiB class
+	defer fb2.Release()
+	if &fb2.b[0] != ptr {
+		t.Skip("pool did not return the same backing array (GC ran?)")
+	}
+	if fb2.Len() != 0 {
+		t.Errorf("reused buffer not reset: len = %d", fb2.Len())
+	}
+}

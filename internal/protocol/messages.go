@@ -4,12 +4,47 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync"
 
 	"ninf/internal/idl"
 	"ninf/internal/xdr"
 )
 
 func bytesReader(p []byte) io.Reader { return bytes.NewReader(p) }
+
+// encodePayload runs fn against a pooled buffer's encoder and returns
+// a compact copy of the resulting payload. It backs the []byte-
+// returning Encode helpers; hot paths use the *Buf variants and skip
+// the copy.
+func encodePayload(sizeHint int, fn func(e *xdr.Encoder)) []byte {
+	fb := AcquireBuffer(sizeHint)
+	fn(fb.Encoder())
+	p := append([]byte(nil), fb.Payload()...)
+	fb.Release()
+	return p
+}
+
+// payloadDecoder pairs a bytes.Reader with an XDR decoder so decode
+// paths reuse both (and the decoder's bulk chunk buffer) across calls.
+type payloadDecoder struct {
+	br bytes.Reader
+	d  xdr.Decoder
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(payloadDecoder) }}
+
+// acquireDecoder returns a pooled decoder positioned at the start of p.
+func acquireDecoder(p []byte) *payloadDecoder {
+	pd := decoderPool.Get().(*payloadDecoder)
+	pd.br.Reset(p)
+	pd.d.Reset(&pd.br)
+	return pd
+}
+
+func (pd *payloadDecoder) release() {
+	pd.br.Reset(nil)
+	decoderPool.Put(pd)
+}
 
 // InterfaceRequest is the payload of MsgInterface.
 type InterfaceRequest struct {
@@ -18,26 +53,28 @@ type InterfaceRequest struct {
 
 // Encode serializes the request.
 func (m *InterfaceRequest) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutString(m.Name)
-	return buf.b
+	return encodePayload(xdr.SizeString(len(m.Name)), func(e *xdr.Encoder) {
+		e.PutString(m.Name)
+	})
 }
 
 // DecodeInterfaceRequest parses a MsgInterface payload.
 func DecodeInterfaceRequest(p []byte) (InterfaceRequest, error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	m := InterfaceRequest{Name: d.String()}
-	return m, d.Err()
+	pd := acquireDecoder(p)
+	m := InterfaceRequest{Name: pd.d.String()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
 }
 
 // EncodeInterfaceReply serializes the compiled IDL for MsgInterfaceOK.
 func EncodeInterfaceReply(info *idl.Info) ([]byte, error) {
-	var buf writerBuf
-	if err := idl.Encode(&buf, info); err != nil {
+	fb := AcquireBuffer(0)
+	defer fb.Release()
+	if err := idl.Encode(fb, info); err != nil {
 		return nil, err
 	}
-	return buf.b, nil
+	return append([]byte(nil), fb.Payload()...), nil
 }
 
 // DecodeInterfaceReply parses a MsgInterfaceOK payload.
@@ -53,18 +90,23 @@ type ListReply struct {
 
 // Encode serializes the reply.
 func (m *ListReply) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutUint32(uint32(len(m.Names)))
+	size := 4
 	for _, n := range m.Names {
-		e.PutString(n)
+		size += xdr.SizeString(len(n))
 	}
-	return buf.b
+	return encodePayload(size, func(e *xdr.Encoder) {
+		e.PutUint32(uint32(len(m.Names)))
+		for _, n := range m.Names {
+			e.PutString(n)
+		}
+	})
 }
 
 // DecodeListReply parses a MsgListReply payload.
 func DecodeListReply(p []byte) (ListReply, error) {
-	d := xdr.NewDecoder(bytesReader(p))
+	pd := acquireDecoder(p)
+	defer pd.release()
+	d := &pd.d
 	n := int(d.Uint32())
 	if err := d.Err(); err != nil {
 		return ListReply{}, err
@@ -90,8 +132,36 @@ type CallRequest struct {
 	Args []idl.Value
 }
 
-// EncodeCallRequest serializes a call against its interface.
-func EncodeCallRequest(info *idl.Info, req *CallRequest) ([]byte, error) {
+// argSize returns the encoded size in bytes of one argument, used to
+// pre-size frame buffers so steady-state calls stay in one size class.
+func argSize(p *idl.Param, count int, v idl.Value) int {
+	if p.IsScalar() {
+		switch p.Type {
+		case idl.Int, idl.Double:
+			return 8
+		case idl.Float:
+			return 4
+		case idl.String:
+			if s, ok := v.(string); ok {
+				return xdr.SizeString(len(s))
+			}
+			return 4
+		}
+		return 8
+	}
+	switch p.Type {
+	case idl.Int, idl.Double:
+		return 4 + 8*count
+	case idl.Float:
+		return 4 + 4*count
+	}
+	return 4
+}
+
+// EncodeCallRequestBuf serializes a call against its interface into a
+// pooled frame buffer sized for the payload. The caller owns the
+// buffer and must Release it (normally right after WriteFrameBuf).
+func EncodeCallRequestBuf(info *idl.Info, req *CallRequest) (*Buffer, error) {
 	if len(req.Args) != len(info.Params) {
 		return nil, fmt.Errorf("protocol: %s takes %d arguments, got %d", info.Name, len(info.Params), len(req.Args))
 	}
@@ -99,8 +169,15 @@ func EncodeCallRequest(info *idl.Info, req *CallRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
+	size := xdr.SizeString(len(req.Name))
+	for i := range info.Params {
+		p := &info.Params[i]
+		if p.Mode.Ships(false) {
+			size += argSize(p, counts[i], req.Args[i])
+		}
+	}
+	fb := AcquireBuffer(size)
+	e := fb.Encoder()
 	e.PutString(req.Name)
 	for i := range info.Params {
 		p := &info.Params[i]
@@ -108,24 +185,43 @@ func EncodeCallRequest(info *idl.Info, req *CallRequest) ([]byte, error) {
 			continue
 		}
 		if err := encodeArg(e, p, counts[i], req.Args[i]); err != nil {
+			fb.Release()
 			return nil, fmt.Errorf("protocol: %s argument %q: %w", info.Name, p.Name, err)
 		}
 	}
 	if err := e.Err(); err != nil {
+		fb.Release()
 		return nil, err
 	}
-	return buf.b, nil
+	return fb, nil
+}
+
+// EncodeCallRequest serializes a call against its interface, returning
+// a caller-owned byte slice. Hot paths should prefer
+// EncodeCallRequestBuf, which reuses pooled buffers and avoids the
+// copy made here.
+func EncodeCallRequest(info *idl.Info, req *CallRequest) ([]byte, error) {
+	fb, err := EncodeCallRequestBuf(info, req)
+	if err != nil {
+		return nil, err
+	}
+	p := append([]byte(nil), fb.Payload()...)
+	fb.Release()
+	return p, nil
 }
 
 // DecodeCallName peeks only the routine name from a MsgCall payload so
 // the server can look up the interface before decoding arguments.
 func DecodeCallName(p []byte) (name string, rest []byte, err error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	name = d.String()
-	if err := d.Err(); err != nil {
-		return "", nil, err
+	pd := acquireDecoder(p)
+	name = pd.d.String()
+	n := int(pd.d.Len())
+	derr := pd.d.Err()
+	pd.release()
+	if derr != nil {
+		return "", nil, derr
 	}
-	return name, p[d.Len():], nil
+	return name, p[n:], nil
 }
 
 // DecodeCallArgs decodes the in-shipping arguments of a call against
@@ -134,7 +230,9 @@ func DecodeCallName(p []byte) (name string, rest []byte, err error) {
 // left to right as scalars arrive, exactly as Ninf_call's interpreter
 // does.
 func DecodeCallArgs(info *idl.Info, rest []byte) ([]idl.Value, error) {
-	d := xdr.NewDecoder(bytesReader(rest))
+	pd := acquireDecoder(rest)
+	defer pd.release()
+	d := &pd.d
 	args := make([]idl.Value, len(info.Params))
 	// First pass: decode in-shipping values in order. Scalars land in
 	// args as they are read so later dims can be evaluated.
@@ -168,15 +266,23 @@ func DecodeCallArgs(info *idl.Info, rest []byte) ([]idl.Value, error) {
 	return args, nil
 }
 
-// EncodeCallReply serializes a MsgCallOK payload: server-side timings
-// followed by the out-shipping arguments.
-func EncodeCallReply(info *idl.Info, t Timings, args []idl.Value) ([]byte, error) {
+// EncodeCallReplyBuf serializes a MsgCallOK payload — server-side
+// timings followed by the out-shipping arguments — into a pooled frame
+// buffer. The caller owns the buffer and must Release it.
+func EncodeCallReplyBuf(info *idl.Info, t Timings, args []idl.Value) (*Buffer, error) {
 	counts, err := info.DimSizes(args)
 	if err != nil {
 		return nil, err
 	}
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
+	size := 24 // three int64 timings
+	for i := range info.Params {
+		p := &info.Params[i]
+		if p.Mode.Ships(true) {
+			size += argSize(p, counts[i], args[i])
+		}
+	}
+	fb := AcquireBuffer(size)
+	e := fb.Encoder()
 	t.encode(e)
 	for i := range info.Params {
 		p := &info.Params[i]
@@ -184,13 +290,28 @@ func EncodeCallReply(info *idl.Info, t Timings, args []idl.Value) ([]byte, error
 			continue
 		}
 		if err := encodeArg(e, p, counts[i], args[i]); err != nil {
+			fb.Release()
 			return nil, fmt.Errorf("protocol: %s result %q: %w", info.Name, p.Name, err)
 		}
 	}
 	if err := e.Err(); err != nil {
+		fb.Release()
 		return nil, err
 	}
-	return buf.b, nil
+	return fb, nil
+}
+
+// EncodeCallReply serializes a MsgCallOK payload into a caller-owned
+// byte slice; the server's blocking-call path uses EncodeCallReplyBuf
+// instead and recycles the buffer after the write.
+func EncodeCallReply(info *idl.Info, t Timings, args []idl.Value) ([]byte, error) {
+	fb, err := EncodeCallReplyBuf(info, t, args)
+	if err != nil {
+		return nil, err
+	}
+	p := append([]byte(nil), fb.Payload()...)
+	fb.Release()
+	return p, nil
 }
 
 // DecodeCallReply decodes a MsgCallOK payload. The returned slice has
@@ -198,7 +319,9 @@ func EncodeCallReply(info *idl.Info, t Timings, args []idl.Value) ([]byte, error
 // others are nil. callArgs supplies the scalar inputs needed to size
 // the out arrays.
 func DecodeCallReply(info *idl.Info, callArgs []idl.Value, p []byte) (Timings, []idl.Value, error) {
-	d := xdr.NewDecoder(bytesReader(p))
+	pd := acquireDecoder(p)
+	defer pd.release()
+	d := &pd.d
 	var t Timings
 	t.decode(d)
 	if err := d.Err(); err != nil {
@@ -253,17 +376,16 @@ type SubmitReply struct {
 
 // Encode serializes the reply.
 func (m *SubmitReply) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutUint64(m.JobID)
-	return buf.b
+	return encodePayload(8, func(e *xdr.Encoder) { e.PutUint64(m.JobID) })
 }
 
 // DecodeSubmitReply parses a MsgSubmitOK payload.
 func DecodeSubmitReply(p []byte) (SubmitReply, error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	m := SubmitReply{JobID: d.Uint64()}
-	return m, d.Err()
+	pd := acquireDecoder(p)
+	m := SubmitReply{JobID: pd.d.Uint64()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
 }
 
 // FetchRequest is the payload of MsgFetch.
@@ -276,18 +398,28 @@ type FetchRequest struct {
 
 // Encode serializes the request.
 func (m *FetchRequest) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
+	return encodePayload(12, func(e *xdr.Encoder) {
+		e.PutUint64(m.JobID)
+		e.PutBool(m.Wait)
+	})
+}
+
+// EncodeBuf serializes the request into a pooled frame buffer.
+func (m *FetchRequest) EncodeBuf() *Buffer {
+	fb := AcquireBuffer(12)
+	e := fb.Encoder()
 	e.PutUint64(m.JobID)
 	e.PutBool(m.Wait)
-	return buf.b
+	return fb
 }
 
 // DecodeFetchRequest parses a MsgFetch payload.
 func DecodeFetchRequest(p []byte) (FetchRequest, error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	m := FetchRequest{JobID: d.Uint64(), Wait: d.Bool()}
-	return m, d.Err()
+	pd := acquireDecoder(p)
+	m := FetchRequest{JobID: pd.d.Uint64(), Wait: pd.d.Bool()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
 }
 
 // Stats is the payload of MsgStatsOK: the server self-report the
@@ -304,21 +436,21 @@ type Stats struct {
 
 // Encode serializes the stats.
 func (m *Stats) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutString(m.Hostname)
-	e.PutInt64(m.PEs)
-	e.PutInt64(m.Running)
-	e.PutInt64(m.Queued)
-	e.PutInt64(m.TotalCalls)
-	e.PutFloat64(m.LoadAverage)
-	e.PutFloat64(m.CPUUtil)
-	return buf.b
+	return encodePayload(xdr.SizeString(len(m.Hostname))+48, func(e *xdr.Encoder) {
+		e.PutString(m.Hostname)
+		e.PutInt64(m.PEs)
+		e.PutInt64(m.Running)
+		e.PutInt64(m.Queued)
+		e.PutInt64(m.TotalCalls)
+		e.PutFloat64(m.LoadAverage)
+		e.PutFloat64(m.CPUUtil)
+	})
 }
 
 // DecodeStats parses a MsgStatsOK payload.
 func DecodeStats(p []byte) (Stats, error) {
-	d := xdr.NewDecoder(bytesReader(p))
+	pd := acquireDecoder(p)
+	d := &pd.d
 	m := Stats{
 		Hostname:    d.String(),
 		PEs:         d.Int64(),
@@ -328,14 +460,24 @@ func DecodeStats(p []byte) (Stats, error) {
 		LoadAverage: d.Float64(),
 		CPUUtil:     d.Float64(),
 	}
-	return m, d.Err()
+	err := d.Err()
+	pd.release()
+	return m, err
 }
+
+// envPool recycles the per-decode expression environments, mirroring
+// the pool idl keeps for the encode side.
+var envPool = sync.Pool{New: func() any { return make(map[string]int64, 8) }}
 
 // paramCount evaluates one parameter's element count against the
 // scalar arguments decoded so far.
 func paramCount(info *idl.Info, p *idl.Param, args []idl.Value) (int, error) {
 	count := 1
 	env := scalarEnvSoFar(info, args)
+	defer func() {
+		clear(env)
+		envPool.Put(env)
+	}()
 	for _, dim := range p.Dims {
 		n, err := dim.Eval(env)
 		if err != nil {
@@ -350,7 +492,7 @@ func paramCount(info *idl.Info, p *idl.Param, args []idl.Value) (int, error) {
 }
 
 func scalarEnvSoFar(info *idl.Info, args []idl.Value) map[string]int64 {
-	env := make(map[string]int64)
+	env := envPool.Get().(map[string]int64)
 	for i := range info.Params {
 		p := &info.Params[i]
 		if !p.IsScalar() || p.Type != idl.Int {

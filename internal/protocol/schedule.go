@@ -33,22 +33,23 @@ type ScheduleRequest struct {
 
 // Encode serializes the request.
 func (m *ScheduleRequest) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutString(m.Routine)
-	e.PutInt64(m.InBytes)
-	e.PutInt64(m.OutBytes)
-	e.PutInt64(m.Ops)
-	e.PutUint32(uint32(len(m.Exclude)))
-	for _, x := range m.Exclude {
-		e.PutString(x)
-	}
-	return buf.b
+	return encodePayload(xdr.SizeString(len(m.Routine))+28, func(e *xdr.Encoder) {
+		e.PutString(m.Routine)
+		e.PutInt64(m.InBytes)
+		e.PutInt64(m.OutBytes)
+		e.PutInt64(m.Ops)
+		e.PutUint32(uint32(len(m.Exclude)))
+		for _, x := range m.Exclude {
+			e.PutString(x)
+		}
+	})
 }
 
 // DecodeScheduleRequest parses a MsgSchedule payload.
 func DecodeScheduleRequest(p []byte) (ScheduleRequest, error) {
-	d := xdr.NewDecoder(bytesReader(p))
+	pd := acquireDecoder(p)
+	defer pd.release()
+	d := &pd.d
 	m := ScheduleRequest{
 		Routine:  d.String(),
 		InBytes:  d.Int64(),
@@ -73,18 +74,19 @@ type ScheduleReply struct {
 
 // Encode serializes the reply.
 func (m *ScheduleReply) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutString(m.Name)
-	e.PutString(m.Addr)
-	return buf.b
+	return encodePayload(xdr.SizeString(len(m.Name))+xdr.SizeString(len(m.Addr)), func(e *xdr.Encoder) {
+		e.PutString(m.Name)
+		e.PutString(m.Addr)
+	})
 }
 
 // DecodeScheduleReply parses a MsgScheduleOK payload.
 func DecodeScheduleReply(p []byte) (ScheduleReply, error) {
-	d := xdr.NewDecoder(bytesReader(p))
-	m := ScheduleReply{Name: d.String(), Addr: d.String()}
-	return m, d.Err()
+	pd := acquireDecoder(p)
+	m := ScheduleReply{Name: pd.d.String(), Addr: pd.d.String()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
 }
 
 // ObserveRequest feeds a completed call back to the metaserver.
@@ -97,23 +99,25 @@ type ObserveRequest struct {
 
 // Encode serializes the observation.
 func (m *ObserveRequest) Encode() []byte {
-	var buf writerBuf
-	e := xdr.NewEncoder(&buf)
-	e.PutString(m.Name)
-	e.PutInt64(m.Bytes)
-	e.PutInt64(m.Nanos)
-	e.PutBool(m.Failed)
-	return buf.b
+	return encodePayload(xdr.SizeString(len(m.Name))+20, func(e *xdr.Encoder) {
+		e.PutString(m.Name)
+		e.PutInt64(m.Bytes)
+		e.PutInt64(m.Nanos)
+		e.PutBool(m.Failed)
+	})
 }
 
 // DecodeObserveRequest parses a MsgObserve payload.
 func DecodeObserveRequest(p []byte) (ObserveRequest, error) {
-	d := xdr.NewDecoder(bytesReader(p))
+	pd := acquireDecoder(p)
+	d := &pd.d
 	m := ObserveRequest{
 		Name:   d.String(),
 		Bytes:  d.Int64(),
 		Nanos:  d.Int64(),
 		Failed: d.Bool(),
 	}
-	return m, d.Err()
+	err := d.Err()
+	pd.release()
+	return m, err
 }

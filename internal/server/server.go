@@ -257,41 +257,52 @@ func (s *Server) Stats() protocol.Stats {
 
 // ServeConn processes frames from one connection until EOF or error.
 // Exported so tests and the emulation layer can drive the server over
-// arbitrary net.Conns (pipes, shaped links).
+// arbitrary net.Conns (pipes, shaped links). Request frames are read
+// into pooled buffers that dispatch recycles as soon as the payload is
+// decoded, so steady-state serving allocates no framing memory.
 func (s *Server) ServeConn(conn net.Conn) {
 	for {
-		typ, payload, err := protocol.ReadFrame(conn, s.cfg.MaxPayload)
+		typ, fb, err := protocol.ReadFrameBuf(conn, s.cfg.MaxPayload)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("ninf server: read: %v", err)
 			}
 			return
 		}
-		if err := s.dispatch(conn, typ, payload); err != nil {
+		if err := s.dispatch(conn, typ, fb); err != nil {
 			s.logf("ninf server: %v", err)
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, payload []byte) error {
+// dispatch handles one request frame. It owns fb and releases it once
+// the payload has been decoded — before waiting on execution, so a
+// large argument frame is not pinned while the executable runs.
+func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buffer) error {
+	payload := fb.Payload()
 	switch typ {
 	case protocol.MsgPing:
+		fb.Release()
 		return protocol.WriteFrame(conn, protocol.MsgPong, nil)
 
 	case protocol.MsgList:
+		fb.Release()
 		reply := protocol.ListReply{Names: s.registry.Names()}
 		return protocol.WriteFrame(conn, protocol.MsgListReply, reply.Encode())
 
 	case protocol.MsgStats:
+		fb.Release()
 		st := s.Stats()
 		return protocol.WriteFrame(conn, protocol.MsgStatsOK, st.Encode())
 
 	case protocol.MsgTrace:
+		fb.Release()
 		return protocol.WriteFrame(conn, protocol.MsgTraceOK, encodeTraces(s.Trace()))
 
 	case protocol.MsgInterface:
 		req, err := protocol.DecodeInterfaceRequest(payload)
+		fb.Release()
 		if err != nil {
 			return s.sendError(conn, protocol.CodeBadArguments, err.Error())
 		}
@@ -311,6 +322,7 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, payload []byte) e
 		// while it runs (§2.3).
 		ctx := context.WithValue(s.baseCtx, callbackKey, s.connInvoker(conn))
 		t, code, err := s.admit(payload, false, ctx)
+		fb.Release() // arguments are decoded and copied by admit
 		if err != nil {
 			return s.sendError(conn, code, err.Error())
 		}
@@ -318,14 +330,17 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, payload []byte) e
 		if t.err != nil {
 			return s.sendError(conn, protocol.CodeExecFailed, t.err.Error())
 		}
-		reply, err := protocol.EncodeCallReply(t.ex.Info, t.timings, t.args)
+		reply, err := protocol.EncodeCallReplyBuf(t.ex.Info, t.timings, t.args)
 		if err != nil {
 			return s.sendError(conn, protocol.CodeInternal, err.Error())
 		}
-		return protocol.WriteFrame(conn, protocol.MsgCallOK, reply)
+		werr := protocol.WriteFrameBuf(conn, protocol.MsgCallOK, reply)
+		reply.Release()
+		return werr
 
 	case protocol.MsgSubmit:
 		t, code, err := s.admit(payload, true, nil)
+		fb.Release()
 		if err != nil {
 			return s.sendError(conn, code, err.Error())
 		}
@@ -334,12 +349,14 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, payload []byte) e
 
 	case protocol.MsgFetch:
 		req, err := protocol.DecodeFetchRequest(payload)
+		fb.Release()
 		if err != nil {
 			return s.sendError(conn, protocol.CodeBadArguments, err.Error())
 		}
 		return s.fetch(conn, req)
 
 	default:
+		fb.Release()
 		return s.sendError(conn, protocol.CodeInternal, fmt.Sprintf("unexpected frame %v", typ))
 	}
 }

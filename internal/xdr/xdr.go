@@ -70,6 +70,15 @@ type Encoder struct {
 // NewEncoder returns an Encoder writing to w.
 func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 
+// Reset rearms the encoder to write to w, clearing the byte count and
+// the error latch while keeping the bulk chunk buffer. It lets pooled
+// encoders be reused without reallocating their scratch state.
+func (e *Encoder) Reset(w io.Writer) {
+	e.w = w
+	e.n = 0
+	e.err = nil
+}
+
 // Err reports the first error encountered by the encoder.
 func (e *Encoder) Err() error { return e.err }
 
@@ -249,6 +258,19 @@ type Decoder struct {
 // variable-length limit.
 func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{r: r, maxBytes: DefaultMaxBytes}
+}
+
+// Reset rearms the decoder to read from r, clearing the byte count and
+// the error latch while keeping the bulk chunk buffer. A zero-value or
+// pooled decoder gains the default variable-length limit; a limit set
+// with SetMaxBytes is preserved.
+func (d *Decoder) Reset(r io.Reader) {
+	d.r = r
+	d.n = 0
+	d.err = nil
+	if d.maxBytes <= 0 {
+		d.maxBytes = DefaultMaxBytes
+	}
 }
 
 // SetMaxBytes adjusts the limit on variable-length items. Limits that

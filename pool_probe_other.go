@@ -1,0 +1,9 @@
+//go:build !unix
+
+package ninf
+
+import "net"
+
+// rawConnAlive is unavailable without unix socket peeking; callers
+// fall back to the deadline read probe.
+func rawConnAlive(net.Conn) (alive, ok bool) { return false, false }

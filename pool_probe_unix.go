@@ -1,0 +1,44 @@
+//go:build unix
+
+package ninf
+
+import (
+	"net"
+	"syscall"
+)
+
+// rawConnAlive peeks at the socket without blocking or consuming
+// bytes: EWOULDBLOCK means a healthy idle stream, a zero-byte return
+// is an orderly shutdown, and pending bytes mean the stream is out of
+// frame sync. ok is false when the connection does not expose a file
+// descriptor (wrapped or in-memory connections), in which case the
+// caller falls back to a deadline probe.
+func rawConnAlive(conn net.Conn) (alive, ok bool) {
+	sc, isSC := conn.(syscall.Conn)
+	if !isSC {
+		return false, false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false, false
+	}
+	checked := false
+	rerr := raw.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		checked = true
+		switch {
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+			alive = true
+		case n > 0, err != nil:
+			alive = false
+		default:
+			alive = false // n == 0, err == nil: peer closed
+		}
+		return true // never wait for readability
+	})
+	if rerr != nil || !checked {
+		return false, false
+	}
+	return alive, true
+}
