@@ -23,6 +23,7 @@
 package ninf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -56,6 +57,16 @@ var errClientClosed = errors.New("ninf: client closed")
 // Dial connects to a Ninf server over the named network.
 func Dial(network, addr string) (*Client, error) {
 	dialer := func() (net.Conn, error) { return net.Dial(network, addr) }
+	return NewClient(dialer)
+}
+
+// DialContext is Dial with the initial connection (and every later
+// pool refill) bounded by ctx's deadline. Cancelling ctx after
+// DialContext returns also aborts subsequent dials made on the
+// client's behalf; it does not interrupt exchanges already in flight.
+func DialContext(ctx context.Context, network, addr string) (*Client, error) {
+	var d net.Dialer
+	dialer := func() (net.Conn, error) { return d.DialContext(ctx, network, addr) }
 	return NewClient(dialer)
 }
 
@@ -106,6 +117,7 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(t protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:ninflint locknet — c.mu exists to serialize exchanges on the primary connection; framing would interleave without it
 	return roundTripOn(c.conn, c.maxPayload, t, payload)
 }
 
@@ -207,6 +219,7 @@ func (c *Client) Interface(name string) (*idl.Info, error) {
 		return info, nil
 	}
 	req := protocol.InterfaceRequest{Name: name}
+	//lint:ninflint locknet — the interface fetch deliberately holds c.mu through the exchange so concurrent first calls don't interleave frames
 	t, p, err := roundTripOn(c.conn, c.maxPayload, protocol.MsgInterface, req.Encode())
 	if err != nil {
 		c.mu.Unlock()

@@ -1,0 +1,242 @@
+// Package analysis is ninflint's analyzer framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface that the repository's vendored toolchain cannot
+// provide. An Analyzer inspects one type-checked package at a time and
+// reports Diagnostics; drivers (cmd/ninflint standalone, the vet -cfg
+// protocol, and the analysistest fixture runner) supply the loaded
+// packages and decide what to do with the findings.
+//
+// The analyzers enforce the data-plane invariants the PR 1 performance
+// work introduced — pooled frame buffers that must be released on every
+// control-flow path, pooled connections that must not be re-pooled
+// after an I/O error, XDR encode/decode symmetry, no blocking network
+// I/O under a mutex, and context propagation into dials — because the
+// paper's multi-client throughput numbers (§5–6) are only trustworthy
+// while those invariants hold under concurrency.
+//
+// Intentional violations are suppressed with a comment on the flagged
+// line or the line above:
+//
+//	//lint:ninflint                          suppress every pass
+//	//lint:ninflint locknet                  suppress one pass
+//	//lint:ninflint locknet,releasecheck — reason
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one ninflint pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and suppressions.
+	Name string
+	// Doc is a one-paragraph description of what the pass enforces.
+	Doc string
+	// Run inspects one package via the Pass and reports findings.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Package bundles everything a driver loads for one package.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// NewTypesInfo allocates the types.Info maps every pass relies on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// diagnostics: suppressed findings are dropped, the rest are sorted by
+// position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = filterSuppressed(pkg.Fset, pkg.Files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppressionPrefix introduces a ninflint suppression comment.
+const suppressionPrefix = "//lint:ninflint"
+
+// suppression is one parsed //lint:ninflint comment.
+type suppression struct {
+	line   int
+	passes map[string]bool // nil means all passes
+}
+
+// parseSuppressions extracts the suppression directives of one file.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var sups []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, suppressionPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, suppressionPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:ninflintfoo
+			}
+			// Everything up to an em dash or "--" is the pass list; the
+			// remainder is free-form justification.
+			rest = strings.TrimSpace(rest)
+			if i := strings.IndexAny(rest, "—"); i >= 0 {
+				rest = strings.TrimSpace(rest[:i])
+			}
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = strings.TrimSpace(rest[:i])
+			}
+			s := suppression{line: fset.Position(c.Pos()).Line}
+			if rest != "" {
+				s.passes = make(map[string]bool)
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						s.passes[name] = true
+					}
+				}
+			}
+			sups = append(sups, s)
+		}
+	}
+	return sups
+}
+
+// filterSuppressed drops diagnostics whose line (or the line below a
+// directive-only line) carries a matching //lint:ninflint comment.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	// filename -> line -> suppressions covering that line
+	covered := make(map[string]map[int][]suppression)
+	for _, f := range files {
+		pos := fset.Position(f.Pos())
+		m := covered[pos.Filename]
+		if m == nil {
+			m = make(map[int][]suppression)
+			covered[pos.Filename] = m
+		}
+		for _, s := range parseSuppressions(fset, f) {
+			// A directive suppresses findings on its own line and on
+			// the following line (for directives placed above the code).
+			m[s.line] = append(m[s.line], s)
+			m[s.line+1] = append(m[s.line+1], s)
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range covered[d.Pos.Filename][d.Pos.Line] {
+			if s.passes == nil || s.passes[d.Analyzer] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns every ninflint analyzer in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ReleaseCheck,
+		PoolDiscard,
+		XDRSym,
+		LockNet,
+		CtxDeadline,
+	}
+}
+
+// ByName resolves a comma-separated pass list.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

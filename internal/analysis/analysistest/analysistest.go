@@ -1,0 +1,177 @@
+// Package analysistest runs a ninflint analyzer over a fixture
+// directory and checks its findings against // want comments, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest:
+//
+//	v := acquire() // want `not Released on every path`
+//
+// Each `// want` comment carries one or more backquoted or quoted
+// regular expressions; every diagnostic the analyzer reports on that
+// line must match one of them, and every want must be matched by a
+// diagnostic. Lines without a want comment must stay clean — which is
+// how fixtures also prove //lint:ninflint suppressions are honored.
+package analysistest
+
+import (
+	"bufio"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ninf/internal/analysis"
+	"ninf/internal/analysis/load"
+)
+
+// Run analyzes the fixture package in dir with the given analyzers and
+// reports any mismatch against the // want comments via t.Errorf.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s: no Go files", dir)
+	}
+	fset := token.NewFileSet()
+	imp, err := load.Importer(fset, importsOf(t, files))
+	if err != nil {
+		t.Fatalf("fixture %s: resolving imports: %v", dir, err)
+	}
+	pkg, err := load.Files(fset, imp, "fixture/"+filepath.Base(dir), files)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	checkWants(t, files, diags)
+}
+
+// fixtureFiles lists the non-test Go files of a fixture directory.
+func fixtureFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// importsOf collects the import paths of the fixture files so their
+// export data can be resolved.
+func importsOf(t *testing.T, files []string) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, fn := range files {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "C" {
+				seen[path] = true
+			}
+		}
+	}
+	var out []string
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWants scans one file for // want comments.
+func parseWants(file string) ([]want, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var wants []want
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		m := wantRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%s:%d: malformed want comment", file, line)
+		}
+		for _, a := range args {
+			pat := a[1]
+			if pat == "" {
+				pat = a[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern: %v", file, line, err)
+			}
+			wants = append(wants, want{file: file, line: line, re: re, raw: pat})
+		}
+	}
+	return wants, sc.Err()
+}
+
+// checkWants matches diagnostics against expectations one-to-one.
+func checkWants(t *testing.T, files []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []want
+	for _, fn := range files {
+		w, err := parseWants(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w...)
+	}
+	for _, d := range diags {
+		found := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

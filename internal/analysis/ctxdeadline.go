@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxDeadline checks that exported entry points which accept a
+// context.Context actually honor it on the network path: a dial inside
+// such a function must be context-aware (net.Dialer.DialContext, or a
+// helper that is itself handed the context), and the context must not
+// be dropped on the floor while the function does socket work. A
+// WAN-side caller that sets a deadline and still waits the full TCP
+// timeout is the failure mode the paper's WAN experiments (§6) exist
+// to quantify.
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc: "exported functions taking a context.Context must propagate " +
+		"it to dials and deadlines on their network path",
+	Run: runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			ctxObj := contextParam(pass, fn)
+			if ctxObj == nil {
+				continue
+			}
+			checkCtxPropagation(pass, fn, ctxObj)
+		}
+	}
+	return nil
+}
+
+// contextParam returns the object of the function's context.Context
+// parameter, or nil.
+func contextParam(pass *Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkCtxPropagation flags context-blind dials, and a context that is
+// never consulted at all in a function that does network work.
+func checkCtxPropagation(pass *Pass, fn *ast.FuncDecl, ctxObj types.Object) {
+	ctxUsed := false
+	netWork := false
+	reportedDial := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctxObj {
+			ctxUsed = true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := funcOf(pass.TypesInfo, call); f != nil && pkgPathOf(f) == "net" &&
+			strings.HasPrefix(f.Name(), "Dial") {
+			netWork = true
+			if f.Name() != "DialContext" {
+				reportedDial = true
+				pass.Reportf(call.Pos(),
+					"%s ignores the ctx parameter; use (&net.Dialer{}).DialContext so cancellation and deadlines reach the dial", f.Name())
+			}
+			return true
+		}
+		// Conn methods and conn-consuming helpers mark the function as
+		// doing network work.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isNetConnType(tv.Type) {
+				netWork = true
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, ok := pass.TypesInfo.Types[arg]; ok && isNetConnType(tv.Type) {
+				netWork = true
+			}
+		}
+		return true
+	})
+	if netWork && !ctxUsed && !reportedDial {
+		pass.Reportf(fn.Name.Pos(),
+			"%s takes a context.Context but never consults it on its network path; propagate it to dials or deadlines",
+			fn.Name.Name)
+	}
+}

@@ -1,0 +1,152 @@
+// Package load turns Go package patterns into the type-checked
+// analysis.Package bundles ninflint's passes consume. It deliberately
+// avoids golang.org/x/tools/go/packages: the repository carries no
+// third-party modules, so packages are enumerated with `go list
+// -export -deps -json` and type-checked against the compiler export
+// data the build cache already holds.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"ninf/internal/analysis"
+)
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// golist enumerates packages, with export data forced.
+func golist(patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the importer lookup function over the export
+// files go list reported.
+func exportLookup(pkgs []listedPkg) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// Packages loads and type-checks every non-dependency package matched
+// by the patterns, in deterministic import-path order.
+func Packages(patterns ...string) ([]*analysis.Package, error) {
+	listed, err := golist(patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	var out []*analysis.Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pkg.Path() < out[j].Pkg.Path() })
+	return out, nil
+}
+
+// Files type-checks one package given explicit file paths and an
+// importer — the entry point the analysistest fixture runner uses.
+func Files(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &analysis.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*analysis.Package, error) {
+	filenames := make([]string, len(goFiles))
+	for i, f := range goFiles {
+		filenames[i] = filepath.Join(dir, f)
+	}
+	return Files(fset, imp, path, filenames)
+}
+
+// Importer returns a types.Importer resolving the transitive imports
+// of the given packages from build-cache export data, building that
+// data if needed.
+func Importer(fset *token.FileSet, imports []string) (types.Importer, error) {
+	if len(imports) == 0 {
+		return importer.ForCompiler(fset, "gc", func(string) (io.ReadCloser, error) {
+			return nil, fmt.Errorf("package imports nothing")
+		}), nil
+	}
+	listed, err := golist(imports)
+	if err != nil {
+		return nil, err
+	}
+	return importer.ForCompiler(fset, "gc", exportLookup(listed)), nil
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockNet flags blocking network operations — conn reads and writes,
+// dials, calls that are handed a net.Conn, and channel sends —
+// performed while a sync.Mutex or sync.RWMutex is held. A slow or
+// stalled peer then extends the critical section indefinitely and
+// serializes every other client behind one WAN round-trip, which is
+// exactly the multi-client collapse the paper's §6 measurements are
+// about. Hold locks around state, not around sockets.
+var LockNet = &Analyzer{
+	Name: "locknet",
+	Doc: "no blocking net I/O or channel send while holding a " +
+		"sync.Mutex/RWMutex",
+	Run: runLockNet,
+}
+
+func runLockNet(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					lockScanBlock(pass, fn.Body.List)
+				}
+			case *ast.FuncLit:
+				lockScanBlock(pass, fn.Body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockScanBlock finds Lock/RLock statements in one statement list and
+// checks their critical sections. It recurses into nested compound
+// statements; function literals are handled by the file-level walk.
+func lockScanBlock(pass *Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		if recv, ok := mutexCallIn(pass, stmt, "Lock", "RLock"); ok {
+			checkLockedList(pass, criticalSection(pass, stmts[i+1:], recv), recv)
+			continue
+		}
+		lockScanNested(pass, stmt)
+	}
+}
+
+// lockScanNested descends into compound statements looking for
+// further Lock calls.
+func lockScanNested(pass *Pass, stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		lockScanBlock(pass, s.List)
+	case *ast.IfStmt:
+		lockScanBlock(pass, s.Body.List)
+		if s.Else != nil {
+			lockScanNested(pass, s.Else)
+		}
+	case *ast.ForStmt:
+		lockScanBlock(pass, s.Body.List)
+	case *ast.RangeStmt:
+		lockScanBlock(pass, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lockScanBlock(pass, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lockScanBlock(pass, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lockScanBlock(pass, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		lockScanNested(pass, s.Stmt)
+	}
+}
+
+// criticalSection returns the statements executed while the lock on
+// recv is held: up to the matching same-level Unlock, or — when the
+// unlock is deferred or absent — through the end of the list.
+func criticalSection(pass *Pass, rest []ast.Stmt, recv string) []ast.Stmt {
+	for i, stmt := range rest {
+		if r, ok := mutexCallIn(pass, stmt, "Unlock", "RUnlock"); ok && r == recv {
+			return rest[:i]
+		}
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			if r, ok := mutexDeferTarget(pass, d); ok && r == recv {
+				out := append([]ast.Stmt{}, rest[:i]...)
+				return append(out, rest[i+1:]...)
+			}
+		}
+	}
+	return rest
+}
+
+// mutexCallIn matches an expression statement that is a sync mutex
+// method call with one of the given names, returning the rendered
+// receiver expression ("c.mu").
+func mutexCallIn(pass *Pass, stmt ast.Stmt, names ...string) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	return mutexCall(pass, call, names...)
+}
+
+// mutexDeferTarget matches `defer x.Unlock()` / `defer x.RUnlock()`.
+func mutexDeferTarget(pass *Pass, d *ast.DeferStmt) (string, bool) {
+	return mutexCall(pass, d.Call, "Unlock", "RUnlock")
+}
+
+func mutexCall(pass *Pass, call *ast.CallExpr, names ...string) (string, bool) {
+	f := funcOf(pass.TypesInfo, call)
+	if f == nil || pkgPathOf(f) != "sync" {
+		return "", false
+	}
+	ok := false
+	for _, n := range names {
+		if f.Name() == n {
+			ok = true
+		}
+	}
+	if !ok {
+		return "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// checkLockedList walks the statements of a critical section. A
+// same-receiver Unlock inside a branch ends the section for the
+// remainder of that branch.
+func checkLockedList(pass *Pass, stmts []ast.Stmt, recv string) {
+	for _, stmt := range stmts {
+		if r, ok := mutexCallIn(pass, stmt, "Unlock", "RUnlock"); ok && r == recv {
+			return
+		}
+		checkLockedStmt(pass, stmt, recv)
+	}
+}
+
+func checkLockedStmt(pass *Pass, stmt ast.Stmt, recv string) {
+	switch s := stmt.(type) {
+	case *ast.GoStmt:
+		// Launching a goroutine does not block the lock holder.
+		return
+	case *ast.DeferStmt:
+		// Deferred calls run after the function's own unlock path.
+		return
+	case *ast.SendStmt:
+		pass.Reportf(s.Arrow,
+			"channel send while holding %s; a full channel stalls every other holder of the lock", recv)
+		return
+	case *ast.BlockStmt:
+		checkLockedList(pass, s.List, recv)
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			checkLockedStmt(pass, s.Init, recv)
+		}
+		flagNetIO(pass, s.Cond, recv)
+		checkLockedList(pass, s.Body.List, recv)
+		if s.Else != nil {
+			checkLockedStmt(pass, s.Else, recv)
+		}
+		return
+	case *ast.ForStmt:
+		checkLockedList(pass, s.Body.List, recv)
+		return
+	case *ast.RangeStmt:
+		checkLockedList(pass, s.Body.List, recv)
+		return
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			body = sw.Body
+		} else {
+			body = s.(*ast.TypeSwitchStmt).Body
+		}
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkLockedList(pass, cc.Body, recv)
+			}
+		}
+		return
+	case *ast.SelectStmt:
+		// Comm clauses race against each other; the bodies still run
+		// under the lock.
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				checkLockedList(pass, cc.Body, recv)
+			}
+		}
+		return
+	case *ast.LabeledStmt:
+		checkLockedStmt(pass, s.Stmt, recv)
+		return
+	}
+	flagNetIO(pass, stmt, recv)
+}
+
+// connArgExempt lists callee names that take a conn without blocking
+// on it: bookkeeping, teardown, and pool returns.
+var connArgExempt = map[string]bool{
+	"Close": true, "close": true,
+	"put": true, "Put": true,
+	"LocalAddr": true, "RemoteAddr": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// flagNetIO inspects one statement or expression for blocking network
+// operations. Function literals and deferred/goroutine subtrees are
+// not entered.
+func flagNetIO(pass *Pass, n ast.Node, recv string) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch nn := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			flagNetCall(pass, nn, recv)
+		}
+		return true
+	})
+}
+
+func flagNetCall(pass *Pass, call *ast.CallExpr, recv string) {
+	// conn.Read / conn.Write on a net.Conn receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if name == "Read" || name == "Write" || name == "ReadFrom" || name == "WriteTo" {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isNetConnType(tv.Type) {
+				pass.Reportf(call.Pos(),
+					"conn.%s while holding %s; a stalled peer extends the critical section indefinitely", name, recv)
+				return
+			}
+		}
+	}
+	// net.Dial* and (net.Dialer).Dial*.
+	if f := funcOf(pass.TypesInfo, call); f != nil && pkgPathOf(f) == "net" &&
+		strings.HasPrefix(f.Name(), "Dial") {
+		pass.Reportf(call.Pos(),
+			"%s while holding %s; dial latency (up to the WAN RTT) is spent inside the critical section", f.Name(), recv)
+		return
+	}
+	// Helpers handed a live conn (WriteFrame(conn, ...), ReadFrameBuf(conn)).
+	callee := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		callee = sel.Sel.Name
+	} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		callee = id.Name
+		// Builtins (append, delete, len, ...) move no bytes.
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	if connArgExempt[callee] {
+		return
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isNetConnType(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"%s is handed a net.Conn while %s is held; if it blocks on the socket the lock blocks with it", callee, recv)
+			return
+		}
+	}
+}

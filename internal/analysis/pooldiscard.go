@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// PoolDiscard enforces the connection-pool hygiene rule of the client
+// data plane (pool.go / client.go): once an exchange on a pooled
+// connection has produced an error, the connection's stream may be out
+// of frame sync, so it must be closed — never handed back to the pool
+// with put/Put. A put is accepted only when it is guarded by a
+// condition that consults the exchange error (err == nil, or a
+// reusability predicate like connReusable(err)); a put on a branch
+// taken when the error is non-nil, or an unguarded put after an
+// erroring exchange, is reported.
+var PoolDiscard = &Analyzer{
+	Name: "pooldiscard",
+	Doc: "connections must not be returned to the pool (put/Put) on " +
+		"paths where a connection I/O error occurred",
+	Run: runPoolDiscard,
+}
+
+// poolDiscardFiles are the base filenames the pass applies to — the
+// files that own the pool checkout/return protocol.
+var poolDiscardFiles = map[string]bool{
+	"pool.go":   true,
+	"client.go": true,
+}
+
+func runPoolDiscard(pass *Pass) error {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !poolDiscardFiles[name] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPoolDiscard(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPoolDiscard analyzes one function body: it collects error
+// variables assigned from calls that involve a net.Conn (exchange
+// errors) and then judges every put call on a connection against the
+// guards between it and the function root.
+func checkPoolDiscard(pass *Pass, body *ast.BlockStmt) {
+	parents := parentMap(body)
+
+	// Pass 1: error objects born from conn-involving calls.
+	connErrs := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !callInvolvesConn(pass, call) {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			obj := exprObj(pass.TypesInfo, lhs)
+			if obj != nil && obj.Type() != nil && isErrorType(obj.Type()) {
+				connErrs[obj] = assign.Pos()
+			}
+		}
+		return true
+	})
+	if len(connErrs) == 0 {
+		return
+	}
+
+	// Pass 2: judge every put(conn) call.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolPut(pass, call) {
+			return true
+		}
+		switch classifyPutGuards(pass, call, parents, connErrs) {
+		case putOnErrorPath:
+			pass.Reportf(call.Pos(),
+				"connection returned to the pool on an error path; an I/O error leaves the stream out of frame sync — close it instead")
+		case putUnguarded:
+			if errGuardedBefore(pass, call, parents, connErrs) {
+				return true
+			}
+			for obj, pos := range connErrs {
+				if pos < call.Pos() {
+					pass.Reportf(call.Pos(),
+						"connection returned to the pool without consulting the I/O error %q from the preceding exchange",
+						obj.Name())
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// parentMap records each node's enclosing node within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+type putVerdict int
+
+const (
+	putGuardedOK putVerdict = iota
+	putOnErrorPath
+	putUnguarded
+)
+
+// classifyPutGuards walks from the put call outward through enclosing
+// if statements, deciding whether the put sits on a known-good branch
+// (err == nil / connReusable(err)), a known-bad branch (err != nil),
+// or no error-aware branch at all.
+func classifyPutGuards(pass *Pass, call *ast.CallExpr, parents map[ast.Node]ast.Node, connErrs map[types.Object]token.Pos) putVerdict {
+	var n ast.Node = call
+	for n != nil {
+		parent := parents[n]
+		ifs, ok := parent.(*ast.IfStmt)
+		if !ok {
+			n = parent
+			continue
+		}
+		inThen := containsNode(ifs.Body, n)
+		switch classifyErrCond(pass, ifs.Cond, connErrs) {
+		case condErrNonNil:
+			if inThen {
+				return putOnErrorPath
+			}
+			return putGuardedOK // else-branch of err != nil: error is nil
+		case condErrNil, condReusable:
+			if inThen {
+				return putGuardedOK
+			}
+			return putOnErrorPath
+		}
+		n = parent
+	}
+	return putUnguarded
+}
+
+// errGuardedBefore recognizes the early-return idiom: an
+// `if err != nil { ...; return }` statement ahead of the put, in its
+// own or any enclosing statement list, means the error is nil when the
+// put runs.
+func errGuardedBefore(pass *Pass, call *ast.CallExpr, parents map[ast.Node]ast.Node, connErrs map[types.Object]token.Pos) bool {
+	for n := ast.Node(call); n != nil; n = parents[n] {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		for _, stmt := range list {
+			if containsNode(stmt, call) {
+				break
+			}
+			ifs, ok := stmt.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			if classifyErrCond(pass, ifs.Cond, connErrs) == condErrNonNil && blockTerminates(ifs.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockTerminates reports whether a block's fall-through edge is dead:
+// its last statement returns or branches away.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+func containsNode(root, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+type condKind int
+
+const (
+	condOther condKind = iota
+	condErrNonNil
+	condErrNil
+	condReusable
+)
+
+// classifyErrCond recognizes err != nil, err == nil, and
+// reusability-predicate conditions that consult an exchange error.
+func classifyErrCond(pass *Pass, cond ast.Expr, connErrs map[types.Object]token.Pos) condKind {
+	cond = ast.Unparen(cond)
+	if be, ok := cond.(*ast.BinaryExpr); ok && (be.Op == token.NEQ || be.Op == token.EQL) {
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		isNil := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+		isTracked := func(e ast.Expr) bool {
+			obj := exprObj(pass.TypesInfo, e)
+			_, ok := connErrs[obj]
+			return obj != nil && ok
+		}
+		if (isTracked(x) && isNil(y)) || (isTracked(y) && isNil(x)) {
+			if be.Op == token.NEQ {
+				return condErrNonNil
+			}
+			return condErrNil
+		}
+		return condOther
+	}
+	// A predicate call whose arguments include a tracked exchange
+	// error — or any error value (fields, async results) — counts as
+	// consulting the error (connReusable(err) and friends).
+	if ce, ok := cond.(*ast.CallExpr); ok {
+		for _, arg := range ce.Args {
+			if mentionsTracked(pass, arg, connErrs) {
+				return condReusable
+			}
+		}
+		for _, arg := range ce.Args {
+			if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil && isErrorType(tv.Type) {
+				return condReusable
+			}
+		}
+	}
+	return condOther
+}
+
+func mentionsTracked(pass *Pass, e ast.Expr, connErrs map[types.Object]token.Pos) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if _, tracked := connErrs[obj]; tracked {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isPoolPut matches p.put(conn) / p.Put(conn): a method call named
+// put/Put whose single argument is a net.Conn.
+func isPoolPut(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "put" && sel.Sel.Name != "Put") {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	return ok && isNetConnType(tv.Type)
+}
+
+// callInvolvesConn reports whether a call reads from or writes to a
+// connection: a method call on a net.Conn, or any net.Conn argument.
+func callInvolvesConn(pass *Pass, call *ast.CallExpr) bool {
+	if recv := receiverOf(call); recv != nil {
+		if tv, ok := pass.TypesInfo.Types[recv]; ok && isNetConnType(tv.Type) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isNetConnType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,605 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReleaseCheck enforces the pooled-buffer ownership protocol of the
+// data plane: every value obtained from a pool-returning call
+// (ReadFrameBuf, EncodeCallRequestBuf, EncodeCallReplyBuf, EncodeBuf,
+// AcquireBuffer, acquireDecoder — recognized structurally as any call
+// returning a pointer type with a Release/release method) must reach a
+// Release call, an ownership transfer (returned, passed to a consuming
+// call, stored, sent, or captured by a closure), or a defer, on every
+// control-flow path, including early error returns. Functions taking
+// an owned buffer parameter inherit the same obligation; WriteFrameBuf
+// is the one borrower that does not consume its buffer.
+var ReleaseCheck = &Analyzer{
+	Name: "releasecheck",
+	Doc: "pooled frame buffers must be Released (or ownership transferred) " +
+		"on every control-flow path, including error returns",
+	Run: runReleaseCheck,
+}
+
+// borrowerFuncs take a pooled buffer argument without consuming it:
+// the caller still owns the buffer afterwards.
+var borrowerFuncs = map[string]bool{
+	"WriteFrameBuf": true,
+}
+
+func runReleaseCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				checkOwnedParams(pass, fn.Type, fn.Body, fn.Recv, fn.Name.Name)
+				scanForAcquisitions(pass, fn.Body.List, false)
+			case *ast.FuncLit:
+				checkOwnedParams(pass, fn.Type, fn.Body, nil, "")
+				scanForAcquisitions(pass, fn.Body.List, false)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkOwnedParams applies the release obligation to pooled-type
+// parameters: a function that accepts an owned buffer must dispose of
+// it on every path. Receivers are exempt (methods on the pooled type
+// itself), as are the declared borrower functions.
+func checkOwnedParams(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, recv *ast.FieldList, name string) {
+	if borrowerFuncs[name] || ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, pname := range field.Names {
+			obj := pass.TypesInfo.Defs[pname]
+			if obj == nil || pname.Name == "_" || !isPooledType(obj.Type()) {
+				continue
+			}
+			tr := &tracker{pass: pass, obj: obj}
+			out := tr.stmts(body.List, flowState{})
+			if !out.terminated && !out.released {
+				pass.Reportf(pname.Pos(),
+					"owned %s parameter %s may reach the end of %s without Release or ownership transfer",
+					typeName(obj.Type()), pname.Name, funcLabel(name))
+			}
+		}
+	}
+}
+
+func funcLabel(name string) string {
+	if name == "" {
+		return "the function literal"
+	}
+	return name
+}
+
+func typeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return "*" + named.Obj().Name()
+		}
+	}
+	return t.String()
+}
+
+// scanForAcquisitions walks every statement list of a function body,
+// starting a path analysis at each pooled-value acquisition.
+// Nested function literals are handled by the file-level walk, not
+// here, so each function's variables are analyzed exactly once.
+func scanForAcquisitions(pass *Pass, stmts []ast.Stmt, inLoop bool) {
+	for i, stmt := range stmts {
+		if assign, ok := stmt.(*ast.AssignStmt); ok {
+			for _, acq := range acquisitionsIn(pass, assign) {
+				tr := &tracker{pass: pass, obj: acq.obj, errObj: acq.errObj}
+				out := tr.stmts(stmts[i+1:], flowState{})
+				if !out.terminated && !out.released {
+					if inLoop {
+						pass.Reportf(acq.obj.Pos(),
+							"%s acquired from %s may be overwritten by the next loop iteration without Release",
+							acq.obj.Name(), acq.src)
+					} else {
+						pass.Reportf(acq.obj.Pos(),
+							"%s acquired from %s is not Released (or ownership-transferred) on every path",
+							acq.obj.Name(), acq.src)
+					}
+				}
+			}
+		}
+		scanNested(pass, stmt, inLoop)
+	}
+}
+
+// scanNested recurses into compound statements to find acquisitions in
+// inner blocks. Function literals are deliberately skipped: the
+// file-level walk visits them.
+func scanNested(pass *Pass, stmt ast.Stmt, inLoop bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		scanForAcquisitions(pass, s.List, inLoop)
+	case *ast.IfStmt:
+		scanForAcquisitions(pass, s.Body.List, inLoop)
+		if s.Else != nil {
+			scanNested(pass, s.Else, inLoop)
+		}
+	case *ast.ForStmt:
+		scanForAcquisitions(pass, s.Body.List, true)
+	case *ast.RangeStmt:
+		scanForAcquisitions(pass, s.Body.List, true)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanForAcquisitions(pass, cc.Body, inLoop)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanForAcquisitions(pass, cc.Body, inLoop)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanForAcquisitions(pass, cc.Body, inLoop)
+			}
+		}
+	case *ast.LabeledStmt:
+		scanNested(pass, s.Stmt, inLoop)
+	}
+}
+
+// An acquisition is one tracked variable born from a pool-returning
+// call, with the error variable (if any) assigned alongside it: on the
+// err != nil branch the pooled result is nil by convention, so error
+// guards release the obligation.
+type acquisition struct {
+	obj    types.Object
+	errObj types.Object
+	src    string
+}
+
+func acquisitionsIn(pass *Pass, assign *ast.AssignStmt) []acquisition {
+	if len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	src := "the call"
+	if fn := funcOf(pass.TypesInfo, call); fn != nil {
+		src = fn.Name()
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		src = sel.Sel.Name
+	} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		src = id.Name
+	}
+
+	var acqs []acquisition
+	var errObj types.Object
+	for _, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			errObj = obj
+			continue
+		}
+		if isPooledType(obj.Type()) {
+			acqs = append(acqs, acquisition{obj: obj, src: src})
+		}
+	}
+	for i := range acqs {
+		acqs[i].errObj = errObj
+	}
+	return acqs
+}
+
+// flowState is the per-path ownership state of one tracked variable.
+type flowState struct {
+	// released means the variable no longer carries an obligation on
+	// this path: it was Released, transferred, deferred, or is known
+	// nil (error-guard branch).
+	released bool
+}
+
+// outcome summarizes the analysis of a statement list.
+type outcome struct {
+	released   bool // ownership discharged at fall-through exit
+	terminated bool // no path falls through (return/branch on all paths)
+}
+
+// tracker runs the path-sensitive release analysis for one variable.
+type tracker struct {
+	pass   *Pass
+	obj    types.Object
+	errObj types.Object
+}
+
+func (tr *tracker) stmts(list []ast.Stmt, st flowState) outcome {
+	for _, stmt := range list {
+		if st.released {
+			return outcome{released: true}
+		}
+		var term bool
+		st, term = tr.stmt(stmt, st)
+		if term {
+			return outcome{terminated: true}
+		}
+	}
+	return outcome{released: st.released}
+}
+
+// stmt applies one statement to the state, returning the new state and
+// whether every path through the statement terminates the enclosing
+// list (return, branch, or exhaustive terminating branches).
+func (tr *tracker) stmt(stmt ast.Stmt, st flowState) (flowState, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return tr.applyExpr(s.X, st), false
+
+	case *ast.DeferStmt:
+		// A deferred Release (or consuming call, or capturing closure)
+		// discharges the obligation on every subsequent path.
+		return tr.applyExpr(s.Call, st), false
+
+	case *ast.GoStmt:
+		return tr.applyExpr(s.Call, st), false
+
+	case *ast.SendStmt:
+		if tr.valueUse(s.Value) {
+			st.released = true // handed to another goroutine
+		}
+		return tr.applyExpr(s.Chan, st), false
+
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st = tr.applyExpr(rhs, st)
+			if !st.released && tr.valueUse(rhs) {
+				st.released = true // stored somewhere: ownership moved
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && tr.isVar(id) {
+				if !st.released {
+					tr.pass.Reportf(s.Pos(), "%s reassigned before Release", tr.obj.Name())
+				}
+				st.released = true // old value gone either way
+			} else {
+				st = tr.applyExpr(lhs, st) // index exprs etc.
+			}
+		}
+		return st, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = tr.applyExpr(v, st)
+						if !st.released && tr.valueUse(v) {
+							st.released = true
+						}
+					}
+				}
+			}
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if tr.valueUse(r) {
+				return st, true // returned to the caller: transferred
+			}
+			st = tr.applyExpr(r, st)
+		}
+		if !st.released {
+			tr.pass.Reportf(s.Pos(), "return without releasing %s", tr.obj.Name())
+		}
+		return st, true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = tr.stmt(s.Init, st)
+		}
+		st = tr.applyExpr(s.Cond, st)
+		thenSt, elseSt := st, st
+		switch tr.guardKind(s.Cond) {
+		case guardErrNonNil:
+			thenSt.released = true // v is nil when err != nil
+		case guardErrNil:
+			elseSt.released = true
+		}
+		thenOut := tr.stmts(s.Body.List, thenSt)
+		var elseOut outcome
+		switch e := s.Else.(type) {
+		case nil:
+			elseOut = outcome{released: elseSt.released}
+		case *ast.BlockStmt:
+			elseOut = tr.stmts(e.List, elseSt)
+		default: // else-if
+			elseOut = tr.stmts([]ast.Stmt{e}, elseSt)
+		}
+		return mergeBranches([]outcome{thenOut, elseOut})
+
+	case *ast.BlockStmt:
+		out := tr.stmts(s.List, st)
+		return flowState{released: out.released}, out.terminated
+
+	case *ast.LabeledStmt:
+		return tr.stmt(s.Stmt, st)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = tr.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = tr.applyExpr(s.Tag, st)
+		}
+		return tr.caseBodies(s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = tr.stmt(s.Init, st)
+		}
+		return tr.caseBodies(s.Body, st)
+
+	case *ast.SelectStmt:
+		var outs []outcome
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			ccSt := st
+			if cc.Comm != nil {
+				ccSt, _ = tr.stmt(cc.Comm, ccSt)
+			}
+			outs = append(outs, tr.stmts(cc.Body, ccSt))
+		}
+		if len(outs) == 0 {
+			return st, false
+		}
+		return mergeBranches(outs)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = tr.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = tr.applyExpr(s.Cond, st)
+		}
+		bodyOut := tr.stmts(s.Body.List, st)
+		_ = bodyOut
+		if s.Cond == nil {
+			// for{}: code after the loop is unreachable (break edges
+			// are not modelled; no data-plane code needs them).
+			return st, true
+		}
+		return st, false // body may run zero times
+
+	case *ast.RangeStmt:
+		st = tr.applyExpr(s.X, st)
+		tr.stmts(s.Body.List, st)
+		return st, false
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this list; the target edge is not
+		// modelled, so treat the path as handled elsewhere.
+		return st, true
+
+	default:
+		return st, false
+	}
+}
+
+// caseBodies merges the branches of a switch body; a missing default
+// contributes an implicit fall-through path.
+func (tr *tracker) caseBodies(body *ast.BlockStmt, st flowState) (flowState, bool) {
+	var outs []outcome
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		ccSt := st
+		for _, e := range cc.List {
+			ccSt = tr.applyExpr(e, ccSt)
+		}
+		outs = append(outs, tr.stmts(cc.Body, ccSt))
+	}
+	if !hasDefault {
+		outs = append(outs, outcome{released: st.released})
+	}
+	if len(outs) == 0 {
+		return st, false
+	}
+	return mergeBranches(outs)
+}
+
+// mergeBranches combines sibling control-flow branches: paths that
+// terminate impose no fall-through obligation; every continuing path
+// must agree the value is released for the merged state to be
+// released.
+func mergeBranches(outs []outcome) (flowState, bool) {
+	allTerminated := true
+	allReleased := true
+	for _, o := range outs {
+		if !o.terminated {
+			allTerminated = false
+			if !o.released {
+				allReleased = false
+			}
+		}
+	}
+	if allTerminated {
+		return flowState{}, true
+	}
+	return flowState{released: allReleased}, false
+}
+
+// applyExpr folds release/transfer effects of an expression into the
+// state: an explicit v.Release() call, v passed to a consuming call,
+// or v captured by a function literal.
+func (tr *tracker) applyExpr(e ast.Expr, st flowState) flowState {
+	if e == nil || st.released {
+		return st
+	}
+	released := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if released {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if tr.releases(x) || tr.transfersIn(x) {
+				released = true
+				return false
+			}
+		case *ast.FuncLit:
+			if usesIdentOf(tr.pass.TypesInfo, x, tr.obj) {
+				released = true // closure capture: ownership escapes
+			}
+			return false
+		}
+		return true
+	})
+	st.released = st.released || released
+	return st
+}
+
+// releases reports whether call is v.Release() / v.release().
+func (tr *tracker) releases(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Release" && sel.Sel.Name != "release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && tr.isVar(id)
+}
+
+// transfersIn reports whether the call consumes v: v appears as a
+// plain argument value (not as the receiver of a method call on v, and
+// not to a declared borrower function).
+func (tr *tracker) transfersIn(call *ast.CallExpr) bool {
+	if fn := funcOf(tr.pass.TypesInfo, call); fn != nil && borrowerFuncs[fn.Name()] {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tr.valueUse(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// valueUse reports whether expr mentions v as a value (rather than as
+// the base of a field access or method call, which merely borrows).
+func (tr *tracker) valueUse(expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	// First pass: idents that are the direct base of a selector (v.f,
+	// v.M(...)) are borrows, not value uses — and so are arguments of
+	// declared borrower calls (WriteFrameBuf lends, it does not take).
+	borrowBases := make(map[*ast.Ident]bool)
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				borrowBases[id] = true
+			}
+		case *ast.CallExpr:
+			if fn := funcOf(tr.pass.TypesInfo, x); fn != nil && borrowerFuncs[fn.Name()] {
+				for _, arg := range x.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							borrowBases[id] = true
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closure capture is handled by applyExpr
+		}
+		if id, ok := n.(*ast.Ident); ok && tr.isVar(id) && !borrowBases[id] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func (tr *tracker) isVar(id *ast.Ident) bool {
+	info := tr.pass.TypesInfo
+	return info.Uses[id] == tr.obj || info.Defs[id] == tr.obj
+}
+
+type guard int
+
+const (
+	guardNone guard = iota
+	guardErrNonNil
+	guardErrNil
+)
+
+// guardKind classifies conditions of the form err != nil / err == nil
+// against the error variable paired with the acquisition.
+func (tr *tracker) guardKind(cond ast.Expr) guard {
+	if tr.errObj == nil {
+		return guardNone
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return guardNone
+	}
+	if be.Op != token.NEQ && be.Op != token.EQL {
+		return guardNone
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	isErr := func(e ast.Expr) bool { return exprObj(tr.pass.TypesInfo, e) == tr.errObj }
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	matched := (isErr(x) && isNil(y)) || (isErr(y) && isNil(x))
+	if !matched {
+		return guardNone
+	}
+	if be.Op == token.NEQ {
+		return guardErrNonNil
+	}
+	return guardErrNil
+}

@@ -1,0 +1,48 @@
+// Fixture for the ctxdeadline pass: exported entry points taking a
+// context.Context must propagate it to their network path.
+package fixture
+
+import (
+	"context"
+	"net"
+)
+
+// Negative: context-aware dial.
+func GoodDial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Negative: the context deadline reaches the conn.
+func GoodDeadline(ctx context.Context, c net.Conn, p []byte) error {
+	if dl, ok := ctx.Deadline(); ok {
+		c.SetWriteDeadline(dl)
+	}
+	_, err := c.Write(p)
+	return err
+}
+
+// Negative: the context is forwarded to a context-aware helper.
+func GoodForward(ctx context.Context, addr string) (net.Conn, error) {
+	return GoodDial(ctx, addr)
+}
+
+// Positive: a context-blind dial ignores cancellation entirely.
+func BadDial(ctx context.Context, addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `Dial ignores the ctx parameter`
+}
+
+// Positive: the context is accepted and then dropped on the floor.
+func BadIgnored(ctx context.Context, c net.Conn, p []byte) error { // want `BadIgnored takes a context\.Context but never consults it`
+	_, err := c.Write(p)
+	return err
+}
+
+// Negative: unexported functions are not entry points.
+func quiet(ctx context.Context, c net.Conn, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}
+
+// Negative: no network work, no obligation.
+func Pure(ctx context.Context, a, b int) int { return a + b }

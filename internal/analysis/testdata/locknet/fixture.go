@@ -1,0 +1,100 @@
+// Fixture for the locknet pass: blocking network operations inside
+// sync.Mutex critical sections.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+type state struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	ch   chan int
+	n    int
+}
+
+func writeAll(c net.Conn, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}
+
+// Negative: the lock is dropped before the write.
+func good(s *state, p []byte) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	_, err := s.conn.Write(p)
+	return err
+}
+
+// Negative: only bookkeeping under the deferred lock.
+func goodDefer(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Negative: the branch unlocks before its I/O.
+func goodBranchUnlock(s *state, p []byte) error {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.mu.Unlock()
+		_, err := s.conn.Write(p)
+		return err
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Positive: conn write inside the critical section.
+func badWrite(s *state, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(p) // want `conn\.Write while holding s\.mu`
+	return err
+}
+
+// Positive: read under an RLock is just as blocking.
+func badRead(s *state, p []byte) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, err := s.conn.Read(p) // want `conn\.Read while holding s\.rw`
+	return err
+}
+
+// Positive: dial latency spent inside the critical section.
+func badDial(s *state, addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := net.Dial("tcp", addr) // want `Dial while holding s\.mu`
+	if err != nil {
+		return err
+	}
+	s.conn = c
+	return nil
+}
+
+// Positive: a blocking channel send stalls every waiter on the lock.
+func badSend(s *state, v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// Positive: a helper handed the live conn can block on it.
+func badHelper(s *state, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeAll(s.conn, p) // want `writeAll is handed a net\.Conn while s\.mu is held`
+}
+
+// Negative: suppressed intentional serialization of a shared conn.
+func suppressed(s *state, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ninflint locknet — the mutex intentionally serializes this shared connection
+	_, err := s.conn.Write(p)
+	return err
+}

@@ -1,0 +1,58 @@
+// Fixture for the pooldiscard pass. The file is named pool.go because
+// the pass only applies to the files that own the pool checkout/return
+// protocol (pool.go and client.go).
+package fixture
+
+import "net"
+
+type pool struct{ idle []net.Conn }
+
+func (p *pool) put(c net.Conn) { p.idle = append(p.idle, c) }
+
+func reusable(err error) bool { return err == nil }
+
+// Negative: put guarded by err == nil; the error branch closes.
+func goodGuarded(p *pool, c net.Conn, b []byte) {
+	_, err := c.Write(b)
+	if err == nil {
+		p.put(c)
+	} else {
+		c.Close()
+	}
+}
+
+// Negative: a reusability predicate consults the error.
+func goodPredicate(p *pool, c net.Conn, b []byte) {
+	_, err := c.Write(b)
+	if reusable(err) {
+		p.put(c)
+	} else {
+		c.Close()
+	}
+}
+
+// Negative: the error branch returns before the put.
+func goodEarlyReturn(p *pool, c net.Conn, b []byte) error {
+	_, err := c.Read(b)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	p.put(c)
+	return nil
+}
+
+// Positive: the connection goes back to the pool on the error branch.
+func badErrorPath(p *pool, c net.Conn, b []byte) {
+	_, err := c.Write(b)
+	if err != nil {
+		p.put(c) // want `connection returned to the pool on an error path`
+	}
+}
+
+// Positive: put without consulting the exchange error at all.
+func badUnguarded(p *pool, c net.Conn, b []byte) {
+	_, err := c.Write(b)
+	_ = err
+	p.put(c) // want `without consulting the I/O error "err"`
+}

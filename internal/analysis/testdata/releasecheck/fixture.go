@@ -1,0 +1,111 @@
+// Fixture for the releasecheck pass: the Buffer type stands in for
+// protocol.Buffer (any pointer type with a niladic Release method is
+// tracked), and WriteFrameBuf is the declared borrower.
+package fixture
+
+import "errors"
+
+type Buffer struct{ data []byte }
+
+func (b *Buffer) Release() {}
+func (b *Buffer) Len() int { return len(b.data) }
+
+func Acquire() *Buffer             { return &Buffer{} }
+func AcquireErr() (*Buffer, error) { return &Buffer{}, nil }
+
+// WriteFrameBuf borrows its argument: the caller still owns it after.
+func WriteFrameBuf(b *Buffer) error { return nil }
+
+// consume takes ownership and disposes of the buffer itself.
+func consume(b *Buffer) { b.Release() }
+
+var errBoom = errors.New("boom")
+
+// Negative: released on the straight path.
+func goodRelease() {
+	b := Acquire()
+	b.Release()
+}
+
+// Negative: deferred release covers every path.
+func goodDefer(n int) int {
+	b := Acquire()
+	defer b.Release()
+	if n > 0 {
+		return n
+	}
+	return b.Len()
+}
+
+// Negative: on the err != nil branch the result is nil by convention.
+func goodErrGuard() error {
+	b, err := AcquireErr()
+	if err != nil {
+		return err
+	}
+	b.Release()
+	return nil
+}
+
+// Negative: ownership transferred to the caller.
+func goodTransferReturn() *Buffer {
+	b := Acquire()
+	return b
+}
+
+// Negative: lending to the borrower, then handing off to a consumer.
+func goodBorrowThenConsume() {
+	b := Acquire()
+	_ = WriteFrameBuf(b)
+	consume(b)
+}
+
+// Positive: the early error return leaks the buffer.
+func badErrorPath() error {
+	b := Acquire()
+	if b.Len() > 0 {
+		return errBoom // want `return without releasing b`
+	}
+	b.Release()
+	return nil
+}
+
+// Positive: never released on any path.
+func badLeak() {
+	b := Acquire() // want `b acquired from Acquire is not Released \(or ownership-transferred\) on every path`
+	_ = b.Len()
+}
+
+// Positive: lending is not disposal.
+func badBorrowOnly() error {
+	b := Acquire()
+	return WriteFrameBuf(b) // want `return without releasing b`
+}
+
+// Positive: the first buffer is dropped by the rebind.
+func badReassign() {
+	b := Acquire()
+	b = Acquire() // want `b reassigned before Release`
+	b.Release()
+}
+
+// Positive: each iteration abandons the previous buffer.
+func badLoop(n int) {
+	for i := 0; i < n; i++ {
+		b := Acquire() // want `b acquired from Acquire may be overwritten by the next loop iteration without Release`
+		_ = b.Len()
+	}
+}
+
+// Positive: an owned parameter carries the same obligation.
+func badParam(b *Buffer) { // want `owned \*Buffer parameter b may reach the end of badParam without Release or ownership transfer`
+	_ = b.Len()
+}
+
+// Negative: suppressed intentional leak — proves the driver honors
+// //lint:ninflint directives.
+func suppressedLeak() {
+	//lint:ninflint releasecheck — fixture exercises the suppression syntax
+	b := Acquire()
+	_ = b.Len()
+}

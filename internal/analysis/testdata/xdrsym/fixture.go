@@ -1,0 +1,107 @@
+// Fixture for the xdrsym pass. Encoder and Decoder model the
+// internal/xdr codec shape (the pass recognizes them structurally by
+// name plus a PutUint32/Uint32 probe method).
+package fixture
+
+type Encoder struct{ n int }
+
+func (e *Encoder) PutUint32(v uint32) {}
+func (e *Encoder) PutInt64(v int64)   {}
+func (e *Encoder) PutString(s string) {}
+func (e *Encoder) Err() error         { return nil }
+
+type Decoder struct{ n int }
+
+func (d *Decoder) Uint32() uint32 { return 0 }
+func (d *Decoder) Int64() int64   { return 0 }
+func (d *Decoder) String() string { return "" }
+func (d *Decoder) Err() error     { return nil }
+
+// Negative: a fully symmetric pair with named fields on both sides.
+type Stats struct {
+	Name  string
+	Count int64
+	Flags uint32
+}
+
+func (m *Stats) Encode(e *Encoder) {
+	e.PutString(m.Name)
+	e.PutInt64(m.Count)
+	e.PutUint32(m.Flags)
+}
+
+func DecodeStats(d *Decoder) Stats {
+	return Stats{
+		Name:  d.String(),
+		Count: d.Int64(),
+		Flags: d.Uint32(),
+	}
+}
+
+// Negative: sub-codec groups pair by name (encodeMeta/decodeMeta).
+type Wrapped struct {
+	Kind uint32
+}
+
+func encodeMeta(e *Encoder, v int64) { e.PutInt64(v) }
+func decodeMeta(d *Decoder) int64    { return d.Int64() }
+
+func (m *Wrapped) Encode(e *Encoder) {
+	e.PutUint32(m.Kind)
+	encodeMeta(e, 0)
+}
+
+func DecodeWrapped(d *Decoder) Wrapped {
+	var m Wrapped
+	m.Kind = d.Uint32()
+	decodeMeta(d)
+	return m
+}
+
+// Positive: the decoder reads the values in the wrong order.
+type Header struct {
+	Magic uint32
+	Seq   int64
+}
+
+func (m *Header) Encode(e *Encoder) {
+	e.PutUint32(m.Magic)
+	e.PutInt64(m.Seq)
+}
+
+func DecodeHeader(d *Decoder) Header {
+	var m Header
+	m.Seq = d.Int64() // want `xdr drift: Encode writes Uint32 at position 1 but DecodeHeader reads Int64`
+	m.Magic = d.Uint32()
+	return m
+}
+
+// Positive: same kinds, but the fields are crossed.
+type Pair struct{ A, B int64 }
+
+func (m *Pair) Encode(e *Encoder) {
+	e.PutInt64(m.A)
+	e.PutInt64(m.B)
+}
+
+func DecodePair(d *Decoder) Pair {
+	var m Pair
+	m.B = d.Int64() // want `xdr drift: Encode and DecodePair disagree on Int64 fields: writes A where B is read`
+	m.A = d.Int64()
+	return m
+}
+
+// Positive: the encoder writes a trailing value the decoder ignores.
+type Tail struct {
+	ID  uint32
+	Pad int64
+}
+
+func (m *Tail) Encode(e *Encoder) {
+	e.PutUint32(m.ID)
+	e.PutInt64(m.Pad) // want `xdr drift: Encode writes Int64 here but DecodeTail reads nothing at this position`
+}
+
+func DecodeTail(d *Decoder) Tail {
+	return Tail{ID: d.Uint32()}
+}

@@ -1,0 +1,420 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// XDRSym verifies that paired Encode*/Decode* functions drive the XDR
+// wire format symmetrically: the same sequence of value kinds, and —
+// where both sides name struct fields — the same fields in the same
+// order. A swapped pair of writes, a field added on one side only, or
+// an Int64 written where a Uint32 is read all show up as silent wire
+// corruption at runtime; this pass catches them at lint time.
+//
+// Pairing is name-based within a package: a method Encode/EncodeBuf on
+// type T pairs with DecodeT (or a Decode method on T), and a function
+// EncodeX pairs with DecodeX, case-insensitively. Functions that issue
+// no XDR calls themselves (wrappers like EncodeCallReply) do not
+// participate.
+var XDRSym = &Analyzer{
+	Name: "xdrsym",
+	Doc: "paired Encode*/Decode* functions must read and write the " +
+		"same XDR value kinds and fields in the same order",
+	Run: runXDRSym,
+}
+
+// xdrRec is one XDR data operation observed in source order: a value
+// kind in the shared encode/decode namespace ("Uint32", "String", or
+// "group:timings" for a call into a paired sub-codec), plus the struct
+// field it touches when one is syntactically evident.
+type xdrRec struct {
+	kind  string
+	field string
+	pos   token.Pos
+}
+
+// xdrRun compresses consecutive records of one kind: a type-switch
+// that writes the same kind from several arms and a decoder that reads
+// it once are the same wire shape.
+type xdrRun struct {
+	kind   string
+	fields []string
+	pos    token.Pos
+}
+
+// xdrFn is one side of a candidate pair.
+type xdrFn struct {
+	decl *ast.FuncDecl
+	runs []xdrRun
+}
+
+func runXDRSym(pass *Pass) error {
+	encoders := make(map[string][]xdrFn)
+	decoders := make(map[string][]xdrFn)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			key, enc, ok := xdrPairKey(fn)
+			if !ok || key == "" {
+				continue
+			}
+			recs := collectXDRRecs(pass, fn)
+			if len(recs) == 0 {
+				continue // wrapper: delegates, issues no XDR calls itself
+			}
+			entry := xdrFn{decl: fn, runs: compressRuns(recs)}
+			if enc {
+				encoders[key] = append(encoders[key], entry)
+			} else {
+				decoders[key] = append(decoders[key], entry)
+			}
+		}
+	}
+	for key, encs := range encoders {
+		for _, enc := range encs {
+			for _, dec := range decoders[key] {
+				compareXDRPair(pass, enc, dec)
+			}
+		}
+	}
+	return nil
+}
+
+// xdrPairKey classifies a function as one side of an encode/decode
+// pair and returns its case-folded pairing key: the receiver type for
+// Encode/EncodeBuf/Decode methods, the name suffix for EncodeX/DecodeX
+// functions (with a Buf suffix dropped, so EncodeCallRequestBuf and
+// EncodeCallRequest share a key).
+func xdrPairKey(fn *ast.FuncDecl) (key string, encode, ok bool) {
+	name := fn.Name.Name
+	if recv := receiverTypeName(fn); recv != "" {
+		switch name {
+		case "Encode", "EncodeBuf", "encode":
+			return strings.ToLower(recv), true, true
+		case "Decode", "decode":
+			return strings.ToLower(recv), false, true
+		}
+	}
+	lower := strings.ToLower(name)
+	if rest, found := strings.CutPrefix(lower, "encode"); found && rest != "" {
+		return strings.TrimSuffix(rest, "buf"), true, true
+	}
+	if rest, found := strings.CutPrefix(lower, "decode"); found && rest != "" {
+		return rest, false, true
+	}
+	return "", false, false
+}
+
+// receiverTypeName returns the base type name of a method receiver.
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// collectXDRRecs walks the function body in source order gathering XDR
+// data operations: direct Encoder/Decoder method calls and calls into
+// helper codecs that take an Encoder/Decoder argument.
+func collectXDRRecs(pass *Pass, fn *ast.FuncDecl) []xdrRec {
+	parents := parentMap(fn.Body)
+	var recs []xdrRec
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, ok := xdrDataKind(pass, call); ok {
+			recs = append(recs, xdrRec{
+				kind:  kind,
+				field: fieldOfDataCall(pass, call, parents),
+				pos:   call.Pos(),
+			})
+			return true
+		}
+		if group, ok := xdrGroupCall(pass, call); ok {
+			recs = append(recs, xdrRec{kind: "group:" + group, pos: call.Pos()})
+		}
+		return true
+	})
+	return recs
+}
+
+// encoderSkip / decoderSkip are the bookkeeping methods that move no
+// wire data.
+var encoderSkip = map[string]bool{"Reset": true, "Err": true, "Len": true}
+var decoderSkip = map[string]bool{"Reset": true, "Err": true, "Len": true, "SetMaxBytes": true}
+
+// xdrDataKind classifies a direct data-moving call on an XDR
+// Encoder/Decoder and returns its normalized value kind, shared
+// between the two sides (PutInt64 and Int64 both yield "Int64").
+func xdrDataKind(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !ast.IsExported(name) {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	switch {
+	case isXDRCodecType(tv.Type, "Encoder"):
+		if encoderSkip[name] || !strings.HasPrefix(name, "Put") {
+			return "", false
+		}
+		return normalizeXDRKind(strings.TrimPrefix(name, "Put")), true
+	case isXDRCodecType(tv.Type, "Decoder"):
+		if decoderSkip[name] {
+			return "", false
+		}
+		if name == "ReadFloat64sInto" {
+			return "Float64s", true
+		}
+		return normalizeXDRKind(name), true
+	}
+	return "", false
+}
+
+// normalizeXDRKind folds width aliases: PutInt/Int are 8-byte on the
+// wire, so they compare equal to PutInt64/Int64.
+func normalizeXDRKind(kind string) string {
+	if kind == "Int" {
+		return "Int64"
+	}
+	return kind
+}
+
+// isXDRCodecType recognizes the xdr.Encoder/xdr.Decoder shape: a named
+// type (possibly behind a pointer) with the given name that carries a
+// data-moving method, so fixtures can model the codec locally.
+func isXDRCodecType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != name {
+		return false
+	}
+	probe := "Uint32"
+	if name == "Encoder" {
+		probe = "PutUint32"
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == probe {
+			return true
+		}
+	}
+	return false
+}
+
+// xdrGroupCall recognizes a call into a helper codec — any call that
+// receives an Encoder or Decoder argument — and names the group it
+// belongs to so the two sides can be aligned: encodeArg/decodeArg both
+// become "arg", Timings.encode/Timings.decode both become "timings".
+func xdrGroupCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	hasCodecArg := false
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok {
+			if isXDRCodecType(tv.Type, "Encoder") || isXDRCodecType(tv.Type, "Decoder") {
+				hasCodecArg = true
+				break
+			}
+		}
+	}
+	if !hasCodecArg {
+		return "", false
+	}
+	f := funcOf(pass.TypesInfo, call)
+	if f == nil {
+		return "", false
+	}
+	lower := strings.ToLower(f.Name())
+	rest := lower
+	if r, found := strings.CutPrefix(lower, "encode"); found {
+		rest = r
+	} else if r, found := strings.CutPrefix(lower, "decode"); found {
+		rest = r
+	}
+	if rest != "" {
+		return rest, true
+	}
+	// Bare encode/decode method: group by the receiver type.
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return strings.ToLower(named.Obj().Name()), true
+		}
+	}
+	return lower, true
+}
+
+// fieldOfDataCall names the struct field a data call moves, when the
+// syntax shows one: on the encode side a field selector among the call
+// arguments, on the decode side the composite-literal key or
+// assignment target the call's result lands in. Empty when the value
+// flows through locals — then the field comparison is skipped.
+func fieldOfDataCall(pass *Pass, call *ast.CallExpr, parents map[ast.Node]ast.Node) string {
+	// Encode side: e.PutString(m.Hostname) — field read in the args.
+	for _, arg := range call.Args {
+		name := ""
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || name != "" {
+				return name == ""
+			}
+			if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				name = sel.Sel.Name
+				return false
+			}
+			return true
+		})
+		if name != "" {
+			return name
+		}
+	}
+	// Decode side: walk outward to the enclosing composite-literal key
+	// or assignment target.
+	var n ast.Node = call
+	for n != nil {
+		parent := parents[n]
+		switch p := parent.(type) {
+		case *ast.KeyValueExpr:
+			if p.Value == n || containsNode(p.Value, n) {
+				if id, ok := p.Key.(*ast.Ident); ok {
+					return id.Name
+				}
+			}
+			return ""
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if rhs == n || containsNode(rhs, n) {
+					lhs := p.Lhs[0]
+					if len(p.Lhs) == len(p.Rhs) {
+						lhs = p.Lhs[i]
+					}
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						return sel.Sel.Name
+					}
+					return ""
+				}
+			}
+			return ""
+		case *ast.BlockStmt, *ast.FuncLit:
+			return ""
+		}
+		n = parent
+	}
+	return ""
+}
+
+// compressRuns merges consecutive records of the same kind into runs.
+// Run lengths are not compared across sides: an encoder type-switch
+// may write one logical value from several arms.
+func compressRuns(recs []xdrRec) []xdrRun {
+	var runs []xdrRun
+	for _, r := range recs {
+		if n := len(runs); n > 0 && runs[n-1].kind == r.kind {
+			if r.field != "" {
+				runs[n-1].fields = append(runs[n-1].fields, r.field)
+			}
+			continue
+		}
+		run := xdrRun{kind: r.kind, pos: r.pos}
+		if r.field != "" {
+			run.fields = []string{r.field}
+		}
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// compareXDRPair checks one encoder against one decoder: the run kind
+// sequences must match exactly; field lists are compared positionally
+// where both sides name fields.
+func compareXDRPair(pass *Pass, enc, dec xdrFn) {
+	encName, decName := enc.decl.Name.Name, dec.decl.Name.Name
+	for i := 0; i < len(enc.runs) || i < len(dec.runs); i++ {
+		if i >= len(enc.runs) {
+			pass.Reportf(dec.runs[i].pos,
+				"xdr drift: %s reads %s here but %s writes nothing at this position",
+				decName, dec.runs[i].kind, encName)
+			return
+		}
+		if i >= len(dec.runs) {
+			pass.Reportf(enc.runs[i].pos,
+				"xdr drift: %s writes %s here but %s reads nothing at this position",
+				encName, enc.runs[i].kind, decName)
+			return
+		}
+		e, d := enc.runs[i], dec.runs[i]
+		if e.kind != d.kind {
+			pass.Reportf(d.pos,
+				"xdr drift: %s writes %s at position %d but %s reads %s",
+				encName, e.kind, i+1, decName, d.kind)
+			return
+		}
+		if msg := compareFields(e.fields, d.fields); msg != "" {
+			pass.Reportf(d.pos,
+				"xdr drift: %s and %s disagree on %s fields: %s",
+				encName, decName, e.kind, msg)
+			return
+		}
+	}
+}
+
+// compareFields aligns the field names of one run. When both sides
+// name every value the lists must match exactly; otherwise only
+// positions where both sides name a field are compared.
+func compareFields(enc, dec []string) string {
+	if len(enc) == len(dec) {
+		for i := range enc {
+			if enc[i] != "" && dec[i] != "" && !strings.EqualFold(enc[i], dec[i]) {
+				return fmt.Sprintf("writes %s where %s is read", enc[i], dec[i])
+			}
+		}
+		return ""
+	}
+	// Unequal counts matter only when both sides name all their
+	// fields — then a missing or extra field is real drift.
+	if allNamed(enc) && allNamed(dec) {
+		return fmt.Sprintf("writes %d fields (%s) but reads %d (%s)",
+			len(enc), strings.Join(enc, ", "), len(dec), strings.Join(dec, ", "))
+	}
+	return ""
+}
+
+func allNamed(fields []string) bool {
+	if len(fields) == 0 {
+		return false
+	}
+	for _, f := range fields {
+		if f == "" {
+			return false
+		}
+	}
+	return true
+}

@@ -134,11 +134,13 @@ func (r *RemoteScheduler) roundTrip(typ protocol.MsgType, payload []byte) (proto
 		}
 		r.conn = conn
 	}
+	//lint:ninflint locknet — r.mu serializes the scheduler's single control channel; requests would interleave without it
 	if err := protocol.WriteFrame(r.conn, typ, payload); err != nil {
 		r.conn.Close()
 		r.conn = nil
 		return 0, nil, err
 	}
+	//lint:ninflint locknet — reply must be read under the same serialization as the request above
 	rt, rp, err := protocol.ReadFrame(r.conn, 0)
 	if err != nil {
 		r.conn.Close()

@@ -1,0 +1,136 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"ninf/internal/idl"
+)
+
+// TestReleaseDoubleCall verifies Release is idempotent: the second and
+// later calls are no-ops and do not corrupt the pool by inserting the
+// same buffer twice.
+func TestReleaseDoubleCall(t *testing.T) {
+	fb := AcquireBuffer(64)
+	fb.Write([]byte("payload"))
+	fb.Release()
+	fb.Release() // must be a no-op
+	fb.Release()
+
+	// If the double release had re-pooled fb, two successive acquires
+	// from its size class could return the same *Buffer.
+	a := AcquireBuffer(64)
+	b := AcquireBuffer(64)
+	if a == b {
+		t.Fatal("double Release put the same buffer into the pool twice")
+	}
+	a.Release()
+	b.Release()
+}
+
+// TestReleaseNil verifies the nil no-op contract cleanup paths rely on.
+func TestReleaseNil(t *testing.T) {
+	var fb *Buffer
+	fb.Release() // must not panic
+}
+
+// TestReleaseResetsState verifies a recycled buffer comes back empty
+// rather than carrying the previous frame's payload.
+func TestReleaseResetsState(t *testing.T) {
+	fb := AcquireBuffer(32)
+	fb.Write([]byte("stale payload bytes"))
+	fb.Release()
+
+	got := AcquireBuffer(32)
+	defer got.Release()
+	if got.Len() != 0 {
+		t.Fatalf("recycled buffer Len() = %d, want 0", got.Len())
+	}
+	if len(got.Payload()) != 0 {
+		t.Fatalf("recycled buffer Payload() = %q, want empty", got.Payload())
+	}
+}
+
+// TestReadFrameBufErrorReleases verifies the error paths of
+// ReadFrameBuf: a truncated payload must release the pooled buffer
+// internally and report the error, handing the caller nothing to
+// release (and making a caller-side defensive Release harmless).
+func TestReadFrameBufErrorReleases(t *testing.T) {
+	var good bytes.Buffer
+	src := AcquireBuffer(8)
+	src.Write([]byte("12345678"))
+	if err := WriteFrameBuf(&good, MsgPing, src); err != nil {
+		t.Fatal(err)
+	}
+	src.Release()
+
+	// Truncate mid-payload: header promises 8 bytes, stream has 3.
+	truncated := good.Bytes()[:headerSize+3]
+	typ, fb, err := ReadFrameBuf(strings.NewReader(string(truncated)), 0)
+	if err == nil {
+		t.Fatal("want error for truncated payload")
+	}
+	if fb != nil {
+		t.Fatalf("want nil buffer on error, got %v (type %v)", fb, typ)
+	}
+	fb.Release() // the documented nil no-op: defensive cleanup is safe
+
+	// The buffer released inside ReadFrameBuf must be reusable.
+	again := AcquireBuffer(8)
+	if again.Len() != 0 {
+		t.Fatalf("buffer recycled from failed read has Len() = %d, want 0", again.Len())
+	}
+	again.Release()
+}
+
+// TestReadFrameBufHeaderErrors verifies no buffer is acquired (so none
+// can leak) when the header itself is unusable.
+func TestReadFrameBufHeaderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"short header", []byte{0x4e, 0x49}, nil},
+		{"bad magic", make([]byte, headerSize), ErrBadMagic},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, fb, err := ReadFrameBuf(bytes.NewReader(tc.data), 0)
+			defer fb.Release() // nil no-op; keeps a failed assertion from leaking a buffer
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if fb != nil {
+				t.Fatal("want nil buffer on header error")
+			}
+		})
+	}
+}
+
+// TestEncodeErrorPathReleases verifies the encode helpers release their
+// pooled buffer on the error path instead of leaking it, by exercising
+// an encode that fails after acquisition.
+func TestEncodeErrorPathReleases(t *testing.T) {
+	info := dmmulInfo(t)
+	// Wrong argument type for the routine: encodeArg fails after the
+	// buffer is acquired, so EncodeCallRequestBuf must clean up.
+	req := &CallRequest{Name: "dmmul",
+		Args: []idl.Value{"three", make([]float64, 9), make([]float64, 9), nil}}
+	if _, err := EncodeCallRequest(info, req); err == nil {
+		t.Fatal("want encode error for mistyped argument")
+	}
+	// The released buffer must come back clean.
+	fb := AcquireBuffer(0)
+	defer fb.Release()
+	if fb.Len() != 0 {
+		t.Fatalf("buffer recycled from failed encode has Len() = %d, want 0", fb.Len())
+	}
+}

@@ -54,9 +54,11 @@ func (s *Server) connInvoker(conn net.Conn) CallbackInvoker {
 		mu.Lock()
 		defer mu.Unlock()
 		req := protocol.CallbackRequest{Name: name, Data: data}
+		//lint:ninflint locknet — mu intentionally serializes callback exchanges from concurrent executable goroutines on one conn
 		if err := protocol.WriteFrame(conn, protocol.MsgCallback, req.Encode()); err != nil {
 			return nil, fmt.Errorf("server: callback %s: %w", name, err)
 		}
+		//lint:ninflint locknet — the matching reply is read under the same serialization as the request
 		typ, p, err := protocol.ReadFrame(conn, s.cfg.MaxPayload)
 		if err != nil {
 			return nil, fmt.Errorf("server: callback %s: %w", name, err)

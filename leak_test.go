@@ -1,0 +1,11 @@
+package ninf
+
+import (
+	"testing"
+
+	"ninf/internal/testleak"
+)
+
+// TestMain fails the package if the client, pool, or stress tests
+// leave goroutines running after they pass.
+func TestMain(m *testing.M) { testleak.Main(m) }

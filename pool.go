@@ -119,7 +119,11 @@ func connAlive(conn net.Conn) bool {
 	}
 	var probe [1]byte
 	n, err := conn.Read(probe[:])
-	conn.SetReadDeadline(time.Time{})
+	if rerr := conn.SetReadDeadline(time.Time{}); rerr != nil {
+		// The probe deadline could not be cleared: every subsequent
+		// read on this connection would spuriously time out. Discard it.
+		return false
+	}
 	if n > 0 {
 		return false
 	}

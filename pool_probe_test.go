@@ -1,0 +1,115 @@
+package ninf
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// timeoutErr mimics the net.Error a deadline-expired read returns.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// scriptedConn is a wrapped, non-*net.TCPConn connection (it does not
+// implement syscall.Conn, so connAlive must take the fallback
+// short-deadline probe path). It records every SetReadDeadline call.
+type scriptedConn struct {
+	net.Conn // nil; panics if an unscripted method is hit
+
+	readN     int
+	readErr   error
+	deadlines []time.Time
+	failSetAt int // 1-based index of the SetReadDeadline call to fail
+}
+
+func (c *scriptedConn) Read(p []byte) (int, error) { return c.readN, c.readErr }
+
+func (c *scriptedConn) SetReadDeadline(t time.Time) error {
+	c.deadlines = append(c.deadlines, t)
+	if c.failSetAt == len(c.deadlines) {
+		return timeoutErr{}
+	}
+	return nil
+}
+
+// requireRestored asserts the probe left the connection with its zero
+// deadline restored as the final action.
+func requireRestored(t *testing.T, c *scriptedConn) {
+	t.Helper()
+	if len(c.deadlines) < 2 {
+		t.Fatalf("want probe-set and restore SetReadDeadline calls, got %d", len(c.deadlines))
+	}
+	if last := c.deadlines[len(c.deadlines)-1]; !last.IsZero() {
+		t.Fatalf("final SetReadDeadline = %v, want zero time (deadline restored)", last)
+	}
+}
+
+func TestConnAliveFallbackHealthy(t *testing.T) {
+	c := &scriptedConn{readErr: timeoutErr{}}
+	if !connAlive(c) {
+		t.Fatal("idle connection whose probe read times out should be alive")
+	}
+	requireRestored(t, c)
+}
+
+func TestConnAliveFallbackEOF(t *testing.T) {
+	c := &scriptedConn{readErr: io.EOF}
+	if connAlive(c) {
+		t.Fatal("connection reporting EOF should be dead")
+	}
+	requireRestored(t, c)
+}
+
+func TestConnAliveFallbackUnsolicitedData(t *testing.T) {
+	c := &scriptedConn{readN: 1}
+	if connAlive(c) {
+		t.Fatal("connection with unsolicited pending data should be dead")
+	}
+	requireRestored(t, c)
+}
+
+func TestConnAliveFallbackRestoreFailure(t *testing.T) {
+	// The probe read "succeeds" as a timeout (healthy), but the zero
+	// deadline cannot be restored: the connection must be discarded,
+	// or the stale deadline would fail the next real read.
+	c := &scriptedConn{readErr: timeoutErr{}, failSetAt: 2}
+	if connAlive(c) {
+		t.Fatal("connection whose deadline cannot be restored must be discarded")
+	}
+}
+
+func TestConnAliveFallbackProbeSetFailure(t *testing.T) {
+	// If even the probe deadline cannot be set, the probe is skipped
+	// and the connection given the benefit of the doubt — nothing was
+	// left to restore.
+	c := &scriptedConn{failSetAt: 1}
+	if !connAlive(c) {
+		t.Fatal("connection that cannot set deadlines should skip the probe")
+	}
+	if len(c.deadlines) != 1 {
+		t.Fatalf("want exactly the failed probe-set call, got %d calls", len(c.deadlines))
+	}
+}
+
+// TestConnAlivePipe exercises the fallback against a real (but
+// non-TCP) net.Pipe connection end to end.
+func TestConnAlivePipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if !connAlive(a) {
+		t.Fatal("quiet pipe connection should probe alive")
+	}
+
+	// Pending unsolicited data means the stream is out of frame sync.
+	go b.Write([]byte{0xff})
+	time.Sleep(10 * time.Millisecond)
+	if connAlive(a) {
+		t.Fatal("pipe with pending data should probe dead")
+	}
+}
