@@ -43,13 +43,17 @@ type Client struct {
 	dial func() (net.Conn, error)
 	pool *connPool
 
-	mu    sync.Mutex // guards conn use and the interface cache
-	conn  net.Conn
-	cache map[string]*idl.Info
+	mu     sync.Mutex // guards conn use and the interface cache
+	conn   net.Conn
+	closed bool
+	cache  map[string]*idl.Info
 
 	cb callbackRegistry
 
 	maxPayload int
+
+	retryMu sync.Mutex
+	retry   RetryPolicy
 }
 
 var errClientClosed = errors.New("ninf: client closed")
@@ -87,7 +91,27 @@ func NewClient(dial func() (net.Conn, error)) (*Client, error) {
 		pool:  newConnPool(dial, DefaultPoolSize),
 		conn:  conn,
 		cache: make(map[string]*idl.Info),
+		retry: DefaultRetryPolicy,
 	}, nil
+}
+
+// SetRetryPolicy adjusts how the client retries transport faults
+// (resets, dial failures, truncated frames); see RetryPolicy. Pass
+// NoRetry to surface every fault to the caller.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.retryMu.Lock()
+	c.retry = p.withDefaults()
+	if p.MaxAttempts == 1 { // NoRetry keeps its literal meaning
+		c.retry.MaxAttempts = 1
+	}
+	c.retryMu.Unlock()
+}
+
+// Retry returns the client's current retry policy.
+func (c *Client) Retry() RetryPolicy {
+	c.retryMu.Lock()
+	defer c.retryMu.Unlock()
+	return c.retry
 }
 
 // SetMaxPayload bounds reply frame payloads (default 1 GiB).
@@ -99,11 +123,15 @@ func (c *Client) SetMaxPayload(n int) { c.maxPayload = n }
 // the dialer and the surplus connections are closed on return.
 func (c *Client) SetPoolSize(n int) { c.pool.setMaxIdle(n) }
 
-// Close releases the primary connection and the idle pool.
+// Close releases the primary connection and the idle pool, and severs
+// any in-flight pooled exchange: a CallAsync or Submit blocked on a
+// dead server returns a classified connection error (wrapping
+// ErrClientClosed) rather than hanging.
 func (c *Client) Close() error {
 	c.pool.closeAll()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
@@ -112,13 +140,48 @@ func (c *Client) Close() error {
 	return err
 }
 
+// reconnectLocked re-establishes the primary connection after a
+// transport fault dropped it. Callers hold c.mu.
+func (c *Client) reconnectLocked() error {
+	if c.closed {
+		return errClientClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+// dropConnLocked discards the primary connection after an error that
+// leaves its stream out of sync; the next exchange re-dials. Callers
+// hold c.mu.
+func (c *Client) dropConnLocked(conn net.Conn, err error) {
+	if err == nil || connReusable(err) || c.conn != conn || conn == nil {
+		return
+	}
+	c.conn.Close()
+	c.conn = nil
+}
+
 // roundTrip sends one frame on the primary connection and reads the
-// reply, translating MsgError frames to *protocol.RemoteError.
+// reply, translating MsgError frames to *protocol.RemoteError. A
+// transport fault drops the connection so the next exchange re-dials.
 func (c *Client) roundTrip(t protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.reconnectLocked(); err != nil {
+		return 0, nil, err
+	}
 	//lint:ninflint locknet — c.mu exists to serialize exchanges on the primary connection; framing would interleave without it
-	return roundTripOn(c.conn, c.maxPayload, t, payload)
+	rt, rp, err := roundTripOn(c.conn, c.maxPayload, t, payload)
+	//lint:ninflint locknet — dropConnLocked only calls Close, which does not block on the socket
+	c.dropConnLocked(c.conn, err)
+	return rt, rp, err
 }
 
 func roundTripOn(conn net.Conn, maxPayload int, t protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
@@ -213,15 +276,42 @@ func (c *Client) Stats() (protocol.Stats, error) {
 // Interface returns the compiled IDL of a routine, fetching it from
 // the server on first use (stage one of the two-stage RPC).
 func (c *Client) Interface(name string) (*idl.Info, error) {
+	return c.InterfaceContext(context.Background(), name)
+}
+
+// InterfaceContext is Interface with a caller-supplied context
+// bounding the fetch; transport faults are retried under the client's
+// retry policy like every other verb.
+func (c *Client) InterfaceContext(ctx context.Context, name string) (*idl.Info, error) {
+	var info *idl.Info
+	err := c.withRetry(ctx, "interface "+name, func() error {
+		var aerr error
+		info, aerr = c.attemptInterface(name)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+func (c *Client) attemptInterface(name string) (*idl.Info, error) {
 	c.mu.Lock()
 	if info, ok := c.cache[name]; ok {
 		c.mu.Unlock()
 		return info, nil
 	}
 	req := protocol.InterfaceRequest{Name: name}
+	if err := c.reconnectLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	conn := c.conn
 	//lint:ninflint locknet — the interface fetch deliberately holds c.mu through the exchange so concurrent first calls don't interleave frames
-	t, p, err := roundTripOn(c.conn, c.maxPayload, protocol.MsgInterface, req.Encode())
+	t, p, err := roundTripOn(conn, c.maxPayload, protocol.MsgInterface, req.Encode())
 	if err != nil {
+		//lint:ninflint locknet — dropConnLocked only calls Close, which does not block on the socket
+		c.dropConnLocked(conn, err)
 		c.mu.Unlock()
 		return nil, err
 	}
@@ -284,14 +374,90 @@ func (r *Report) Throughput() float64 {
 //   - out arrays: a correctly-sized slice to fill, or nil to discard
 //   - out scalars: *int64, *float64, *float32, *string, or nil
 func (c *Client) Call(name string, args ...any) (*Report, error) {
-	c.mu.Lock()
-	conn := c.conn
-	c.mu.Unlock()
+	return c.CallContext(context.Background(), name, args...)
+}
+
+// CallContext is Call bounded by ctx: the deadline covers the whole
+// exchange (marshalling, transfer, server compute, reply), and
+// cancelling ctx severs a call blocked on a dead or black-holed
+// connection. Transport faults are retried per the client's
+// RetryPolicy; each attempt re-marshals into a fresh pooled buffer and
+// re-dials if needed, so a retry never reuses a poisoned connection or
+// a released buffer.
+func (c *Client) CallContext(ctx context.Context, name string, args ...any) (*Report, error) {
+	var rep *Report
+	err := c.withRetry(ctx, "call "+name, func() error {
+		var aerr error
+		rep, aerr = c.callPrimary(ctx, name, args)
+		return aerr
+	})
+	return rep, err
+}
+
+// withRetry runs attempt under the client's retry policy: retryable
+// transport faults are retried with capped, fully-jittered exponential
+// backoff until the policy's attempt budget or ctx runs out.
+func (c *Client) withRetry(ctx context.Context, op string, attempt func() error) error {
+	pol := c.Retry()
+	var lastErr error
+	for try := 1; ; try++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (%v)", err, lastErr)
+			}
+			return err
+		}
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		if c.pool.isClosed() {
+			if errors.Is(err, errClientClosed) {
+				return err
+			}
+			return fmt.Errorf("%w (%v)", errClientClosed, err)
+		}
+		err = ctxErr(ctx, err)
+		if !Retryable(err) {
+			return err
+		}
+		if try >= pol.MaxAttempts {
+			return &RetryError{Op: op, Attempts: try, Err: err}
+		}
+		lastErr = err
+		if berr := pol.backoff(ctx, try); berr != nil {
+			return fmt.Errorf("%w (%v)", berr, err)
+		}
+	}
+}
+
+// callPrimary runs one blocking-call attempt on the primary
+// connection, which serializes Call traffic per the Ninf_call
+// contract. A transport fault drops the connection for re-dial on the
+// next attempt.
+func (c *Client) callPrimary(ctx context.Context, name string, args []any) (*Report, error) {
 	info, vals, req, err := c.prepCall(name, args)
 	if err != nil {
 		return nil, err
 	}
-	return c.exchangeCall(conn, &c.mu, info, vals, req, args)
+	c.mu.Lock()
+	if err := c.reconnectLocked(); err != nil {
+		c.mu.Unlock()
+		req.Release()
+		return nil, err
+	}
+	conn := c.conn
+	c.mu.Unlock()
+	stop := guardConn(ctx, conn)
+	rep, err := c.exchangeCall(conn, &c.mu, info, vals, req, args)
+	stop()
+	if err != nil && !connReusable(err) {
+		c.mu.Lock()
+		//lint:ninflint locknet — dropConnLocked only calls Close, which does not block on the socket
+		c.dropConnLocked(conn, err)
+		c.mu.Unlock()
+	}
+	return rep, err
 }
 
 // AsyncCall is a pending Ninf_call_async.
@@ -324,28 +490,52 @@ func (a *AsyncCall) Done() bool {
 // remote error, which leaves the stream in sync) and closed on I/O
 // errors.
 func (c *Client) CallAsync(name string, args ...any) *AsyncCall {
+	return c.CallAsyncContext(context.Background(), name, args...)
+}
+
+// CallAsyncContext is CallAsync bounded by ctx; see CallContext for
+// the deadline and retry semantics.
+func (c *Client) CallAsyncContext(ctx context.Context, name string, args ...any) *AsyncCall {
 	a := &AsyncCall{done: make(chan struct{})}
 	go func() {
 		defer close(a.done)
-		info, vals, req, err := c.prepCall(name, args)
-		if err != nil {
-			a.err = err
-			return
-		}
-		conn, err := c.pool.get()
-		if err != nil {
-			req.Release()
-			a.err = err
-			return
-		}
-		a.report, a.err = c.exchangeCall(conn, nil, info, vals, req, args)
-		if connReusable(a.err) {
-			c.pool.put(conn)
-		} else {
-			conn.Close()
-		}
+		a.report, a.err = c.callPooled(ctx, name, args)
 	}()
 	return a
+}
+
+// callPooled runs a call on pooled connections with the client's
+// retry policy: every attempt draws a fresh buffer and connection.
+func (c *Client) callPooled(ctx context.Context, name string, args []any) (*Report, error) {
+	var rep *Report
+	err := c.withRetry(ctx, "call "+name, func() error {
+		var aerr error
+		rep, aerr = c.attemptPooled(ctx, name, args)
+		return aerr
+	})
+	return rep, err
+}
+
+// attemptPooled is one call attempt on a private pooled connection.
+func (c *Client) attemptPooled(ctx context.Context, name string, args []any) (*Report, error) {
+	info, vals, req, err := c.prepCall(name, args)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.pool.get()
+	if err != nil {
+		req.Release()
+		return nil, err
+	}
+	stop := guardConn(ctx, conn)
+	rep, err := c.exchangeCall(conn, nil, info, vals, req, args)
+	stop()
+	if connReusable(err) {
+		c.pool.put(conn)
+	} else {
+		c.pool.discard(conn)
+	}
+	return rep, err
 }
 
 // connReusable reports whether a pooled connection is still in frame
@@ -434,6 +624,28 @@ func (j *Job) ID() uint64 { return j.id }
 // connection, so a train of submissions reuses one connection rather
 // than dialing per job.
 func (c *Client) Submit(name string, args ...any) (*Job, error) {
+	return c.SubmitContext(context.Background(), name, args...)
+}
+
+// SubmitContext is Submit bounded by ctx, with transport faults
+// retried per the client's RetryPolicy. A retry after the request
+// frame was delivered but before the reply arrived can orphan a job
+// server-side; orphans are reaped by the server's job TTL
+// (Server.ExpireJobs), and results are only ever fetched from the job
+// handle this call returns, so the caller still sees each submission
+// execute once.
+func (c *Client) SubmitContext(ctx context.Context, name string, args ...any) (*Job, error) {
+	var job *Job
+	err := c.withRetry(ctx, "submit "+name, func() error {
+		var aerr error
+		job, aerr = c.attemptSubmit(ctx, name, args)
+		return aerr
+	})
+	return job, err
+}
+
+// attemptSubmit is one submit attempt on a private pooled connection.
+func (c *Client) attemptSubmit(ctx context.Context, name string, args []any) (*Job, error) {
 	info, vals, req, err := c.prepCall(name, args)
 	if err != nil {
 		return nil, err
@@ -444,11 +656,13 @@ func (c *Client) Submit(name string, args ...any) (*Job, error) {
 		req.Release()
 		return nil, err
 	}
+	stop := guardConn(ctx, conn)
 	t, p, err := roundTripBufOn(conn, c.maxPayload, protocol.MsgSubmit, req)
+	stop()
 	if connReusable(err) {
 		c.pool.put(conn)
 	} else {
-		conn.Close()
+		c.pool.discard(conn)
 	}
 	if err != nil {
 		return nil, err
@@ -470,21 +684,80 @@ var ErrNotReady = errors.New("ninf: job not ready")
 // Fetch collects the results of a submitted job, filling the argument
 // slices/pointers passed to Submit. With wait true it blocks until the
 // job completes; otherwise it returns ErrNotReady if still running.
-// A job can be fetched once. Like Submit, the exchange runs on a
-// pooled connection (a not-ready poll leaves the stream in sync, so
-// polling reuses one connection).
+// A job can be fetched once.
 func (j *Job) Fetch(wait bool) (*Report, error) {
+	return j.FetchContext(context.Background(), wait)
+}
+
+// fetchPollCap bounds the poll interval FetchContext backs off to: a
+// just-submitted job is checked quickly, a long-running one a few
+// times a second, so waiting burns neither CPU nor a server
+// connection.
+const fetchPollCap = 250 * time.Millisecond
+
+// FetchContext is Fetch bounded by ctx. Waiting is client-driven:
+// rather than parking a connection in the server's fetch queue (where
+// a dying server would strand it), the job is polled with exponential
+// backoff capped at fetchPollCap, each poll on a pooled connection.
+// Cancelling ctx abandons the wait; transport faults during a poll are
+// retried per the client's RetryPolicy.
+func (j *Job) FetchContext(ctx context.Context, wait bool) (*Report, error) {
+	pollDelay := time.Millisecond
+	for {
+		rep, err := j.fetchOnce(ctx)
+		if err == nil {
+			return rep, nil
+		}
+		if !errors.Is(err, ErrNotReady) || !wait {
+			return nil, err
+		}
+		if serr := sleepCtx(ctx, pollDelay); serr != nil {
+			return nil, serr
+		}
+		if pollDelay < fetchPollCap {
+			pollDelay *= 2
+			if pollDelay > fetchPollCap {
+				pollDelay = fetchPollCap
+			}
+		}
+	}
+}
+
+// fetchOnce performs one non-blocking fetch exchange, with transport
+// faults retried under the client's policy.
+func (j *Job) fetchOnce(ctx context.Context) (*Report, error) {
+	var rep *Report
+	err := j.client.withRetry(ctx, fmt.Sprintf("fetch job %d", j.id), func() error {
+		var aerr error
+		rep, aerr = j.attemptFetch(ctx)
+		if errors.Is(aerr, ErrNotReady) {
+			// Not a fault: the job is just still running. Surface it
+			// past the retry loop untouched.
+			return nil
+		}
+		return aerr
+	})
+	if err == nil && rep == nil {
+		return nil, ErrNotReady
+	}
+	return rep, err
+}
+
+// attemptFetch is one fetch exchange on a private pooled connection.
+func (j *Job) attemptFetch(ctx context.Context) (*Report, error) {
 	c := j.client
-	req := protocol.FetchRequest{JobID: j.id, Wait: wait}
+	req := protocol.FetchRequest{JobID: j.id, Wait: false}
 	conn, err := c.pool.get()
 	if err != nil {
 		return nil, err
 	}
+	stop := guardConn(ctx, conn)
 	t, p, err := roundTripBufOn(conn, c.maxPayload, protocol.MsgFetch, req.EncodeBuf())
+	stop()
 	if connReusable(err) {
 		c.pool.put(conn)
 	} else {
-		conn.Close()
+		c.pool.discard(conn)
 	}
 	if err != nil {
 		var re *protocol.RemoteError

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ninfmeta [-addr :3100] [-policy bandwidth-aware|load-only|round-robin]
-//	         [-poll 5s] server1:3000 server2:3000 ...
+//	         [-poll 5s] [-fail-threshold 3] [-breaker-cooldown 1s]
+//	         server1:3000 server2:3000 ...
 //
 // Each positional argument is a computational server address; servers
 // are registered under their address as the name. Clients use
@@ -29,6 +30,8 @@ func main() {
 	policy := flag.String("policy", "bandwidth-aware", "placement policy: bandwidth-aware, load-only, round-robin")
 	poll := flag.Duration("poll", 5*time.Second, "server monitoring interval")
 	power := flag.Float64("power", 100, "assumed server compute rate in Mflops (uniform)")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures (calls or polls) that open a server's circuit breaker")
+	cooldown := flag.Duration("breaker-cooldown", time.Second, "how long an open breaker blocks placements before a half-open probe")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -41,7 +44,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := metaserver.New(metaserver.Config{Policy: pol})
+	m := metaserver.New(metaserver.Config{
+		Policy:          pol,
+		FailThreshold:   *failThreshold,
+		BreakerCooldown: *cooldown,
+	})
 	for _, sa := range flag.Args() {
 		sa := sa
 		err := m.AddServer(sa, sa, *power, func() (net.Conn, error) {

@@ -98,7 +98,7 @@ func scanForAcquisitions(pass *Pass, stmts []ast.Stmt, inLoop bool) {
 	for i, stmt := range stmts {
 		if assign, ok := stmt.(*ast.AssignStmt); ok {
 			for _, acq := range acquisitionsIn(pass, assign) {
-				tr := &tracker{pass: pass, obj: acq.obj, errObj: acq.errObj}
+				tr := &tracker{pass: pass, obj: acq.obj, errObj: acq.errObj, inLoopBody: inLoop}
 				out := tr.stmts(stmts[i+1:], flowState{})
 				if !out.terminated && !out.released {
 					if inLoop {
@@ -233,6 +233,13 @@ type tracker struct {
 	pass   *Pass
 	obj    types.Object
 	errObj types.Object
+	// inLoopBody marks a variable acquired inside a loop body: an
+	// unlabeled continue then re-enters the acquisition and abandons
+	// the live value, so the back edge carries the release obligation.
+	inLoopBody bool
+	// nestedLoop counts loops entered during the walk; a continue at
+	// depth > 0 targets an inner loop, not the acquiring one.
+	nestedLoop int
 }
 
 func (tr *tracker) stmts(list []ast.Stmt, st flowState) outcome {
@@ -385,7 +392,9 @@ func (tr *tracker) stmt(stmt ast.Stmt, st flowState) (flowState, bool) {
 		if s.Cond != nil {
 			st = tr.applyExpr(s.Cond, st)
 		}
+		tr.nestedLoop++
 		bodyOut := tr.stmts(s.Body.List, st)
+		tr.nestedLoop--
 		_ = bodyOut
 		if s.Cond == nil {
 			// for{}: code after the loop is unreachable (break edges
@@ -396,12 +405,23 @@ func (tr *tracker) stmt(stmt ast.Stmt, st flowState) (flowState, bool) {
 
 	case *ast.RangeStmt:
 		st = tr.applyExpr(s.X, st)
+		tr.nestedLoop++
 		tr.stmts(s.Body.List, st)
+		tr.nestedLoop--
 		return st, false
 
 	case *ast.BranchStmt:
-		// break/continue/goto leave this list; the target edge is not
-		// modelled, so treat the path as handled elsewhere.
+		// An unlabeled continue targeting the loop the value was
+		// acquired in re-runs the acquisition: a retry loop must
+		// release the pooled value on each failed attempt's path
+		// before backing off.
+		if s.Tok == token.CONTINUE && s.Label == nil &&
+			tr.inLoopBody && tr.nestedLoop == 0 && !st.released {
+			tr.pass.Reportf(s.Pos(), "continue without releasing %s", tr.obj.Name())
+		}
+		// break/goto (and labeled continue) leave this list; the
+		// target edge is not modelled, so treat the path as handled
+		// elsewhere.
 		return st, true
 
 	default:

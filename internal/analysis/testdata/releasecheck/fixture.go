@@ -102,6 +102,40 @@ func badParam(b *Buffer) { // want `owned \*Buffer parameter b may reach the end
 	_ = b.Len()
 }
 
+// Negative: a retry loop that re-acquires per attempt and releases on
+// every path, including each failed attempt before it backs off — the
+// client retry contract.
+func goodRetryLoop(n int) error {
+	var lastErr error
+	for i := 0; i < n; i++ {
+		b := Acquire()
+		if err := WriteFrameBuf(b); err != nil {
+			b.Release()
+			lastErr = err
+			continue
+		}
+		b.Release()
+		return nil
+	}
+	return lastErr
+}
+
+// Positive: the failed attempt's continue skips Release, leaking one
+// buffer per retry.
+func badRetryLoopLeak(n int) error {
+	var lastErr error
+	for i := 0; i < n; i++ {
+		b := Acquire()
+		if err := WriteFrameBuf(b); err != nil {
+			lastErr = err
+			continue // want `continue without releasing b`
+		}
+		b.Release()
+		return nil
+	}
+	return lastErr
+}
+
 // Negative: suppressed intentional leak — proves the driver honors
 // //lint:ninflint directives.
 func suppressedLeak() {

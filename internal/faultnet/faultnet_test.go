@@ -1,0 +1,284 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"ninf/internal/emunet"
+)
+
+// pipeDialer returns a dialer producing in-memory pipes whose far
+// ends echo everything back.
+func pipeDialer(t *testing.T) func() (net.Conn, error) {
+	t.Helper()
+	return func() (net.Conn, error) {
+		a, b := net.Pipe()
+		t.Cleanup(func() { a.Close(); b.Close() })
+		go io.Copy(b, b) //nolint // echo until EOF
+		return a, nil
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := New(Plan{Seed: 1})
+	dial := in.Dialer(pipeDialer(t))
+	for i := 0; i < 5; i++ {
+		c, err := dial()
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		for j := 0; j < 50; j++ {
+			if _, err := c.Write([]byte("ping")); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			buf := make([]byte, 4)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+		}
+		c.Close()
+	}
+	if got := in.Counters().Total(); got != 0 {
+		t.Errorf("injected %d faults under a zero plan (%v)", got, in.Counters())
+	}
+}
+
+func TestDialFailuresAreSeededAndCounted(t *testing.T) {
+	plan := Plan{Seed: 42, DialFailProb: 0.5}
+	run := func() (fails uint64, pattern []bool) {
+		in := New(plan)
+		dial := in.Dialer(pipeDialer(t))
+		for i := 0; i < 64; i++ {
+			c, err := dial()
+			pattern = append(pattern, err != nil)
+			if err != nil {
+				var ne net.Error
+				if !errors.As(err, &ne) {
+					t.Fatalf("injected dial error %v is not a net.Error", err)
+				}
+				if !errors.Is(err, syscall.ECONNREFUSED) {
+					t.Fatalf("injected dial error %v does not unwrap to ECONNREFUSED", err)
+				}
+				continue
+			}
+			c.Close()
+		}
+		return in.Counters().DialFailures, pattern
+	}
+	f1, p1 := run()
+	f2, p2 := run()
+	if f1 == 0 || f1 == 64 {
+		t.Fatalf("dial failures = %d out of 64, want a mix", f1)
+	}
+	if f1 != f2 {
+		t.Fatalf("same seed, different failure counts: %d vs %d", f1, f2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed, dial %d differs between runs", i)
+		}
+	}
+}
+
+func TestResetKillsConnection(t *testing.T) {
+	in := New(Plan{Seed: 7, ResetProb: 1}) // first op resets
+	dial := in.Dialer(pipeDialer(t))
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Write([]byte("x"))
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("write error = %v, want ECONNRESET", err)
+	}
+	// The connection is dead: later operations fail too.
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("read after reset = %v, want ECONNRESET", err)
+	}
+	if got := in.Counters().Resets; got < 1 {
+		t.Errorf("resets = %d, want >= 1", got)
+	}
+}
+
+func TestSafeOpsExemptPrefix(t *testing.T) {
+	in := New(Plan{Seed: 7, ResetProb: 1, SafeOps: 4})
+	dial := in.Dialer(pipeDialer(t))
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ { // 2 writes + 2 reads = the safe prefix
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatalf("safe write %d failed: %v", i, err)
+		}
+		if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+			t.Fatalf("safe read %d failed: %v", i, err)
+		}
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("first unsafe op = %v, want ECONNRESET", err)
+	}
+}
+
+func TestStallTimesOutAndCloseCutsIt(t *testing.T) {
+	in := New(Plan{Seed: 3, StallProb: 1, StallDuration: 30 * time.Millisecond})
+	dial := in.Dialer(pipeDialer(t))
+
+	// Expiry path: the stall ends by itself with a timeout error.
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Write([]byte("x"))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stalled write error = %v, want a timeout net.Error", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("stall returned after %v, want >= ~30ms", d)
+	}
+	c.Close()
+
+	// Close path: closing the connection wakes the stalled operation
+	// long before the stall duration.
+	in2 := New(Plan{Seed: 3, StallProb: 1, StallDuration: 10 * time.Second})
+	c2, err := in2.Dialer(pipeDialer(t))()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, werr := c2.Write([]byte("x"))
+		done <- werr
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c2.Close()
+	select {
+	case err := <-done:
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("cut stall error = %v, want timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write not released by Close")
+	}
+	if got := in.Counters().Stalls + in2.Counters().Stalls; got < 2 {
+		t.Errorf("stalls = %d, want >= 2", got)
+	}
+}
+
+func TestPartialWriteDeliversPrefixThenResets(t *testing.T) {
+	in := New(Plan{Seed: 9, PartialWriteProb: 1})
+	a, b := net.Pipe()
+	defer b.Close()
+	dial := in.Dialer(func() (net.Conn, error) { return a, nil })
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := c.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("partial write error = %v, want ECONNRESET", err)
+	}
+	if n != 5 {
+		t.Errorf("partial write delivered %d bytes, want 5", n)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "01234" {
+			t.Errorf("peer saw %q, want the 5-byte prefix", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never saw the prefix")
+	}
+	if got := in.Counters().PartialWrites; got != 1 {
+		t.Errorf("partial writes = %d, want 1", got)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	in := New(Plan{Seed: 5})
+	dial := in.Dialer(pipeDialer(t))
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Partition()
+	if !in.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition")
+	}
+	// Live connection was severed.
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Error("write on partitioned conn succeeded")
+	}
+	// New dials fail.
+	if _, err := dial(); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Errorf("dial during partition = %v, want ECONNREFUSED", err)
+	}
+	in.Heal()
+	c2, err := dial()
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Errorf("write after heal: %v", err)
+	}
+	c2.Close()
+}
+
+func TestScriptedPartitionFiresAtDial(t *testing.T) {
+	in := New(Plan{Seed: 1, Script: []Event{
+		{AtDial: 3, Action: ActPartition},
+		{AtDial: 5, Action: ActHeal},
+	}})
+	dial := in.Dialer(pipeDialer(t))
+	for i := 1; i <= 6; i++ {
+		c, err := dial()
+		switch i {
+		case 3, 4:
+			if err == nil {
+				t.Errorf("dial %d succeeded during scripted partition", i)
+			}
+		default:
+			if err != nil {
+				t.Errorf("dial %d failed outside partition: %v", i, err)
+			}
+		}
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// TestComposesWithEmunet wraps a traffic-shaped dialer: shaping and
+// fault injection stack without interfering.
+func TestComposesWithEmunet(t *testing.T) {
+	link := emunet.NewLink("wan", 1<<20)
+	shaped := emunet.Dialer(pipeDialer(t), emunet.Options{Up: []*emunet.Link{link}})
+	in := New(Plan{Seed: 11, ResetProb: 1, SafeOps: 2})
+	c, err := in.Dialer(shaped)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("safe shaped write: %v", err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatalf("safe shaped read: %v", err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("post-safe write = %v, want injected ECONNRESET", err)
+	}
+}

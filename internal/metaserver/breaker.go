@@ -1,0 +1,122 @@
+package metaserver
+
+import (
+	"fmt"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state of one server.
+type BreakerState int
+
+// Circuit-breaker states. A server starts Closed (traffic flows).
+// FailThreshold consecutive failures — failed calls or failed polls —
+// Open the breaker: the server receives no placements. After the
+// cooldown the breaker goes HalfOpen and admits exactly one probe
+// placement; success Closes the breaker, failure re-Opens it for
+// another cooldown. A successful monitor poll also Closes the breaker
+// (the poll is a probe the metaserver performs itself), so a server
+// marked dead by call failures is revived by polling, and one marked
+// dead by poll failures is revived by a successful call.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// A BreakerEvent records one state transition, for observability and
+// for chaos tests to assert the breaker actually worked.
+type BreakerEvent struct {
+	Server   string
+	From, To BreakerState
+	At       time.Time
+}
+
+func (e BreakerEvent) String() string {
+	return fmt.Sprintf("%s: %s -> %s", e.Server, e.From, e.To)
+}
+
+// breaker is the per-server circuit breaker. All methods are called
+// with the metaserver's mutex held.
+type breaker struct {
+	state    BreakerState
+	fails    int // consecutive failures
+	openedAt time.Time
+	probing  bool // a half-open probe placement is outstanding
+}
+
+// eligible reports whether the server may receive a placement now. An
+// Open breaker whose cooldown has elapsed transitions to HalfOpen
+// here. Eligibility does not commit the half-open probe: the caller
+// calls markProbe on the one candidate the policy actually picks.
+func (b *breaker) eligible(now time.Time, cooldown time.Duration, transition func(from, to BreakerState)) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < cooldown {
+			return false
+		}
+		transition(BreakerOpen, BreakerHalfOpen)
+		b.state = BreakerHalfOpen
+		b.probing = false
+		fallthrough
+	case BreakerHalfOpen:
+		return !b.probing // one probe at a time
+	}
+	return false
+}
+
+// markProbe records that a half-open placement went out; until its
+// outcome is observed no further probe is admitted.
+func (b *breaker) markProbe() {
+	if b.state == BreakerHalfOpen {
+		b.probing = true
+	}
+}
+
+// onFailure feeds one failed call or poll; threshold <= consecutive
+// failures opens the breaker, and a failed half-open probe re-opens it
+// immediately.
+func (b *breaker) onFailure(now time.Time, threshold int, transition func(from, to BreakerState)) {
+	b.fails++
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		transition(BreakerHalfOpen, BreakerOpen)
+		b.state = BreakerOpen
+		b.openedAt = now
+	case BreakerClosed:
+		if b.fails >= threshold {
+			transition(BreakerClosed, BreakerOpen)
+			b.state = BreakerOpen
+			b.openedAt = now
+		}
+	case BreakerOpen:
+		b.openedAt = now // failures during cooldown restart it
+	}
+}
+
+// onSuccess feeds one successful call or poll: the breaker closes from
+// any state and the failure streak resets.
+func (b *breaker) onSuccess(transition func(from, to BreakerState)) {
+	if b.state != BreakerClosed {
+		transition(b.state, BreakerClosed)
+	}
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}

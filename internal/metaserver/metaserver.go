@@ -30,9 +30,16 @@ import (
 
 // A Snapshot is the scheduler-visible view of one server.
 type Snapshot struct {
-	Name  string
-	Addr  string
+	Name string
+	Addr string
+	// Alive mirrors the circuit breaker: false exactly when the
+	// breaker is open (the server receives no placements).
 	Alive bool
+	// Breaker is the server's circuit-breaker state; see BreakerState.
+	Breaker BreakerState
+	// Fails is the current consecutive-failure streak feeding the
+	// breaker.
+	Fails int
 	// PowerMflops is the configured peak compute rate estimate.
 	PowerMflops float64
 	// Bandwidth is the observed achievable bandwidth in bytes/second
@@ -68,9 +75,12 @@ type Config struct {
 	// BandwidthDecay is the EWMA weight of a new observation
 	// (default 0.3).
 	BandwidthDecay float64
-	// FailThreshold marks a server dead after this many consecutive
-	// failed calls or polls (default 3).
+	// FailThreshold opens a server's circuit breaker after this many
+	// consecutive failed calls or polls (default 3).
 	FailThreshold int
+	// BreakerCooldown is how long an open breaker blocks placements
+	// before admitting a half-open probe (default 1s).
+	BreakerCooldown time.Duration
 }
 
 // Metaserver monitors servers and places calls. It implements
@@ -83,12 +93,13 @@ type Metaserver struct {
 	servers map[string]*entry
 	order   []string
 	rr      int // round-robin cursor for tie-breaking
+	events  []BreakerEvent
 }
 
 type entry struct {
 	Snapshot
 	dial     func() (net.Conn, error)
-	fails    int
+	brk      breaker
 	observed bool
 }
 
@@ -102,6 +113,9 @@ func New(cfg Config) *Metaserver {
 	}
 	if cfg.FailThreshold <= 0 {
 		cfg.FailThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
 	}
 	p := cfg.Policy
 	if p == nil {
@@ -204,18 +218,48 @@ func (m *Metaserver) PollOnce() int {
 		if results[i] != nil {
 			e.Stats = *results[i]
 			e.TraceCompute = traces[i]
-			e.Alive = true
-			e.fails = 0
 			e.LastSeen = now
+			// A successful poll is a liveness probe: it closes the
+			// breaker even when it was opened by call failures, so
+			// polling and call feedback revive a server
+			// symmetrically.
+			e.brk.onSuccess(m.transition(e))
+			m.syncEntry(e)
 			ok++
 		} else {
-			e.fails++
-			if e.fails >= m.cfg.FailThreshold {
-				e.Alive = false
-			}
+			e.brk.onFailure(now, m.cfg.FailThreshold, m.transition(e))
+			m.syncEntry(e)
 		}
 	}
 	return ok
+}
+
+// transition returns the event recorder the breaker calls on a state
+// change. Callers hold m.mu.
+func (m *Metaserver) transition(e *entry) func(from, to BreakerState) {
+	return func(from, to BreakerState) {
+		m.events = append(m.events, BreakerEvent{Server: e.Name, From: from, To: to, At: time.Now()})
+		const maxEvents = 1024
+		if len(m.events) > maxEvents {
+			m.events = append(m.events[:0], m.events[len(m.events)-maxEvents:]...)
+		}
+	}
+}
+
+// syncEntry refreshes the snapshot's breaker-derived fields. Callers
+// hold m.mu.
+func (m *Metaserver) syncEntry(e *entry) {
+	e.Breaker = e.brk.state
+	e.Fails = e.brk.fails
+	e.Alive = e.brk.state != BreakerOpen
+}
+
+// BreakerEvents returns the recorded circuit-breaker transitions in
+// order (bounded history; oldest dropped first).
+func (m *Metaserver) BreakerEvents() []BreakerEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]BreakerEvent(nil), m.events...)
 }
 
 func pollStats(dial func() (net.Conn, error)) (protocol.Stats, map[string]time.Duration, error) {
@@ -282,7 +326,10 @@ func (m *Metaserver) StartMonitor(interval time.Duration) (stop func()) {
 // non-excluded server exists.
 var ErrNoServer = errors.New("metaserver: no eligible server")
 
-// Place implements ninf.Scheduler.
+// Place implements ninf.Scheduler. Servers whose circuit breaker is
+// open are not offered to the policy, so placements fail over to live
+// servers; an open breaker past its cooldown admits exactly one
+// half-open probe placement.
 func (m *Metaserver) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -290,11 +337,17 @@ func (m *Metaserver) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 	for _, x := range req.Exclude {
 		excluded[x] = true
 	}
+	now := time.Now()
 	var snaps []*Snapshot
 	var entries []*entry
 	for _, n := range m.order {
 		e := m.servers[n]
-		if !e.Alive || excluded[n] {
+		if excluded[n] {
+			continue
+		}
+		ok := e.brk.eligible(now, m.cfg.BreakerCooldown, m.transition(e))
+		m.syncEntry(e)
+		if !ok {
 			continue
 		}
 		s := e.Snapshot
@@ -318,6 +371,7 @@ func (m *Metaserver) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 		return ninf.Placement{}, ErrNoServer
 	}
 	chosen := rotE[idx]
+	chosen.brk.markProbe()
 	// Placements optimistically count toward load so a burst of
 	// placements spreads even before stats refresh.
 	chosen.Stats.Queued++
@@ -337,14 +391,12 @@ func (m *Metaserver) Observe(serverName string, bytes int64, elapsed time.Durati
 		e.Stats.Queued--
 	}
 	if failed {
-		e.fails++
-		if e.fails >= m.cfg.FailThreshold {
-			e.Alive = false
-		}
+		e.brk.onFailure(time.Now(), m.cfg.FailThreshold, m.transition(e))
+		m.syncEntry(e)
 		return
 	}
-	e.fails = 0
-	e.Alive = true
+	e.brk.onSuccess(m.transition(e))
+	m.syncEntry(e)
 	if bytes > 0 && elapsed > 0 {
 		obs := float64(bytes) / elapsed.Seconds()
 		if !e.observed {

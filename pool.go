@@ -22,12 +22,13 @@ type connPool struct {
 
 	mu      sync.Mutex
 	idle    []net.Conn
+	active  map[net.Conn]struct{} // checked out, exchange in flight
 	maxIdle int
 	closed  bool
 }
 
 func newConnPool(dial func() (net.Conn, error), maxIdle int) *connPool {
-	return &connPool{dial: dial, maxIdle: maxIdle}
+	return &connPool{dial: dial, maxIdle: maxIdle, active: make(map[net.Conn]struct{})}
 }
 
 // setMaxIdle adjusts the idle bound, closing surplus connections.
@@ -49,7 +50,9 @@ func (p *connPool) setMaxIdle(n int) {
 	}
 }
 
-// get returns a healthy idle connection or dials a new one.
+// get returns a healthy idle connection or dials a new one. Checked-
+// out connections are tracked so closeAll can sever in-flight
+// exchanges instead of leaving them hung on a dead server.
 func (p *connPool) get() (net.Conn, error) {
 	for {
 		p.mu.Lock()
@@ -60,16 +63,37 @@ func (p *connPool) get() (net.Conn, error) {
 		n := len(p.idle)
 		if n == 0 {
 			p.mu.Unlock()
-			return p.dial()
+			conn, err := p.dial()
+			if err != nil {
+				return nil, err
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				conn.Close()
+				return nil, errClientClosed
+			}
+			p.active[conn] = struct{}{}
+			p.mu.Unlock()
+			return conn, nil
 		}
 		conn := p.idle[n-1]
 		p.idle[n-1] = nil
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
-		if connAlive(conn) {
-			return conn, nil
+		if !connAlive(conn) {
+			conn.Close()
+			continue
 		}
-		conn.Close()
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return nil, errClientClosed
+		}
+		p.active[conn] = struct{}{}
+		p.mu.Unlock()
+		return conn, nil
 	}
 }
 
@@ -78,6 +102,7 @@ func (p *connPool) get() (net.Conn, error) {
 // returned.
 func (p *connPool) put(conn net.Conn) {
 	p.mu.Lock()
+	delete(p.active, conn)
 	if p.closed || len(p.idle) >= p.maxIdle {
 		p.mu.Unlock()
 		conn.Close()
@@ -87,16 +112,41 @@ func (p *connPool) put(conn net.Conn) {
 	p.mu.Unlock()
 }
 
-// closeAll shuts the pool down; subsequent gets fail.
+// discard drops a checked-out connection that must not be reused
+// (I/O error, frame desync) and closes it.
+func (p *connPool) discard(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.active, conn)
+	p.mu.Unlock()
+	conn.Close()
+}
+
+// closeAll shuts the pool down: subsequent gets fail, idle connections
+// are closed, and checked-out connections are severed so exchanges
+// blocked on them return promptly with a connection error.
 func (p *connPool) closeAll() {
 	p.mu.Lock()
 	p.closed = true
 	idle := p.idle
 	p.idle = nil
+	act := make([]net.Conn, 0, len(p.active))
+	for c := range p.active {
+		act = append(act, c)
+	}
 	p.mu.Unlock()
 	for _, c := range idle {
 		c.Close()
 	}
+	for _, c := range act {
+		c.Close()
+	}
+}
+
+// isClosed reports whether closeAll ran.
+func (p *connPool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // probeTimeout bounds the fallback read probe. It must be positive:

@@ -1,0 +1,184 @@
+package ninf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+
+	"ninf/internal/protocol"
+)
+
+// A RetryPolicy governs how the client retries Ninf_calls that fail
+// with retryable (connection-level) errors: capped exponential backoff
+// with full jitter. Every attempt re-acquires a fresh pooled request
+// buffer and a fresh connection, so the data plane's ownership
+// invariants hold on each retry, not just the first try.
+//
+// Retries apply only to errors Retryable classifies as transport
+// faults. A *protocol.RemoteError means the server executed (or
+// deliberately rejected) the call and is never retried at this layer;
+// the metaserver's transaction failover handles rerouting those.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (default 4).
+	// 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff unit before the first retry
+	// (default 5ms). The k-th retry waits a uniformly random duration
+	// in [0, min(MaxDelay, BaseDelay·2^(k-1))) — "full jitter", which
+	// decorrelates clients hammering a recovering server.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window (default 500ms).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy clients start with.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+
+// NoRetry disables client-level retries: every transport fault
+// surfaces to the caller on the first occurrence.
+var NoRetry = RetryPolicy{MaxAttempts: 1}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// delay returns the jittered backoff before retry k (1-based).
+func (p RetryPolicy) delay(k int) time.Duration {
+	window := p.BaseDelay
+	for i := 1; i < k && window < p.MaxDelay; i++ {
+		window *= 2
+	}
+	if window > p.MaxDelay {
+		window = p.MaxDelay
+	}
+	if window <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(window))) // full jitter
+}
+
+// backoff sleeps the jittered delay for retry k, or returns early with
+// the context's error.
+func (p RetryPolicy) backoff(ctx context.Context, k int) error {
+	d := p.delay(k)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// A RetryError reports a call that failed after exhausting its retry
+// budget; Unwrap exposes the final attempt's error.
+type RetryError struct {
+	Op       string // the failing operation ("call", "submit", "fetch")
+	Attempts int    // how many times it was tried
+	Err      error  // the last attempt's error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("ninf: %s failed after %d attempts: %v", e.Op, e.Attempts, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// Retryable classifies an error from a Ninf exchange: true means the
+// failure is a transport fault (connection reset, dial failure,
+// truncated frame, I/O timeout, severed connection) where the call may
+// not have reached the server and trying again — on a fresh connection
+// — is sound. False means retrying cannot help or must not happen:
+//
+//   - *protocol.RemoteError: the server answered; it executed the call
+//     or rejected it deliberately. Re-placement is the scheduler's
+//     decision, not the transport's.
+//   - context cancellation/expiry: the caller gave up.
+//   - a closed client: ErrClientClosed ends the call.
+//   - argument/marshalling errors: local bugs, deterministic.
+//
+// Unknown errors classify as non-retryable; the transport faults the
+// data plane produces are all recognized shapes.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *protocol.RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, errClientClosed) {
+		return false
+	}
+	switch {
+	case errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, syscall.ECONNABORTED),
+		errors.Is(err, syscall.ETIMEDOUT):
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		// Dial errors, resets and I/O timeouts (stalled black-hole
+		// connections cut by a deadline) are transport faults.
+		return true
+	}
+	return false
+}
+
+// ErrClientClosed is returned by calls issued on (or interrupted by) a
+// closed Client.
+var ErrClientClosed = errClientClosed
+
+// guardConn arranges for conn to be severed when ctx ends, bounding
+// every blocking read/write of an exchange by the caller's deadline —
+// including reads black-holed by a faulty network, which no write
+// deadline would interrupt. The returned stop function disarms the
+// guard; it must be called before the connection is pooled for reuse.
+func guardConn(ctx context.Context, conn net.Conn) (stop func() bool) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() bool { return true }
+	}
+	return context.AfterFunc(ctx, func() { conn.Close() })
+}
+
+// ctxErr folds a context's end into the attempt error so callers see
+// the cause (context.DeadlineExceeded) rather than the symptom (a read
+// on a deliberately severed connection).
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("%w (%v)", cerr, err)
+	}
+	return err
+}

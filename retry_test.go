@@ -1,0 +1,132 @@
+package ninf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"ninf/internal/protocol"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	opErr := &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	var timeoutErr net.Error = &net.OpError{Op: "read", Net: "tcp", Err: &timeoutError{}}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"closed-pipe", io.ErrClosedPipe, true},
+		{"net-closed", net.ErrClosed, true},
+		{"econnreset", syscall.ECONNRESET, true},
+		{"wrapped-reset", fmt.Errorf("protocol: read header: %w", syscall.ECONNRESET), true},
+		{"dial-refused", opErr, true},
+		{"io-timeout", timeoutErr, true},
+		{"remote-error", &protocol.RemoteError{Code: 1, Detail: "no such routine"}, false},
+		{"wrapped-remote", fmt.Errorf("call: %w", &protocol.RemoteError{Code: 1, Detail: "x"}), false},
+		{"ctx-canceled", context.Canceled, false},
+		{"ctx-deadline", context.DeadlineExceeded, false},
+		{"client-closed", ErrClientClosed, false},
+		{"unknown", errors.New("some local bug"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// timeoutError is a minimal net.Error with Timeout()==true, the shape
+// a deadline-severed read produces.
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return false }
+
+func TestRetryPolicyDelayBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	for k := 1; k <= 8; k++ {
+		window := p.BaseDelay << uint(k-1)
+		if window > p.MaxDelay {
+			window = p.MaxDelay
+		}
+		for i := 0; i < 100; i++ {
+			d := p.delay(k)
+			if d < 0 || d >= window {
+				t.Fatalf("delay(%d) = %v outside [0, %v)", k, d, window)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p != DefaultRetryPolicy {
+		t.Errorf("zero policy defaults to %+v, want %+v", p, DefaultRetryPolicy)
+	}
+	// NoRetry keeps MaxAttempts == 1 through a client's SetRetryPolicy.
+	c := &Client{retry: DefaultRetryPolicy}
+	c.SetRetryPolicy(NoRetry)
+	if got := c.Retry().MaxAttempts; got != 1 {
+		t.Errorf("NoRetry via SetRetryPolicy: MaxAttempts = %d, want 1", got)
+	}
+}
+
+func TestBackoffHonorsContext(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.backoff(ctx, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("backoff under expired ctx: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("backoff ignored context for %v", elapsed)
+	}
+}
+
+func TestRetryErrorUnwraps(t *testing.T) {
+	inner := &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	err := error(&RetryError{Op: "call dmmul", Attempts: 4, Err: inner})
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Errorf("RetryError does not unwrap to the final attempt's cause: %v", err)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || re.Attempts != 4 {
+		t.Errorf("errors.As(*RetryError) failed on %v", err)
+	}
+}
+
+func TestGuardConnSeversOnCancel(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := guardConn(ctx, a)
+	defer stop()
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := a.Read(buf) // black hole: peer never writes
+		readErr <- err
+	}()
+	cancel()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Error("read returned nil after guard severed the conn")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("guardConn did not sever a blocked read on cancel")
+	}
+}

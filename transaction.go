@@ -1,8 +1,10 @@
 package ninf
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"reflect"
 	"sync"
@@ -70,11 +72,15 @@ func (s *singleServer) Observe(string, int64, time.Duration, bool) {}
 type Transaction struct {
 	sched       Scheduler
 	maxAttempts int
+	callTimeout time.Duration
+	retry       RetryPolicy
+	haveRetry   bool
 
-	mu      sync.Mutex
-	calls   []*txCall
-	clients map[string]*Client
-	ended   bool
+	mu        sync.Mutex
+	calls     []*txCall
+	clients   map[string]*Client
+	ended     bool
+	failovers int
 }
 
 type txCall struct {
@@ -101,6 +107,53 @@ func (tx *Transaction) SetMaxAttempts(n int) {
 	if n > 0 {
 		tx.maxAttempts = n
 	}
+}
+
+// SetCallTimeout bounds each placed call attempt: a call stuck on a
+// stalled connection or a server that died mid-transfer is severed
+// after d and failed over to the next server, instead of holding the
+// whole transaction hostage. Zero (the default) means no per-call
+// deadline beyond the context passed to EndContext.
+func (tx *Transaction) SetCallTimeout(d time.Duration) {
+	if d > 0 {
+		tx.callTimeout = d
+	}
+}
+
+// SetRetryPolicy sets the transport-level retry policy of the clients
+// the transaction creates; see Client.SetRetryPolicy. This is the
+// inner retry loop (same server, fresh connection); SetMaxAttempts
+// governs the outer loop (fail over to another server).
+func (tx *Transaction) SetRetryPolicy(p RetryPolicy) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	tx.retry = p
+	tx.haveRetry = true
+	for _, c := range tx.clients {
+		c.SetRetryPolicy(p)
+	}
+}
+
+// Failovers reports how many times a call was re-placed on another
+// server after failing — the transaction's observable fault-tolerance
+// work.
+func (tx *Transaction) Failovers() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.failovers
+}
+
+// Servers returns, per recorded call, the names of the servers the
+// call was attempted on in order; the last entry of a successful
+// call's list is the server that executed it.
+func (tx *Transaction) Servers() [][]string {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	out := make([][]string, len(tx.calls))
+	for i, c := range tx.calls {
+		out[i] = append([]string(nil), c.servers...)
+	}
+	return out
 }
 
 // Call records one Ninf_call in the transaction. Argument conventions
@@ -140,6 +193,12 @@ func (tx *Transaction) Errs() []error {
 // with fault-tolerant retry, and waits for everything. It returns the
 // first error if any call ultimately failed.
 func (tx *Transaction) End() error {
+	return tx.EndContext(context.Background())
+}
+
+// EndContext is End bounded by ctx: cancellation abandons calls not
+// yet placed and severs in-flight exchanges via per-call contexts.
+func (tx *Transaction) EndContext(ctx context.Context) error {
 	tx.mu.Lock()
 	if tx.ended {
 		tx.mu.Unlock()
@@ -161,7 +220,7 @@ func (tx *Transaction) End() error {
 		if _, ok := infos[c.name]; ok {
 			continue
 		}
-		info, err := tx.fetchInterface(c.name, c.args)
+		info, err := tx.fetchInterface(ctx, c.name, c.args)
 		if err != nil {
 			return fmt.Errorf("ninf: transaction: %w", err)
 		}
@@ -192,7 +251,7 @@ func (tx *Transaction) End() error {
 					return
 				}
 			}
-			c.report, c.err = tx.execute(infos[c.name], c)
+			c.report, c.err = tx.execute(ctx, infos[c.name], c)
 		}(i, c)
 	}
 	wg.Wait()
@@ -207,20 +266,34 @@ func (tx *Transaction) End() error {
 
 // fetchInterface places a lightweight request and performs the
 // stage-one RPC against the chosen server, with retry.
-func (tx *Transaction) fetchInterface(name string, args []any) (*idl.Info, error) {
+func (tx *Transaction) fetchInterface(ctx context.Context, name string, args []any) (*idl.Info, error) {
 	var exclude []string
 	var lastErr error
 	for attempt := 0; attempt < tx.maxAttempts; attempt++ {
 		pl, err := tx.sched.Place(SchedRequest{Routine: name, Exclude: exclude})
 		if err != nil {
-			if lastErr != nil {
-				return nil, fmt.Errorf("%w (after: %v)", err, lastErr)
+			// All candidates excluded or all breakers open: clear the
+			// exclusions, wait out a slice of breaker cooldown, and
+			// re-place (see execute).
+			if lastErr == nil {
+				lastErr = err
+			} else {
+				lastErr = fmt.Errorf("%v (after: %v)", err, lastErr)
 			}
-			return nil, err
+			if attempt == tx.maxAttempts-1 {
+				return nil, lastErr
+			}
+			exclude = nil
+			if serr := sleepCtx(ctx, placementBackoff(attempt)); serr != nil {
+				return nil, fmt.Errorf("%w (after: %v)", serr, lastErr)
+			}
+			continue
 		}
 		c, err := tx.client(pl)
 		if err == nil {
-			info, ierr := c.Interface(name)
+			callCtx, cancel := tx.callContext(ctx)
+			info, ierr := c.InterfaceContext(callCtx, name)
+			cancel()
 			if ierr == nil {
 				return info, nil
 			}
@@ -233,8 +306,12 @@ func (tx *Transaction) fetchInterface(name string, args []any) (*idl.Info, error
 	return nil, lastErr
 }
 
-// execute runs one call with placement and retry.
-func (tx *Transaction) execute(info *idl.Info, c *txCall) (*Report, error) {
+// execute runs one call with placement, per-attempt deadline, and
+// failover: a call that fails on one server (after the client's inner
+// transport retries) is observed as failed — feeding the metaserver's
+// circuit breaker — excluded from re-placement, and rerouted to the
+// next-best live server, re-executing the Ninf_call as §5 prescribes.
+func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (*Report, error) {
 	inB, outB := estimateBytes(info, c.args)
 	var ops int64
 	if vals, err := toValues(info, c.args); err == nil {
@@ -243,18 +320,46 @@ func (tx *Transaction) execute(info *idl.Info, c *txCall) (*Report, error) {
 		}
 	}
 	var lastErr error
+	var excluded []string
 	for attempt := 0; attempt < tx.maxAttempts; attempt++ {
-		pl, err := tx.sched.Place(SchedRequest{
-			Routine: c.name, InBytes: inB, OutBytes: outB, Ops: ops,
-			Exclude: c.servers,
-		})
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (after: %v)", err, lastErr)
 			}
 			return nil, err
 		}
+		pl, err := tx.sched.Place(SchedRequest{
+			Routine: c.name, InBytes: inB, OutBytes: outB, Ops: ops,
+			Exclude: excluded,
+		})
+		if err != nil {
+			// No eligible server right now — likely every breaker is
+			// open or every candidate was excluded. Clear the
+			// exclusions (a previously-failed server may have
+			// recovered), wait out a slice of breaker cooldown, and
+			// re-place; only a placement failure on the final attempt
+			// is fatal.
+			if lastErr == nil {
+				lastErr = err
+			} else {
+				lastErr = fmt.Errorf("%v (after: %v)", err, lastErr)
+			}
+			if attempt == tx.maxAttempts-1 {
+				return nil, lastErr
+			}
+			excluded = nil
+			if serr := sleepCtx(ctx, placementBackoff(attempt)); serr != nil {
+				return nil, fmt.Errorf("%w (after: %v)", serr, lastErr)
+			}
+			continue
+		}
+		excluded = append(excluded, pl.Name)
+		tx.mu.Lock()
 		c.servers = append(c.servers, pl.Name)
+		if attempt > 0 {
+			tx.failovers++
+		}
+		tx.mu.Unlock()
 		client, err := tx.client(pl)
 		if err != nil {
 			tx.sched.Observe(pl.Name, 0, 0, true)
@@ -263,7 +368,9 @@ func (tx *Transaction) execute(info *idl.Info, c *txCall) (*Report, error) {
 		}
 		// Each call runs on its own connection so independent calls
 		// placed on the same server still proceed in parallel.
-		rep, err := client.CallAsync(c.name, c.args...).Wait()
+		callCtx, cancel := tx.callContext(ctx)
+		rep, err := client.CallAsyncContext(callCtx, c.name, c.args...).Wait()
+		cancel()
 		if err != nil {
 			tx.sched.Observe(pl.Name, 0, 0, true)
 			lastErr = err
@@ -275,6 +382,29 @@ func (tx *Transaction) execute(info *idl.Info, c *txCall) (*Report, error) {
 	return nil, fmt.Errorf("ninf: %s failed on %d servers: %w", c.name, tx.maxAttempts, lastErr)
 }
 
+// placementBackoff is how long a call waits before re-asking the
+// scheduler for a placement after "no eligible server". The ramp
+// (equal jitter, 25ms doubling to a 500ms cap) is sized to outlast a
+// breaker cooldown within a few attempts, so a transient
+// everything-is-open state heals instead of failing the call.
+func placementBackoff(attempt int) time.Duration {
+	d := 25 * time.Millisecond << uint(attempt)
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// callContext derives the per-attempt context from the transaction's
+// call timeout.
+func (tx *Transaction) callContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if tx.callTimeout > 0 {
+		return context.WithTimeout(ctx, tx.callTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
 func (tx *Transaction) client(pl Placement) (*Client, error) {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -284,6 +414,9 @@ func (tx *Transaction) client(pl Placement) (*Client, error) {
 	c, err := NewClient(pl.Dial)
 	if err != nil {
 		return nil, err
+	}
+	if tx.haveRetry {
+		c.SetRetryPolicy(tx.retry)
 	}
 	tx.clients[pl.Name] = c
 	return c, nil
