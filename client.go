@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -281,12 +282,13 @@ func (c *Client) Interface(name string) (*idl.Info, error) {
 
 // InterfaceContext is Interface with a caller-supplied context
 // bounding the fetch; transport faults are retried under the client's
-// retry policy like every other verb.
+// retry policy like every other verb, and cancelling ctx severs a
+// fetch blocked on a dead or black-holed connection.
 func (c *Client) InterfaceContext(ctx context.Context, name string) (*idl.Info, error) {
 	var info *idl.Info
 	err := c.withRetry(ctx, "interface "+name, func() error {
 		var aerr error
-		info, aerr = c.attemptInterface(name)
+		info, aerr = c.attemptInterface(ctx, name)
 		return aerr
 	})
 	if err != nil {
@@ -295,7 +297,7 @@ func (c *Client) InterfaceContext(ctx context.Context, name string) (*idl.Info, 
 	return info, nil
 }
 
-func (c *Client) attemptInterface(name string) (*idl.Info, error) {
+func (c *Client) attemptInterface(ctx context.Context, name string) (*idl.Info, error) {
 	c.mu.Lock()
 	if info, ok := c.cache[name]; ok {
 		c.mu.Unlock()
@@ -307,15 +309,32 @@ func (c *Client) attemptInterface(name string) (*idl.Info, error) {
 		return nil, err
 	}
 	conn := c.conn
-	//lint:ninflint locknet — the interface fetch deliberately holds c.mu through the exchange so concurrent first calls don't interleave frames
+	// The guard bounds the exchange by ctx: when ctx ends it closes
+	// conn, so even a black-holed read returns and releases c.mu
+	// within the caller's deadline.
+	//lint:ninflint locknet — guardConn only registers a context callback; it performs no socket I/O
+	stop := guardConn(ctx, conn)
+	//lint:ninflint locknet — the interface fetch deliberately holds c.mu through the exchange so concurrent first calls don't interleave frames; guardConn severs the conn when ctx ends, bounding the hold
 	t, p, err := roundTripOn(conn, c.maxPayload, protocol.MsgInterface, req.Encode())
-	if err != nil {
+	if !stop() {
+		// ctx ended mid-exchange: the guard closed (or is closing) the
+		// connection, so it cannot carry another frame even if this
+		// exchange happened to complete.
+		if c.conn == conn {
+			conn.Close()
+			c.conn = nil
+		}
+		if err != nil {
+			err = ctxErr(ctx, err)
+		}
+	} else if err != nil {
 		//lint:ninflint locknet — dropConnLocked only calls Close, which does not block on the socket
 		c.dropConnLocked(conn, err)
-		c.mu.Unlock()
-		return nil, err
 	}
 	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	if t != protocol.MsgInterfaceOK {
 		return nil, fmt.Errorf("ninf: unexpected reply %v to interface query", t)
 	}
@@ -411,15 +430,17 @@ func (c *Client) withRetry(ctx context.Context, op string, attempt func() error)
 		if err == nil {
 			return nil
 		}
-		if c.pool.isClosed() {
-			if errors.Is(err, errClientClosed) {
-				return err
-			}
-			return fmt.Errorf("%w (%v)", errClientClosed, err)
-		}
 		err = ctxErr(ctx, err)
 		if !Retryable(err) {
+			// Remote errors, argument errors and context ends pass
+			// through untouched: a concurrent Close must not mask the
+			// real failure as ErrClientClosed.
 			return err
+		}
+		if c.pool.isClosed() {
+			// A transport fault on a closed client is (almost always)
+			// the close severing the exchange; classify it as such.
+			return fmt.Errorf("%w (%v)", errClientClosed, err)
 		}
 		if try >= pol.MaxAttempts {
 			return &RetryError{Op: op, Attempts: try, Err: err}
@@ -436,7 +457,7 @@ func (c *Client) withRetry(ctx context.Context, op string, attempt func() error)
 // contract. A transport fault drops the connection for re-dial on the
 // next attempt.
 func (c *Client) callPrimary(ctx context.Context, name string, args []any) (*Report, error) {
-	info, vals, req, err := c.prepCall(name, args)
+	info, vals, req, err := c.prepCall(ctx, name, args)
 	if err != nil {
 		return nil, err
 	}
@@ -450,8 +471,20 @@ func (c *Client) callPrimary(ctx context.Context, name string, args []any) (*Rep
 	c.mu.Unlock()
 	stop := guardConn(ctx, conn)
 	rep, err := c.exchangeCall(conn, &c.mu, info, vals, req, args)
-	stop()
-	if err != nil && !connReusable(err) {
+	if !stop() {
+		// ctx ended mid-exchange: the guard's Close races the exchange,
+		// so the connection must be dropped even if the exchange
+		// completed cleanly.
+		if err != nil {
+			err = ctxErr(ctx, err)
+		}
+		c.mu.Lock()
+		if c.conn == conn {
+			conn.Close()
+			c.conn = nil
+		}
+		c.mu.Unlock()
+	} else if err != nil && !connReusable(err) {
 		c.mu.Lock()
 		//lint:ninflint locknet — dropConnLocked only calls Close, which does not block on the socket
 		c.dropConnLocked(conn, err)
@@ -518,7 +551,7 @@ func (c *Client) callPooled(ctx context.Context, name string, args []any) (*Repo
 
 // attemptPooled is one call attempt on a private pooled connection.
 func (c *Client) attemptPooled(ctx context.Context, name string, args []any) (*Report, error) {
-	info, vals, req, err := c.prepCall(name, args)
+	info, vals, req, err := c.prepCall(ctx, name, args)
 	if err != nil {
 		return nil, err
 	}
@@ -529,13 +562,32 @@ func (c *Client) attemptPooled(ctx context.Context, name string, args []any) (*R
 	}
 	stop := guardConn(ctx, conn)
 	rep, err := c.exchangeCall(conn, nil, info, vals, req, args)
-	stop()
+	err = c.releaseGuarded(ctx, conn, stop, err)
+	return rep, err
+}
+
+// releaseGuarded settles a pooled connection after a guarded exchange.
+// A disarmed guard pools or discards by connReusable. A guard that
+// already fired means ctx ended mid-exchange and its conn.Close races
+// (or raced) the exchange: the connection is never pooled — another
+// caller must not be handed a socket about to be closed under it — and
+// a failed exchange is reported as the context's end rather than the
+// severed socket's I/O error. A completed exchange keeps its result;
+// only the connection is forfeit.
+func (c *Client) releaseGuarded(ctx context.Context, conn net.Conn, stop func() bool, err error) error {
+	if !stop() {
+		c.pool.discard(conn)
+		if err != nil {
+			return ctxErr(ctx, err)
+		}
+		return nil
+	}
 	if connReusable(err) {
 		c.pool.put(conn)
 	} else {
 		c.pool.discard(conn)
 	}
-	return rep, err
+	return err
 }
 
 // connReusable reports whether a pooled connection is still in frame
@@ -552,9 +604,12 @@ func connReusable(err error) bool {
 
 // prepCall resolves the interface and marshals the arguments into a
 // pooled frame buffer, before any connection is committed. On success
-// the caller owns the returned buffer.
-func (c *Client) prepCall(name string, args []any) (*idl.Info, []idl.Value, *protocol.Buffer, error) {
-	info, err := c.Interface(name)
+// the caller owns the returned buffer. The interface fetch runs as
+// part of the attempt (under ctx, one try): prepCall's callers sit
+// inside withRetry already, so a transport fault fetching the
+// interface is retried by the enclosing loop, not a nested one.
+func (c *Client) prepCall(ctx context.Context, name string, args []any) (*idl.Info, []idl.Value, *protocol.Buffer, error) {
+	info, err := c.attemptInterface(ctx, name)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -628,25 +683,43 @@ func (c *Client) Submit(name string, args ...any) (*Job, error) {
 }
 
 // SubmitContext is Submit bounded by ctx, with transport faults
-// retried per the client's RetryPolicy. A retry after the request
-// frame was delivered but before the reply arrived can orphan a job
-// server-side; orphans are reaped by the server's job TTL
-// (Server.ExpireJobs), and results are only ever fetched from the job
-// handle this call returns, so the caller still sees each submission
-// execute once.
+// retried per the client's RetryPolicy. Every attempt of one
+// submission carries the same client-generated idempotency key, and
+// the server dedupes on it: a retry whose original request frame was
+// delivered (but whose reply was lost) is answered with the already-
+// admitted job's handle instead of being admitted again, so each
+// submission executes at most once server-side.
 func (c *Client) SubmitContext(ctx context.Context, name string, args ...any) (*Job, error) {
+	key := submitKey()
 	var job *Job
 	err := c.withRetry(ctx, "submit "+name, func() error {
 		var aerr error
-		job, aerr = c.attemptSubmit(ctx, name, args)
+		job, aerr = c.attemptSubmit(ctx, name, args, key)
 		return aerr
 	})
 	return job, err
 }
 
+// submitKey draws a nonzero random idempotency key for one submission.
+func submitKey() uint64 {
+	for {
+		if k := rand.Uint64(); k != 0 {
+			return k
+		}
+	}
+}
+
 // attemptSubmit is one submit attempt on a private pooled connection.
-func (c *Client) attemptSubmit(ctx context.Context, name string, args []any) (*Job, error) {
-	info, vals, req, err := c.prepCall(name, args)
+func (c *Client) attemptSubmit(ctx context.Context, name string, args []any, key uint64) (*Job, error) {
+	info, err := c.attemptInterface(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := toValues(info, args)
+	if err != nil {
+		return nil, err
+	}
+	req, err := protocol.EncodeSubmitRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals}, key)
 	if err != nil {
 		return nil, err
 	}
@@ -658,12 +731,7 @@ func (c *Client) attemptSubmit(ctx context.Context, name string, args []any) (*J
 	}
 	stop := guardConn(ctx, conn)
 	t, p, err := roundTripBufOn(conn, c.maxPayload, protocol.MsgSubmit, req)
-	stop()
-	if connReusable(err) {
-		c.pool.put(conn)
-	} else {
-		c.pool.discard(conn)
-	}
+	err = c.releaseGuarded(ctx, conn, stop, err)
 	if err != nil {
 		return nil, err
 	}
@@ -753,12 +821,7 @@ func (j *Job) attemptFetch(ctx context.Context) (*Report, error) {
 	}
 	stop := guardConn(ctx, conn)
 	t, p, err := roundTripBufOn(conn, c.maxPayload, protocol.MsgFetch, req.EncodeBuf())
-	stop()
-	if connReusable(err) {
-		c.pool.put(conn)
-	} else {
-		c.pool.discard(conn)
-	}
+	err = c.releaseGuarded(ctx, conn, stop, err)
 	if err != nil {
 		var re *protocol.RemoteError
 		if errors.As(err, &re) && re.Code == protocol.CodeNotReady {

@@ -1,0 +1,165 @@
+package ninf_test
+
+// Regression tests for the resilience-layer review findings: the
+// interface fetch must honor its context on a black-holed connection
+// (and must not wedge the client while stalled), a submit retry must
+// not execute the job twice, and a concurrent Close must not mask
+// non-transport errors as ErrClientClosed.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ninf"
+	"ninf/internal/server"
+)
+
+// blackHoleDialer returns connections to a server that consumes every
+// byte and never answers — the stalled-read fault a write deadline
+// cannot cut.
+func blackHoleDialer() func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		cc, sc := net.Pipe()
+		go io.Copy(io.Discard, sc)
+		return cc, nil
+	}
+}
+
+// TestInterfaceContextDeadlineSeversBlackHole: the stage-one RPC must
+// be severed by its context like every other verb. Before the fix the
+// exchange ran with no connection guard while holding the client's
+// mutex, so a black-holed read hung the fetch forever and wedged
+// Close with it.
+func TestInterfaceContextDeadlineSeversBlackHole(t *testing.T) {
+	c, err := ninf.NewClient(blackHoleDialer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(ninf.NoRetry)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.InterfaceContext(ctx, "dmmul")
+	if err == nil {
+		t.Fatal("interface fetch from a black hole succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline did not sever the fetch: took %v", elapsed)
+	}
+
+	// The client must not be wedged: Close completes promptly.
+	done := make(chan struct{})
+	go func() {
+		c.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung after a severed interface fetch")
+	}
+}
+
+// replyDropConn swallows exactly one reply across all connections
+// sharing the armed flag: the first guarded Read waits for the
+// server's bytes (so the request is known to have been processed),
+// discards them, and fails the connection — the delivered-but-
+// unanswered transport fault.
+type replyDropConn struct {
+	net.Conn
+	armed *atomic.Bool
+}
+
+func (c *replyDropConn) Read(p []byte) (int, error) {
+	if c.armed.CompareAndSwap(true, false) {
+		n, err := c.Conn.Read(p)
+		if err != nil {
+			return n, err
+		}
+		c.Conn.Close()
+		return 0, io.ErrUnexpectedEOF
+	}
+	return c.Conn.Read(p)
+}
+
+// TestSubmitRetryExecutesOnce: a submit whose request was delivered
+// but whose SubmitOK was lost is retried under the same idempotency
+// key, and the server answers with the already-admitted job — one
+// admission, one execution, one correct result.
+func TestSubmitRetryExecutesOnce(t *testing.T) {
+	s, dial := startServer(t, server.Config{})
+	var armed atomic.Bool
+	c := newClient(t, func() (net.Conn, error) {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return &replyDropConn{Conn: conn, armed: &armed}, nil
+	})
+
+	// Cache the interface first so arming hits the submit exchange,
+	// not the stage-one RPC.
+	if _, err := c.Interface("echo"); err != nil {
+		t.Fatal(err)
+	}
+
+	n := 8
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = float64(i + 1)
+	}
+	out := make([]float64, n)
+
+	armed.Store(true)
+	job, err := c.Submit("echo", n, in, out)
+	if err != nil {
+		t.Fatalf("submit with one lost reply failed: %v", err)
+	}
+	if armed.Load() {
+		t.Fatal("the fault never fired; the test proved nothing")
+	}
+	if _, err := job.Fetch(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], in[i])
+		}
+	}
+	if total := s.Stats().TotalCalls; total != 1 {
+		t.Fatalf("server admitted %d calls for one submission; the retry was not deduped", total)
+	}
+}
+
+// TestCloseDoesNotMaskArgumentError: a deterministic local error on a
+// closed client must surface as itself, not be rewrapped as
+// ErrClientClosed.
+func TestCloseDoesNotMaskArgumentError(t *testing.T) {
+	_, dial := startServer(t, server.Config{})
+	c := newClient(t, dial)
+	if _, err := c.Interface("echo"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	_, err := c.Call("echo", 1) // echo takes 3 arguments
+	if err == nil {
+		t.Fatal("bad-arity call succeeded")
+	}
+	if errors.Is(err, ninf.ErrClientClosed) {
+		t.Fatalf("argument error masked as ErrClientClosed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "arguments") {
+		t.Fatalf("err = %v, want the arity error", err)
+	}
+}

@@ -162,6 +162,19 @@ func argSize(p *idl.Param, count int, v idl.Value) int {
 // pooled frame buffer sized for the payload. The caller owns the
 // buffer and must Release it (normally right after WriteFrameBuf).
 func EncodeCallRequestBuf(info *idl.Info, req *CallRequest) (*Buffer, error) {
+	return encodeCallRequestBuf(info, req, false, 0)
+}
+
+// EncodeSubmitRequestBuf serializes a MsgSubmit payload — the client's
+// idempotency key followed by the call request — into a pooled frame
+// buffer. The server dedupes re-submissions carrying the same key, so
+// a transport-level retry of a delivered-but-unanswered submit is
+// answered with the already-admitted job instead of executing twice.
+func EncodeSubmitRequestBuf(info *idl.Info, req *CallRequest, key uint64) (*Buffer, error) {
+	return encodeCallRequestBuf(info, req, true, key)
+}
+
+func encodeCallRequestBuf(info *idl.Info, req *CallRequest, keyed bool, key uint64) (*Buffer, error) {
 	if len(req.Args) != len(info.Params) {
 		return nil, fmt.Errorf("protocol: %s takes %d arguments, got %d", info.Name, len(info.Params), len(req.Args))
 	}
@@ -170,6 +183,9 @@ func EncodeCallRequestBuf(info *idl.Info, req *CallRequest) (*Buffer, error) {
 		return nil, err
 	}
 	size := xdr.SizeString(len(req.Name))
+	if keyed {
+		size += 8
+	}
 	for i := range info.Params {
 		p := &info.Params[i]
 		if p.Mode.Ships(false) {
@@ -178,6 +194,9 @@ func EncodeCallRequestBuf(info *idl.Info, req *CallRequest) (*Buffer, error) {
 	}
 	fb := AcquireBuffer(size)
 	e := fb.Encoder()
+	if keyed {
+		e.PutUint64(key)
+	}
 	e.PutString(req.Name)
 	for i := range info.Params {
 		p := &info.Params[i]
@@ -366,6 +385,20 @@ func (t *Timings) decode(d *xdr.Decoder) {
 	t.Enqueue = d.Int64()
 	t.Dequeue = d.Int64()
 	t.Complete = d.Int64()
+}
+
+// DecodeSubmitKey splits a MsgSubmit payload into the client's
+// idempotency key and the embedded call request (the MsgCall-shaped
+// remainder). A zero key means the submitter opted out of dedupe.
+func DecodeSubmitKey(p []byte) (uint64, []byte, error) {
+	pd := acquireDecoder(p)
+	key := pd.d.Uint64()
+	err := pd.d.Err()
+	pd.release()
+	if err != nil {
+		return 0, nil, fmt.Errorf("protocol: submit payload lacks idempotency key: %w", err)
+	}
+	return key, p[8:], nil
 }
 
 // SubmitReply is the payload of MsgSubmitOK: a handle for the second

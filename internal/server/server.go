@@ -85,13 +85,14 @@ type Server struct {
 	acct     *accounting
 	trace    *tracer
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*task
-	freePEs int
-	seq     uint64
-	jobs    map[uint64]*task // two-phase jobs by ID
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*task
+	freePEs    int
+	seq        uint64
+	jobs       map[uint64]*task  // two-phase jobs by ID
+	submitKeys map[uint64]uint64 // submit idempotency key → job ID
+	closed     bool
 
 	nextJob  atomic.Uint64
 	failNext atomic.Int64 // fault injection: calls to fail
@@ -119,6 +120,7 @@ type task struct {
 
 	// two-phase bookkeeping
 	twoPhase bool
+	key      uint64 // submit idempotency key (0 = none)
 	reply    []byte
 	expire   time.Time
 }
@@ -139,15 +141,16 @@ func New(cfg Config, reg *Registry) *Server {
 		pol = sched.FCFS{}
 	}
 	s := &Server{
-		cfg:       cfg,
-		registry:  reg,
-		policy:    pol,
-		acct:      newAccounting(cfg.PEs, time.Now()),
-		trace:     newTracer(),
-		freePEs:   cfg.PEs,
-		jobs:      make(map[uint64]*task),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		cfg:        cfg,
+		registry:   reg,
+		policy:     pol,
+		acct:       newAccounting(cfg.PEs, time.Now()),
+		trace:      newTracer(),
+		freePEs:    cfg.PEs,
+		jobs:       make(map[uint64]*task),
+		submitKeys: make(map[uint64]uint64),
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
@@ -321,7 +324,7 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buff
 		// invoke client-registered functions over this connection
 		// while it runs (§2.3).
 		ctx := context.WithValue(s.baseCtx, callbackKey, s.connInvoker(conn))
-		t, code, err := s.admit(payload, false, ctx)
+		t, code, err := s.admit(payload, false, ctx, 0)
 		fb.Release() // arguments are decoded and copied by admit
 		if err != nil {
 			return s.sendError(conn, code, err.Error())
@@ -339,7 +342,12 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buff
 		return werr
 
 	case protocol.MsgSubmit:
-		t, code, err := s.admit(payload, true, nil)
+		key, rest, err := protocol.DecodeSubmitKey(payload)
+		if err != nil {
+			fb.Release()
+			return s.sendError(conn, protocol.CodeBadArguments, err.Error())
+		}
+		t, code, err := s.admit(rest, true, nil, key)
 		fb.Release()
 		if err != nil {
 			return s.sendError(conn, code, err.Error())
@@ -367,8 +375,11 @@ func (s *Server) sendError(conn net.Conn, code uint32, detail string) error {
 
 // admit decodes a call payload, enqueues the job, and (for two-phase
 // submissions) records it in the job table. It returns the task; for
-// blocking calls the caller waits on task.done.
-func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context) (*task, uint32, error) {
+// blocking calls the caller waits on task.done. A nonzero key is the
+// submitter's idempotency key: a payload re-sent with a key already in
+// the job table is a transport-level retry, answered with the
+// already-admitted job instead of being executed a second time.
+func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key uint64) (*task, uint32, error) {
 	if ctx == nil {
 		ctx = s.baseCtx
 	}
@@ -410,6 +421,18 @@ func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context) (*tas
 		s.mu.Unlock()
 		return nil, protocol.CodeInternal, errors.New("server shutting down")
 	}
+	if twoPhase && key != 0 {
+		if id, ok := s.submitKeys[key]; ok {
+			if prev, ok := s.jobs[id]; ok {
+				// Duplicate submission: the original request arrived but
+				// its SubmitOK was lost in transit. Hand back the job
+				// already admitted under this key.
+				s.mu.Unlock()
+				return prev, 0, nil
+			}
+			delete(s.submitKeys, key)
+		}
+	}
 	if s.cfg.MaxQueue > 0 && len(s.queue) >= s.cfg.MaxQueue {
 		s.mu.Unlock()
 		return nil, protocol.CodeOverloaded, fmt.Errorf("queue full (%d jobs)", s.cfg.MaxQueue)
@@ -420,7 +443,11 @@ func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context) (*tas
 	t.timings.Enqueue = now.UnixNano()
 	s.queue = append(s.queue, t)
 	if twoPhase {
+		t.key = key
 		s.jobs[t.job.ID] = t
+		if key != 0 {
+			s.submitKeys[key] = t.job.ID
+		}
 	}
 	s.acct.jobQueued(now)
 	s.schedule()
@@ -525,6 +552,11 @@ func (s *Server) execute(t *task) (err error) {
 }
 
 // fetch answers a MsgFetch: not-ready, error, or the retained reply.
+// The job is dropped from the table only after its reply frame was
+// written successfully: a reply lost to a transport fault (reset,
+// partial write) leaves the job fetchable, so the client's retried
+// fetch re-reads the retained result instead of getting CodeUnknownJob
+// and losing it forever.
 func (s *Server) fetch(conn net.Conn, req protocol.FetchRequest) error {
 	s.mu.Lock()
 	t, ok := s.jobs[req.JobID]
@@ -540,13 +572,28 @@ func (s *Server) fetch(conn net.Conn, req protocol.FetchRequest) error {
 	default:
 		return s.sendError(conn, protocol.CodeNotReady, fmt.Sprintf("job %d still running", req.JobID))
 	}
-	s.mu.Lock()
-	delete(s.jobs, req.JobID)
-	s.mu.Unlock()
+	var werr error
 	if t.err != nil {
-		return s.sendError(conn, protocol.CodeExecFailed, t.err.Error())
+		werr = s.sendError(conn, protocol.CodeExecFailed, t.err.Error())
+	} else {
+		werr = protocol.WriteFrame(conn, protocol.MsgFetchOK, t.reply)
 	}
-	return protocol.WriteFrame(conn, protocol.MsgFetchOK, t.reply)
+	if werr != nil {
+		return werr
+	}
+	s.mu.Lock()
+	s.removeJobLocked(req.JobID, t)
+	s.mu.Unlock()
+	return nil
+}
+
+// removeJobLocked drops a completed two-phase job and its submit
+// idempotency key. Callers hold mu.
+func (s *Server) removeJobLocked(id uint64, t *task) {
+	delete(s.jobs, id)
+	if t.key != 0 && s.submitKeys[t.key] == id {
+		delete(s.submitKeys, t.key)
+	}
 }
 
 // ExpireJobs drops completed two-phase jobs whose TTL passed; servers
@@ -560,7 +607,7 @@ func (s *Server) ExpireJobs(now time.Time) int {
 		select {
 		case <-t.done:
 			if !t.expire.IsZero() && now.After(t.expire) {
-				delete(s.jobs, id)
+				s.removeJobLocked(id, t)
 				n++
 			}
 		default:

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -100,6 +101,15 @@ func encodeCall(t *testing.T, reg *Registry, name string, args ...idl.Value) []b
 	if err != nil {
 		t.Fatal(err)
 	}
+	return p
+}
+
+// submitPayload prefixes a call payload with the submit idempotency
+// key the MsgSubmit wire format carries.
+func submitPayload(key uint64, call []byte) []byte {
+	p := make([]byte, 8+len(call))
+	binary.BigEndian.PutUint64(p, key)
+	copy(p[8:], call)
 	return p
 }
 
@@ -319,7 +329,7 @@ func TestTwoPhaseSubmitFetch(t *testing.T) {
 	defer s.Close()
 	conn := pipeConn(t, s)
 
-	typ, p := call(t, conn, protocol.MsgSubmit, encodeCall(t, reg, "block", int64(1)))
+	typ, p := call(t, conn, protocol.MsgSubmit, submitPayload(1, encodeCall(t, reg, "block", int64(1))))
 	if typ != protocol.MsgSubmitOK {
 		t.Fatalf("submit → %v", typ)
 	}
@@ -355,13 +365,113 @@ func TestTwoPhaseSubmitFetch(t *testing.T) {
 	}
 }
 
+// TestSubmitIdempotencyKeyDedupe proves the exactly-once admission
+// contract of the two-phase protocol: re-sending a submission under
+// the same idempotency key (the client's transport-fault retry) is
+// answered with the already-admitted job, not executed again — and
+// once the job is fetched, the key is released with it.
+func TestSubmitIdempotencyKeyDedupe(t *testing.T) {
+	reg, _ := testRegistry(t)
+	s := New(Config{}, reg)
+	defer s.Close()
+	conn := pipeConn(t, s)
+
+	p := submitPayload(77, encodeCall(t, reg, "double_it", int64(1), []float64{3}, nil))
+	typ, rp := call(t, conn, protocol.MsgSubmit, p)
+	if typ != protocol.MsgSubmitOK {
+		t.Fatalf("submit → %v", typ)
+	}
+	sr1, err := protocol.DecodeSubmitReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The retry re-sends the identical payload: same job, no second
+	// admission.
+	typ, rp = call(t, conn, protocol.MsgSubmit, p)
+	if typ != protocol.MsgSubmitOK {
+		t.Fatalf("duplicate submit → %v", typ)
+	}
+	sr2, err := protocol.DecodeSubmitReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr1.JobID != sr2.JobID {
+		t.Fatalf("duplicate submit admitted a new job: %d then %d", sr1.JobID, sr2.JobID)
+	}
+	if total := s.Stats().TotalCalls; total != 1 {
+		t.Fatalf("server admitted %d calls for one deduped submission", total)
+	}
+
+	fr := protocol.FetchRequest{JobID: sr1.JobID, Wait: true}
+	if typ, _ = call(t, conn, protocol.MsgFetch, fr.Encode()); typ != protocol.MsgFetchOK {
+		t.Fatalf("fetch → %v", typ)
+	}
+
+	// The fetch consumed the job, releasing its key: the same key now
+	// admits a fresh job.
+	typ, rp = call(t, conn, protocol.MsgSubmit, p)
+	if typ != protocol.MsgSubmitOK {
+		t.Fatalf("post-fetch submit → %v", typ)
+	}
+	sr3, err := protocol.DecodeSubmitReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr3.JobID == sr1.JobID {
+		t.Fatalf("key 77 still pinned to consumed job %d", sr1.JobID)
+	}
+}
+
+// TestFetchReplyLostKeepsJob proves the at-most-once window the
+// delete-before-reply ordering used to open is closed: a fetch whose
+// reply is lost in transit leaves the job in the table, so the
+// client's retried fetch re-reads the retained result instead of
+// getting CodeUnknownJob.
+func TestFetchReplyLostKeepsJob(t *testing.T) {
+	reg, _ := testRegistry(t)
+	s := New(Config{}, reg)
+	defer s.Close()
+
+	conn := pipeConn(t, s)
+	typ, rp := call(t, conn, protocol.MsgSubmit, submitPayload(9, encodeCall(t, reg, "double_it", int64(1), []float64{2}, nil)))
+	if typ != protocol.MsgSubmitOK {
+		t.Fatalf("submit → %v", typ)
+	}
+	sr, err := protocol.DecodeSubmitReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		st := s.Stats()
+		return st.Running == 0 && st.Queued == 0
+	}, "job done")
+
+	// Deliver the fetch request, then kill the connection before the
+	// reply can be read: net.Pipe writes are synchronous, so the reply
+	// write is guaranteed to fail.
+	fr := protocol.FetchRequest{JobID: sr.JobID, Wait: true}
+	if err := protocol.WriteFrame(conn, protocol.MsgFetch, fr.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The retried fetch on a fresh connection must still find the job
+	// and its retained result.
+	conn2 := pipeConn(t, s)
+	typ, _ = call(t, conn2, protocol.MsgFetch, fr.Encode())
+	if typ != protocol.MsgFetchOK {
+		t.Fatalf("refetch after lost reply → %v, want the retained result", typ)
+	}
+}
+
 func TestExpireJobs(t *testing.T) {
 	reg, _ := testRegistry(t)
 	s := New(Config{JobTTL: time.Millisecond}, reg)
 	defer s.Close()
 	conn := pipeConn(t, s)
 
-	typ, _ := call(t, conn, protocol.MsgSubmit, encodeCall(t, reg, "double_it", int64(1), []float64{1}, nil))
+	typ, _ := call(t, conn, protocol.MsgSubmit, submitPayload(2, encodeCall(t, reg, "double_it", int64(1), []float64{1}, nil)))
 	if typ != protocol.MsgSubmitOK {
 		t.Fatalf("submit → %v", typ)
 	}

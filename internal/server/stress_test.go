@@ -100,7 +100,7 @@ Define fail(mode_in int n) Calls "go" fail(n);
 				case 2: // two-phase
 					p, _ := protocol.EncodeCallRequest(workEx.Info,
 						&protocol.CallRequest{Name: "work", Args: []idl.Value{int64(4), make([]float64, 4), nil}})
-					typ, rp, err := callNB(conn, protocol.MsgSubmit, p)
+					typ, rp, err := callNB(conn, protocol.MsgSubmit, submitPayload(uint64(1+ci*iters+i), p))
 					if err != nil || typ != protocol.MsgSubmitOK {
 						errCh <- fmt.Errorf("submit: %v %v", typ, err)
 						return
