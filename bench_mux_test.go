@@ -1,0 +1,121 @@
+package ninf_test
+
+// BenchmarkMuxVsLockstep: the paper's §4 multi-client question asked
+// of our own data plane. The sweep drives 1/4/16/64 concurrent callers
+// with 8B/64KiB/8MiB argument vectors over loopback TCP against one
+// server, once with the multiplexed session and once pinned to the
+// lockstep pooled path, and reports calls/s per cell. The
+// multiclient-mux experiment (cmd/ninfbench) runs the same sweep
+// outside the testing harness and records BENCH_multiclient.json.
+
+import (
+	"sync"
+	"testing"
+
+	"ninf/internal/server"
+)
+
+var muxSweep = struct {
+	callers []int
+	sizes   []struct {
+		name  string
+		elems int
+	}
+}{
+	callers: []int{1, 4, 16, 64},
+	sizes: []struct {
+		name  string
+		elems int
+	}{
+		{"8B", 1},
+		{"64KiB", 8 << 10},
+		{"8MiB", 1 << 20},
+	},
+}
+
+func BenchmarkMuxVsLockstep(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mux  bool
+	}{{"mux", true}, {"lockstep", false}} {
+		for _, nc := range muxSweep.callers {
+			for _, size := range muxSweep.sizes {
+				if size.elems >= 1<<20 && nc > 16 {
+					// 64 callers × 8 MiB would hold half a GiB of
+					// argument vectors in flight; the interesting
+					// large-transfer contention shows by 16.
+					continue
+				}
+				if testing.Short() && (size.elems > 1 || nc > 16) {
+					continue
+				}
+				name := mode.name + "/c" + itoa(nc) + "/" + size.name
+				b.Run(name, func(b *testing.B) {
+					benchMuxCell(b, mode.mux, nc, size.elems)
+				})
+			}
+		}
+	}
+}
+
+// benchMuxCell runs b.N echo calls spread over nc concurrent callers.
+func benchMuxCell(b *testing.B, mux bool, nc, elems int) {
+	c, cleanup := benchClient(b, server.Config{PEs: 4})
+	defer cleanup()
+	c.SetMultiplexing(mux)
+	if !mux {
+		// Give the lockstep path its best shot: one pooled connection
+		// per concurrent caller, so the comparison is mux vs a
+		// fully-provisioned pool, not mux vs pool starvation.
+		c.SetPoolSize(nc)
+	}
+	warm := make([]float64, elems)
+	if _, err := c.Call("echo", elems, warm, make([]float64, elems)); err != nil {
+		b.Fatal(err)
+	}
+	if c.Multiplexed() != mux {
+		b.Fatalf("client multiplexed = %v, want %v", c.Multiplexed(), mux)
+	}
+
+	b.SetBytes(int64(2 * 8 * elems)) // echo moves the vector out and back
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < nc; w++ {
+		calls := b.N / nc
+		if w < b.N%nc {
+			calls++
+		}
+		if calls == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(calls int) {
+			defer wg.Done()
+			in := make([]float64, elems)
+			out := make([]float64, elems)
+			for i := 0; i < calls; i++ {
+				if _, err := c.Call("echo", elems, in, out); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(calls)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -24,18 +24,25 @@ type callbackRegistry struct {
 
 // RegisterCallback makes fn invokable by server executables under the
 // given name during this client's blocking calls. Passing nil removes
-// the registration.
+// the registration. Callbacks need the quiet parked stream of a
+// lockstep call, so registering one retires any live multiplexed
+// session and pins subsequent calls to the lockstep paths until all
+// callbacks are removed (see session.go).
 func (c *Client) RegisterCallback(name string, fn CallbackFunc) {
 	c.cb.mu.Lock()
-	defer c.cb.mu.Unlock()
 	if c.cb.fns == nil {
 		c.cb.fns = make(map[string]CallbackFunc)
 	}
 	if fn == nil {
 		delete(c.cb.fns, name)
-		return
+	} else {
+		c.cb.fns[name] = fn
 	}
-	c.cb.fns[name] = fn
+	registered := len(c.cb.fns) > 0
+	c.cb.mu.Unlock()
+	if registered {
+		c.closeSession()
+	}
 }
 
 func (c *Client) lookupCallback(name string) CallbackFunc {

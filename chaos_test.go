@@ -64,8 +64,14 @@ func buildChaosWorld(t *testing.T, seed int64) *chaosWorld {
 	t.Helper()
 	w := &chaosWorld{
 		meta: metaserver.New(metaserver.Config{
-			Policy:          metaserver.RoundRobin{},
-			FailThreshold:   3,
+			Policy: metaserver.RoundRobin{},
+			// Clients multiplex every concurrent call onto one session
+			// per server, so a single injected reset fails every
+			// in-flight call at once — consecutive breaker failures
+			// arrive in correlated bursts. The threshold must exceed a
+			// typical burst, or one fault opens the breaker of a
+			// perfectly healthy server.
+			FailThreshold:   8,
 			BreakerCooldown: 300 * time.Millisecond,
 		}),
 	}
@@ -131,7 +137,11 @@ func chaosWorkload(t *testing.T, w *chaosWorld, resilient bool, kill func(round 
 				tx := ninf.BeginTransaction(w.meta)
 				if resilient {
 					tx.SetMaxAttempts(2 * chaosServers)
-					tx.SetRetryPolicy(ninf.RetryPolicy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+					// Five attempts, not three: on a multiplexed session a
+					// call's retry budget also absorbs faults that struck
+					// its neighbors' transfers (shared fate), so the budget
+					// is sized for bursts, not independent per-call faults.
+					tx.SetRetryPolicy(ninf.RetryPolicy{MaxAttempts: 5, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
 					tx.SetCallTimeout(2 * time.Second)
 				} else {
 					tx.SetMaxAttempts(1)
@@ -338,4 +348,194 @@ func testContext(t *testing.T) context.Context {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	t.Cleanup(cancel)
 	return ctx
+}
+
+// TestChaosMuxResetNoCorruption: a multiplexed session carries a
+// 32-caller dmmul pipeline while the injector resets and cuts frames
+// mid-transfer. Every fault kills the whole session — all in-flight
+// sequences at once — so the retry layer must re-dial, renegotiate,
+// and re-run without ever crossing one caller's reply into another's
+// buffers. Per-caller-distinct inputs make demux corruption visible
+// as a wrong product, not just a failed call.
+func TestChaosMuxResetNoCorruption(t *testing.T) {
+	reg, err := library.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Hostname: "muxchaos", PEs: 4}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	addr := l.Addr().String()
+
+	in := faultnet.New(faultnet.Plan{
+		Seed:             chaosSeed + 7,
+		ResetProb:        1.0 / 80,
+		PartialWriteProb: 1.0 / 80,
+		SafeOps:          4, // let the Hello handshake land; faults hit call transfers
+	})
+	c, err := ninf.NewClient(in.Dialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	// Sized like the calibrated chaos policy: one fault fails every
+	// in-flight call on the shared session, so budgets absorb bursts.
+	c.SetRetryPolicy(ninf.RetryPolicy{MaxAttempts: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+
+	const n, callers, rounds = 8, 32, 4
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				a := make([]float64, n*n)
+				b := make([]float64, n*n)
+				got := make([]float64, n*n)
+				for j := range a {
+					a[j] = float64((w+1)*(r+2) + j)
+					b[j] = float64(j%5 + w)
+				}
+				want := make([]float64, n*n)
+				mmul(n, a, b, want)
+				if _, err := c.Call("dmmul", n, a, b, got); err != nil {
+					errs[w] = fmt.Errorf("round %d: %w", r, err)
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs[w] = fmt.Errorf("round %d: result differs at %d: %g vs %g", r, j, got[j], want[j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", w, err)
+		}
+	}
+
+	cnt := in.Counters()
+	t.Logf("injected: %v", cnt)
+	if cnt.Resets+cnt.PartialWrites == 0 {
+		t.Fatal("no resets or mid-frame cuts injected: the run proved nothing")
+	}
+	// The client is still multiplexing: the faults cost sessions, not
+	// the protocol version.
+	callOnce(t, c)
+	if !c.Multiplexed() {
+		t.Error("client fell off the mux path after session faults")
+	}
+}
+
+// TestChaosMuxPartitionFailover: a 64-call transaction pipelines over
+// one server's mux session; mid-pipeline the server partitions (live
+// connections reset, new dials refused). Every call must complete
+// exactly once — the severed ones re-dialed onto the surviving server
+// by the metaserver's failover — with verified results and the
+// injector's counters proving the partition actually struck.
+func TestChaosMuxPartitionFailover(t *testing.T) {
+	meta := metaserver.New(metaserver.Config{
+		Policy:          metaserver.RoundRobin{},
+		FailThreshold:   8, // correlated session-death bursts, as in buildChaosWorld
+		BreakerCooldown: 300 * time.Millisecond,
+	})
+	var injectors []*faultnet.Injector
+	var servers []*server.Server
+	for i := 0; i < 2; i++ {
+		reg, err := library.NewRegistry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// srv0 serializes execution (PEs: 1) so the 64-call pipeline is
+		// still in flight when the partition strikes it.
+		pes := 1
+		if i == 1 {
+			pes = 4
+		}
+		s := server.New(server.Config{Hostname: fmt.Sprintf("part%d", i), PEs: pes}, reg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(l)
+		t.Cleanup(func() { s.Close() })
+		addr := l.Addr().String()
+		in := faultnet.New(faultnet.Plan{}) // no probabilistic faults: the partition is the event
+		if err := meta.AddServer(fmt.Sprintf("part%d", i), addr, 100, in.Dialer(func() (net.Conn, error) { return net.Dial("tcp", addr) })); err != nil {
+			t.Fatal(err)
+		}
+		injectors = append(injectors, in)
+		servers = append(servers, s)
+	}
+
+	const n, calls = 16, 64
+	tx := ninf.BeginTransaction(meta)
+	tx.SetMaxAttempts(4)
+	tx.SetRetryPolicy(ninf.RetryPolicy{MaxAttempts: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+	tx.SetCallTimeout(5 * time.Second)
+	type expect struct{ got, want []float64 }
+	var expects []expect
+	for k := 0; k < calls; k++ {
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		got := make([]float64, n*n)
+		for j := range a {
+			a[j] = float64(k + j)
+			b[j] = float64(j%9 + 1)
+		}
+		want := make([]float64, n*n)
+		mmul(n, a, b, want)
+		expects = append(expects, expect{got: got, want: want})
+		tx.Call("dmmul", n, a, b, got)
+	}
+
+	// Partition srv0 once the pipeline is demonstrably in flight on it.
+	partitioned := make(chan struct{})
+	go func() {
+		defer close(partitioned)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if servers[0].Stats().TotalCalls >= 4 {
+				injectors[0].Partition()
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	if err := tx.EndContext(testContext(t)); err != nil {
+		t.Fatalf("transaction failed across the partition: %v", err)
+	}
+	<-partitioned
+	if !injectors[0].Partitioned() {
+		t.Fatal("partition never fired: the pipeline drained before it was in flight")
+	}
+
+	for k, e := range expects {
+		for j := range e.want {
+			if e.got[j] != e.want[j] {
+				t.Errorf("call %d: result differs at %d: %g vs %g", k, j, e.got[j], e.want[j])
+				break
+			}
+		}
+	}
+	// The failover carried real traffic: the survivor executed calls,
+	// and the partition refused at least one re-dial of the dead server.
+	if got := servers[1].Stats().TotalCalls; got == 0 {
+		t.Error("surviving server executed nothing; no failover happened")
+	}
+	cnt := injectors[0].Counters()
+	t.Logf("partitioned server injected: %v", cnt)
+	if cnt.DialFailures == 0 {
+		t.Error("no re-dial of the partitioned server was refused; the retry layer never probed it")
+	}
 }

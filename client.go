@@ -51,6 +51,10 @@ type Client struct {
 
 	cb callbackRegistry
 
+	// sess is the multiplexed session layer (protocol version 2);
+	// see session.go. Zero value: multiplexing on, not yet probed.
+	sess sessionState
+
 	maxPayload int
 
 	retryMu sync.Mutex
@@ -124,12 +128,13 @@ func (c *Client) SetMaxPayload(n int) { c.maxPayload = n }
 // the dialer and the surplus connections are closed on return.
 func (c *Client) SetPoolSize(n int) { c.pool.setMaxIdle(n) }
 
-// Close releases the primary connection and the idle pool, and severs
-// any in-flight pooled exchange: a CallAsync or Submit blocked on a
-// dead server returns a classified connection error (wrapping
-// ErrClientClosed) rather than hanging.
+// Close releases the primary connection, the idle pool and the
+// multiplexed session, and severs any in-flight exchange: a CallAsync
+// or Submit blocked on a dead server returns a classified connection
+// error (wrapping ErrClientClosed) rather than hanging.
 func (c *Client) Close() error {
 	c.pool.closeAll()
+	c.closeSession()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
@@ -303,6 +308,40 @@ func (c *Client) attemptInterface(ctx context.Context, name string) (*idl.Info, 
 		c.mu.Unlock()
 		return info, nil
 	}
+	c.mu.Unlock()
+	ireq := protocol.InterfaceRequest{Name: name}
+	req := protocol.BufferFor(ireq.Encode())
+	rt, fb, used, err := c.muxExchangeLive(ctx, protocol.MsgInterface, req)
+	if !used {
+		req.Release()
+		//lint:ninflint releasecheck — used=false: no exchange ran and fb is nil
+		return c.attemptInterfaceLockstep(ctx, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer fb.Release()
+	if rt != protocol.MsgInterfaceOK {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to interface query", rt)
+	}
+	info, err := protocol.DecodeInterfaceReply(fb.Payload())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.cache[name] = info
+	c.mu.Unlock()
+	return info, nil
+}
+
+// attemptInterfaceLockstep fetches an interface over the shared
+// primary connection — the pre-mux path, kept for legacy servers.
+func (c *Client) attemptInterfaceLockstep(ctx context.Context, name string) (*idl.Info, error) {
+	c.mu.Lock()
+	if info, ok := c.cache[name]; ok {
+		c.mu.Unlock()
+		return info, nil
+	}
 	req := protocol.InterfaceRequest{Name: name}
 	if err := c.reconnectLocked(); err != nil {
 		c.mu.Unlock()
@@ -452,14 +491,20 @@ func (c *Client) withRetry(ctx context.Context, op string, attempt func() error)
 	}
 }
 
-// callPrimary runs one blocking-call attempt on the primary
-// connection, which serializes Call traffic per the Ninf_call
-// contract. A transport fault drops the connection for re-dial on the
-// next attempt.
+// callPrimary runs one blocking-call attempt. Against a multiplexed
+// server the exchange rides the shared session (Call stays blocking
+// for its caller, but no longer serializes against other goroutines'
+// calls); against a legacy server it runs on the primary connection,
+// which serializes Call traffic per the Ninf_call contract. A
+// transport fault drops the connection for re-dial on the next
+// attempt.
 func (c *Client) callPrimary(ctx context.Context, name string, args []any) (*Report, error) {
 	info, vals, req, err := c.prepCall(ctx, name, args)
 	if err != nil {
 		return nil, err
+	}
+	if rep, used, err := c.muxCall(ctx, info, vals, req, args); used {
+		return rep, err
 	}
 	c.mu.Lock()
 	if err := c.reconnectLocked(); err != nil {
@@ -549,11 +594,15 @@ func (c *Client) callPooled(ctx context.Context, name string, args []any) (*Repo
 	return rep, err
 }
 
-// attemptPooled is one call attempt on a private pooled connection.
+// attemptPooled is one call attempt over the multiplexed session,
+// falling back to a private pooled connection for legacy servers.
 func (c *Client) attemptPooled(ctx context.Context, name string, args []any) (*Report, error) {
 	info, vals, req, err := c.prepCall(ctx, name, args)
 	if err != nil {
 		return nil, err
+	}
+	if rep, used, err := c.muxCall(ctx, info, vals, req, args); used {
+		return rep, err
 	}
 	conn, err := c.pool.get()
 	if err != nil {
@@ -638,24 +687,7 @@ func (c *Client) exchangeCall(conn net.Conn, lock *sync.Mutex, info *idl.Info, v
 	if err != nil {
 		return nil, err
 	}
-	defer reply.Release()
-	if t != protocol.MsgCallOK {
-		return nil, fmt.Errorf("ninf: unexpected reply %v to call", t)
-	}
-	rep.Received = time.Now()
-	rep.BytesIn = int64(reply.Len())
-
-	tm, out, err := protocol.DecodeCallReply(info, vals, reply.Payload())
-	if err != nil {
-		return nil, err
-	}
-	rep.Enqueue = time.Unix(0, tm.Enqueue)
-	rep.Dequeue = time.Unix(0, tm.Dequeue)
-	rep.Complete = time.Unix(0, tm.Complete)
-	if err := storeResults(info, args, out); err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return finishCall(rep, info, vals, args, t, reply)
 }
 
 // Job is a two-phase call handle (§5.1): arguments already shipped,
@@ -722,6 +754,9 @@ func (c *Client) attemptSubmit(ctx context.Context, name string, args []any, key
 	req, err := protocol.EncodeSubmitRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals}, key)
 	if err != nil {
 		return nil, err
+	}
+	if job, used, err := c.muxSubmit(ctx, name, info, args, vals, req); used {
+		return job, err
 	}
 	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(req.Len())}
 	conn, err := c.pool.get()
@@ -811,8 +846,12 @@ func (j *Job) fetchOnce(ctx context.Context) (*Report, error) {
 	return rep, err
 }
 
-// attemptFetch is one fetch exchange on a private pooled connection.
+// attemptFetch is one fetch exchange over the multiplexed session,
+// falling back to a private pooled connection for legacy servers.
 func (j *Job) attemptFetch(ctx context.Context) (*Report, error) {
+	if rep, used, err := j.muxFetch(ctx); used {
+		return rep, err
+	}
 	c := j.client
 	req := protocol.FetchRequest{JobID: j.id, Wait: false}
 	conn, err := c.pool.get()
@@ -829,6 +868,12 @@ func (j *Job) attemptFetch(ctx context.Context) (*Report, error) {
 		}
 		return nil, err
 	}
+	return j.finishFetch(t, p)
+}
+
+// finishFetch decodes one fetch reply (mux or lockstep) into the
+// job's destinations, consuming the reply buffer.
+func (j *Job) finishFetch(t protocol.MsgType, p *protocol.Buffer) (*Report, error) {
 	defer p.Release()
 	if t != protocol.MsgFetchOK {
 		return nil, fmt.Errorf("ninf: unexpected reply %v to fetch", t)

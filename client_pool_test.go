@@ -118,12 +118,23 @@ func asyncPing(t *testing.T, c *ninf.Client) {
 	}
 }
 
+// newPoolClient builds a client pinned to the lockstep paths. These
+// tests assert the pool's dial accounting — checkout, reuse, health
+// check, surplus trimming — which the multiplexed session (one shared
+// connection carrying every verb) deliberately bypasses.
+func newPoolClient(t *testing.T, dial func() (net.Conn, error)) *ninf.Client {
+	t.Helper()
+	c := newClient(t, dial)
+	c.SetMultiplexing(false)
+	return c
+}
+
 func TestAsyncDialsBoundedByPool(t *testing.T) {
 	// N >> poolSize sequential async calls must ride the idle pool:
 	// the dialer fires at most once for the primary connection plus
 	// poolSize times for the pool.
 	_, dials, _, dial, _ := startPoolServer(t)
-	c := newClient(t, dial)
+	c := newPoolClient(t, dial)
 	const poolSize = 2
 	c.SetPoolSize(poolSize)
 
@@ -143,7 +154,7 @@ func TestAsyncDialsBoundedByPool(t *testing.T) {
 
 func TestSubmitFetchReusePool(t *testing.T) {
 	_, dials, _, dial, _ := startPoolServer(t)
-	c := newClient(t, dial)
+	c := newPoolClient(t, dial)
 
 	for i := 0; i < 5; i++ {
 		n := 3
@@ -167,7 +178,7 @@ func TestSubmitFetchReusePool(t *testing.T) {
 
 func TestPoolDiscardsConnOnWriteError(t *testing.T) {
 	_, dials, failWrites, dial, lastConn := startPoolServer(t)
-	c := newClient(t, dial)
+	c := newPoolClient(t, dial)
 
 	asyncPing(t, c) // warm the interface cache and pool one connection
 	pooled := lastConn()
@@ -193,7 +204,7 @@ func TestPoolDiscardsConnOnWriteError(t *testing.T) {
 
 func TestPoolHealthCheckOnCheckout(t *testing.T) {
 	l, dials, _, dial, _ := startPoolServer(t)
-	c := newClient(t, dial)
+	c := newPoolClient(t, dial)
 
 	asyncPing(t, c)
 	if dials.Load() != 2 {
@@ -215,7 +226,7 @@ func TestPoolHealthCheckOnCheckout(t *testing.T) {
 
 func TestSetPoolSizeClosesSurplus(t *testing.T) {
 	_, dials, _, dial, _ := startPoolServer(t)
-	c := newClient(t, dial)
+	c := newPoolClient(t, dial)
 
 	// Hold several connections concurrently so more than one lands in
 	// the pool on completion.

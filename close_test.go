@@ -64,6 +64,10 @@ func TestCloseWithInFlightCalls(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.SetRetryPolicy(ninf.NoRetry) // a retry would just re-enter the hole
+	// This test stages two separate pooled connections in the hole; a
+	// multiplexed client would share one session dial between the two
+	// calls (that shape is covered by TestCloseSeversMuxHandshake).
+	c.SetMultiplexing(false)
 	if _, err := c.Interface("dmmul"); err != nil {
 		t.Fatal(err)
 	}
@@ -116,5 +120,66 @@ func TestCloseWithInFlightCalls(t *testing.T) {
 	// Calls issued after Close fail immediately with the same class.
 	if _, err := c.Call("dmmul", n, a, b, got); !errors.Is(err, ninf.ErrClientClosed) {
 		t.Errorf("Call after Close: %v", err)
+	}
+}
+
+// TestCloseSeversMuxHandshake is the multiplexed twin of the test
+// above: the first call on a mux client dials the session and blocks
+// in version negotiation against a catatonic server; Close must sever
+// the handshake (the connection is on the pool's active books from
+// the moment it is dialed) and fail the call as client-closed.
+func TestCloseSeversMuxHandshake(t *testing.T) {
+	_, realDial := startServer(t, server.Config{Hostname: "closetest"})
+	hole, accepted := blackHoleListener(t)
+
+	// Dial #1 (the primary connection) reaches the real server so the
+	// interface cache warms over lockstep; dial #2 — the session
+	// handshake — lands in the black hole.
+	var dials int32
+	dial := func() (net.Conn, error) {
+		if atomic.AddInt32(&dials, 1) == 1 {
+			return realDial()
+		}
+		return net.Dial("tcp", hole.Addr().String())
+	}
+	c, err := ninf.NewClient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(ninf.NoRetry)
+	if _, err := c.Interface("dmmul"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 4
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	got := make([]float64, n*n)
+	ac := c.CallAsync("dmmul", n, a, b, got)
+
+	select {
+	case <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session handshake never reached the black hole")
+	}
+	time.Sleep(20 * time.Millisecond) // let Negotiate block in read
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := ac.Wait()
+		waitErr <- err
+	}()
+	select {
+	case err := <-waitErr:
+		if err == nil {
+			t.Error("CallAsync succeeded against a black hole")
+		} else if !errors.Is(err, ninf.ErrClientClosed) {
+			t.Errorf("CallAsync error not classified as client-closed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CallAsync hung in the severed handshake after Close")
 	}
 }

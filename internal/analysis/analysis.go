@@ -216,6 +216,7 @@ func All() []*Analyzer {
 		PoolDiscard,
 		XDRSym,
 		LockNet,
+		SharedWrite,
 		CtxDeadline,
 	}
 }

@@ -24,9 +24,12 @@ var ReleaseCheck = &Analyzer{
 }
 
 // borrowerFuncs take a pooled buffer argument without consuming it:
-// the caller still owns the buffer afterwards.
+// the caller still owns the buffer afterwards. StampMux only writes
+// the version-2 header into the buffer's reserved prefix.
 var borrowerFuncs = map[string]bool{
-	"WriteFrameBuf": true,
+	"WriteFrameBuf":    true,
+	"WriteMuxFrameBuf": true,
+	"StampMux":         true,
 }
 
 func runReleaseCheck(pass *Pass) error {

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SharedWrite flags connection writes issued from goroutine-launched
+// function literals without mutex serialization. The multiplexed
+// data plane (PR 4) dispatches many requests concurrently per
+// connection; its correctness rests on a single invariant: all frames
+// leaving one connection funnel through one serialization point (a
+// dedicated writer goroutine or a mutex-guarded writer). A dispatch
+// goroutine writing to the conn directly interleaves its bytes with
+// other replies mid-frame and corrupts the stream for every in-flight
+// sequence — a bug the race detector cannot see (net.Conn.Write is
+// documented as concurrency-safe; the corruption is at the framing
+// layer, not the memory layer).
+//
+// A write is flagged when it appears inside a `go func(){...}()` body
+// and no sync.Mutex/RWMutex is held at the write: either the write is
+// a net.Conn method (Write, WriteTo), or the callee's name starts
+// with Write and it is handed a net.Conn (WriteFrame(conn, ...),
+// WriteMuxFrame(conn, ...)). Writer goroutines that ARE the
+// serialization point carry a //lint:ninflint sharedwrite suppression
+// naming the design.
+var SharedWrite = &Analyzer{
+	Name: "sharedwrite",
+	Doc: "no unserialized net.Conn writes from goroutine-launched " +
+		"function literals; frame streams need one writer",
+	Run: runSharedWrite,
+}
+
+func runSharedWrite(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				swScanBlock(pass, lit.Body.List, map[string]bool{})
+			}
+			// Nested go statements inside the literal are found by the
+			// continued file walk.
+			return true
+		})
+	}
+	return nil
+}
+
+// swScanBlock walks one statement list of a dispatch goroutine's body,
+// tracking which mutexes are held, and flags unserialized writes. held
+// is owned by the caller; nested scopes get copies.
+func swScanBlock(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if recv, ok := mutexCallIn(pass, stmt, "Lock", "RLock"); ok {
+			held[recv] = true
+			continue
+		}
+		if recv, ok := mutexCallIn(pass, stmt, "Unlock", "RUnlock"); ok {
+			delete(held, recv)
+			continue
+		}
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			// `defer mu.Unlock()` keeps the lock held through the rest of
+			// the function; any other defer is left unflagged (it runs
+			// after the body, usually teardown).
+			continueHeld(pass, d, held)
+			continue
+		}
+		swScanStmt(pass, stmt, held)
+	}
+}
+
+// continueHeld interprets a defer statement: a deferred Unlock means
+// the matching Lock stays held for the remainder of the body, so the
+// held set is untouched. (The deferred call itself performs no write
+// we track: teardown helpers are out of scope.)
+func continueHeld(pass *Pass, d *ast.DeferStmt, held map[string]bool) {
+	// Deliberately empty beyond documentation: a deferred Unlock leaves
+	// `held` as-is, which is exactly the conservative interpretation.
+	_, _ = mutexDeferTarget(pass, d)
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// swScanStmt descends into one statement, flagging writes and
+// recursing into compound statements.
+func swScanStmt(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Inner goroutines are scanned by the file-level walk (with a
+		// fresh held set: locks do not transfer across goroutines);
+		// deferred calls run after the body.
+		return
+	case *ast.BlockStmt:
+		swScanBlock(pass, s.List, copyHeld(held))
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			swScanStmt(pass, s.Init, held)
+		}
+		swFlagWrites(pass, s.Cond, held)
+		swScanBlock(pass, s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			swScanStmt(pass, s.Else, held)
+		}
+		return
+	case *ast.ForStmt:
+		swScanBlock(pass, s.Body.List, copyHeld(held))
+		return
+	case *ast.RangeStmt:
+		swScanBlock(pass, s.Body.List, copyHeld(held))
+		return
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				swScanBlock(pass, cc.Body, copyHeld(held))
+			}
+		}
+		return
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				swScanBlock(pass, cc.Body, copyHeld(held))
+			}
+		}
+		return
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				swScanBlock(pass, cc.Body, copyHeld(held))
+			}
+		}
+		return
+	case *ast.LabeledStmt:
+		swScanStmt(pass, s.Stmt, held)
+		return
+	}
+	swFlagWrites(pass, stmt, held)
+}
+
+// swFlagWrites inspects one simple statement or expression for
+// connection writes, reporting any found while no mutex is held.
+func swFlagWrites(pass *Pass, n ast.Node, held map[string]bool) {
+	if n == nil || len(held) > 0 {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch nn := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			swFlagCall(pass, nn)
+		}
+		return true
+	})
+}
+
+// swFlagCall reports call expressions that put bytes on a connection:
+// conn.Write/conn.WriteTo, x.WriteTo(conn), and Write*-named helpers
+// handed a net.Conn.
+func swFlagCall(pass *Pass, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if name == "Write" || name == "WriteTo" {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isNetConnType(tv.Type) {
+				pass.Reportf(call.Pos(),
+					"conn.%s from a dispatch goroutine without serialization; concurrent writers interleave bytes mid-frame and corrupt the stream", name)
+				return
+			}
+		}
+	}
+	callee := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		callee = sel.Sel.Name
+	} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		callee = id.Name
+	}
+	if !strings.HasPrefix(callee, "Write") {
+		return
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isNetConnType(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"%s writes to a net.Conn from a dispatch goroutine without serialization; route the frame through the connection's single writer", callee)
+			return
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Fixture for the sharedwrite pass: connection writes from dispatch
+// goroutines that bypass the connection's single serialized writer.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+type frame struct{ b []byte }
+
+func WriteFrame(c net.Conn, f frame) error {
+	_, err := c.Write(f.b)
+	return err
+}
+
+func encode(f frame) []byte { return f.b }
+
+type srv struct {
+	mu      sync.Mutex
+	replies chan frame
+}
+
+// Positive: the dispatch goroutine writes to the conn directly; its
+// bytes interleave with every other in-flight reply.
+func badDirect(conn net.Conn, reqs []frame) {
+	for _, r := range reqs {
+		r := r
+		go func() {
+			conn.Write(encode(r)) // want `conn\.Write from a dispatch goroutine`
+		}()
+	}
+}
+
+// Positive: a Write*-named helper handed the conn is the same bug one
+// call deeper.
+func badHelper(conn net.Conn, reqs []frame) {
+	for _, r := range reqs {
+		r := r
+		go func() {
+			WriteFrame(conn, r) // want `WriteFrame writes to a net\.Conn from a dispatch goroutine`
+		}()
+	}
+}
+
+// Positive: a vectored flush from a goroutine is still a conn write.
+func badVectored(conn net.Conn, bufs net.Buffers) {
+	go func() {
+		bufs.WriteTo(conn) // want `WriteTo writes to a net\.Conn from a dispatch goroutine`
+	}()
+}
+
+// Negative: writes under a held mutex are serialized.
+func goodMutex(s *srv, conn net.Conn, reqs []frame) {
+	for _, r := range reqs {
+		r := r
+		go func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			WriteFrame(conn, r)
+		}()
+	}
+}
+
+// Negative: an inline Lock/Unlock pair also serializes; the write
+// after the Unlock is flagged.
+func mixedMutex(s *srv, conn net.Conn, r frame) {
+	go func() {
+		s.mu.Lock()
+		WriteFrame(conn, r)
+		s.mu.Unlock()
+		WriteFrame(conn, r) // want `WriteFrame writes to a net\.Conn from a dispatch goroutine`
+	}()
+}
+
+// Negative: routing the reply through the writer goroutine's channel
+// is the sanctioned shape.
+func goodFunnel(s *srv, reqs []frame) {
+	for _, r := range reqs {
+		r := r
+		go func() {
+			s.replies <- r
+		}()
+	}
+}
+
+// Negative: the dedicated writer goroutine is the serialization point;
+// the suppression names the design.
+func goodWriterGoroutine(conn net.Conn, replies chan frame) {
+	go func() {
+		for r := range replies {
+			//lint:ninflint sharedwrite — this goroutine IS the connection's single writer
+			WriteFrame(conn, r)
+		}
+	}()
+}
+
+// Negative: synchronous writes outside any goroutine are the lockstep
+// path; one frame is in flight at a time.
+func goodLockstep(conn net.Conn, r frame) error {
+	return WriteFrame(conn, r)
+}

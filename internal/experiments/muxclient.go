@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ninf"
+	"ninf/internal/server"
+)
+
+// multiclient-mux is the paper's §4 multi-client question asked of the
+// real data plane rather than the simulator: how many calls/s does one
+// server sustain as concurrent callers multiply, with the multiplexed
+// session (protocol v2: pipelined frames, demuxed replies, coalesced
+// vectored writes) versus the lockstep pooled path (protocol v1: one
+// exchange in flight per pooled connection)? The sweep mirrors
+// BenchmarkMuxVsLockstep; a full (non-quick) run additionally records
+// the cells machine-readably in BENCH_multiclient.json so the perf
+// trajectory of the data plane is tracked in-repo.
+
+// muxCell is one measured sweep cell, as serialized to JSON.
+type muxCell struct {
+	Mode       string  `json:"mode"` // "mux" or "lockstep"
+	Callers    int     `json:"callers"`
+	ArgBytes   int     `json:"arg_bytes"`
+	Calls      int     `json:"calls"`
+	Seconds    float64 `json:"seconds"`
+	CallsPerS  float64 `json:"calls_per_sec"`
+	MBytesPerS float64 `json:"mbytes_per_sec"`
+}
+
+// muxSweepFile is the BENCH_multiclient.json document.
+type muxSweepFile struct {
+	Experiment string    `json:"experiment"`
+	Generated  time.Time `json:"generated"`
+	GoVersion  string    `json:"go_version"`
+	NumCPU     int       `json:"num_cpu"`
+	Cells      []muxCell `json:"cells"`
+}
+
+func init() {
+	e := &Experiment{
+		ID:       "multiclient-mux",
+		Title:    "multi-client calls/s, multiplexed session vs lockstep pool (real system, loopback)",
+		Artifact: "§4 multi-client throughput",
+	}
+	e.Run = func(w io.Writer, opts Options) error {
+		header(w, e)
+		return runMuxSweep(w, opts)
+	}
+	register(e)
+}
+
+// muxSweepSizes are the argument-vector sizes driven per cell; calls
+// scale down as payloads grow so every cell finishes in tenths of a
+// second.
+var muxSweepSizes = []struct {
+	name  string
+	elems int
+	calls int
+}{
+	{"8B", 1, 8000},
+	{"64KiB", 8 << 10, 1200},
+	{"8MiB", 1 << 20, 12},
+}
+
+func runMuxSweep(w io.Writer, opts Options) error {
+	callers := []int{1, 4, 16, 64}
+	sizes := muxSweepSizes
+	if opts.Quick {
+		callers = []int{1, 16}
+		sizes = sizes[:2]
+	}
+
+	var cells []muxCell
+	fmt.Fprintf(w, "%-9s %8s %9s %10s %12s %10s\n",
+		"mode", "callers", "args", "calls", "calls/s", "MB/s")
+	for _, mode := range []string{"mux", "lockstep"} {
+		for _, nc := range callers {
+			for _, size := range sizes {
+				if size.elems >= 1<<20 && nc > 16 {
+					continue // half a GiB of in-flight vectors proves nothing new
+				}
+				calls := size.calls
+				if opts.Quick {
+					calls /= 8
+					if calls < nc {
+						calls = nc
+					}
+				}
+				cell, err := runMuxCell(mode == "mux", nc, size.elems, calls)
+				if err != nil {
+					return err
+				}
+				cells = append(cells, cell)
+				fmt.Fprintf(w, "%-9s %8d %9s %10d %12.0f %10.1f\n",
+					mode, nc, size.name, cell.Calls, cell.CallsPerS, cell.MBytesPerS)
+			}
+		}
+	}
+
+	// The acceptance ratio the tentpole is judged by: 16 concurrent
+	// small callers, mux over lockstep.
+	var muxS, lockS float64
+	for _, c := range cells {
+		if c.Callers == 16 && c.ArgBytes == 8 {
+			switch c.Mode {
+			case "mux":
+				muxS = c.CallsPerS
+			case "lockstep":
+				lockS = c.CallsPerS
+			}
+		}
+	}
+	if muxS > 0 && lockS > 0 {
+		fmt.Fprintf(w, "-- 16 callers x 8B: mux %.0f calls/s vs lockstep %.0f calls/s (%.2fx) --\n",
+			muxS, lockS, muxS/lockS)
+	}
+
+	if opts.Quick {
+		return nil
+	}
+	doc := muxSweepFile{
+		Experiment: "multiclient-mux",
+		Generated:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Cells:      cells,
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile("BENCH_multiclient.json", blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote BENCH_multiclient.json (%d cells)\n", len(cells))
+	return nil
+}
+
+// runMuxCell measures one sweep cell: calls echo exchanges of elems
+// float64s spread over nc concurrent callers against a fresh server.
+// The measurement is the best of a few rounds on one warmed client —
+// these hosts are shared and a single round is at the mercy of
+// whatever else the machine was doing during its tenths of a second.
+func runMuxCell(mux bool, nc, elems, calls int) (muxCell, error) {
+	s, dial, err := startRealServer(server.Config{PEs: 4})
+	if err != nil {
+		return muxCell{}, err
+	}
+	defer s.Close()
+	c, err := ninf.NewClient(dial)
+	if err != nil {
+		return muxCell{}, err
+	}
+	defer c.Close()
+	c.SetMultiplexing(mux)
+	if !mux {
+		// The fair fight: one pooled connection per concurrent caller,
+		// so lockstep loses on per-call overhead, not pool starvation.
+		c.SetPoolSize(nc)
+	}
+	warm := make([]float64, elems)
+	if _, err := c.Call("echo", elems, warm, make([]float64, elems)); err != nil {
+		return muxCell{}, err
+	}
+
+	rounds := 3
+	if elems >= 1<<20 {
+		rounds = 1 // an 8 MiB round is seconds long and bandwidth-bound
+	}
+	best := muxCell{}
+	for r := 0; r < rounds; r++ {
+		cell, err := muxCellRound(c, mux, nc, elems, calls)
+		if err != nil {
+			return muxCell{}, err
+		}
+		if cell.CallsPerS > best.CallsPerS {
+			best = cell
+		}
+	}
+	return best, nil
+}
+
+// muxCellRound runs one timed round of a cell's workload.
+func muxCellRound(c *ninf.Client, mux bool, nc, elems, calls int) (muxCell, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for wkr := 0; wkr < nc; wkr++ {
+		n := calls / nc
+		if wkr < calls%nc {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			in := make([]float64, elems)
+			out := make([]float64, elems)
+			for i := 0; i < n; i++ {
+				if _, err := c.Call("echo", elems, in, out); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return muxCell{}, firstErr
+	}
+	dur := time.Since(start).Seconds()
+	argBytes := 8 * elems
+	return muxCell{
+		Mode:       map[bool]string{true: "mux", false: "lockstep"}[mux],
+		Callers:    nc,
+		ArgBytes:   argBytes,
+		Calls:      calls,
+		Seconds:    dur,
+		CallsPerS:  float64(calls) / dur,
+		MBytesPerS: float64(2*argBytes*calls) / dur / 1e6,
+	}, nil
+}

@@ -103,6 +103,10 @@ func (t MsgType) String() string {
 		return "Trace"
 	case MsgTraceOK:
 		return "TraceOK"
+	case MsgHello:
+		return "Hello"
+	case MsgHelloOK:
+		return "HelloOK"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint32(t))
 	}

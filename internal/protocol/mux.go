@@ -1,0 +1,212 @@
+package protocol
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"ninf/internal/xdr"
+)
+
+// Multiplexed framing (protocol version 2). The lockstep protocol
+// (version 1) carries one exchange at a time per connection: the
+// client writes a request frame and blocks until the reply frame
+// arrives. Version 2 multiplexes many in-flight exchanges over one
+// connection by tagging every frame with a client-assigned sequence
+// number, so a session layer can pipeline requests and demultiplex
+// replies — the request-coalescing shape the paper's §4 multi-client
+// measurements call for once per-call connection overhead dominates.
+//
+// A version-2 frame keeps the 16-byte header (and thus the Buffer
+// layout) of version 1 but repacks the second and third words:
+//
+//	word 0  Magic
+//	word 1  MuxVersion<<16 | MsgType   (type must fit 16 bits)
+//	word 2  Seq
+//	word 3  payload length
+//
+// Version 1 peers never see version-2 frames: both sides speak
+// lockstep framing until a MsgHello/MsgHelloOK exchange negotiates the
+// upgrade, and peers that predate MsgHello answer it with MsgError,
+// which the session layer takes as "legacy, stay lockstep".
+const (
+	// MuxVersion is the multiplexed protocol version negotiated by
+	// MsgHello.
+	MuxVersion = 2
+
+	// maxMuxType bounds message types representable in a mux header's
+	// packed version/type word.
+	maxMuxType = 1<<16 - 1
+)
+
+// Hello frames, spoken in version-1 framing before any upgrade.
+const (
+	// MsgHello asks the peer to switch the connection to the highest
+	// protocol version both sides speak.
+	MsgHello MsgType = iota + 120
+	// MsgHelloOK accepts: its payload names the chosen version, and
+	// every subsequent frame on the connection uses that framing.
+	MsgHelloOK
+)
+
+// HelloRequest is the payload of MsgHello.
+type HelloRequest struct {
+	// MaxVersion is the highest protocol version the sender speaks.
+	MaxVersion uint32
+}
+
+// Encode serializes the request.
+func (m *HelloRequest) Encode() []byte {
+	return encodePayload(4, func(e *xdr.Encoder) {
+		e.PutUint32(m.MaxVersion)
+	})
+}
+
+// DecodeHelloRequest parses a MsgHello payload.
+func DecodeHelloRequest(p []byte) (HelloRequest, error) {
+	pd := acquireDecoder(p)
+	m := HelloRequest{MaxVersion: pd.d.Uint32()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
+}
+
+// HelloReply is the payload of MsgHelloOK.
+type HelloReply struct {
+	// Version is the protocol version the connection switches to.
+	Version uint32
+}
+
+// Encode serializes the reply.
+func (m *HelloReply) Encode() []byte {
+	return encodePayload(4, func(e *xdr.Encoder) {
+		e.PutUint32(m.Version)
+	})
+}
+
+// DecodeHelloReply parses a MsgHelloOK payload.
+func DecodeHelloReply(p []byte) (HelloReply, error) {
+	pd := acquireDecoder(p)
+	m := HelloReply{Version: pd.d.Uint32()}
+	err := pd.d.Err()
+	pd.release()
+	return m, err
+}
+
+// StampMux writes a version-2 header for the buffer's current payload
+// into its reserved prefix. The buffer is then a complete wire frame
+// (Frame) ready for WriteStampedFrames or a direct write.
+func StampMux(fb *Buffer, t MsgType, seq uint32) {
+	putU32(fb.b[0:], Magic)
+	putU32(fb.b[4:], MuxVersion<<16|uint32(t)&maxMuxType)
+	putU32(fb.b[8:], seq)
+	putU32(fb.b[12:], uint32(fb.Len()))
+}
+
+// Frame returns the assembled wire frame — header plus payload — of a
+// stamped buffer. The slice aliases the buffer and dies with Release;
+// it exists so session layers can gather several stamped frames into
+// one vectored write.
+func (fb *Buffer) Frame() []byte { return fb.b }
+
+// BufferFor copies an already-encoded payload into a pooled buffer, so
+// []byte-producing encode paths can feed buffer-consuming writers.
+func BufferFor(payload []byte) *Buffer {
+	fb := AcquireBuffer(len(payload))
+	fb.b = append(fb.b, payload...)
+	return fb
+}
+
+// WriteMuxFrameBuf stamps a version-2 header and writes the frame with
+// a single Write call.
+func WriteMuxFrameBuf(w io.Writer, t MsgType, seq uint32, fb *Buffer) error {
+	StampMux(fb, t, seq)
+	if _, err := w.Write(fb.b); err != nil {
+		return fmt.Errorf("protocol: write mux frame: %w", err)
+	}
+	return nil
+}
+
+// WriteMuxFrame writes one version-2 frame from a plain payload slice,
+// header and payload in a single vectored write.
+func WriteMuxFrame(w io.Writer, t MsgType, seq uint32, payload []byte) error {
+	fw := frameWriterPool.Get().(*frameWriter)
+	putU32(fw.hdr[0:], Magic)
+	putU32(fw.hdr[4:], MuxVersion<<16|uint32(t)&maxMuxType)
+	putU32(fw.hdr[8:], seq)
+	putU32(fw.hdr[12:], uint32(len(payload)))
+	var err error
+	if len(payload) == 0 {
+		_, err = w.Write(fw.hdr[:])
+	} else {
+		fw.vec = append(net.Buffers(fw.arr[:0]), fw.hdr[:], payload)
+		_, err = fw.vec.WriteTo(w)
+		fw.arr[0], fw.arr[1] = nil, nil
+	}
+	frameWriterPool.Put(fw)
+	if err != nil {
+		return fmt.Errorf("protocol: write mux frame: %w", err)
+	}
+	return nil
+}
+
+// WriteStampedFrames gathers already-stamped frames into a single
+// vectored write (writev on TCP connections), so a burst of queued
+// small requests costs one syscall instead of one each. The caller
+// retains ownership of the buffers and releases them afterwards.
+func WriteStampedFrames(w io.Writer, fbs []*Buffer) error {
+	if len(fbs) == 0 {
+		return nil
+	}
+	if len(fbs) == 1 {
+		if _, err := w.Write(fbs[0].b); err != nil {
+			return fmt.Errorf("protocol: write mux frames: %w", err)
+		}
+		return nil
+	}
+	vec := make(net.Buffers, len(fbs))
+	for i, fb := range fbs {
+		vec[i] = fb.b
+	}
+	if _, err := vec.WriteTo(w); err != nil {
+		return fmt.Errorf("protocol: write mux frames: %w", err)
+	}
+	return nil
+}
+
+// ReadMuxFrameBuf reads one version-2 frame into a pooled buffer
+// (maxPayload 0 means DefaultMaxPayload). The caller owns the buffer
+// and must Release it after decoding. A clean EOF between frames is
+// returned as io.EOF undecorated.
+func ReadMuxFrameBuf(r io.Reader, maxPayload int) (MsgType, uint32, *Buffer, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, nil, io.EOF
+		}
+		return 0, 0, nil, fmt.Errorf("protocol: read mux header: %w", err)
+	}
+	if getU32(hdr[0:]) != Magic {
+		return 0, 0, nil, ErrBadMagic
+	}
+	vt := getU32(hdr[4:])
+	if v := vt >> 16; v != MuxVersion {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	t := MsgType(vt & maxMuxType)
+	seq := getU32(hdr[8:])
+	n := int(getU32(hdr[12:]))
+	if n > maxPayload {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrOversized, n)
+	}
+	fb := AcquireBuffer(n)
+	fb.b = fb.b[:headerSize+n]
+	if _, err := io.ReadFull(r, fb.b[headerSize:]); err != nil {
+		fb.Release()
+		return 0, 0, nil, fmt.Errorf("protocol: read mux payload: %w", err)
+	}
+	return t, seq, fb, nil
+}

@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestMuxFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := []struct {
+		t   MsgType
+		seq uint32
+		p   []byte
+	}{
+		{MsgCall, 1, []byte("hello")},
+		{MsgPing, 0xffffffff, nil},
+		{MsgCallOK, 7, bytes.Repeat([]byte{0xab}, 4096)},
+	}
+	for _, want := range payloads {
+		fb := AcquireBuffer(len(want.p))
+		fb.Write(want.p)
+		if err := WriteMuxFrameBuf(&buf, want.t, want.seq, fb); err != nil {
+			t.Fatal(err)
+		}
+		fb.Release()
+	}
+	for _, want := range payloads {
+		typ, seq, fb, err := ReadMuxFrameBuf(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != want.t || seq != want.seq || !bytes.Equal(fb.Payload(), want.p) {
+			t.Fatalf("got (%v, %d, %d bytes), want (%v, %d, %d bytes)",
+				typ, seq, fb.Len(), want.t, want.seq, len(want.p))
+		}
+		fb.Release()
+	}
+}
+
+func TestMuxFramePlainWriter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMuxFrame(&buf, MsgFetch, 42, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	typ, seq, fb, err := ReadMuxFrameBuf(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Release()
+	if typ != MsgFetch || seq != 42 || string(fb.Payload()) != "xyz" {
+		t.Fatalf("round trip mismatch: %v %d %q", typ, seq, fb.Payload())
+	}
+}
+
+func TestWriteStampedFramesCoalesces(t *testing.T) {
+	var buf bytes.Buffer
+	var batch []*Buffer
+	for i := 0; i < 5; i++ {
+		fb := AcquireBuffer(8)
+		fmt.Fprintf(fb, "req-%d", i)
+		StampMux(fb, MsgCall, uint32(100+i))
+		batch = append(batch, fb)
+	}
+	if err := WriteStampedFrames(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, fb := range batch {
+		fb.Release()
+	}
+	for i := 0; i < 5; i++ {
+		typ, seq, fb, err := ReadMuxFrameBuf(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != MsgCall || seq != uint32(100+i) || string(fb.Payload()) != fmt.Sprintf("req-%d", i) {
+			t.Fatalf("frame %d: got (%v, %d, %q)", i, typ, seq, fb.Payload())
+		}
+		fb.Release()
+	}
+	if _, _, _, err := ReadMuxFrameBuf(&buf, 0); err != io.EOF {
+		t.Fatalf("expected EOF after batch, got %v", err)
+	}
+}
+
+// TestMuxRejectsLockstepFrame proves the version check: a version-1
+// frame presented to the mux reader fails with ErrBadVersion (the
+// packed version word reads as 0), not silent misparsing.
+func TestMuxRejectsLockstepFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := ReadMuxFrameBuf(&buf, 0)
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("expected ErrBadVersion, got %v", err)
+	}
+}
+
+// ...and the reverse: a mux frame presented to the lockstep reader is
+// rejected as a bad version, so a framing mixup is loud.
+func TestLockstepRejectsMuxFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMuxFrame(&buf, MsgPing, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadFrame(&buf, 0)
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("expected ErrBadVersion, got %v", err)
+	}
+}
+
+func TestMuxOversizedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	fb := AcquireBuffer(64)
+	fb.Write(bytes.Repeat([]byte{1}, 64))
+	if err := WriteMuxFrameBuf(&buf, MsgCall, 3, fb); err != nil {
+		t.Fatal(err)
+	}
+	fb.Release()
+	_, _, _, err := ReadMuxFrameBuf(&buf, 16)
+	if !errors.Is(err, ErrOversized) {
+		t.Fatalf("expected ErrOversized, got %v", err)
+	}
+}
+
+func TestHelloPayloads(t *testing.T) {
+	req := HelloRequest{MaxVersion: MuxVersion}
+	got, err := DecodeHelloRequest(req.Encode())
+	if err != nil || got != req {
+		t.Fatalf("hello request round trip: %+v, %v", got, err)
+	}
+	rep := HelloReply{Version: MuxVersion}
+	gotR, err := DecodeHelloReply(rep.Encode())
+	if err != nil || gotR != rep {
+		t.Fatalf("hello reply round trip: %+v, %v", gotR, err)
+	}
+}
+
+func TestBufferFor(t *testing.T) {
+	p := []byte("payload-bytes")
+	fb := BufferFor(p)
+	if !bytes.Equal(fb.Payload(), p) {
+		t.Fatalf("BufferFor payload = %q", fb.Payload())
+	}
+	p[0] = 'X' // the buffer must hold a copy
+	if fb.Payload()[0] == 'X' {
+		t.Fatal("BufferFor aliases its input")
+	}
+	fb.Release()
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+
+	"ninf/internal/protocol"
+)
+
+// Multiplexed serving (protocol version 2). A lockstep connection
+// reads a frame, fully services it, writes the reply, and only then
+// reads the next — so one long dgefa call head-of-line-blocks every
+// ping, list, and small call pipelined behind it, and N concurrent
+// calls cost N connections. After a client negotiates the upgrade
+// (MsgHello), the connection switches to serveMux: a read loop
+// dispatches each sequenced request to the existing schedule/run
+// machinery concurrently, bounded by a semaphore, and a single writer
+// goroutine serializes (and coalesces) the replies.
+//
+// Shared-writer invariant: dispatch goroutines must NEVER write to the
+// connection themselves — interleaved writes would corrupt the frame
+// stream for every in-flight Seq. Every reply travels through the
+// replies channel to muxWriteLoop, the connection's one serialization
+// point. The ninflint sharedwrite pass enforces this shape.
+
+// DefaultMuxConcurrency bounds how many requests one multiplexed
+// connection services concurrently when Config.MuxConcurrency is 0.
+// The bound is per connection: it caps dispatch goroutines (and
+// admitted-but-queued jobs) a single pipelining client can hold open,
+// while the PE pool still governs actual execution parallelism.
+const DefaultMuxConcurrency = 64
+
+// muxReply is one sequenced reply awaiting the serialized writer.
+// sent, when non-nil, runs after the reply is confirmed written — the
+// hook fetch uses to keep its job until the reply is really on the
+// wire (a reply lost with the session must leave the job fetchable).
+type muxReply struct {
+	seq  uint32
+	t    protocol.MsgType
+	fb   *protocol.Buffer
+	sent func()
+}
+
+// errUpgradeMux is the dispatch sentinel that switches ServeConn from
+// the lockstep loop to serveMux after a successful Hello exchange.
+var errUpgradeMux = errors.New("server: upgrade to mux framing")
+
+// hello answers a MsgHello. With multiplexing enabled it accepts the
+// highest common version and signals the upgrade; a server configured
+// lockstep-only answers like a pre-mux server (MsgError), which the
+// client takes as "legacy peer, stay lockstep".
+func (s *Server) hello(conn net.Conn, payload []byte) error {
+	req, err := protocol.DecodeHelloRequest(payload)
+	if err != nil {
+		return s.sendError(conn, protocol.CodeBadArguments, err.Error())
+	}
+	if s.cfg.DisableMux || req.MaxVersion < protocol.MuxVersion {
+		return s.sendError(conn, protocol.CodeInternal,
+			fmt.Sprintf("unexpected frame %v", protocol.MsgHello))
+	}
+	rep := protocol.HelloReply{Version: protocol.MuxVersion}
+	if err := protocol.WriteFrame(conn, protocol.MsgHelloOK, rep.Encode()); err != nil {
+		return err
+	}
+	return errUpgradeMux
+}
+
+// muxConcurrency resolves the per-connection dispatch bound.
+func (s *Server) muxConcurrency() int {
+	if s.cfg.MuxConcurrency > 0 {
+		return s.cfg.MuxConcurrency
+	}
+	return DefaultMuxConcurrency
+}
+
+// serveMux services one upgraded connection until EOF or error. The
+// read loop acquires a semaphore slot per request — backpressure on a
+// client pipelining more than MuxConcurrency calls — and hands the
+// frame to a dispatch goroutine; replies funnel through muxWriteLoop.
+func (s *Server) serveMux(conn net.Conn) {
+	replies := make(chan muxReply, s.muxConcurrency())
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	sem := make(chan struct{}, s.muxConcurrency())
+	outstanding := func() int { return len(sem) }
+	go func() {
+		defer writerWG.Done()
+		s.muxWriteLoop(conn, replies, outstanding)
+	}()
+
+	var wg sync.WaitGroup
+	// Pipelined small requests arrive many to a segment; the buffered
+	// reader amortizes their header/payload reads into one syscall.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		typ, seq, fb, err := protocol.ReadMuxFrameBuf(br, s.cfg.MaxPayload)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("ninf server: mux read: %v", err)
+			}
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t, rb, sent := s.muxReplyFor(typ, fb)
+			replies <- muxReply{seq: seq, t: t, fb: rb, sent: sent}
+		}()
+	}
+	wg.Wait()
+	close(replies)
+	writerWG.Wait()
+}
+
+// muxWriteLoop is the connection's single serialized writer: it drains
+// the replies channel, coalescing whatever is queued into one vectored
+// write. After a write error it keeps draining — releasing buffers so
+// dispatch goroutines can finish — until the channel closes.
+//
+// outstanding reports how many dispatch goroutines are still running.
+// While more work is in flight than is sitting in the batch, the
+// writer yields the processor (bounded) before flushing: near-done
+// handlers get to finish and their replies join this vectored write
+// instead of each costing a syscall — on a loaded single-core box the
+// difference between one write per reply and one write per burst.
+func (s *Server) muxWriteLoop(conn net.Conn, replies <-chan muxReply, outstanding func() int) {
+	batch := make([]muxReply, 0, maxMuxWriteBatch)
+	bufs := make([]*protocol.Buffer, 0, maxMuxWriteBatch)
+	broken := false
+	for r := range replies {
+		batch = append(batch[:0], r)
+		for yields := 0; ; {
+		gather:
+			for len(batch) < maxMuxWriteBatch {
+				select {
+				case more, ok := <-replies:
+					if !ok {
+						break gather
+					}
+					batch = append(batch, more)
+				default:
+					break gather
+				}
+			}
+			if yields >= 2 || len(batch) >= maxMuxWriteBatch || outstanding() <= len(batch) {
+				break
+			}
+			yields++
+			runtime.Gosched()
+		}
+		bufs = bufs[:0]
+		for i := range batch {
+			bufs = append(bufs, stampReply(batch[i]))
+		}
+		if !broken {
+			//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
+			if err := protocol.WriteStampedFrames(conn, bufs); err != nil {
+				broken = true
+				s.logf("ninf server: mux write: %v", err)
+				conn.Close() // wake the read loop so the conn tears down
+			}
+		}
+		for i := range batch {
+			if !broken && batch[i].sent != nil {
+				batch[i].sent()
+			}
+			bufs[i].Release()
+		}
+	}
+}
+
+// maxMuxWriteBatch bounds one coalesced reply write; see mux.maxWriteBatch.
+const maxMuxWriteBatch = 64
+
+// stampReply stamps one reply's mux header, materializing an empty
+// buffer for payload-less replies (Pong).
+func stampReply(r muxReply) *protocol.Buffer {
+	//lint:ninflint releasecheck — a materialized empty buffer's ownership flows out through the return
+	fb := r.fb
+	if fb == nil {
+		fb = protocol.AcquireBuffer(0)
+	}
+	protocol.StampMux(fb, r.t, r.seq)
+	return fb
+}
+
+// muxErrReply builds a MsgError reply buffer (nil sent hook).
+func muxErrReply(code uint32, detail string) (protocol.MsgType, *protocol.Buffer, func()) {
+	return protocol.MsgError, protocol.BufferFor(protocol.EncodeErrorReply(code, detail)), nil
+}
+
+// muxReplyFor services one sequenced request and returns its reply
+// frame. It owns fb and releases it once the payload is decoded. It
+// runs on a dispatch goroutine: any number of these proceed
+// concurrently on one connection, so nothing here may touch the
+// connection — replies go back through the serialized writer.
+//
+// Blocking calls run without a callback invoker: the connection
+// carries interleaved sequenced frames, not the quiet parked stream
+// the §2.3 callback facility needs, so executables that call back get
+// ErrNoCallback (clients with registered callbacks stay on the
+// lockstep path).
+func (s *Server) muxReplyFor(typ protocol.MsgType, fb *protocol.Buffer) (protocol.MsgType, *protocol.Buffer, func()) {
+	payload := fb.Payload()
+	switch typ {
+	case protocol.MsgPing:
+		fb.Release()
+		return protocol.MsgPong, nil, nil
+
+	case protocol.MsgList:
+		fb.Release()
+		reply := protocol.ListReply{Names: s.registry.Names()}
+		return protocol.MsgListReply, protocol.BufferFor(reply.Encode()), nil
+
+	case protocol.MsgStats:
+		fb.Release()
+		st := s.Stats()
+		return protocol.MsgStatsOK, protocol.BufferFor(st.Encode()), nil
+
+	case protocol.MsgTrace:
+		fb.Release()
+		return protocol.MsgTraceOK, protocol.BufferFor(encodeTraces(s.Trace())), nil
+
+	case protocol.MsgInterface:
+		req, err := protocol.DecodeInterfaceRequest(payload)
+		fb.Release()
+		if err != nil {
+			return muxErrReply(protocol.CodeBadArguments, err.Error())
+		}
+		ex := s.registry.Lookup(req.Name)
+		if ex == nil {
+			return muxErrReply(protocol.CodeUnknownRoutine, fmt.Sprintf("no routine %q", req.Name))
+		}
+		p, err := protocol.EncodeInterfaceReply(ex.Info)
+		if err != nil {
+			return muxErrReply(protocol.CodeInternal, err.Error())
+		}
+		return protocol.MsgInterfaceOK, protocol.BufferFor(p), nil
+
+	case protocol.MsgCall:
+		t, code, err := s.admit(payload, false, nil, 0)
+		fb.Release() // arguments are decoded and copied by admit
+		if err != nil {
+			return muxErrReply(code, err.Error())
+		}
+		<-t.done
+		if t.err != nil {
+			return muxErrReply(protocol.CodeExecFailed, t.err.Error())
+		}
+		reply, err := protocol.EncodeCallReplyBuf(t.ex.Info, t.timings, t.args)
+		if err != nil {
+			return muxErrReply(protocol.CodeInternal, err.Error())
+		}
+		return protocol.MsgCallOK, reply, nil
+
+	case protocol.MsgSubmit:
+		key, rest, err := protocol.DecodeSubmitKey(payload)
+		if err != nil {
+			fb.Release()
+			return muxErrReply(protocol.CodeBadArguments, err.Error())
+		}
+		t, code, err := s.admit(rest, true, nil, key)
+		fb.Release()
+		if err != nil {
+			return muxErrReply(code, err.Error())
+		}
+		reply := protocol.SubmitReply{JobID: t.job.ID}
+		return protocol.MsgSubmitOK, protocol.BufferFor(reply.Encode()), nil
+
+	case protocol.MsgFetch:
+		req, err := protocol.DecodeFetchRequest(payload)
+		fb.Release()
+		if err != nil {
+			return muxErrReply(protocol.CodeBadArguments, err.Error())
+		}
+		return s.muxFetch(req)
+
+	default:
+		fb.Release()
+		return muxErrReply(protocol.CodeInternal, fmt.Sprintf("unexpected frame %v", typ))
+	}
+}
+
+// muxFetch is fetch for the mux path. Like the lockstep fetch it must
+// not remove the job until the reply frame is on the wire — a reply
+// lost with the session must leave the job fetchable for the client's
+// retried fetch on a fresh session. The writer owns the wire here, so
+// removal rides the reply's sent hook: muxWriteLoop runs it only
+// after a successful write. Wait:true degrades to not-ready polling,
+// as the client wire protocol always sets Wait:false.
+func (s *Server) muxFetch(req protocol.FetchRequest) (protocol.MsgType, *protocol.Buffer, func()) {
+	s.mu.Lock()
+	t, ok := s.jobs[req.JobID]
+	s.mu.Unlock()
+	if !ok {
+		return muxErrReply(protocol.CodeUnknownJob, fmt.Sprintf("no job %d", req.JobID))
+	}
+	if req.Wait {
+		<-t.done
+	}
+	select {
+	case <-t.done:
+	default:
+		return muxErrReply(protocol.CodeNotReady, fmt.Sprintf("job %d still running", req.JobID))
+	}
+	if t.err != nil {
+		return muxErrReply(protocol.CodeExecFailed, t.err.Error())
+	}
+	reply := protocol.BufferFor(t.reply)
+	sent := func() {
+		s.mu.Lock()
+		s.removeJobLocked(req.JobID, t)
+		s.mu.Unlock()
+	}
+	return protocol.MsgFetchOK, reply, sent
+}

@@ -73,6 +73,13 @@ type Config struct {
 	JobTTL time.Duration
 	// MaxPayload bounds incoming frame payloads (default 1 GiB).
 	MaxPayload int
+	// DisableMux refuses the MsgHello protocol upgrade, keeping every
+	// connection on the version-1 lockstep exchange. Useful for
+	// benchmarking the two paths and for emulating pre-mux servers.
+	DisableMux bool
+	// MuxConcurrency bounds concurrently-dispatched requests per
+	// multiplexed connection (default DefaultMuxConcurrency).
+	MuxConcurrency int
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
@@ -263,6 +270,11 @@ func (s *Server) Stats() protocol.Stats {
 // arbitrary net.Conns (pipes, shaped links). Request frames are read
 // into pooled buffers that dispatch recycles as soon as the payload is
 // decoded, so steady-state serving allocates no framing memory.
+//
+// A connection starts in the version-1 lockstep exchange. When the
+// client negotiates the protocol upgrade (MsgHello), the connection
+// switches to the multiplexed loop (serveMux), which dispatches
+// sequenced requests concurrently instead of one at a time.
 func (s *Server) ServeConn(conn net.Conn) {
 	for {
 		typ, fb, err := protocol.ReadFrameBuf(conn, s.cfg.MaxPayload)
@@ -273,6 +285,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 		if err := s.dispatch(conn, typ, fb); err != nil {
+			if err == errUpgradeMux {
+				s.serveMux(conn)
+				return
+			}
 			s.logf("ninf server: %v", err)
 			return
 		}
@@ -282,9 +298,20 @@ func (s *Server) ServeConn(conn net.Conn) {
 // dispatch handles one request frame. It owns fb and releases it once
 // the payload has been decoded — before waiting on execution, so a
 // large argument frame is not pinned while the executable runs.
+//
+// Shared-writer audit: dispatch (and the helpers it calls — sendError,
+// fetch, connInvoker) writes to conn directly. That is safe on the
+// lockstep path only because ServeConn services one frame at a time on
+// one goroutine, so at most one writer exists per connection. The mux
+// path runs dispatches concurrently and must instead route every reply
+// through serveMux's serialized writer; the ninflint sharedwrite pass
+// flags conn writes from dispatch goroutines.
 func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buffer) error {
 	payload := fb.Payload()
 	switch typ {
+	case protocol.MsgHello:
+		defer fb.Release()
+		return s.hello(conn, payload)
 	case protocol.MsgPing:
 		fb.Release()
 		return protocol.WriteFrame(conn, protocol.MsgPong, nil)
@@ -369,6 +396,10 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buff
 	}
 }
 
+// sendError writes a MsgError frame. Lockstep path only: it writes to
+// conn directly, which is safe solely because the serving goroutine is
+// the connection's one writer. Mux dispatches use muxErrReply, which
+// routes through the serialized writer instead.
 func (s *Server) sendError(conn net.Conn, code uint32, detail string) error {
 	return protocol.WriteFrame(conn, protocol.MsgError, protocol.EncodeErrorReply(code, detail))
 }

@@ -1,0 +1,322 @@
+package ninf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ninf/internal/idl"
+	"ninf/internal/mux"
+	"ninf/internal/protocol"
+)
+
+// Multiplexed session routing. A client that reaches a protocol
+// version 2 server carries Call, CallAsync, Submit, Fetch and
+// interface traffic over one persistent multiplexed connection
+// (internal/mux) instead of one lockstep exchange per pooled
+// connection: requests from any number of goroutines are pipelined,
+// coalesced into vectored writes, and demultiplexed by sequence
+// number on return. Version negotiation happens once per session
+// dial; a legacy peer (or SetMultiplexing(false)) pins the client to
+// the lockstep paths, which remain intact below.
+
+// sessionState holds the client's multiplexing state; embedded in
+// Client so the zero value (mux on, not yet probed) is ready to use.
+type sessionState struct {
+	mu     sync.Mutex
+	sess   *mux.Session
+	conn   net.Conn // the session's transport, checked out of the pool so closeAll severs it
+	legacy bool     // peer answered Hello as a version-1 server; sticky until SetMultiplexing(true)
+	off    bool     // SetMultiplexing(false)
+}
+
+// SetMultiplexing toggles the multiplexed session layer. It is on by
+// default: the client probes the server's protocol version on first
+// use and falls back to lockstep exchanges against legacy servers
+// automatically. Passing false closes any live session and pins the
+// client to the lockstep paths (useful for A/B measurement and as an
+// escape hatch); passing true re-enables probing, including against a
+// peer previously seen as legacy (it may have been upgraded since).
+func (c *Client) SetMultiplexing(on bool) {
+	c.sess.mu.Lock()
+	s, conn := c.sess.sess, c.sess.conn
+	c.sess.sess, c.sess.conn = nil, nil
+	c.sess.off = !on
+	c.sess.legacy = false
+	c.sess.mu.Unlock()
+	retireSession(c, s, conn)
+}
+
+// retireSession closes a session detached from the client state and
+// returns its transport to the pool's books (discard: the stream
+// carries interleaved mux frames and must never be reused).
+func retireSession(c *Client, s *mux.Session, conn net.Conn) {
+	if s != nil {
+		s.Close()
+	}
+	if conn != nil {
+		c.pool.discard(conn)
+	}
+}
+
+// Multiplexed reports whether the client currently holds a live
+// multiplexed session. It is false until a session verb runs (the
+// probe is lazy), and false forever against a legacy server.
+func (c *Client) Multiplexed() bool {
+	c.sess.mu.Lock()
+	defer c.sess.mu.Unlock()
+	return c.sess.sess != nil && !c.sess.sess.Broken()
+}
+
+// closeSession tears down the live session, if any, as part of
+// Client.Close.
+func (c *Client) closeSession() {
+	c.sess.mu.Lock()
+	s, conn := c.sess.sess, c.sess.conn
+	c.sess.sess, c.sess.conn = nil, nil
+	c.sess.mu.Unlock()
+	retireSession(c, s, conn)
+}
+
+// liveSession returns the current session only if one is already
+// established and healthy — it never dials. Interface fetches use it:
+// they ride a live session for free but must not force a session dial
+// (the stage-one RPC works over the primary lockstep connection, and
+// an eager probe would block a client whose pooled dials are dead).
+func (c *Client) liveSession() *mux.Session {
+	if c.hasCallbacks() {
+		return nil
+	}
+	c.sess.mu.Lock()
+	defer c.sess.mu.Unlock()
+	if s := c.sess.sess; s != nil && !s.Broken() {
+		return s
+	}
+	return nil
+}
+
+// session returns the live multiplexed session, dialing and
+// negotiating one if needed. A nil session with nil error means the
+// caller must use the lockstep path: multiplexing is off, the peer is
+// legacy, or the client has callbacks registered (the §2.3 callback
+// facility needs the quiet parked stream of a lockstep call and
+// cannot share a connection carrying interleaved sequenced frames).
+// ctx bounds only the dial+negotiate handshake.
+func (c *Client) session(ctx context.Context) (*mux.Session, error) {
+	if c.hasCallbacks() {
+		return nil, nil
+	}
+	c.sess.mu.Lock()
+	defer c.sess.mu.Unlock()
+	if c.sess.off || c.sess.legacy {
+		return nil, nil
+	}
+	if s := c.sess.sess; s != nil {
+		if !s.Broken() {
+			return s, nil
+		}
+		conn := c.sess.conn
+		c.sess.sess, c.sess.conn = nil, nil
+		//lint:ninflint locknet — the session is already Broken: Close and discard on its dead socket return immediately
+		retireSession(c, s, conn)
+	}
+	// Checking the connection out of the pool keeps it on the active
+	// books: Close's pool.closeAll severs a handshake blocked against a
+	// dead server, and severs the session transport itself later — the
+	// connection stays checked out for the session's whole life.
+	//lint:ninflint locknet — sess.mu exists to serialize session (re)establishment; pool.closeAll and guardConn both sever a blocked handshake
+	conn, err := c.pool.get()
+	if err != nil {
+		return nil, err
+	}
+	//lint:ninflint locknet — guardConn only registers a context callback; it performs no socket I/O
+	stop := guardConn(ctx, conn)
+	//lint:ninflint locknet — negotiation must finish before any verb uses the session; the guard (and Close) severs a black-holed handshake
+	err = mux.Negotiate(conn, c.maxPayload)
+	if !stop() {
+		//lint:ninflint locknet — discard only closes the socket (non-blocking) and updates the pool books
+		c.pool.discard(conn)
+		if err != nil {
+			return nil, ctxErr(ctx, err)
+		}
+		return nil, ctx.Err()
+	}
+	if errors.Is(err, mux.ErrLegacy) {
+		// The refused Hello was a complete lockstep exchange, so the
+		// connection is still in frame sync — seed the pool with it.
+		c.sess.legacy = true
+		c.pool.put(conn)
+		return nil, nil
+	}
+	if err != nil {
+		//lint:ninflint locknet — discard only closes the socket (non-blocking) and updates the pool books
+		c.pool.discard(conn)
+		return nil, err
+	}
+	//lint:ninflint locknet — New only starts the session goroutines; it performs no blocking socket I/O itself
+	s := mux.New(conn, c.maxPayload)
+	c.sess.sess, c.sess.conn = s, conn
+	return s, nil
+}
+
+// dropSession retires s if it is still the client's current session
+// and has failed; the next session() call dials afresh.
+func (c *Client) dropSession(s *mux.Session) {
+	if !s.Broken() {
+		return
+	}
+	c.sess.mu.Lock()
+	var conn net.Conn
+	if c.sess.sess == s {
+		conn = c.sess.conn
+		c.sess.sess, c.sess.conn = nil, nil
+	}
+	c.sess.mu.Unlock()
+	retireSession(c, s, conn)
+}
+
+// muxExchange runs one sequenced exchange over the session layer.
+// used=false means no session is available (legacy peer, mux off, or
+// callbacks registered): req is untouched and still owned by the
+// caller, which must fall back to the lockstep path. used=true means
+// the exchange was attempted and req consumed; MsgError replies are
+// translated to *protocol.RemoteError like every lockstep round trip,
+// and transport faults (which fail the session) surface as retryable
+// errors so the enclosing withRetry dials a fresh session.
+func (c *Client) muxExchange(ctx context.Context, t protocol.MsgType, req *protocol.Buffer) (rt protocol.MsgType, fb *protocol.Buffer, used bool, err error) {
+	sess, err := c.session(ctx)
+	if err != nil {
+		req.Release()
+		return 0, nil, true, err
+	}
+	if sess == nil {
+		//lint:ninflint releasecheck — used=false hands req ownership back to the caller for the lockstep path
+		return 0, nil, false, nil
+	}
+	return c.muxExchangeOn(ctx, sess, t, req)
+}
+
+// muxExchangeLive is muxExchange restricted to an already-established
+// session: it never dials. Interface fetches use it so a cold client
+// does not pay (or block on) a session handshake for a stage-one RPC
+// the primary lockstep connection serves equally well.
+func (c *Client) muxExchangeLive(ctx context.Context, t protocol.MsgType, req *protocol.Buffer) (rt protocol.MsgType, fb *protocol.Buffer, used bool, err error) {
+	sess := c.liveSession()
+	if sess == nil {
+		//lint:ninflint releasecheck — used=false hands req ownership back to the caller for the lockstep path
+		return 0, nil, false, nil
+	}
+	return c.muxExchangeOn(ctx, sess, t, req)
+}
+
+// muxExchangeOn runs one sequenced exchange on sess, consuming req.
+func (c *Client) muxExchangeOn(ctx context.Context, sess *mux.Session, t protocol.MsgType, req *protocol.Buffer) (rt protocol.MsgType, fb *protocol.Buffer, used bool, err error) {
+	rt, fb, err = sess.Roundtrip(ctx, t, req)
+	if err != nil {
+		c.dropSession(sess)
+		return 0, nil, true, err
+	}
+	if rt == protocol.MsgError {
+		er, derr := protocol.DecodeErrorReply(fb.Payload())
+		fb.Release()
+		if derr != nil {
+			return 0, nil, true, derr
+		}
+		return 0, nil, true, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+	}
+	return rt, fb, true, nil
+}
+
+// muxCall runs one blocking-call exchange over the session and
+// decodes the reply into the caller's destinations.
+func (c *Client) muxCall(ctx context.Context, info *idl.Info, vals []idl.Value, req *protocol.Buffer, args []any) (*Report, bool, error) {
+	rep := &Report{Routine: info.Name, Submit: time.Now(), BytesOut: int64(req.Len())}
+	rt, fb, used, err := c.muxExchange(ctx, protocol.MsgCall, req)
+	if !used {
+		//lint:ninflint releasecheck — used=false: no exchange ran, fb is nil, and req ownership stayed with the caller
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	r, err := finishCall(rep, info, vals, args, rt, fb)
+	return r, true, err
+}
+
+// muxSubmit runs one submit exchange over the session; used=false
+// leaves req with the caller for the lockstep path.
+func (c *Client) muxSubmit(ctx context.Context, name string, info *idl.Info, args []any, vals []idl.Value, req *protocol.Buffer) (*Job, bool, error) {
+	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(req.Len())}
+	t, p, used, err := c.muxExchange(ctx, protocol.MsgSubmit, req)
+	if !used {
+		//lint:ninflint releasecheck — used=false: no exchange ran, p is nil, and req ownership stayed with the caller
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	defer p.Release()
+	if t != protocol.MsgSubmitOK {
+		return nil, true, fmt.Errorf("ninf: unexpected reply %v to submit", t)
+	}
+	sr, err := protocol.DecodeSubmitReply(p.Payload())
+	if err != nil {
+		return nil, true, err
+	}
+	return &Job{client: c, id: sr.JobID, info: info, args: args, vals: vals, report: rep}, true, nil
+}
+
+// muxFetch runs one fetch exchange over the session, mapping the
+// not-ready remote error like the lockstep path does.
+func (j *Job) muxFetch(ctx context.Context) (*Report, bool, error) {
+	c := j.client
+	fr := protocol.FetchRequest{JobID: j.id, Wait: false}
+	req := fr.EncodeBuf()
+	t, p, used, err := c.muxExchange(ctx, protocol.MsgFetch, req)
+	if !used {
+		req.Release()
+		//lint:ninflint releasecheck — used=false: no exchange ran and p is nil
+		return nil, false, nil
+	}
+	if err != nil {
+		var re *protocol.RemoteError
+		if errors.As(err, &re) && re.Code == protocol.CodeNotReady {
+			return nil, true, ErrNotReady
+		}
+		return nil, true, err
+	}
+	rep, err := j.finishFetch(t, p)
+	return rep, true, err
+}
+
+// finishCall decodes one call reply (mux or lockstep) into the
+// caller's destinations, consuming the reply buffer.
+func finishCall(rep *Report, info *idl.Info, vals []idl.Value, args []any, t protocol.MsgType, reply *protocol.Buffer) (*Report, error) {
+	defer reply.Release()
+	if t != protocol.MsgCallOK {
+		return nil, fmt.Errorf("ninf: unexpected reply %v to call", t)
+	}
+	rep.Received = time.Now()
+	rep.BytesIn = int64(reply.Len())
+	tm, out, err := protocol.DecodeCallReply(info, vals, reply.Payload())
+	if err != nil {
+		return nil, err
+	}
+	rep.Enqueue = time.Unix(0, tm.Enqueue)
+	rep.Dequeue = time.Unix(0, tm.Dequeue)
+	rep.Complete = time.Unix(0, tm.Complete)
+	if err := storeResults(info, args, out); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// hasCallbacks reports whether any client callback is registered.
+func (c *Client) hasCallbacks() bool {
+	c.cb.mu.RLock()
+	defer c.cb.mu.RUnlock()
+	return len(c.cb.fns) > 0
+}
