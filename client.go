@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ninf/internal/idl"
@@ -59,6 +60,12 @@ type Client struct {
 
 	retryMu sync.Mutex
 	retry   RetryPolicy
+
+	// budget is the cross-call retry token bucket; attempts counts
+	// every wire attempt made under withRetry (retries included), the
+	// observable the overload chaos test bounds.
+	budget   retryBudget
+	attempts atomic.Int64
 }
 
 var errClientClosed = errors.New("ninf: client closed")
@@ -91,13 +98,15 @@ func NewClient(dial func() (net.Conn, error)) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		dial:  dial,
 		pool:  newConnPool(dial, DefaultPoolSize),
 		conn:  conn,
 		cache: make(map[string]*idl.Info),
 		retry: DefaultRetryPolicy,
-	}, nil
+	}
+	c.budget.configure(DefaultRetryBudget, time.Now())
+	return c, nil
 }
 
 // SetRetryPolicy adjusts how the client retries transport faults
@@ -118,6 +127,19 @@ func (c *Client) Retry() RetryPolicy {
 	defer c.retryMu.Unlock()
 	return c.retry
 }
+
+// SetRetryBudget replaces the client's cross-call retry budget (and
+// resets its balance to the new burst). Pass NoRetryBudget to remove
+// the bound; see RetryBudget for the storm-damping rationale.
+func (c *Client) SetRetryBudget(b RetryBudget) {
+	c.budget.configure(b, time.Now())
+}
+
+// Attempts reports how many wire attempts the client has made under
+// its retry loop since creation, retries included. The gap between
+// Attempts and calls issued is the retry amplification the budget
+// exists to bound.
+func (c *Client) Attempts() int64 { return c.attempts.Load() }
 
 // SetMaxPayload bounds reply frame payloads (default 1 GiB).
 func (c *Client) SetMaxPayload(n int) { c.maxPayload = n }
@@ -206,7 +228,7 @@ func roundTripOn(conn net.Conn, maxPayload int, t protocol.MsgType, payload []by
 		if derr != nil {
 			return 0, nil, derr
 		}
-		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail, RetryAfterMillis: er.RetryAfterMillis}
 	}
 	return rt, rp, nil
 }
@@ -234,7 +256,7 @@ func roundTripBufOn(conn net.Conn, maxPayload int, t protocol.MsgType, req *prot
 		if derr != nil {
 			return 0, nil, derr
 		}
-		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail, RetryAfterMillis: er.RetryAfterMillis}
 	}
 	return rt, fb, nil
 }
@@ -453,8 +475,10 @@ func (c *Client) CallContext(ctx context.Context, name string, args ...any) (*Re
 }
 
 // withRetry runs attempt under the client's retry policy: retryable
-// transport faults are retried with capped, fully-jittered exponential
-// backoff until the policy's attempt budget or ctx runs out.
+// transport faults and overload rejections are retried with capped,
+// fully-jittered exponential backoff — or with the server's own
+// retry-after hint when it sent one — until the policy's attempt
+// budget, the client's cross-call retry budget, or ctx runs out.
 func (c *Client) withRetry(ctx context.Context, op string, attempt func() error) error {
 	pol := c.Retry()
 	var lastErr error
@@ -465,6 +489,7 @@ func (c *Client) withRetry(ctx context.Context, op string, attempt func() error)
 			}
 			return err
 		}
+		c.attempts.Add(1)
 		err := attempt()
 		if err == nil {
 			return nil
@@ -484,8 +509,22 @@ func (c *Client) withRetry(ctx context.Context, op string, attempt func() error)
 		if try >= pol.MaxAttempts {
 			return &RetryError{Op: op, Attempts: try, Err: err}
 		}
+		if !c.budget.take(time.Now()) {
+			// The cross-call retry budget is dry: a failure storm is in
+			// progress, and retrying would amplify the very load that
+			// caused it. Degrade to first-try-only; RetryError unwraps
+			// to the real failure so failover still classifies it.
+			return &RetryError{Op: op, Attempts: try,
+				Err: fmt.Errorf("retry budget exhausted: %w", err)}
+		}
 		lastErr = err
-		if berr := pol.backoff(ctx, try); berr != nil {
+		if hint, ok := overloadHint(err); ok {
+			// The server told us when its queue should have drained;
+			// trust that over our blind exponential guess.
+			if serr := sleepCtx(ctx, hint); serr != nil {
+				return fmt.Errorf("%w (%v)", serr, err)
+			}
+		} else if berr := pol.backoff(ctx, try); berr != nil {
 			return fmt.Errorf("%w (%v)", berr, err)
 		}
 	}
@@ -666,11 +705,21 @@ func (c *Client) prepCall(ctx context.Context, name string, args []any) (*idl.In
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	req, err := protocol.EncodeCallRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals})
+	req, err := protocol.EncodeCallRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals, Deadline: ctxDeadlineNanos(ctx)})
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return info, vals, req, nil
+}
+
+// ctxDeadlineNanos propagates the caller's context deadline onto the
+// wire (0 = none): the server uses it to refuse work it cannot finish
+// in time and to shed queued jobs whose caller has already given up.
+func ctxDeadlineNanos(ctx context.Context) int64 {
+	if dl, ok := ctx.Deadline(); ok {
+		return dl.UnixNano()
+	}
+	return 0
 }
 
 // exchangeCall runs the blocking call protocol on the given
@@ -751,7 +800,7 @@ func (c *Client) attemptSubmit(ctx context.Context, name string, args []any, key
 	if err != nil {
 		return nil, err
 	}
-	req, err := protocol.EncodeSubmitRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals}, key)
+	req, err := protocol.EncodeSubmitRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals, Deadline: ctxDeadlineNanos(ctx)}, key)
 	if err != nil {
 		return nil, err
 	}

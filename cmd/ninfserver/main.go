@@ -5,18 +5,24 @@
 // Usage:
 //
 //	ninfserver [-addr :3000] [-pes 4] [-mode task|data] [-policy fcfs|sjf|fpfs|fpmpfs]
-//	           [-hostname name] [-maxqueue n]
+//	           [-hostname name] [-maxqueue n] [-maxperclient n] [-drain-timeout 30s]
 //
 // The server answers Ninf RPC on the given address; point ninfcall, the
-// examples, or a metaserver at it.
+// examples, or a metaserver at it. On SIGTERM or SIGINT the server
+// drains: new work is rejected with overloaded-plus-retry-after,
+// queued and running jobs finish, replies flush, and the process exits
+// 0 — so a supervisor rollout never silently loses accepted calls.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ninf/internal/library"
@@ -31,6 +37,8 @@ func main() {
 	policy := flag.String("policy", "fcfs", "job scheduling policy: fcfs, sjf, fpfs, fpmpfs")
 	hostname := flag.String("hostname", "", "name reported in stats (default: OS hostname)")
 	maxQueue := flag.Int("maxqueue", 0, "reject calls beyond this many queued jobs (0 = unlimited)")
+	maxPerClient := flag.Int("maxperclient", 0, "cap one client's share of the queue to this many jobs (0 = fair share of maxqueue)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight work before forcing shutdown")
 	flag.Parse()
 
 	var execMode server.ExecMode
@@ -58,12 +66,13 @@ func main() {
 		log.Fatal(err)
 	}
 	s := server.New(server.Config{
-		Hostname: host,
-		PEs:      *pes,
-		Mode:     execMode,
-		Policy:   pol,
-		MaxQueue: *maxQueue,
-		Logger:   log.New(os.Stderr, "", log.LstdFlags),
+		Hostname:     host,
+		PEs:          *pes,
+		Mode:         execMode,
+		Policy:       pol,
+		MaxQueue:     *maxQueue,
+		MaxPerClient: *maxPerClient,
+		Logger:       log.New(os.Stderr, "", log.LstdFlags),
 	}, reg)
 
 	l, err := net.Listen("tcp", *addr)
@@ -80,7 +89,38 @@ func main() {
 			}
 		}
 	}()
-	if err := s.Serve(l); err != nil {
+
+	// SIGTERM/SIGINT drains instead of killing: stop admitting (new
+	// calls get overloaded + retry-after, steering clients elsewhere),
+	// let queued and running jobs finish, flush their replies, then
+	// exit cleanly.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	drained := make(chan int, 1)
+	go func() {
+		got := <-sig
+		log.Printf("ninfserver: %v: draining (timeout %v)", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			log.Printf("ninfserver: drain incomplete: %v", err)
+			l.Close()
+			drained <- 1
+			return
+		}
+		ov := s.Overload()
+		log.Printf("ninfserver: drained cleanly (rejected while draining: %d)", ov.RejectedDraining)
+		l.Close()
+		drained <- 0
+	}()
+
+	err = s.Serve(l)
+	// Drain closes the server, which unblocks Serve; wait for the
+	// drain goroutine's verdict rather than racing past its logging.
+	if s.Draining() {
+		os.Exit(<-drained)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

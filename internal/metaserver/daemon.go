@@ -77,7 +77,15 @@ func (m *Metaserver) ServeConn(conn net.Conn) {
 				}
 				continue
 			}
-			m.Observe(req.Name, req.Bytes, time.Duration(req.Nanos), req.Failed)
+			if req.Overloaded {
+				// Reconstitute the overload rejection so the penalty
+				// path (breaker untouched, placement biased away)
+				// applies to remote observations too.
+				m.ObserveErr(req.Name, req.Bytes, time.Duration(req.Nanos),
+					&protocol.RemoteError{Code: protocol.CodeOverloaded, RetryAfterMillis: req.RetryAfterMillis})
+			} else {
+				m.Observe(req.Name, req.Bytes, time.Duration(req.Nanos), req.Failed)
+			}
 			if protocol.WriteFrame(conn, protocol.MsgObserveOK, nil) != nil {
 				return
 			}
@@ -197,6 +205,24 @@ func (r *RemoteScheduler) Observe(serverName string, bytes int64, elapsed time.D
 		Failed: failed,
 	}
 	// Observations are advisory; errors are deliberately dropped.
+	r.roundTrip(protocol.MsgObserve, wire.Encode())
+}
+
+// ObserveErr forwards error-classified feedback: an overload rejection
+// is flagged (with its retry-after hint) so the daemon applies the
+// penalty path instead of breaker failure accounting.
+func (r *RemoteScheduler) ObserveErr(serverName string, bytes int64, elapsed time.Duration, callErr error) {
+	wire := protocol.ObserveRequest{
+		Name:   serverName,
+		Bytes:  bytes,
+		Nanos:  int64(elapsed),
+		Failed: callErr != nil,
+	}
+	var re *protocol.RemoteError
+	if callErr != nil && errors.As(callErr, &re) && re.Code == protocol.CodeOverloaded {
+		wire.Overloaded = true
+		wire.RetryAfterMillis = re.RetryAfterMillis
+	}
 	r.roundTrip(protocol.MsgObserve, wire.Encode())
 }
 

@@ -48,6 +48,12 @@ type Snapshot struct {
 	Bandwidth float64
 	// Stats is the last successful poll.
 	Stats protocol.Stats
+	// Overloaded reports that the server recently rejected a call for
+	// load (CodeOverloaded). Unlike a breaker trip this is
+	// back-pressure, not suspected death: the server stays Alive and
+	// schedulable, but placement is biased away until the penalty
+	// window — sized from the server's own retry-after hint — passes.
+	Overloaded bool
 	// TraceCompute maps routine name → mean observed compute time on
 	// this server, from the §5.1 execution trace fetched during
 	// polling. Cost-based policies use it to predict computation for
@@ -81,6 +87,10 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker blocks placements
 	// before admitting a half-open probe (default 1s).
 	BreakerCooldown time.Duration
+	// OverloadPenalty is how long an overloaded reply biases placement
+	// away from the server when it carried no retry-after hint
+	// (default 1s). A hint overrides it, capped at 30s.
+	OverloadPenalty time.Duration
 }
 
 // Metaserver monitors servers and places calls. It implements
@@ -101,6 +111,14 @@ type entry struct {
 	dial     func() (net.Conn, error)
 	brk      breaker
 	observed bool
+	// overloadUntil ends the placement-penalty window opened by an
+	// overloaded reply; Snapshot.Overloaded is derived from it.
+	overloadUntil time.Time
+}
+
+// refresh re-derives the snapshot's time-dependent fields.
+func (e *entry) refresh(now time.Time) {
+	e.Overloaded = now.Before(e.overloadUntil)
 }
 
 // New creates a metaserver.
@@ -116,6 +134,9 @@ func New(cfg Config) *Metaserver {
 	}
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = time.Second
+	}
+	if cfg.OverloadPenalty <= 0 {
+		cfg.OverloadPenalty = time.Second
 	}
 	p := cfg.Policy
 	if p == nil {
@@ -168,9 +189,12 @@ func (m *Metaserver) RemoveServer(name string) {
 func (m *Metaserver) Servers() []*Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	now := time.Now()
 	out := make([]*Snapshot, 0, len(m.order))
 	for _, n := range m.order {
-		s := m.servers[n].Snapshot
+		e := m.servers[n]
+		e.refresh(now)
+		s := e.Snapshot
 		out = append(out, &s)
 	}
 	return out
@@ -225,10 +249,12 @@ func (m *Metaserver) PollOnce() int {
 			// symmetrically.
 			e.brk.onSuccess(m.transition(e))
 			m.syncEntry(e)
+			e.refresh(now)
 			ok++
 		} else {
 			e.brk.onFailure(now, m.cfg.FailThreshold, m.transition(e))
 			m.syncEntry(e)
+			e.refresh(now)
 		}
 	}
 	return ok
@@ -347,7 +373,14 @@ func (m *Metaserver) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 		}
 		ok := e.brk.eligible(now, m.cfg.BreakerCooldown, m.transition(e))
 		m.syncEntry(e)
+		e.refresh(now)
 		if !ok {
+			continue
+		}
+		if e.Stats.Draining {
+			// Graceful shutdown in progress: the server answers polls
+			// but refuses new work. Leave the breaker alone (it is
+			// alive) and place elsewhere until it is gone.
 			continue
 		}
 		s := e.Snapshot
@@ -409,6 +442,46 @@ func (m *Metaserver) Observe(serverName string, bytes int64, elapsed time.Durati
 	}
 }
 
+// ObserveErr is Observe with the failure's error retained, so overload
+// rejections can be told apart from genuine failures. An overloaded
+// reply (CodeOverloaded RemoteError) proves the server is alive — it
+// answered, deliberately — so it must NOT advance the circuit breaker
+// toward BreakerOpen; a busy-but-healthy server ejected as dead is
+// exactly the §4 multi-client saturation regime misread as a crash.
+// Instead the reply opens a placement-penalty window (the server's own
+// retry-after hint when present, Config.OverloadPenalty otherwise)
+// that biases every policy away from the loaded server. A nil callErr
+// is a success; anything else follows Observe's failure accounting.
+func (m *Metaserver) ObserveErr(serverName string, bytes int64, elapsed time.Duration, callErr error) {
+	var re *protocol.RemoteError
+	if callErr != nil && errors.As(callErr, &re) && re.Code == protocol.CodeOverloaded {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		e, ok := m.servers[serverName]
+		if !ok {
+			return
+		}
+		if e.Stats.Queued > 0 {
+			e.Stats.Queued--
+		}
+		cool := m.cfg.OverloadPenalty
+		if re.RetryAfterMillis > 0 {
+			cool = time.Duration(re.RetryAfterMillis) * time.Millisecond
+			if cool > 30*time.Second {
+				cool = 30 * time.Second
+			}
+		}
+		now := time.Now()
+		e.overloadUntil = now.Add(cool)
+		// Liveness, not failure: reset the consecutive-failure streak.
+		e.brk.onSuccess(m.transition(e))
+		m.syncEntry(e)
+		e.refresh(now)
+		return
+	}
+	m.Observe(serverName, bytes, elapsed, callErr != nil)
+}
+
 var _ ninf.Scheduler = (*Metaserver)(nil)
 
 // LoadOnly is the NetSolve-style baseline policy: pick the alive
@@ -431,7 +504,20 @@ func load(s *Snapshot) float64 {
 	// Running jobs occupy the machine and queued placements not yet
 	// reflected in the polled load average count too, so bursts
 	// spread and fresh load is visible before the EWMA catches up.
-	return s.Stats.LoadAverage + float64(s.Stats.Queued) + float64(s.Stats.Running)
+	return s.Stats.LoadAverage + float64(s.Stats.Queued) + float64(s.Stats.Running) + overloadBias(s)
+}
+
+// overloadLoadBias is the synthetic load an overload-penalized server
+// carries during its penalty window: heavy enough that any idle peer
+// wins placement, light enough that a fleet that is overloaded
+// everywhere still schedules somewhere.
+const overloadLoadBias = 8.0
+
+func overloadBias(s *Snapshot) float64 {
+	if s.Overloaded {
+		return overloadLoadBias
+	}
+	return 0
 }
 
 // Name implements Policy.
@@ -461,6 +547,12 @@ func (BandwidthAware) Pick(snaps []*Snapshot, req ninf.SchedRequest) int {
 
 func costOn(s *Snapshot, req ninf.SchedRequest) float64 {
 	cost := 0.0
+	if s.Overloaded {
+		// The penalty must bias even pure-communication costs, which
+		// load(s) does not touch: one synthetic second dwarfs any LAN
+		// transfer this reproduction measures.
+		cost += 1.0
+	}
 	if bw := s.Bandwidth; bw > 0 {
 		cost += float64(req.InBytes+req.OutBytes) / bw
 	}
@@ -497,8 +589,8 @@ func (RoundRobin) Pick(snaps []*Snapshot, _ ninf.SchedRequest) int {
 	// to avoid pile-ups when calls outnumber servers.
 	best := 0
 	for i, s := range snaps {
-		if float64(s.Stats.Queued)+float64(s.Stats.Running) <
-			float64(snaps[best].Stats.Queued)+float64(snaps[best].Stats.Running) {
+		if float64(s.Stats.Queued)+float64(s.Stats.Running)+overloadBias(s) <
+			float64(snaps[best].Stats.Queued)+float64(snaps[best].Stats.Running)+overloadBias(snaps[best]) {
 			best = i
 		}
 	}

@@ -130,7 +130,18 @@ type CallRequest struct {
 	// Args holds one entry per IDL parameter. Out-only parameters
 	// may be nil; in-shipping entries must be concrete values.
 	Args []idl.Value
+	// Deadline is the caller's absolute deadline in Unix nanoseconds,
+	// or zero for no deadline. It rides as an optional magic-tagged
+	// trailer after the argument vector: old servers decode the args
+	// and ignore the trailer, old clients simply never emit it, so the
+	// field is compatible in both directions under v1 and v2 framing.
+	Deadline int64
 }
+
+// callDeadlineMagic tags the optional deadline trailer on MsgCall and
+// MsgSubmit payloads ("NFDL"). A bare trailing 12 bytes without the
+// tag is not mistaken for a deadline.
+const callDeadlineMagic uint32 = 0x4e46444c
 
 // argSize returns the encoded size in bytes of one argument, used to
 // pre-size frame buffers so steady-state calls stay in one size class.
@@ -186,6 +197,9 @@ func encodeCallRequestBuf(info *idl.Info, req *CallRequest, keyed bool, key uint
 	if keyed {
 		size += 8
 	}
+	if req.Deadline != 0 {
+		size += 12
+	}
 	for i := range info.Params {
 		p := &info.Params[i]
 		if p.Mode.Ships(false) {
@@ -207,6 +221,10 @@ func encodeCallRequestBuf(info *idl.Info, req *CallRequest, keyed bool, key uint
 			fb.Release()
 			return nil, fmt.Errorf("protocol: %s argument %q: %w", info.Name, p.Name, err)
 		}
+	}
+	if req.Deadline != 0 {
+		e.PutUint32(callDeadlineMagic)
+		e.PutInt64(req.Deadline)
 	}
 	if err := e.Err(); err != nil {
 		fb.Release()
@@ -247,8 +265,17 @@ func DecodeCallName(p []byte) (name string, rest []byte, err error) {
 // its interface, allocating zeroed values for out-only parameters so
 // the executable can fill them. Dimension expressions are evaluated
 // left to right as scalars arrive, exactly as Ninf_call's interpreter
-// does.
+// does. Any deadline trailer is skipped; deadline-aware servers use
+// DecodeCallArgsDeadline.
 func DecodeCallArgs(info *idl.Info, rest []byte) ([]idl.Value, error) {
+	args, _, err := DecodeCallArgsDeadline(info, rest)
+	return args, err
+}
+
+// DecodeCallArgsDeadline is DecodeCallArgs plus the caller deadline
+// from the optional trailer: the absolute Unix-nanosecond deadline, or
+// zero when the client did not send one (older clients never do).
+func DecodeCallArgsDeadline(info *idl.Info, rest []byte) ([]idl.Value, int64, error) {
 	pd := acquireDecoder(rest)
 	defer pd.release()
 	d := &pd.d
@@ -262,11 +289,11 @@ func DecodeCallArgs(info *idl.Info, rest []byte) ([]idl.Value, error) {
 		}
 		count, err := paramCount(info, p, args)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		v, err := decodeArg(d, p, count)
 		if err != nil {
-			return nil, fmt.Errorf("protocol: %s argument %q: %w", info.Name, p.Name, err)
+			return nil, 0, fmt.Errorf("protocol: %s argument %q: %w", info.Name, p.Name, err)
 		}
 		args[i] = v
 	}
@@ -278,11 +305,22 @@ func DecodeCallArgs(info *idl.Info, rest []byte) ([]idl.Value, error) {
 		}
 		count, err := paramCount(info, p, args)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		args[i] = zeroValue(p, count)
 	}
-	return args, nil
+	// Optional deadline trailer: a magic word plus the absolute
+	// deadline, appended by deadline-aware clients after the args.
+	var deadline int64
+	if d.Err() == nil && len(rest)-int(d.Len()) >= 12 {
+		if d.Uint32() == callDeadlineMagic {
+			deadline = d.Int64()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, 0, err
+	}
+	return args, deadline, nil
 }
 
 // EncodeCallReplyBuf serializes a MsgCallOK payload — server-side
@@ -465,11 +503,16 @@ type Stats struct {
 	TotalCalls  int64
 	LoadAverage float64 // 1-minute style load average
 	CPUUtil     float64 // fraction 0..1 since last probe window
+	// Draining reports that the server is in graceful shutdown:
+	// finishing queued work but rejecting new calls. It rides as an
+	// optional trailing word — old pollers ignore it, old servers
+	// never send it (leaving it false).
+	Draining bool
 }
 
 // Encode serializes the stats.
 func (m *Stats) Encode() []byte {
-	return encodePayload(xdr.SizeString(len(m.Hostname))+48, func(e *xdr.Encoder) {
+	return encodePayload(xdr.SizeString(len(m.Hostname))+52, func(e *xdr.Encoder) {
 		e.PutString(m.Hostname)
 		e.PutInt64(m.PEs)
 		e.PutInt64(m.Running)
@@ -477,6 +520,7 @@ func (m *Stats) Encode() []byte {
 		e.PutInt64(m.TotalCalls)
 		e.PutFloat64(m.LoadAverage)
 		e.PutFloat64(m.CPUUtil)
+		e.PutBool(m.Draining)
 	})
 }
 
@@ -492,6 +536,9 @@ func DecodeStats(p []byte) (Stats, error) {
 		TotalCalls:  d.Int64(),
 		LoadAverage: d.Float64(),
 		CPUUtil:     d.Float64(),
+	}
+	if d.Err() == nil && len(p)-int(d.Len()) >= 4 {
+		m.Draining = d.Bool()
 	}
 	err := d.Err()
 	pd.release()

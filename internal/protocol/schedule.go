@@ -89,21 +89,30 @@ func DecodeScheduleReply(p []byte) (ScheduleReply, error) {
 	return m, err
 }
 
-// ObserveRequest feeds a completed call back to the metaserver.
+// ObserveRequest feeds a completed call back to the metaserver. The
+// overload fields ride as an optional trailer so old daemons and old
+// clients interoperate: Overloaded distinguishes back-pressure (the
+// server answered, but rejected for load) from genuine failure, and
+// RetryAfterMillis relays the server's hint so the metaserver can size
+// its placement-penalty window.
 type ObserveRequest struct {
-	Name   string // server the call ran on
-	Bytes  int64  // payload bytes both ways
-	Nanos  int64  // wall-clock duration
-	Failed bool   // the call errored (server suspect)
+	Name             string // server the call ran on
+	Bytes            int64  // payload bytes both ways
+	Nanos            int64  // wall-clock duration
+	Failed           bool   // the call errored (server suspect)
+	Overloaded       bool   // the failure was an overload rejection
+	RetryAfterMillis uint32 // server's back-pressure hint, 0 if none
 }
 
 // Encode serializes the observation.
 func (m *ObserveRequest) Encode() []byte {
-	return encodePayload(xdr.SizeString(len(m.Name))+20, func(e *xdr.Encoder) {
+	return encodePayload(xdr.SizeString(len(m.Name))+28, func(e *xdr.Encoder) {
 		e.PutString(m.Name)
 		e.PutInt64(m.Bytes)
 		e.PutInt64(m.Nanos)
 		e.PutBool(m.Failed)
+		e.PutBool(m.Overloaded)
+		e.PutUint32(m.RetryAfterMillis)
 	})
 }
 
@@ -116,6 +125,10 @@ func DecodeObserveRequest(p []byte) (ObserveRequest, error) {
 		Bytes:  d.Int64(),
 		Nanos:  d.Int64(),
 		Failed: d.Bool(),
+	}
+	if d.Err() == nil && len(p)-int(d.Len()) >= 8 {
+		m.Overloaded = d.Bool()
+		m.RetryAfterMillis = d.Uint32()
 	}
 	err := d.Err()
 	pd.release()

@@ -82,7 +82,7 @@ func (s *Server) muxConcurrency() int {
 // read loop acquires a semaphore slot per request — backpressure on a
 // client pipelining more than MuxConcurrency calls — and hands the
 // frame to a dispatch goroutine; replies funnel through muxWriteLoop.
-func (s *Server) serveMux(conn net.Conn) {
+func (s *Server) serveMux(conn net.Conn, client string) {
 	replies := make(chan muxReply, s.muxConcurrency())
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -106,11 +106,15 @@ func (s *Server) serveMux(conn net.Conn) {
 			break
 		}
 		sem <- struct{}{}
+		// Every accepted frame owes the writer one reply; the pending
+		// count pairs with muxWriteLoop's replyDone so Drain can wait
+		// for the wire to flush.
+		s.replyPending()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			t, rb, sent := s.muxReplyFor(typ, fb)
+			t, rb, sent := s.muxReplyFor(client, typ, fb)
 			replies <- muxReply{seq: seq, t: t, fb: rb, sent: sent}
 		}()
 	}
@@ -172,6 +176,10 @@ func (s *Server) muxWriteLoop(conn net.Conn, replies <-chan muxReply, outstandin
 				batch[i].sent()
 			}
 			bufs[i].Release()
+			// Written or lost with the connection, this reply is no
+			// longer pending; on a broken conn the client's retry path
+			// owns recovery and Drain must not wait for it.
+			s.replyDone()
 		}
 	}
 }
@@ -193,7 +201,13 @@ func stampReply(r muxReply) *protocol.Buffer {
 
 // muxErrReply builds a MsgError reply buffer (nil sent hook).
 func muxErrReply(code uint32, detail string) (protocol.MsgType, *protocol.Buffer, func()) {
-	return protocol.MsgError, protocol.BufferFor(protocol.EncodeErrorReply(code, detail)), nil
+	return muxErrReplyHint(code, detail, 0)
+}
+
+// muxErrReplyHint is muxErrReply carrying a retry-after hint on
+// overload rejections.
+func muxErrReplyHint(code uint32, detail string, retryAfterMillis uint32) (protocol.MsgType, *protocol.Buffer, func()) {
+	return protocol.MsgError, protocol.BufferFor(protocol.EncodeErrorReplyHint(code, detail, retryAfterMillis)), nil
 }
 
 // muxReplyFor services one sequenced request and returns its reply
@@ -207,7 +221,7 @@ func muxErrReply(code uint32, detail string) (protocol.MsgType, *protocol.Buffer
 // the §2.3 callback facility needs, so executables that call back get
 // ErrNoCallback (clients with registered callbacks stay on the
 // lockstep path).
-func (s *Server) muxReplyFor(typ protocol.MsgType, fb *protocol.Buffer) (protocol.MsgType, *protocol.Buffer, func()) {
+func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.Buffer) (protocol.MsgType, *protocol.Buffer, func()) {
 	payload := fb.Payload()
 	switch typ {
 	case protocol.MsgPing:
@@ -245,14 +259,14 @@ func (s *Server) muxReplyFor(typ protocol.MsgType, fb *protocol.Buffer) (protoco
 		return protocol.MsgInterfaceOK, protocol.BufferFor(p), nil
 
 	case protocol.MsgCall:
-		t, code, err := s.admit(payload, false, nil, 0)
+		t, code, hint, err := s.admit(payload, false, nil, 0, client)
 		fb.Release() // arguments are decoded and copied by admit
 		if err != nil {
-			return muxErrReply(code, err.Error())
+			return muxErrReplyHint(code, err.Error(), hint)
 		}
 		<-t.done
 		if t.err != nil {
-			return muxErrReply(protocol.CodeExecFailed, t.err.Error())
+			return muxErrReplyHint(t.failCode(), t.err.Error(), t.retryAfter)
 		}
 		reply, err := protocol.EncodeCallReplyBuf(t.ex.Info, t.timings, t.args)
 		if err != nil {
@@ -266,10 +280,10 @@ func (s *Server) muxReplyFor(typ protocol.MsgType, fb *protocol.Buffer) (protoco
 			fb.Release()
 			return muxErrReply(protocol.CodeBadArguments, err.Error())
 		}
-		t, code, err := s.admit(rest, true, nil, key)
+		t, code, hint, err := s.admit(rest, true, nil, key, client)
 		fb.Release()
 		if err != nil {
-			return muxErrReply(code, err.Error())
+			return muxErrReplyHint(code, err.Error(), hint)
 		}
 		reply := protocol.SubmitReply{JobID: t.job.ID}
 		return protocol.MsgSubmitOK, protocol.BufferFor(reply.Encode()), nil
@@ -311,7 +325,7 @@ func (s *Server) muxFetch(req protocol.FetchRequest) (protocol.MsgType, *protoco
 		return muxErrReply(protocol.CodeNotReady, fmt.Sprintf("job %d still running", req.JobID))
 	}
 	if t.err != nil {
-		return muxErrReply(protocol.CodeExecFailed, t.err.Error())
+		return muxErrReplyHint(t.failCode(), t.err.Error(), t.retryAfter)
 	}
 	reply := protocol.BufferFor(t.reply)
 	sent := func() {

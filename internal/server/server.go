@@ -80,6 +80,15 @@ type Config struct {
 	// MuxConcurrency bounds concurrently-dispatched requests per
 	// multiplexed connection (default DefaultMuxConcurrency).
 	MuxConcurrency int
+	// MaxPerClient bounds one client's (connection's) share of the
+	// queue so a greedy client cannot starve the rest. 0 derives
+	// max(1, MaxQueue/2) when MaxQueue is set, unlimited otherwise;
+	// negative means explicitly unlimited.
+	MaxPerClient int
+	// DisableShedding turns off deadline-based admission control and
+	// dispatch-time shedding of expired jobs — the A/B switch the
+	// overload experiment measures against.
+	DisableShedding bool
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
@@ -101,8 +110,22 @@ type Server struct {
 	submitKeys map[uint64]uint64 // submit idempotency key → job ID
 	closed     bool
 
+	// Overload control (all under mu unless noted).
+	draining       bool           // Drain in progress: admit rejects
+	pendingReplies int            // request frames read but replies not yet written
+	clientQueued   map[string]int // queued jobs per client identity
+	svcNanos       float64        // EWMA of per-job service time
+
 	nextJob  atomic.Uint64
-	failNext atomic.Int64 // fault injection: calls to fail
+	failNext atomic.Int64  // fault injection: calls to fail
+	connSeq  atomic.Uint64 // client identity serial per connection
+
+	// Overload counters, exported via Overload().
+	shedExpired      atomic.Int64
+	rejectedDeadline atomic.Int64
+	rejectedQueue    atomic.Int64
+	rejectedClient   atomic.Int64
+	rejectedDraining atomic.Int64
 
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -123,13 +146,29 @@ type task struct {
 	err     error
 	done    chan struct{}
 
-	reqBytes int64 // request payload size, for the execution trace
+	reqBytes int64  // request payload size, for the execution trace
+	deadline int64  // caller's absolute deadline (UnixNano), 0 = none
+	client   string // admitting connection's identity, for fair queueing
+
+	// errCode/retryAfter refine how t.err is reported: the MsgError
+	// code (CodeExecFailed when zero) and an optional back-pressure
+	// hint. Set before close(done); read only after it.
+	errCode    uint32
+	retryAfter uint32
 
 	// two-phase bookkeeping
 	twoPhase bool
 	key      uint64 // submit idempotency key (0 = none)
 	reply    []byte
 	expire   time.Time
+}
+
+// failCode is the MsgError code for a failed task.
+func (t *task) failCode() uint32 {
+	if t.errCode != 0 {
+		return t.errCode
+	}
+	return protocol.CodeExecFailed
 }
 
 // New creates a server around a registry.
@@ -148,16 +187,17 @@ func New(cfg Config, reg *Registry) *Server {
 		pol = sched.FCFS{}
 	}
 	s := &Server{
-		cfg:        cfg,
-		registry:   reg,
-		policy:     pol,
-		acct:       newAccounting(cfg.PEs, time.Now()),
-		trace:      newTracer(),
-		freePEs:    cfg.PEs,
-		jobs:       make(map[uint64]*task),
-		submitKeys: make(map[uint64]uint64),
-		listeners:  make(map[net.Listener]struct{}),
-		conns:      make(map[net.Conn]struct{}),
+		cfg:          cfg,
+		registry:     reg,
+		policy:       pol,
+		acct:         newAccounting(cfg.PEs, time.Now()),
+		trace:        newTracer(),
+		freePEs:      cfg.PEs,
+		jobs:         make(map[uint64]*task),
+		submitKeys:   make(map[uint64]uint64),
+		clientQueued: make(map[string]int),
+		listeners:    make(map[net.Listener]struct{}),
+		conns:        make(map[net.Conn]struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
@@ -246,6 +286,73 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Drain performs a graceful shutdown: the server immediately stops
+// admitting new calls (they get CodeOverloaded with a retry-after
+// hint, steering clients to another server), lets every queued and
+// running job finish, waits for all in-flight replies to flush to
+// their connections — including replies routed through the mux
+// serialized writers — and then closes. The metaserver learns of the
+// drain passively: Stats reports Draining, which excludes the server
+// from placement on the next poll.
+//
+// ctx bounds the wait; on expiry the server is closed hard (exactly
+// Close's semantics) and ctx's error returned. Completed two-phase
+// jobs whose results were never fetched are dropped at close, same as
+// any other shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.mu.Lock()
+		for !s.closed && (len(s.queue) > 0 || s.freePEs != s.cfg.PEs || s.pendingReplies > 0) {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}()
+	var derr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		derr = ctx.Err()
+	}
+	cerr := s.Close()
+	<-done // Close set closed and broadcast, so the waiter exits
+	if derr != nil {
+		return derr
+	}
+	return cerr
+}
+
+// Draining reports whether Drain has been invoked.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// replyPending records a request frame whose reply has not yet been
+// written; Drain waits for the count to reach zero.
+func (s *Server) replyPending() {
+	s.mu.Lock()
+	s.pendingReplies++
+	s.mu.Unlock()
+}
+
+// replyDone marks one pending reply flushed (or its connection dead).
+func (s *Server) replyDone() {
+	s.mu.Lock()
+	s.pendingReplies--
+	if s.pendingReplies == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
 // FailNextCalls arranges for the next n executions to fail with an
 // execution error — the fault-injection hook used to exercise
 // metaserver retry.
@@ -254,6 +361,9 @@ func (s *Server) FailNextCalls(n int) { s.failNext.Store(int64(n)) }
 // Stats returns the server's current self-report.
 func (s *Server) Stats() protocol.Stats {
 	load, util, queued, running, total := s.acct.snapshot(time.Now())
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
 	return protocol.Stats{
 		Hostname:    s.cfg.Hostname,
 		PEs:         int64(s.cfg.PEs),
@@ -262,6 +372,29 @@ func (s *Server) Stats() protocol.Stats {
 		TotalCalls:  total,
 		LoadAverage: load,
 		CPUUtil:     util,
+		Draining:    draining,
+	}
+}
+
+// OverloadStats counts the overload-control decisions the server has
+// made since start: jobs shed at dispatch because their deadline had
+// already expired, and admissions rejected per cause.
+type OverloadStats struct {
+	ShedExpired      int64 // dequeued past-deadline, never executed
+	RejectedDeadline int64 // admission: deadline expired or unmeetable
+	RejectedQueue    int64 // admission: MaxQueue full
+	RejectedClient   int64 // admission: per-client share exhausted
+	RejectedDraining int64 // admission: server draining
+}
+
+// Overload reports the overload-control counters.
+func (s *Server) Overload() OverloadStats {
+	return OverloadStats{
+		ShedExpired:      s.shedExpired.Load(),
+		RejectedDeadline: s.rejectedDeadline.Load(),
+		RejectedQueue:    s.rejectedQueue.Load(),
+		RejectedClient:   s.rejectedClient.Load(),
+		RejectedDraining: s.rejectedDraining.Load(),
 	}
 }
 
@@ -276,6 +409,7 @@ func (s *Server) Stats() protocol.Stats {
 // switches to the multiplexed loop (serveMux), which dispatches
 // sequenced requests concurrently instead of one at a time.
 func (s *Server) ServeConn(conn net.Conn) {
+	client := s.clientID(conn)
 	for {
 		typ, fb, err := protocol.ReadFrameBuf(conn, s.cfg.MaxPayload)
 		if err != nil {
@@ -284,15 +418,33 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			return
 		}
-		if err := s.dispatch(conn, typ, fb); err != nil {
+		s.replyPending()
+		err = s.dispatch(conn, client, typ, fb)
+		s.replyDone()
+		if err != nil {
 			if err == errUpgradeMux {
-				s.serveMux(conn)
+				s.serveMux(conn, client)
 				return
 			}
 			s.logf("ninf server: %v", err)
 			return
 		}
 	}
+}
+
+// clientID derives the fair-queueing identity for one connection: the
+// peer address plus a per-connection serial. The serial matters
+// because distinct clients can share an address (loopback tests,
+// net.Pipe's constant "pipe", NATed sites), so identity is really
+// per-connection — one multiplexed session is one client, which is
+// the data plane's norm; a lockstep client gets one identity per
+// pooled connection.
+func (s *Server) clientID(conn net.Conn) string {
+	addr := "conn"
+	if ra := conn.RemoteAddr(); ra != nil {
+		addr = ra.String()
+	}
+	return fmt.Sprintf("%s#%d", addr, s.connSeq.Add(1))
 }
 
 // dispatch handles one request frame. It owns fb and releases it once
@@ -306,7 +458,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 // path runs dispatches concurrently and must instead route every reply
 // through serveMux's serialized writer; the ninflint sharedwrite pass
 // flags conn writes from dispatch goroutines.
-func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buffer) error {
+func (s *Server) dispatch(conn net.Conn, client string, typ protocol.MsgType, fb *protocol.Buffer) error {
 	payload := fb.Payload()
 	switch typ {
 	case protocol.MsgHello:
@@ -351,14 +503,14 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buff
 		// invoke client-registered functions over this connection
 		// while it runs (§2.3).
 		ctx := context.WithValue(s.baseCtx, callbackKey, s.connInvoker(conn))
-		t, code, err := s.admit(payload, false, ctx, 0)
+		t, code, hint, err := s.admit(payload, false, ctx, 0, client)
 		fb.Release() // arguments are decoded and copied by admit
 		if err != nil {
-			return s.sendError(conn, code, err.Error())
+			return s.sendErrorHint(conn, code, err.Error(), hint)
 		}
 		<-t.done
 		if t.err != nil {
-			return s.sendError(conn, protocol.CodeExecFailed, t.err.Error())
+			return s.sendErrorHint(conn, t.failCode(), t.err.Error(), t.retryAfter)
 		}
 		reply, err := protocol.EncodeCallReplyBuf(t.ex.Info, t.timings, t.args)
 		if err != nil {
@@ -374,10 +526,10 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buff
 			fb.Release()
 			return s.sendError(conn, protocol.CodeBadArguments, err.Error())
 		}
-		t, code, err := s.admit(rest, true, nil, key)
+		t, code, hint, err := s.admit(rest, true, nil, key, client)
 		fb.Release()
 		if err != nil {
-			return s.sendError(conn, code, err.Error())
+			return s.sendErrorHint(conn, code, err.Error(), hint)
 		}
 		reply := protocol.SubmitReply{JobID: t.job.ID}
 		return protocol.WriteFrame(conn, protocol.MsgSubmitOK, reply.Encode())
@@ -401,30 +553,41 @@ func (s *Server) dispatch(conn net.Conn, typ protocol.MsgType, fb *protocol.Buff
 // the connection's one writer. Mux dispatches use muxErrReply, which
 // routes through the serialized writer instead.
 func (s *Server) sendError(conn net.Conn, code uint32, detail string) error {
-	return protocol.WriteFrame(conn, protocol.MsgError, protocol.EncodeErrorReply(code, detail))
+	return s.sendErrorHint(conn, code, detail, 0)
 }
 
-// admit decodes a call payload, enqueues the job, and (for two-phase
-// submissions) records it in the job table. It returns the task; for
-// blocking calls the caller waits on task.done. A nonzero key is the
-// submitter's idempotency key: a payload re-sent with a key already in
-// the job table is a transport-level retry, answered with the
-// already-admitted job instead of being executed a second time.
-func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key uint64) (*task, uint32, error) {
+// sendErrorHint is sendError with an optional retry-after hint on
+// overload rejections. Same lockstep-only writer caveat.
+func (s *Server) sendErrorHint(conn net.Conn, code uint32, detail string, retryAfterMillis uint32) error {
+	return protocol.WriteFrame(conn, protocol.MsgError, protocol.EncodeErrorReplyHint(code, detail, retryAfterMillis))
+}
+
+// admit decodes a call payload, runs admission control, enqueues the
+// job, and (for two-phase submissions) records it in the job table. It
+// returns the task; for blocking calls the caller waits on task.done.
+// A nonzero key is the submitter's idempotency key: a payload re-sent
+// with a key already in the job table is a transport-level retry,
+// answered with the already-admitted job instead of being executed a
+// second time. client is the connection's fair-queueing identity.
+//
+// On rejection the third return is a retry-after hint in milliseconds
+// (nonzero only for overload rejections), sized from the current queue
+// depth and the observed per-job service time.
+func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key uint64, client string) (*task, uint32, uint32, error) {
 	if ctx == nil {
 		ctx = s.baseCtx
 	}
 	name, rest, err := protocol.DecodeCallName(payload)
 	if err != nil {
-		return nil, protocol.CodeBadArguments, err
+		return nil, protocol.CodeBadArguments, 0, err
 	}
 	ex := s.registry.Lookup(name)
 	if ex == nil {
-		return nil, protocol.CodeUnknownRoutine, fmt.Errorf("no routine %q", name)
+		return nil, protocol.CodeUnknownRoutine, 0, fmt.Errorf("no routine %q", name)
 	}
-	args, err := protocol.DecodeCallArgs(ex.Info, rest)
+	args, deadline, err := protocol.DecodeCallArgsDeadline(ex.Info, rest)
 	if err != nil {
-		return nil, protocol.CodeBadArguments, err
+		return nil, protocol.CodeBadArguments, 0, err
 	}
 
 	pes := s.peAllocation(ex)
@@ -435,6 +598,8 @@ func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key u
 		done:     make(chan struct{}),
 		twoPhase: twoPhase,
 		reqBytes: int64(len(payload)),
+		deadline: deadline,
+		client:   client,
 	}
 	t.job.PEs = pes
 	if ops, ok := ex.Info.PredictedOps(args); ok {
@@ -450,29 +615,63 @@ func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key u
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, protocol.CodeInternal, errors.New("server shutting down")
+		return nil, protocol.CodeInternal, 0, errors.New("server shutting down")
 	}
 	if twoPhase && key != 0 {
 		if id, ok := s.submitKeys[key]; ok {
 			if prev, ok := s.jobs[id]; ok {
 				// Duplicate submission: the original request arrived but
 				// its SubmitOK was lost in transit. Hand back the job
-				// already admitted under this key.
+				// already admitted under this key — even under overload,
+				// since its slot was already granted.
 				s.mu.Unlock()
-				return prev, 0, nil
+				return prev, 0, 0, nil
 			}
 			delete(s.submitKeys, key)
 		}
 	}
-	if s.cfg.MaxQueue > 0 && len(s.queue) >= s.cfg.MaxQueue {
+	if s.draining {
+		hint := s.retryAfterLocked()
 		s.mu.Unlock()
-		return nil, protocol.CodeOverloaded, fmt.Errorf("queue full (%d jobs)", s.cfg.MaxQueue)
+		s.rejectedDraining.Add(1)
+		return nil, protocol.CodeOverloaded, hint, errors.New("server draining")
+	}
+	if !s.cfg.DisableShedding && deadline != 0 {
+		if deadline <= now.UnixNano() {
+			hint := s.retryAfterLocked()
+			s.mu.Unlock()
+			s.rejectedDeadline.Add(1)
+			return nil, protocol.CodeOverloaded, hint, errors.New("deadline already expired on arrival")
+		}
+		if wait := s.queueWaitLocked(); wait > 0 && now.Add(wait).UnixNano() > deadline {
+			hint := s.retryAfterLocked()
+			s.mu.Unlock()
+			s.rejectedDeadline.Add(1)
+			return nil, protocol.CodeOverloaded, hint,
+				fmt.Errorf("deadline unmeetable: est queue wait %v", wait.Round(time.Millisecond))
+		}
+	}
+	if s.cfg.MaxQueue > 0 && len(s.queue) >= s.cfg.MaxQueue {
+		hint := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.rejectedQueue.Add(1)
+		return nil, protocol.CodeOverloaded, hint, fmt.Errorf("queue full (%d jobs)", s.cfg.MaxQueue)
+	}
+	if share := s.maxPerClient(); share > 0 && client != "" && s.clientQueued[client] >= share {
+		hint := s.retryAfterLocked()
+		s.mu.Unlock()
+		s.rejectedClient.Add(1)
+		return nil, protocol.CodeOverloaded, hint,
+			fmt.Errorf("per-client queue share exhausted (%d jobs)", share)
 	}
 	s.seq++
 	t.job.Seq = s.seq
 	t.job.ID = s.nextJob.Add(1)
 	t.timings.Enqueue = now.UnixNano()
 	s.queue = append(s.queue, t)
+	if client != "" {
+		s.clientQueued[client]++
+	}
 	if twoPhase {
 		t.key = key
 		s.jobs[t.job.ID] = t
@@ -483,7 +682,63 @@ func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key u
 	s.acct.jobQueued(now)
 	s.schedule()
 	s.mu.Unlock()
-	return t, 0, nil
+	return t, 0, 0, nil
+}
+
+// maxPerClient resolves the per-client queue share.
+func (s *Server) maxPerClient() int {
+	switch {
+	case s.cfg.MaxPerClient > 0:
+		return s.cfg.MaxPerClient
+	case s.cfg.MaxPerClient < 0 || s.cfg.MaxQueue <= 0:
+		return 0 // unlimited
+	default:
+		return max(1, s.cfg.MaxQueue/2)
+	}
+}
+
+// clientDequeuedLocked releases a task's per-client queue share when
+// it leaves the queue (dispatched, shed, or failed at shutdown).
+// Callers hold mu.
+func (s *Server) clientDequeuedLocked(t *task) {
+	if t.client == "" {
+		return
+	}
+	if n := s.clientQueued[t.client]; n <= 1 {
+		delete(s.clientQueued, t.client)
+	} else {
+		s.clientQueued[t.client] = n - 1
+	}
+}
+
+// queueWaitLocked estimates how long a job admitted now would wait
+// before starting, from the queue depth and the service-time EWMA.
+// Zero when the server has no execution history yet (admission stays
+// optimistic). Callers hold mu.
+func (s *Server) queueWaitLocked() time.Duration {
+	if s.svcNanos <= 0 {
+		return 0
+	}
+	return time.Duration(s.svcNanos * float64(len(s.queue)) / float64(s.cfg.PEs))
+}
+
+// retryAfterLocked sizes the back-pressure hint sent with an overload
+// rejection: roughly how long until the present queue has been worked
+// off, clamped to [10ms, 5s]. With no service-time history a small
+// default keeps retries from hammering. Callers hold mu.
+func (s *Server) retryAfterLocked() uint32 {
+	svc := s.svcNanos
+	if svc <= 0 {
+		svc = float64(50 * time.Millisecond)
+	}
+	est := time.Duration(svc * float64(len(s.queue)+1) / float64(s.cfg.PEs))
+	if est < 10*time.Millisecond {
+		est = 10 * time.Millisecond
+	}
+	if est > 5*time.Second {
+		est = 5 * time.Second
+	}
+	return uint32(est / time.Millisecond)
 }
 
 // peAllocation resolves how many processors a call occupies.
@@ -511,11 +766,13 @@ func (s *Server) schedule() {
 			for _, t := range s.queue {
 				t.err = errors.New("server: shut down before execution")
 				s.acct.jobAbandoned(time.Now())
+				s.clientDequeuedLocked(t)
 				close(t.done)
 			}
 			s.queue = nil
 			return
 		}
+		s.shedExpiredLocked()
 		jobs := make([]*sched.Job, len(s.queue))
 		for i, t := range s.queue {
 			jobs[i] = &t.job
@@ -526,12 +783,53 @@ func (s *Server) schedule() {
 		}
 		t := s.queue[idx]
 		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+		s.clientDequeuedLocked(t)
 		s.freePEs -= t.job.PEs
 		now := time.Now()
 		t.timings.Dequeue = now.UnixNano()
 		s.acct.jobStarted(now, t.job.PEs)
 		s.wg.Add(1)
 		go s.run(t)
+	}
+}
+
+// shedExpiredLocked drops queued jobs whose caller deadline has
+// already passed: executing them is dead work — the caller has given
+// up — so they fail immediately with an overload error instead of
+// occupying a PE. Callers hold mu.
+func (s *Server) shedExpiredLocked() {
+	if s.cfg.DisableShedding {
+		return
+	}
+	nowNS := time.Now().UnixNano()
+	kept := s.queue[:0]
+	shed := false
+	for _, t := range s.queue {
+		if t.deadline == 0 || t.deadline > nowNS {
+			kept = append(kept, t)
+			continue
+		}
+		t.err = errors.New("shed: caller deadline expired before execution")
+		t.errCode = protocol.CodeOverloaded
+		t.retryAfter = s.retryAfterLocked()
+		s.clientDequeuedLocked(t)
+		s.acct.jobAbandoned(time.Now())
+		s.shedExpired.Add(1)
+		if t.twoPhase {
+			t.expire = time.Now().Add(s.cfg.JobTTL)
+			t.args = nil
+		}
+		close(t.done)
+		shed = true
+	}
+	// Zero the freed tail so shed tasks are not pinned by the backing
+	// array.
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
+	if shed {
+		s.cond.Broadcast()
 	}
 }
 
@@ -550,6 +848,15 @@ func (s *Server) run(t *task) {
 	s.mu.Lock()
 	s.freePEs += t.job.PEs
 	s.acct.jobFinished(now, t.job.PEs)
+	// Fold the observed service time into the EWMA that drives
+	// deadline admission and retry-after hints.
+	if svc := float64(t.timings.Complete - t.timings.Dequeue); svc > 0 {
+		if s.svcNanos <= 0 {
+			s.svcNanos = svc
+		} else {
+			s.svcNanos = 0.7*s.svcNanos + 0.3*svc
+		}
+	}
 	if t.twoPhase {
 		t.expire = now.Add(s.cfg.JobTTL)
 		// Pre-encode the reply so fetch is cheap and argument
@@ -605,7 +912,7 @@ func (s *Server) fetch(conn net.Conn, req protocol.FetchRequest) error {
 	}
 	var werr error
 	if t.err != nil {
-		werr = s.sendError(conn, protocol.CodeExecFailed, t.err.Error())
+		werr = s.sendErrorHint(conn, t.failCode(), t.err.Error(), t.retryAfter)
 	} else {
 		werr = protocol.WriteFrame(conn, protocol.MsgFetchOK, t.reply)
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sync"
 	"syscall"
 	"time"
 
@@ -111,11 +112,13 @@ func (e *RetryError) Unwrap() error { return e.Err }
 // failure is a transport fault (connection reset, dial failure,
 // truncated frame, I/O timeout, severed connection) where the call may
 // not have reached the server and trying again — on a fresh connection
-// — is sound. False means retrying cannot help or must not happen:
+// — is sound, or an overload rejection (CodeOverloaded), where the
+// server explicitly invites a later retry via its RetryAfterMillis
+// hint. False means retrying cannot help or must not happen:
 //
-//   - *protocol.RemoteError: the server answered; it executed the call
-//     or rejected it deliberately. Re-placement is the scheduler's
-//     decision, not the transport's.
+//   - any other *protocol.RemoteError: the server answered; it
+//     executed the call or rejected it deliberately. Re-placement is
+//     the scheduler's decision, not the transport's.
 //   - context cancellation/expiry: the caller gave up.
 //   - a closed client: ErrClientClosed ends the call.
 //   - argument/marshalling errors: local bugs, deterministic.
@@ -128,7 +131,10 @@ func Retryable(err error) bool {
 	}
 	var re *protocol.RemoteError
 	if errors.As(err, &re) {
-		return false
+		// A momentarily full queue (or draining server) is transient
+		// by construction: the server said "come back later", not
+		// "this call cannot work".
+		return re.Code == protocol.CodeOverloaded
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
@@ -155,6 +161,92 @@ func Retryable(err error) bool {
 		return true
 	}
 	return false
+}
+
+// overloadHint extracts the server's retry-after back-pressure hint
+// from an overload rejection, capped defensively at 5s so a corrupt or
+// hostile hint cannot park a caller.
+func overloadHint(err error) (time.Duration, bool) {
+	var re *protocol.RemoteError
+	if !errors.As(err, &re) || re.Code != protocol.CodeOverloaded {
+		return 0, false
+	}
+	d := time.Duration(re.RetryAfterMillis) * time.Millisecond
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d, d > 0
+}
+
+// A RetryBudget bounds retries across ALL calls on one client — a
+// token bucket spent one token per retry (first attempts are free).
+// Under a failure storm the bucket drains and every call degrades to
+// first-try-only instead of amplifying offered load by MaxAttempts×,
+// the classic retry-storm failure mode. The bucket refills at Rate
+// tokens/second up to Burst.
+type RetryBudget struct {
+	// Burst is the maximum banked tokens (and the initial balance).
+	// Negative means no budget: every retry the policy allows runs.
+	Burst int
+	// Rate is the refill rate in tokens per second. Zero with a
+	// positive Burst means a fixed, non-replenishing allowance.
+	Rate float64
+}
+
+// DefaultRetryBudget is generous enough that isolated faults — even a
+// session reset failing a whole pipeline of concurrent calls at once —
+// never feel it, while a sustained storm is clamped to ~Rate extra
+// attempts per second. Overload experiments set tighter budgets
+// explicitly via SetRetryBudget.
+var DefaultRetryBudget = RetryBudget{Burst: 4096, Rate: 256}
+
+// NoRetryBudget removes the budget entirely.
+var NoRetryBudget = RetryBudget{Burst: -1}
+
+// retryBudget is the mutable token-bucket state behind a RetryBudget.
+type retryBudget struct {
+	mu     sync.Mutex
+	off    bool
+	tokens float64
+	burst  float64
+	rate   float64
+	last   time.Time
+}
+
+func (b *retryBudget) configure(cfg RetryBudget, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cfg.Burst < 0 {
+		b.off = true
+		return
+	}
+	b.off = false
+	b.burst = float64(cfg.Burst)
+	b.rate = cfg.Rate
+	b.tokens = b.burst
+	b.last = now
+}
+
+// take spends one retry token; false means the budget is exhausted and
+// the retry must not happen.
+func (b *retryBudget) take(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.off {
+		return true
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 && b.rate > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 // ErrClientClosed is returned by calls issued on (or interrupted by) a

@@ -44,6 +44,77 @@ func TestRetryableClassification(t *testing.T) {
 	}
 }
 
+// TestRetryableOverloaded is the regression for the overload-control
+// bugfix: CodeOverloaded is the one RemoteError the transport MAY
+// retry — the server said "come back later", not "this cannot work".
+// Every other remote code stays non-retryable.
+func TestRetryableOverloaded(t *testing.T) {
+	over := &protocol.RemoteError{Code: protocol.CodeOverloaded, Detail: "queue full", RetryAfterMillis: 50}
+	if !Retryable(over) {
+		t.Error("Retryable(CodeOverloaded) = false; overload rejections must invite retry")
+	}
+	if !Retryable(fmt.Errorf("call: %w", over)) {
+		t.Error("wrapped overload rejection classified non-retryable")
+	}
+	for _, code := range []uint32{protocol.CodeUnknownRoutine, protocol.CodeBadArguments,
+		protocol.CodeExecFailed, protocol.CodeInternal, protocol.CodeNotReady, protocol.CodeUnknownJob} {
+		if Retryable(&protocol.RemoteError{Code: code}) {
+			t.Errorf("Retryable(code %d) = true; only CodeOverloaded may retry", code)
+		}
+	}
+}
+
+func TestOverloadHint(t *testing.T) {
+	if d, ok := overloadHint(&protocol.RemoteError{Code: protocol.CodeOverloaded, RetryAfterMillis: 120}); !ok || d != 120*time.Millisecond {
+		t.Errorf("hint = %v, %v", d, ok)
+	}
+	// The cap defends against corrupt or hostile hints.
+	if d, _ := overloadHint(&protocol.RemoteError{Code: protocol.CodeOverloaded, RetryAfterMillis: 600_000}); d != 5*time.Second {
+		t.Errorf("uncapped hint: %v", d)
+	}
+	if _, ok := overloadHint(&protocol.RemoteError{Code: protocol.CodeOverloaded}); ok {
+		t.Error("zero hint reported as present")
+	}
+	if _, ok := overloadHint(&protocol.RemoteError{Code: protocol.CodeExecFailed, RetryAfterMillis: 120}); ok {
+		t.Error("hint extracted from a non-overload error")
+	}
+	if _, ok := overloadHint(io.EOF); ok {
+		t.Error("hint extracted from a transport error")
+	}
+}
+
+func TestRetryBudgetTake(t *testing.T) {
+	now := time.Now()
+	var b retryBudget
+	b.configure(RetryBudget{Burst: 2, Rate: 0}, now)
+	if !b.take(now) || !b.take(now) {
+		t.Fatal("budget refused a retry within its burst")
+	}
+	if b.take(now) {
+		t.Fatal("budget granted a retry beyond its non-replenishing burst")
+	}
+
+	// A positive rate refills tokens with time.
+	b.configure(RetryBudget{Burst: 1, Rate: 10}, now)
+	if !b.take(now) {
+		t.Fatal("fresh budget empty")
+	}
+	if b.take(now) {
+		t.Fatal("drained budget granted a retry with no time elapsed")
+	}
+	if !b.take(now.Add(150 * time.Millisecond)) {
+		t.Error("budget did not refill at its rate")
+	}
+
+	// Negative burst disables the budget entirely.
+	b.configure(NoRetryBudget, now)
+	for i := 0; i < 100; i++ {
+		if !b.take(now) {
+			t.Fatal("disabled budget refused a retry")
+		}
+	}
+}
+
 // timeoutError is a minimal net.Error with Timeout()==true, the shape
 // a deadline-severed read produces.
 type timeoutError struct{}

@@ -225,7 +225,7 @@ func (c *Client) muxExchangeOn(ctx context.Context, sess *mux.Session, t protoco
 		if derr != nil {
 			return 0, nil, true, derr
 		}
-		return 0, nil, true, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+		return 0, nil, true, &protocol.RemoteError{Code: er.Code, Detail: er.Detail, RetryAfterMillis: er.RetryAfterMillis}
 	}
 	return rt, fb, true, nil
 }

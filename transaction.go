@@ -64,6 +64,25 @@ func (s *singleServer) Place(req SchedRequest) (Placement, error) {
 
 func (s *singleServer) Observe(string, int64, time.Duration, bool) {}
 
+// errObserver is the optional richer feedback channel a Scheduler may
+// implement: given the call error itself, the scheduler can tell an
+// overload rejection (bias placement away, don't trip the breaker)
+// from a genuine failure. The metaserver implements it.
+type errObserver interface {
+	ObserveErr(serverName string, bytes int64, elapsed time.Duration, callErr error)
+}
+
+// observeErr reports a failed attempt with its error when the
+// scheduler can use it, falling back to the plain failed-call
+// observation otherwise.
+func observeErr(sched Scheduler, serverName string, callErr error) {
+	if eo, ok := sched.(errObserver); ok {
+		eo.ObserveErr(serverName, 0, 0, callErr)
+		return
+	}
+	sched.Observe(serverName, 0, 0, true)
+}
+
 // A Transaction is a Ninf_transaction_begin/end block (§2.4): the
 // calls recorded inside it are not executed immediately; a data-
 // dependency graph over their arguments is built, and End schedules
@@ -301,7 +320,7 @@ func (tx *Transaction) fetchInterface(ctx context.Context, name string, args []a
 		}
 		lastErr = err
 		exclude = append(exclude, pl.Name)
-		tx.sched.Observe(pl.Name, 0, 0, true)
+		observeErr(tx.sched, pl.Name, err)
 	}
 	return nil, lastErr
 }
@@ -362,7 +381,7 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 		tx.mu.Unlock()
 		client, err := tx.client(pl)
 		if err != nil {
-			tx.sched.Observe(pl.Name, 0, 0, true)
+			observeErr(tx.sched, pl.Name, err)
 			lastErr = err
 			continue
 		}
@@ -372,7 +391,7 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 		rep, err := client.CallAsyncContext(callCtx, c.name, c.args...).Wait()
 		cancel()
 		if err != nil {
-			tx.sched.Observe(pl.Name, 0, 0, true)
+			observeErr(tx.sched, pl.Name, err)
 			lastErr = err
 			continue
 		}
