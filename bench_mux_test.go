@@ -9,9 +9,16 @@ package ninf_test
 // outside the testing harness and records BENCH_multiclient.json.
 
 import (
+	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"ninf"
+	"ninf/internal/emunet"
+	"ninf/internal/library"
 	"ninf/internal/server"
 )
 
@@ -118,4 +125,120 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkMuxMixed is the tentpole's acceptance cell: 8-byte calls
+// measured while a concurrent 8 MiB transfer occupies the same
+// multiplexed session, on an emulated shared 100 MB/s access link
+// (the paper's LAN regime — over raw loopback the wire is never the
+// bottleneck and the cell would measure scheduler noise instead).
+// "chunked" streams the large call as bounded interleaved bulk frames
+// (protocol feature level 3); "monolithic" disables chunking, so the
+// 8 MiB call holds the link as one frame and every small call queues
+// behind it. p99-ms is the small calls' tail latency; bulkMB/s is the
+// concurrent large-transfer throughput on the shared link.
+func BenchmarkMuxMixed(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		thr  int
+	}{{"chunked", 0}, {"monolithic", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchMuxMixedCell(b, mode.thr)
+		})
+	}
+}
+
+func benchMuxMixedCell(b *testing.B, threshold int) {
+	reg, err := library.NewRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := server.New(server.Config{PEs: 4, BulkThreshold: threshold}, reg)
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One shared 100 MB/s access link, charged where the bytes enter
+	// the wire: client writes upstream, server writes downstream. Both
+	// endpoints pace to the link, as real NICs do — otherwise megabytes
+	// of bulk chunks queue in kernel socket buffers ahead of the small
+	// replies and the interleaving never reaches the wire.
+	link := emunet.NewLink("lan", 100e6)
+	opts := emunet.Options{Up: []*emunet.Link{link}}
+	go s.Serve(&shapedListener{l, opts})
+	addr := l.Addr().String()
+	c, err := ninf.NewClient(emunet.Dialer(
+		func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		opts,
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.SetBulkThreshold(threshold)
+
+	const bulkElems = 1 << 20 // 8 MiB per direction
+	smallIn := []float64{42}
+	smallOut := make([]float64, 1)
+	if _, err := c.Call("echo", 1, smallIn, smallOut); err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var bulkCalls atomic.Int64
+	var bulkWG sync.WaitGroup
+	bulkWG.Add(1)
+	go func() {
+		defer bulkWG.Done()
+		in := make([]float64, bulkElems)
+		out := make([]float64, bulkElems)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Call("echo", bulkElems, in, out); err != nil {
+				b.Error(err)
+				return
+			}
+			bulkCalls.Add(1)
+		}
+	}()
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := c.Call("echo", 1, smallIn, smallOut); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	close(stop)
+	bulkWG.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[min(len(lat)*99/100, len(lat)-1)]
+	b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99-ms")
+	b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds())/1e6, "p50-ms")
+	b.ReportMetric(float64(bulkCalls.Load())*2*8*bulkElems/1e6/elapsed.Seconds(), "bulkMB/s")
+}
+
+// shapedListener wraps accepted connections in emunet shaping, so the
+// server side of a benchmark link paces its writes like a real NIC.
+type shapedListener struct {
+	net.Listener
+	opts emunet.Options
+}
+
+func (sl *shapedListener) Accept() (net.Conn, error) {
+	c, err := sl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return emunet.Wrap(c, sl.opts), nil
 }

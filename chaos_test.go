@@ -22,6 +22,7 @@ import (
 	"ninf/internal/faultnet"
 	"ninf/internal/library"
 	"ninf/internal/metaserver"
+	"ninf/internal/protocol"
 	"ninf/internal/server"
 )
 
@@ -537,5 +538,212 @@ func TestChaosMuxPartitionFailover(t *testing.T) {
 	t.Logf("partitioned server injected: %v", cnt)
 	if cnt.DialFailures == 0 {
 		t.Error("no re-dial of the partitioned server was refused; the retry layer never probed it")
+	}
+}
+
+// TestChaosBulkMidStreamCutExactlyOnce (PR 6 satellite): a mixed
+// pipeline — small 8-byte pings and multi-megabyte chunked echoes —
+// runs over one multiplexed session while the injector resets and
+// cuts connections mid-transfer. Large transfers span hundreds of
+// chunk frames, so the seeded resets land inside bulk streams, not
+// between them. Every call must still complete exactly once with
+// byte-correct results after retry, and no half-reassembled bulk
+// buffer may survive on either side (the gauge counts both).
+func TestChaosBulkMidStreamCutExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is seconds-long; skipped in -short")
+	}
+	reg, err := library.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Hostname: "bulkchaos", PEs: 4, BulkThreshold: 4096}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	addr := l.Addr().String()
+
+	// Transfers are long (a 2 MiB echo is ~16 chunk frames each way plus
+	// the pings interleaved between them), so even a low per-op fault
+	// rate strikes mid-bulk; SafeOps shields only the Hello handshake.
+	in := faultnet.New(faultnet.Plan{
+		Seed:             chaosSeed + 21,
+		ResetProb:        1.0 / 300,
+		PartialWriteProb: 1.0 / 300,
+		SafeOps:          4,
+	})
+	c, err := ninf.NewClient(in.Dialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetBulkThreshold(4096)
+	c.SetRetryPolicy(ninf.RetryPolicy{MaxAttempts: 10, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+
+	const bulkCallers, bulkRounds = 3, 3
+	const smallCallers, smallRounds = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, bulkCallers*bulkRounds+smallCallers*smallRounds)
+	for w := 0; w < bulkCallers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 256 << 10 // 2 MiB per direction
+			for r := 0; r < bulkRounds; r++ {
+				data := make([]float64, n)
+				for j := range data {
+					data[j] = float64((w+1)*(r+1)) + float64(j%1021)
+				}
+				got := make([]float64, n)
+				if _, err := c.Call("echo", n, data, got); err != nil {
+					errs <- fmt.Errorf("bulk caller %d round %d: %w", w, r, err)
+					return
+				}
+				for j := range data {
+					if got[j] != data[j] {
+						errs <- fmt.Errorf("bulk caller %d round %d: corrupted at %d", w, r, j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < smallCallers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < smallRounds; r++ {
+				data := []float64{float64(w*1000 + r)} // 8-byte payload
+				got := make([]float64, 1)
+				if _, err := c.Call("echo", 1, data, got); err != nil {
+					errs <- fmt.Errorf("small caller %d round %d: %w", w, r, err)
+					return
+				}
+				if got[0] != data[0] {
+					errs <- fmt.Errorf("small caller %d round %d: corrupted", w, r)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	cnt := in.Counters()
+	t.Logf("injected: %v", cnt)
+	if cnt.Resets+cnt.PartialWrites == 0 {
+		t.Fatal("no mid-stream faults injected: the run proved nothing")
+	}
+	if g := protocol.OpenBulkReassemblies(); g != 0 {
+		t.Fatalf("half-reassembled bulk buffers leaked across session deaths: gauge = %d", g)
+	}
+}
+
+// TestChaosBulkPartitionHeals: the connection partitions outright in
+// the middle of a mixed 8 B / multi-MiB pipeline, then heals. The
+// in-flight bulk transfers die with the session; the retry layer must
+// re-dial after the heal and finish every call exactly once, leaving
+// no orphaned reassembly buffers from the severed streams.
+func TestChaosBulkPartitionHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is seconds-long; skipped in -short")
+	}
+	reg, err := library.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Hostname: "bulkpart", PEs: 4, BulkThreshold: 4096}, reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	addr := l.Addr().String()
+
+	in := faultnet.New(faultnet.Plan{}) // the partition is the only event
+	c, err := ninf.NewClient(in.Dialer(func() (net.Conn, error) { return net.Dial("tcp", addr) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetBulkThreshold(4096)
+	c.SetRetryPolicy(ninf.RetryPolicy{MaxAttempts: 12, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond})
+
+	// Partition once bulk traffic is demonstrably flowing, heal shortly
+	// after so retries can land.
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if s.Stats().TotalCalls >= 2 {
+				in.Partition()
+				time.Sleep(50 * time.Millisecond)
+				in.Heal()
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const bulkCallers = 2
+	const smallCallers, smallRounds = 6, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < bulkCallers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 512 << 10 // 4 MiB per direction: in flight when the cut lands
+			for r := 0; r < 2; r++ {
+				data := make([]float64, n)
+				for j := range data {
+					data[j] = float64(w*7+r) + float64(j%509)
+				}
+				got := make([]float64, n)
+				if _, err := c.Call("echo", n, data, got); err != nil {
+					errs <- fmt.Errorf("bulk caller %d round %d: %w", w, r, err)
+					return
+				}
+				for j := range data {
+					if got[j] != data[j] {
+						errs <- fmt.Errorf("bulk caller %d round %d: corrupted at %d", w, r, j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < smallCallers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < smallRounds; r++ {
+				data := []float64{float64(w + r)}
+				got := make([]float64, 1)
+				if _, err := c.Call("echo", 1, data, got); err != nil {
+					errs <- fmt.Errorf("small caller %d round %d: %w", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	cnt := in.Counters()
+	t.Logf("partition injected: %v", cnt)
+	if cnt.Resets == 0 && cnt.DialFailures == 0 {
+		t.Fatal("partition never struck live traffic: the run proved nothing")
+	}
+	if g := protocol.OpenBulkReassemblies(); g != 0 {
+		t.Fatalf("partition leaked reassembly buffers: gauge = %d", g)
 	}
 }

@@ -58,6 +58,10 @@ type Client struct {
 
 	maxPayload int
 
+	// bulkThr is the chunked-streaming threshold: 0 means
+	// protocol.DefaultBulkThreshold, negative disables bulk streaming.
+	bulkThr atomic.Int64
+
 	retryMu sync.Mutex
 	retry   RetryPolicy
 
@@ -143,6 +147,37 @@ func (c *Client) Attempts() int64 { return c.attempts.Load() }
 
 // SetMaxPayload bounds reply frame payloads (default 1 GiB).
 func (c *Client) SetMaxPayload(n int) { c.maxPayload = n }
+
+// SetBulkThreshold adjusts the payload size at which requests to a
+// bulk-capable server switch to chunked zero-copy streaming (default
+// protocol.DefaultBulkThreshold, 256 KiB). Pass a negative value to
+// disable bulk streaming and always send monolithic frames.
+//
+// Zero-copy caveat: a chunked request's bulk array arguments are
+// written to the wire directly from the caller's slices. The client
+// guarantees the slices are unreferenced once the call returns (on
+// success, failure, or context end), but the caller must not mutate
+// them from other goroutines while a Call/CallAsync/Submit using them
+// is in flight.
+func (c *Client) SetBulkThreshold(n int) {
+	if n < 0 {
+		c.bulkThr.Store(-1)
+		return
+	}
+	c.bulkThr.Store(int64(n))
+}
+
+// bulkThreshold resolves the effective chunking threshold; 0 disables.
+func (c *Client) bulkThreshold() int {
+	switch n := c.bulkThr.Load(); {
+	case n < 0:
+		return 0
+	case n == 0:
+		return protocol.DefaultBulkThreshold
+	default:
+		return int(n)
+	}
+}
 
 // SetPoolSize bounds the idle connections retained for CallAsync and
 // Submit/Fetch (default DefaultPoolSize). It does not cap concurrency:
@@ -538,12 +573,16 @@ func (c *Client) withRetry(ctx context.Context, op string, attempt func() error)
 // transport fault drops the connection for re-dial on the next
 // attempt.
 func (c *Client) callPrimary(ctx context.Context, name string, args []any) (*Report, error) {
-	info, vals, req, err := c.prepCall(ctx, name, args)
+	info, vals, err := c.prepVals(ctx, name, args)
 	if err != nil {
 		return nil, err
 	}
-	if rep, used, err := c.muxCall(ctx, info, vals, req, args); used {
+	if rep, used, err := c.muxCall(ctx, info, vals, args); used {
 		return rep, err
+	}
+	req, err := c.encodeCall(ctx, info, vals)
+	if err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	if err := c.reconnectLocked(); err != nil {
@@ -636,12 +675,16 @@ func (c *Client) callPooled(ctx context.Context, name string, args []any) (*Repo
 // attemptPooled is one call attempt over the multiplexed session,
 // falling back to a private pooled connection for legacy servers.
 func (c *Client) attemptPooled(ctx context.Context, name string, args []any) (*Report, error) {
-	info, vals, req, err := c.prepCall(ctx, name, args)
+	info, vals, err := c.prepVals(ctx, name, args)
 	if err != nil {
 		return nil, err
 	}
-	if rep, used, err := c.muxCall(ctx, info, vals, req, args); used {
+	if rep, used, err := c.muxCall(ctx, info, vals, args); used {
 		return rep, err
+	}
+	req, err := c.encodeCall(ctx, info, vals)
+	if err != nil {
+		return nil, err
 	}
 	conn, err := c.pool.get()
 	if err != nil {
@@ -690,26 +733,28 @@ func connReusable(err error) bool {
 	return errors.As(err, &re)
 }
 
-// prepCall resolves the interface and marshals the arguments into a
-// pooled frame buffer, before any connection is committed. On success
-// the caller owns the returned buffer. The interface fetch runs as
-// part of the attempt (under ctx, one try): prepCall's callers sit
-// inside withRetry already, so a transport fault fetching the
+// prepVals resolves the interface and validates/converts the
+// arguments, before any connection is committed or anything is
+// marshalled — the wire encoding (monolithic or chunked) is chosen
+// later, once the peer's capabilities are known. The interface fetch
+// runs as part of the attempt (under ctx, one try): prepVals's callers
+// sit inside withRetry already, so a transport fault fetching the
 // interface is retried by the enclosing loop, not a nested one.
-func (c *Client) prepCall(ctx context.Context, name string, args []any) (*idl.Info, []idl.Value, *protocol.Buffer, error) {
+func (c *Client) prepVals(ctx context.Context, name string, args []any) (*idl.Info, []idl.Value, error) {
 	info, err := c.attemptInterface(ctx, name)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	vals, err := toValues(info, args)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	req, err := protocol.EncodeCallRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals, Deadline: ctxDeadlineNanos(ctx)})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return info, vals, req, nil
+	return info, vals, nil
+}
+
+// encodeCall marshals a call monolithically for the lockstep paths.
+func (c *Client) encodeCall(ctx context.Context, info *idl.Info, vals []idl.Value) (*protocol.Buffer, error) {
+	return protocol.EncodeCallRequestBuf(info, &protocol.CallRequest{Name: info.Name, Args: vals, Deadline: ctxDeadlineNanos(ctx)})
 }
 
 // ctxDeadlineNanos propagates the caller's context deadline onto the
@@ -736,7 +781,7 @@ func (c *Client) exchangeCall(conn net.Conn, lock *sync.Mutex, info *idl.Info, v
 	if err != nil {
 		return nil, err
 	}
-	return finishCall(rep, info, vals, args, t, reply)
+	return finishCall(rep, info, vals, args, t, reply, nil)
 }
 
 // Job is a two-phase call handle (§5.1): arguments already shipped,
@@ -800,12 +845,12 @@ func (c *Client) attemptSubmit(ctx context.Context, name string, args []any, key
 	if err != nil {
 		return nil, err
 	}
+	if job, used, err := c.muxSubmit(ctx, name, info, args, vals, key); used {
+		return job, err
+	}
 	req, err := protocol.EncodeSubmitRequestBuf(info, &protocol.CallRequest{Name: name, Args: vals, Deadline: ctxDeadlineNanos(ctx)}, key)
 	if err != nil {
 		return nil, err
-	}
-	if job, used, err := c.muxSubmit(ctx, name, info, args, vals, req); used {
-		return job, err
 	}
 	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(req.Len())}
 	conn, err := c.pool.get()
@@ -917,19 +962,25 @@ func (j *Job) attemptFetch(ctx context.Context) (*Report, error) {
 		}
 		return nil, err
 	}
-	return j.finishFetch(t, p)
+	return j.finishFetch(t, p, nil)
 }
 
 // finishFetch decodes one fetch reply (mux or lockstep) into the
-// job's destinations, consuming the reply buffer.
-func (j *Job) finishFetch(t protocol.MsgType, p *protocol.Buffer) (*Report, error) {
+// job's destinations, consuming the reply buffer. A non-nil bulk means
+// the reply was a reassembled chunked message (its head is the XDR
+// prefix); lockstep fetches always pass nil.
+func (j *Job) finishFetch(t protocol.MsgType, p *protocol.Buffer, bulk *protocol.BulkInfo) (*Report, error) {
 	defer p.Release()
 	if t != protocol.MsgFetchOK {
 		return nil, fmt.Errorf("ninf: unexpected reply %v to fetch", t)
 	}
 	j.report.Received = time.Now()
 	j.report.BytesIn = int64(p.Len())
-	tm, out, err := protocol.DecodeCallReply(j.info, j.vals, p.Payload())
+	pp := p.Payload()
+	if bulk != nil {
+		pp = bulk.Head()
+	}
+	tm, out, err := protocol.DecodeCallReplyBulk(j.info, j.vals, pp, bulk)
 	if err != nil {
 		return nil, err
 	}

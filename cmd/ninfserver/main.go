@@ -6,6 +6,7 @@
 //
 //	ninfserver [-addr :3000] [-pes 4] [-mode task|data] [-policy fcfs|sjf|fpfs|fpmpfs]
 //	           [-hostname name] [-maxqueue n] [-maxperclient n] [-drain-timeout 30s]
+//	           [-bulk-threshold n]
 //
 // The server answers Ninf RPC on the given address; point ninfcall, the
 // examples, or a metaserver at it. On SIGTERM or SIGINT the server
@@ -39,6 +40,7 @@ func main() {
 	maxQueue := flag.Int("maxqueue", 0, "reject calls beyond this many queued jobs (0 = unlimited)")
 	maxPerClient := flag.Int("maxperclient", 0, "cap one client's share of the queue to this many jobs (0 = fair share of maxqueue)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight work before forcing shutdown")
+	bulkThreshold := flag.Int("bulk-threshold", 0, "stream replies at or above this many payload bytes as chunked bulk frames (0 = default 256 KiB, negative = never)")
 	flag.Parse()
 
 	var execMode server.ExecMode
@@ -66,13 +68,14 @@ func main() {
 		log.Fatal(err)
 	}
 	s := server.New(server.Config{
-		Hostname:     host,
-		PEs:          *pes,
-		Mode:         execMode,
-		Policy:       pol,
-		MaxQueue:     *maxQueue,
-		MaxPerClient: *maxPerClient,
-		Logger:       log.New(os.Stderr, "", log.LstdFlags),
+		Hostname:      host,
+		PEs:           *pes,
+		Mode:          execMode,
+		Policy:        pol,
+		MaxQueue:      *maxQueue,
+		MaxPerClient:  *maxPerClient,
+		BulkThreshold: *bulkThreshold,
+		Logger:        log.New(os.Stderr, "", log.LstdFlags),
 	}, reg)
 
 	l, err := net.Listen("tcp", *addr)

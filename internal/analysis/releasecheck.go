@@ -30,6 +30,9 @@ var borrowerFuncs = map[string]bool{
 	"WriteFrameBuf":    true,
 	"WriteMuxFrameBuf": true,
 	"StampMux":         true,
+	// putBulkMarker reads the buffer's current length to record a patch
+	// position for the chunked encoders; the caller keeps ownership.
+	"putBulkMarker": true,
 }
 
 func runReleaseCheck(pass *Pass) error {
@@ -338,6 +341,13 @@ func (tr *tracker) stmt(stmt ast.Stmt, st flowState) (flowState, bool) {
 			thenSt.released = true // v is nil when err != nil
 		case guardErrNil:
 			elseSt.released = true
+		case guardValNil:
+			thenSt.released = true // v itself is nil in the then branch
+		case guardValNonNil:
+			// The chunked-encoder decline convention: below threshold the
+			// encoder returns nil and the caller falls through to the
+			// monolithic path with no obligation.
+			elseSt.released = true
 		}
 		thenOut := tr.stmts(s.Body.List, thenSt)
 		var elseOut outcome
@@ -596,14 +606,16 @@ const (
 	guardNone guard = iota
 	guardErrNonNil
 	guardErrNil
+	guardValNonNil
+	guardValNil
 )
 
-// guardKind classifies conditions of the form err != nil / err == nil
-// against the error variable paired with the acquisition.
+// guardKind classifies nil-comparison conditions: against the error
+// variable paired with the acquisition (err != nil means the pooled
+// result is nil by convention), or against the tracked value itself
+// (a nil value carries no obligation — Release is nil-safe, and the
+// chunked encoders return nil below threshold by design).
 func (tr *tracker) guardKind(cond ast.Expr) guard {
-	if tr.errObj == nil {
-		return guardNone
-	}
 	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
 	if !ok {
 		return guardNone
@@ -612,17 +624,30 @@ func (tr *tracker) guardKind(cond ast.Expr) guard {
 		return guardNone
 	}
 	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
-	isErr := func(e ast.Expr) bool { return exprObj(tr.pass.TypesInfo, e) == tr.errObj }
 	isNil := func(e ast.Expr) bool {
 		id, ok := e.(*ast.Ident)
 		return ok && id.Name == "nil"
 	}
-	matched := (isErr(x) && isNil(y)) || (isErr(y) && isNil(x))
-	if !matched {
+	var operand ast.Expr
+	switch {
+	case isNil(y):
+		operand = x
+	case isNil(x):
+		operand = y
+	default:
 		return guardNone
 	}
-	if be.Op == token.NEQ {
-		return guardErrNonNil
+	if tr.errObj != nil && exprObj(tr.pass.TypesInfo, operand) == tr.errObj {
+		if be.Op == token.NEQ {
+			return guardErrNonNil
+		}
+		return guardErrNil
 	}
-	return guardErrNil
+	if id, ok := operand.(*ast.Ident); ok && tr.isVar(id) {
+		if be.Op == token.NEQ {
+			return guardValNonNil
+		}
+		return guardValNil
+	}
+	return guardNone
 }

@@ -143,3 +143,111 @@ func suppressedLeak() {
 	b := Acquire()
 	_ = b.Len()
 }
+
+// --- chunked bulk-path shapes (protocol feature level 3) ---
+
+// BulkMsg stands in for protocol.BulkMsg: a pooled chunk-streamable
+// message (any pointer type with a niladic Release is tracked).
+type BulkMsg struct{ total int }
+
+func (m *BulkMsg) Release() {}
+
+// EncodeBegin hands back a pooled header buffer the caller owns.
+func (m *BulkMsg) EncodeBegin() *Buffer { return Acquire() }
+
+// EncodeChunks is the chunked-encoder shape: message plus error.
+func EncodeChunks(n int) (*BulkMsg, error) {
+	if n == 0 {
+		return nil, errBoom
+	}
+	return &BulkMsg{total: n}, nil
+}
+
+// Negative: the streaming shape — the begin buffer is written, then
+// released on both the error and success paths, and the message itself
+// is settled before every return.
+func goodChunkStream(n int) error {
+	m, err := EncodeChunks(n)
+	if err != nil {
+		return err
+	}
+	fb := m.EncodeBegin()
+	werr := WriteFrameBuf(fb)
+	fb.Release()
+	if werr != nil {
+		m.Release()
+		return werr
+	}
+	m.Release()
+	return nil
+}
+
+// Positive: the early return on a failed begin write leaks the pooled
+// header buffer (WriteFrameBuf only borrows it).
+func badChunkBeginLeak(n int) error {
+	m, err := EncodeChunks(n)
+	if err != nil {
+		return err
+	}
+	defer m.Release()
+	fb := m.EncodeBegin()
+	if err := WriteFrameBuf(fb); err != nil {
+		return err // want `return without releasing fb`
+	}
+	fb.Release()
+	return nil
+}
+
+// Positive: a declined send (never begun) returns without settling the
+// bulk message — the abandonment path carries the same obligation as
+// the streamed-to-completion path.
+func badChunkAbandon(n int, begun bool) error {
+	m, err := EncodeChunks(n)
+	if err != nil {
+		return err
+	}
+	if !begun {
+		return errBoom // want `return without releasing m`
+	}
+	m.Release()
+	return nil
+}
+
+// Negative: handing the message to the writer goroutine's queue
+// transfers ownership (the session bulk-queue shape).
+func goodChunkHandoff(q chan *BulkMsg, n int) error {
+	m, err := EncodeChunks(n)
+	if err != nil {
+		return err
+	}
+	q <- m
+	return nil
+}
+
+// Negative: the below-threshold decline — the chunked encoder returns
+// nil and the caller falls through to the monolithic path with no
+// obligation. The non-nil branch settles by hand-off.
+func goodChunkDecline(q chan *BulkMsg, n int) error {
+	m, err := EncodeChunks(n)
+	if err != nil {
+		return err
+	}
+	if m != nil {
+		q <- m
+		return nil
+	}
+	return errBoom // m is nil here: monolithic fallback, nothing owed
+}
+
+// Positive: the nil guard discharges only the nil side; the live value
+// on the other branch still needs settling.
+func badChunkDeclineLeak(n int) error {
+	m, err := EncodeChunks(n)
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		return nil
+	}
+	return errBoom // want `return without releasing m`
+}

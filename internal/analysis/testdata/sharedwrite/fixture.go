@@ -100,3 +100,43 @@ func goodWriterGoroutine(conn net.Conn, replies chan frame) {
 func goodLockstep(conn net.Conn, r frame) error {
 	return WriteFrame(conn, r)
 }
+
+// --- chunked bulk-path shapes (protocol feature level 3) ---
+
+// cursor stands in for protocol.BulkCursor: successive WriteChunk
+// calls put one bounded chunk each on the conn.
+type cursor struct{ off int }
+
+func (c *cursor) WriteChunk(conn net.Conn, seq uint32) (bool, error) {
+	_, err := conn.Write(nil)
+	return true, err
+}
+
+// Positive: a dispatch goroutine streaming its own reply's chunks
+// bypasses the connection's single writer; every chunk interleaves
+// mid-frame with the other in-flight frames.
+func badChunkStream(conn net.Conn, curs []*cursor) {
+	for _, cu := range curs {
+		cu := cu
+		go func() {
+			for {
+				done, err := cu.WriteChunk(conn, 7) // want `WriteChunk writes to a net\.Conn from a dispatch goroutine`
+				if done || err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Negative: the writer goroutine streaming queued bulk messages
+// chunk-by-chunk IS the serialization point; the suppression names
+// the design (the muxWriteLoop shape).
+func goodChunkWriterGoroutine(conn net.Conn, bulks chan *cursor) {
+	go func() {
+		for cu := range bulks {
+			//lint:ninflint sharedwrite — this goroutine IS the connection's single writer
+			cu.WriteChunk(conn, 7)
+		}
+	}()
+}

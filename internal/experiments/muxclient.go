@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"ninf"
+	"ninf/internal/emunet"
+	"ninf/internal/library"
 	"ninf/internal/server"
 )
 
@@ -34,13 +38,30 @@ type muxCell struct {
 	MBytesPerS float64 `json:"mbytes_per_sec"`
 }
 
+// mixedCell is one mixed-size measurement: 8 B calls timed while a
+// concurrent 8 MiB caller occupies the same session on an emulated
+// shared access link. This is the cell the plain sweep is blind to —
+// per-mode aggregate throughput barely moves, but the small calls'
+// tail latency collapses when the bulk transfer streams as bounded
+// chunks instead of one monolithic frame.
+type mixedCell struct {
+	Mode           string  `json:"mode"` // "chunked" or "monolithic"
+	LinkMBytesPerS float64 `json:"link_mbytes_per_sec"`
+	SmallCalls     int     `json:"small_calls"`
+	SmallP50Ms     float64 `json:"small_p50_ms"`
+	SmallP99Ms     float64 `json:"small_p99_ms"`
+	BulkCalls      int     `json:"bulk_calls"`
+	BulkMBytesPerS float64 `json:"bulk_mbytes_per_sec"`
+}
+
 // muxSweepFile is the BENCH_multiclient.json document.
 type muxSweepFile struct {
-	Experiment string    `json:"experiment"`
-	Generated  time.Time `json:"generated"`
-	GoVersion  string    `json:"go_version"`
-	NumCPU     int       `json:"num_cpu"`
-	Cells      []muxCell `json:"cells"`
+	Experiment string      `json:"experiment"`
+	Generated  time.Time   `json:"generated"`
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
+	Cells      []muxCell   `json:"cells"`
+	Mixed      []mixedCell `json:"mixed,omitempty"`
 }
 
 func init() {
@@ -122,6 +143,11 @@ func runMuxSweep(w io.Writer, opts Options) error {
 			muxS, lockS, muxS/lockS)
 	}
 
+	mixed, err := runMuxMixed(w, opts)
+	if err != nil {
+		return err
+	}
+
 	if opts.Quick {
 		return nil
 	}
@@ -131,6 +157,7 @@ func runMuxSweep(w io.Writer, opts Options) error {
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		Cells:      cells,
+		Mixed:      mixed,
 	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -171,10 +198,10 @@ func runMuxCell(mux bool, nc, elems, calls int) (muxCell, error) {
 		return muxCell{}, err
 	}
 
+	// Best-of-3 for every size: the first 8 MiB round pays page-fault
+	// and pool-warming costs that halve its apparent bandwidth, and a
+	// warm round is only tenths of a second.
 	rounds := 3
-	if elems >= 1<<20 {
-		rounds = 1 // an 8 MiB round is seconds long and bandwidth-bound
-	}
 	best := muxCell{}
 	for r := 0; r < rounds; r++ {
 		cell, err := muxCellRound(c, mux, nc, elems, calls)
@@ -186,6 +213,147 @@ func runMuxCell(mux bool, nc, elems, calls int) (muxCell, error) {
 		}
 	}
 	return best, nil
+}
+
+// mixedLinkBps is the emulated shared access link the mixed-size cells
+// run over: 100 MB/s, the paper's LAN regime. Over raw loopback the
+// wire is never the bottleneck and the cell would measure scheduler
+// noise; on the shared link a monolithic 8 MiB frame holds the wire
+// for ~170 ms and every pipelined 8 B call queues behind it.
+const mixedLinkBps = 100e6
+
+// runMuxMixed measures the mixed-size cells: small-call latency under
+// a concurrent bulk transfer, chunked vs monolithic framing.
+func runMuxMixed(w io.Writer, opts Options) ([]mixedCell, error) {
+	smallCalls := 120
+	if opts.Quick {
+		smallCalls = 25
+	}
+	var cells []mixedCell
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %10s %10s\n",
+		"mixed-mode", "link", "smalls", "p50 ms", "p99 ms", "bulkMB/s")
+	for _, mode := range []struct {
+		name string
+		thr  int
+	}{{"chunked", 0}, {"monolithic", -1}} {
+		cell, err := runMixedCell(mode.name, mode.thr, smallCalls)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+		fmt.Fprintf(w, "%-12s %7.0fM %10d %10.2f %10.2f %10.1f\n",
+			cell.Mode, cell.LinkMBytesPerS, cell.SmallCalls,
+			cell.SmallP50Ms, cell.SmallP99Ms, cell.BulkMBytesPerS)
+	}
+	if len(cells) == 2 && cells[0].SmallP99Ms > 0 {
+		fmt.Fprintf(w, "-- mixed 8B+8MiB: chunked p99 %.1f ms vs monolithic %.1f ms (%.1fx) --\n",
+			cells[0].SmallP99Ms, cells[1].SmallP99Ms,
+			cells[1].SmallP99Ms/cells[0].SmallP99Ms)
+	}
+	return cells, nil
+}
+
+// shapedListener paces the server's writes to the shared link, as a
+// real NIC would. Shaping only the client side is not enough: the
+// kernel's socket buffers would hold megabytes of bulk reply chunks
+// ahead of the small replies and the interleaving would never reach
+// the (emulated) wire.
+type shapedListener struct {
+	net.Listener
+	opts emunet.Options
+}
+
+func (sl *shapedListener) Accept() (net.Conn, error) {
+	c, err := sl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return emunet.Wrap(c, sl.opts), nil
+}
+
+// runMixedCell drives one background 8 MiB echo caller and smallCalls
+// timed 8 B echoes over one multiplexed session on the shared link.
+func runMixedCell(mode string, threshold, smallCalls int) (mixedCell, error) {
+	reg, err := library.NewRegistry()
+	if err != nil {
+		return mixedCell{}, err
+	}
+	s := server.New(server.Config{PEs: 4, BulkThreshold: threshold}, reg)
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return mixedCell{}, err
+	}
+	link := emunet.NewLink("lan", mixedLinkBps)
+	shaped := emunet.Options{Up: []*emunet.Link{link}}
+	go s.Serve(&shapedListener{l, shaped})
+	addr := l.Addr().String()
+	c, err := ninf.NewClient(emunet.Dialer(
+		func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		shaped,
+	))
+	if err != nil {
+		return mixedCell{}, err
+	}
+	defer c.Close()
+	c.SetBulkThreshold(threshold)
+
+	const bulkElems = 1 << 20 // 8 MiB per direction
+	smallIn := []float64{42}
+	smallOut := make([]float64, 1)
+	if _, err := c.Call("echo", 1, smallIn, smallOut); err != nil {
+		return mixedCell{}, err
+	}
+
+	stop := make(chan struct{})
+	bulkDone := make(chan error, 1)
+	var bulkCalls int
+	go func() {
+		in := make([]float64, bulkElems)
+		out := make([]float64, bulkElems)
+		for {
+			select {
+			case <-stop:
+				bulkDone <- nil
+				return
+			default:
+			}
+			if _, err := c.Call("echo", bulkElems, in, out); err != nil {
+				bulkDone <- err
+				return
+			}
+			bulkCalls++
+		}
+	}()
+
+	lat := make([]time.Duration, 0, smallCalls)
+	start := time.Now()
+	for i := 0; i < smallCalls; i++ {
+		t0 := time.Now()
+		if _, err := c.Call("echo", 1, smallIn, smallOut); err != nil {
+			close(stop)
+			<-bulkDone
+			return mixedCell{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	if err := <-bulkDone; err != nil {
+		return mixedCell{}, err
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[min(len(lat)*99/100, len(lat)-1)]
+	return mixedCell{
+		Mode:           mode,
+		LinkMBytesPerS: mixedLinkBps / 1e6,
+		SmallCalls:     smallCalls,
+		SmallP50Ms:     float64(lat[len(lat)/2].Nanoseconds()) / 1e6,
+		SmallP99Ms:     float64(p99.Nanoseconds()) / 1e6,
+		BulkCalls:      bulkCalls,
+		BulkMBytesPerS: float64(bulkCalls) * 2 * 8 * bulkElems / 1e6 / elapsed,
+	}, nil
 }
 
 // muxCellRound runs one timed round of a cell's workload.

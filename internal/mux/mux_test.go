@@ -67,10 +67,11 @@ func dialSession(t *testing.T, handle func(typ protocol.MsgType, seq uint32, pay
 	t.Helper()
 	cc, sc := net.Pipe()
 	go fakeMuxServer(t, sc, handle)
-	if err := Negotiate(cc, 0); err != nil {
+	version, err := Negotiate(cc, 0)
+	if err != nil {
 		t.Fatalf("negotiate: %v", err)
 	}
-	s := New(cc, 0)
+	s := New(cc, 0, version)
 	t.Cleanup(func() {
 		s.Close()
 		sc.Close()
@@ -100,7 +101,7 @@ func TestSessionPipelinedEcho(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < 8; k++ {
 				want := fmt.Sprintf("caller-%d-call-%d", i, k)
-				rt, fb, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf(want))
+				rt, fb, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf(want))
 				if err != nil {
 					errs[i] = err
 					return
@@ -144,7 +145,7 @@ func TestSessionDemuxOutOfOrder(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, fb, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf(p))
+			_, fb, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf(p))
 			if err != nil {
 				t.Errorf("%s: %v", p, err)
 				return
@@ -173,14 +174,14 @@ func TestSessionCtxAbandonsSeq(t *testing.T) {
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	_, _, err := s.Roundtrip(ctx, protocol.MsgCall, reqBuf("blackhole"))
+	_, _, _, err := s.Roundtrip(ctx, protocol.MsgCall, reqBuf("blackhole"))
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("abandoned seq: got %v, want DeadlineExceeded", err)
 	}
 	if s.Broken() {
 		t.Fatal("session died with the abandoned seq")
 	}
-	rt, fb, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("after"))
+	rt, fb, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("after"))
 	if err != nil || rt != protocol.MsgCallOK || string(fb.Payload()) != "after" {
 		t.Fatalf("exchange after abandonment: %v %v", rt, err)
 	}
@@ -203,7 +204,7 @@ func TestSessionTeardownFailsInFlight(t *testing.T) {
 	errs := make(chan error, callers)
 	for i := 0; i < callers; i++ {
 		go func() {
-			_, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("held"))
+			_, _, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("held"))
 			errs <- err
 		}()
 	}
@@ -223,7 +224,7 @@ func TestSessionTeardownFailsInFlight(t *testing.T) {
 	if !s.Broken() {
 		t.Fatal("session not Broken after teardown")
 	}
-	if _, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("late")); err == nil {
+	if _, _, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("late")); err == nil {
 		t.Fatal("roundtrip on a dead session succeeded")
 	}
 }
@@ -238,7 +239,7 @@ func TestSessionCloseFailsInFlight(t *testing.T) {
 	})
 	errCh := make(chan error, 1)
 	go func() {
-		_, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("held"))
+		_, _, _, err := s.Roundtrip(context.Background(), protocol.MsgCall, reqBuf("held"))
 		errCh <- err
 	}()
 	<-started
@@ -266,7 +267,7 @@ func TestNegotiateLegacy(t *testing.T) {
 		protocol.WriteFrame(sc, protocol.MsgError,
 			protocol.EncodeErrorReply(protocol.CodeInternal, "unexpected frame Hello"))
 	}()
-	err := Negotiate(cc, 0)
+	_, err := Negotiate(cc, 0)
 	<-done
 	if !errors.Is(err, ErrLegacy) {
 		t.Fatalf("negotiate against legacy peer = %v, want ErrLegacy", err)
@@ -280,7 +281,7 @@ func TestNegotiateTransportFault(t *testing.T) {
 		protocol.ReadFrame(sc, 0)
 		sc.Close() // die before answering
 	}()
-	err := Negotiate(cc, 0)
+	_, err := Negotiate(cc, 0)
 	if err == nil || errors.Is(err, ErrLegacy) {
 		t.Fatalf("negotiate against dying peer = %v, want transport fault", err)
 	}

@@ -107,6 +107,12 @@ func (t MsgType) String() string {
 		return "Hello"
 	case MsgHelloOK:
 		return "HelloOK"
+	case MsgBulkBegin:
+		return "BulkBegin"
+	case MsgBulkChunk:
+		return "BulkChunk"
+	case MsgBulkAbort:
+		return "BulkAbort"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint32(t))
 	}

@@ -276,6 +276,15 @@ func DecodeCallArgs(info *idl.Info, rest []byte) ([]idl.Value, error) {
 // from the optional trailer: the absolute Unix-nanosecond deadline, or
 // zero when the client did not send one (older clients never do).
 func DecodeCallArgsDeadline(info *idl.Info, rest []byte) ([]idl.Value, int64, error) {
+	return DecodeCallArgsDeadlineBulk(info, rest, nil)
+}
+
+// DecodeCallArgsDeadlineBulk is DecodeCallArgsDeadline for a
+// reassembled bulk payload: rest must be the head remainder after
+// DecodeCallName (sliced to bulk.Head() by the caller) and bulk
+// supplies the full payload that marker offsets resolve against. With a
+// nil bulk it decodes monolithic payloads and rejects markers.
+func DecodeCallArgsDeadlineBulk(info *idl.Info, rest []byte, bulk *BulkInfo) ([]idl.Value, int64, error) {
 	pd := acquireDecoder(rest)
 	defer pd.release()
 	d := &pd.d
@@ -291,7 +300,7 @@ func DecodeCallArgsDeadline(info *idl.Info, rest []byte) ([]idl.Value, int64, er
 		if err != nil {
 			return nil, 0, err
 		}
-		v, err := decodeArg(d, p, count)
+		v, err := decodeArg(d, p, count, bulk)
 		if err != nil {
 			return nil, 0, fmt.Errorf("protocol: %s argument %q: %w", info.Name, p.Name, err)
 		}
@@ -376,31 +385,7 @@ func EncodeCallReply(info *idl.Info, t Timings, args []idl.Value) ([]byte, error
 // others are nil. callArgs supplies the scalar inputs needed to size
 // the out arrays.
 func DecodeCallReply(info *idl.Info, callArgs []idl.Value, p []byte) (Timings, []idl.Value, error) {
-	pd := acquireDecoder(p)
-	defer pd.release()
-	d := &pd.d
-	var t Timings
-	t.decode(d)
-	if err := d.Err(); err != nil {
-		return t, nil, err
-	}
-	counts, err := info.DimSizes(callArgs)
-	if err != nil {
-		return t, nil, err
-	}
-	out := make([]idl.Value, len(info.Params))
-	for i := range info.Params {
-		pa := &info.Params[i]
-		if !pa.Mode.Ships(true) {
-			continue
-		}
-		v, err := decodeArg(d, pa, counts[i])
-		if err != nil {
-			return t, nil, fmt.Errorf("protocol: %s result %q: %w", info.Name, pa.Name, err)
-		}
-		out[i] = v
-	}
-	return t, out, d.Err()
+	return DecodeCallReplyBulk(info, callArgs, p, nil)
 }
 
 // Timings carries the server-side timestamps the paper instruments
@@ -684,8 +669,10 @@ func encodeArg(e *xdr.Encoder, p *idl.Param, count int, v idl.Value) error {
 	return e.Err()
 }
 
-// decodeArg reads one argument value per its IDL parameter.
-func decodeArg(d *xdr.Decoder, p *idl.Param, count int) (idl.Value, error) {
+// decodeArg reads one argument value per its IDL parameter. A non-nil
+// bulk switches arrays to bulk-mode decoding, where a marker word may
+// divert the element bytes to a segment of the reassembled payload.
+func decodeArg(d *xdr.Decoder, p *idl.Param, count int, bulk *BulkInfo) (idl.Value, error) {
 	if p.IsScalar() {
 		switch p.Type {
 		case idl.Int:
@@ -698,6 +685,10 @@ func decodeArg(d *xdr.Decoder, p *idl.Param, count int) (idl.Value, error) {
 			return d.String(), d.Err()
 		}
 		return nil, fmt.Errorf("unsupported scalar type %v", p.Type)
+	}
+	if bulk != nil {
+		//lint:ninflint xdrsym — asymmetric by design: the matching marker is written by putBulkMarker in the chunked encoders, not by encodeArg
+		return decodeBulkArray(d, p, count, bulk)
 	}
 	switch p.Type {
 	case idl.Int:

@@ -179,34 +179,13 @@ func WriteStampedFrames(w io.Writer, fbs []*Buffer) error {
 // and must Release it after decoding. A clean EOF between frames is
 // returned as io.EOF undecorated.
 func ReadMuxFrameBuf(r io.Reader, maxPayload int) (MsgType, uint32, *Buffer, error) {
-	if maxPayload <= 0 {
-		maxPayload = DefaultMaxPayload
+	t, seq, n, err := ReadMuxHeader(r, maxPayload)
+	if err != nil {
+		return 0, 0, nil, err
 	}
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return 0, 0, nil, io.EOF
-		}
-		return 0, 0, nil, fmt.Errorf("protocol: read mux header: %w", err)
-	}
-	if getU32(hdr[0:]) != Magic {
-		return 0, 0, nil, ErrBadMagic
-	}
-	vt := getU32(hdr[4:])
-	if v := vt >> 16; v != MuxVersion {
-		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
-	}
-	t := MsgType(vt & maxMuxType)
-	seq := getU32(hdr[8:])
-	n := int(getU32(hdr[12:]))
-	if n > maxPayload {
-		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrOversized, n)
-	}
-	fb := AcquireBuffer(n)
-	fb.b = fb.b[:headerSize+n]
-	if _, err := io.ReadFull(r, fb.b[headerSize:]); err != nil {
-		fb.Release()
-		return 0, 0, nil, fmt.Errorf("protocol: read mux payload: %w", err)
+	fb, err := ReadMuxPayload(r, n)
+	if err != nil {
+		return 0, 0, nil, err
 	}
 	return t, seq, fb, nil
 }

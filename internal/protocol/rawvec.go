@@ -1,0 +1,114 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// Raw vector views for the chunked bulk path. XDR ships arrays
+// big-endian, which forces the encoder to copy every element through a
+// byte-swapping loop — exactly the grow-and-copy cost the bulk frames
+// exist to avoid. A bulk segment instead carries the caller's slice
+// memory verbatim, in the sender's native byte order, with the order
+// recorded in the MsgBulkBegin flags; the receiver memmoves when the
+// orders match and swaps per element when they do not ("receiver makes
+// it right"). Monolithic frames never use these views, so v1 peers and
+// pre-bulk mux peers only ever see canonical XDR.
+
+// hostLittle reports this machine's byte order, probed once.
+var hostLittle = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64Bytes views a []float64 as its raw native-order bytes. The view
+// aliases v: the caller must not let it outlive v or mutate v while the
+// view is referenced by an in-flight write.
+func f64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*8)
+}
+
+// f32Bytes views a []float32 as its raw native-order bytes.
+func f32Bytes(v []float32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*4)
+}
+
+// i64Bytes views a []int64 as its raw native-order bytes.
+func i64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), len(v)*8)
+}
+
+// decodeRawFloat64s materializes doubles from a bulk segment holding
+// raw element bytes in the sender's order (le). Matching orders cost
+// one memmove; a foreign order decodes element-wise.
+func decodeRawFloat64s(src []byte, le bool) []float64 {
+	n := len(src) / 8
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if le == hostLittle {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(out))), n*8), src)
+		return out
+	}
+	ord := foreignOrder(le)
+	for i := range out {
+		out[i] = math.Float64frombits(ord.Uint64(src[i*8:]))
+	}
+	return out
+}
+
+// decodeRawFloat32s materializes single floats from a bulk segment.
+func decodeRawFloat32s(src []byte, le bool) []float32 {
+	n := len(src) / 4
+	out := make([]float32, n)
+	if n == 0 {
+		return out
+	}
+	if le == hostLittle {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(out))), n*4), src)
+		return out
+	}
+	ord := foreignOrder(le)
+	for i := range out {
+		out[i] = math.Float32frombits(ord.Uint32(src[i*4:]))
+	}
+	return out
+}
+
+// decodeRawInt64s materializes 64-bit integers from a bulk segment.
+func decodeRawInt64s(src []byte, le bool) []int64 {
+	n := len(src) / 8
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	if le == hostLittle {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(out))), n*8), src)
+		return out
+	}
+	ord := foreignOrder(le)
+	for i := range out {
+		out[i] = int64(ord.Uint64(src[i*8:]))
+	}
+	return out
+}
+
+// foreignOrder returns the binary.ByteOrder for segment data whose
+// sender order (le) differs from the host's.
+func foreignOrder(le bool) binary.ByteOrder {
+	if le {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}

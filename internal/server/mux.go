@@ -22,6 +22,13 @@ import (
 // machinery concurrently, bounded by a semaphore, and a single writer
 // goroutine serializes (and coalesces) the replies.
 //
+// At feature level 3 (protocol.MuxVersionBulk) large requests arrive
+// as chunked bulk frames — the read loop reassembles them straight off
+// the buffered reader — and large replies stream back the same way,
+// the writer interleaving one bounded chunk per turn between flushes of
+// complete small replies, so a LINPACK-sized result no longer
+// head-of-line-blocks pipelined pings behind it.
+//
 // Shared-writer invariant: dispatch goroutines must NEVER write to the
 // connection themselves — interleaved writes would corrupt the frame
 // stream for every in-flight Seq. Every reply travels through the
@@ -36,6 +43,8 @@ import (
 const DefaultMuxConcurrency = 64
 
 // muxReply is one sequenced reply awaiting the serialized writer.
+// Exactly one of fb (complete frame, possibly nil for payload-less
+// replies) or bulk (chunk-streamed reply) is used; bulk wins when set.
 // sent, when non-nil, runs after the reply is confirmed written — the
 // hook fetch uses to keep its job until the reply is really on the
 // wire (a reply lost with the session must leave the job fetchable).
@@ -43,12 +52,16 @@ type muxReply struct {
 	seq  uint32
 	t    protocol.MsgType
 	fb   *protocol.Buffer
+	bulk *protocol.BulkMsg
 	sent func()
 }
 
-// errUpgradeMux is the dispatch sentinel that switches ServeConn from
-// the lockstep loop to serveMux after a successful Hello exchange.
-var errUpgradeMux = errors.New("server: upgrade to mux framing")
+// muxUpgrade is the dispatch error that switches ServeConn from the
+// lockstep loop to serveMux after a successful Hello exchange,
+// carrying the negotiated protocol feature level.
+type muxUpgrade struct{ version int }
+
+func (u *muxUpgrade) Error() string { return "server: upgrade to mux framing" }
 
 // hello answers a MsgHello. With multiplexing enabled it accepts the
 // highest common version and signals the upgrade; a server configured
@@ -63,11 +76,15 @@ func (s *Server) hello(conn net.Conn, payload []byte) error {
 		return s.sendError(conn, protocol.CodeInternal,
 			fmt.Sprintf("unexpected frame %v", protocol.MsgHello))
 	}
-	rep := protocol.HelloReply{Version: protocol.MuxVersion}
+	version := req.MaxVersion
+	if version > protocol.MuxVersionBulk {
+		version = protocol.MuxVersionBulk
+	}
+	rep := protocol.HelloReply{Version: version}
 	if err := protocol.WriteFrame(conn, protocol.MsgHelloOK, rep.Encode()); err != nil {
 		return err
 	}
-	return errUpgradeMux
+	return &muxUpgrade{version: int(version)}
 }
 
 // muxConcurrency resolves the per-connection dispatch bound.
@@ -78,11 +95,27 @@ func (s *Server) muxConcurrency() int {
 	return DefaultMuxConcurrency
 }
 
+// bulkThreshold resolves the reply-chunking threshold; 0 disables.
+func (s *Server) bulkThreshold() int {
+	switch {
+	case s.cfg.BulkThreshold < 0:
+		return 0
+	case s.cfg.BulkThreshold == 0:
+		return protocol.DefaultBulkThreshold
+	default:
+		return s.cfg.BulkThreshold
+	}
+}
+
 // serveMux services one upgraded connection until EOF or error. The
 // read loop acquires a semaphore slot per request — backpressure on a
 // client pipelining more than MuxConcurrency calls — and hands the
 // frame to a dispatch goroutine; replies funnel through muxWriteLoop.
-func (s *Server) serveMux(conn net.Conn, client string) {
+// Chunked bulk requests reassemble inline in the read loop (chunk data
+// is read straight into the per-sequence buffer) and dispatch once
+// complete, exactly like a monolithic frame plus segment metadata.
+func (s *Server) serveMux(conn net.Conn, client string, version int) {
+	bulkOK := version >= protocol.MuxVersionBulk
 	replies := make(chan muxReply, s.muxConcurrency())
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -94,17 +127,7 @@ func (s *Server) serveMux(conn net.Conn, client string) {
 	}()
 
 	var wg sync.WaitGroup
-	// Pipelined small requests arrive many to a segment; the buffered
-	// reader amortizes their header/payload reads into one syscall.
-	br := bufio.NewReaderSize(conn, 64<<10)
-	for {
-		typ, seq, fb, err := protocol.ReadMuxFrameBuf(br, s.cfg.MaxPayload)
-		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				s.logf("ninf server: mux read: %v", err)
-			}
-			break
-		}
+	dispatch := func(typ protocol.MsgType, seq uint32, fb *protocol.Buffer, bulk *protocol.BulkInfo) {
 		sem <- struct{}{}
 		// Every accepted frame owes the writer one reply; the pending
 		// count pairs with muxWriteLoop's replyDone so Drain can wait
@@ -114,78 +137,239 @@ func (s *Server) serveMux(conn net.Conn, client string) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			t, rb, sent := s.muxReplyFor(client, typ, fb)
-			replies <- muxReply{seq: seq, t: t, fb: rb, sent: sent}
+			t, rb, bm, sent := s.muxReplyFor(client, typ, fb, bulk, bulkOK)
+			replies <- muxReply{seq: seq, t: t, fb: rb, bulk: bm, sent: sent}
 		}()
+	}
+
+	// Pipelined small requests arrive many to a segment; the buffered
+	// reader amortizes their header/payload reads into one syscall.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	// The reassembler caps concurrently-open bulk requests at the
+	// dispatch bound; Close releases anything half-assembled when the
+	// connection dies mid-stream (the chaos tests' leak path).
+	ra := protocol.NewReassembler(s.cfg.MaxPayload, s.muxConcurrency())
+	defer ra.Close()
+read:
+	for {
+		typ, seq, n, err := protocol.ReadMuxHeader(br, s.cfg.MaxPayload)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("ninf server: mux read: %v", err)
+			}
+			break
+		}
+		switch typ {
+		case protocol.MsgBulkBegin:
+			fb, err := protocol.ReadMuxPayload(br, n)
+			if err != nil {
+				s.logf("ninf server: mux read: %v", err)
+				break read
+			}
+			berr := ra.Begin(seq, fb.Payload(), false)
+			fb.Release()
+			if berr != nil {
+				// Duplicate seq, oversize, or reassembly flood: the
+				// stream is unsound, tear the connection down.
+				s.logf("ninf server: mux read: %v", berr)
+				break read
+			}
+		case protocol.MsgBulkChunk:
+			bd, err := ra.ReadChunk(br, seq, n)
+			if err != nil {
+				s.logf("ninf server: mux read: %v", err)
+				break read
+			}
+			if bd != nil {
+				bulk := bd.Bulk
+				dispatch(bd.Type, seq, bd.FB, &bulk)
+			}
+		case protocol.MsgBulkAbort:
+			// The client gave up mid-stream (context ended); drop the
+			// partial reassembly and move on. No reply is owed.
+			if n > 0 {
+				fb, err := protocol.ReadMuxPayload(br, n)
+				if err != nil {
+					s.logf("ninf server: mux read: %v", err)
+					break read
+				}
+				fb.Release()
+			}
+			ra.Abort(seq)
+		default:
+			fb, err := protocol.ReadMuxPayload(br, n)
+			if err != nil {
+				s.logf("ninf server: mux read: %v", err)
+				break read
+			}
+			dispatch(typ, seq, fb, nil)
+		}
 	}
 	wg.Wait()
 	close(replies)
 	writerWG.Wait()
 }
 
+// bulkFlight is one chunk-streamed reply in progress in the writer.
+type bulkFlight struct {
+	r     muxReply
+	cur   protocol.BulkCursor
+	begun bool
+}
+
 // muxWriteLoop is the connection's single serialized writer: it drains
 // the replies channel, coalescing whatever is queued into one vectored
-// write. After a write error it keeps draining — releasing buffers so
-// dispatch goroutines can finish — until the channel closes.
+// write, and streams bulk replies a chunk at a time between those
+// flushes — round-robin across concurrent bulk replies, so several
+// large results share the wire and small replies never wait behind a
+// whole payload. Active bulk replies are finished (streamed to
+// completion) even after the replies channel closes: a graceful drain
+// must flush partially-sent results, not truncate them. After a write
+// error it keeps draining — releasing buffers so dispatch goroutines
+// can finish — until the channel closes and the actives are settled.
 //
 // outstanding reports how many dispatch goroutines are still running.
 // While more work is in flight than is sitting in the batch, the
 // writer yields the processor (bounded) before flushing: near-done
 // handlers get to finish and their replies join this vectored write
 // instead of each costing a syscall — on a loaded single-core box the
-// difference between one write per reply and one write per burst.
+// difference between one write per reply and one write per burst. With
+// bulk chunks pending the writer never yields; the chunk write itself
+// is the pause that lets replies accumulate.
 func (s *Server) muxWriteLoop(conn net.Conn, replies <-chan muxReply, outstanding func() int) {
 	batch := make([]muxReply, 0, maxMuxWriteBatch)
 	bufs := make([]*protocol.Buffer, 0, maxMuxWriteBatch)
+	var active []*bulkFlight
+	rr, burst := 0, 0
 	broken := false
-	for r := range replies {
-		batch = append(batch[:0], r)
-		for yields := 0; ; {
+	open := true
+	for open || len(active) > 0 {
+		batch = batch[:0]
+		if len(active) == 0 {
+			r, ok := <-replies
+			if !ok {
+				open = false
+				continue
+			}
+			takeReply(r, &batch, &active)
+		}
+		for yields := 0; open; {
 		gather:
 			for len(batch) < maxMuxWriteBatch {
 				select {
 				case more, ok := <-replies:
 					if !ok {
+						open = false
 						break gather
 					}
-					batch = append(batch, more)
+					takeReply(more, &batch, &active)
 				default:
 					break gather
 				}
 			}
-			if yields >= 2 || len(batch) >= maxMuxWriteBatch || outstanding() <= len(batch) {
+			if len(active) > 0 || yields >= 2 || len(batch) >= maxMuxWriteBatch || outstanding() <= len(batch) {
 				break
 			}
 			yields++
 			runtime.Gosched()
 		}
-		bufs = bufs[:0]
-		for i := range batch {
-			bufs = append(bufs, stampReply(batch[i]))
+		if len(batch) > 0 {
+			bufs = bufs[:0]
+			for i := range batch {
+				bufs = append(bufs, stampReply(batch[i]))
+			}
+			if !broken {
+				//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
+				if err := protocol.WriteStampedFrames(conn, bufs); err != nil {
+					broken = true
+					s.logf("ninf server: mux write: %v", err)
+					conn.Close() // wake the read loop so the conn tears down
+				}
+			}
+			for i := range batch {
+				if !broken && batch[i].sent != nil {
+					batch[i].sent()
+				}
+				bufs[i].Release()
+				// Written or lost with the connection, this reply is no
+				// longer pending; on a broken conn the client's retry path
+				// owns recovery and Drain must not wait for it.
+				s.replyDone()
+			}
 		}
+		if len(active) == 0 {
+			continue
+		}
+		rr %= len(active)
+		bf := active[rr]
+		done := broken
 		if !broken {
-			//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
-			if err := protocol.WriteStampedFrames(conn, bufs); err != nil {
+			var err error
+			done, err = s.bulkReplyStep(conn, bf)
+			if err != nil {
 				broken = true
 				s.logf("ninf server: mux write: %v", err)
-				conn.Close() // wake the read loop so the conn tears down
+				conn.Close()
 			}
 		}
-		for i := range batch {
-			if !broken && batch[i].sent != nil {
-				batch[i].sent()
+		if broken || done {
+			// Fully streamed, or lost with the connection: either way
+			// this reply is settled and its sent hook may run (only on a
+			// complete write — a job must stay fetchable otherwise).
+			if !broken && bf.r.sent != nil {
+				bf.r.sent()
 			}
-			bufs[i].Release()
-			// Written or lost with the connection, this reply is no
-			// longer pending; on a broken conn the client's retry path
-			// owns recovery and Drain must not wait for it.
+			bf.r.bulk.Release()
 			s.replyDone()
+			active[rr] = active[len(active)-1]
+			active = active[:len(active)-1]
+			burst = 0
+		} else if burst++; burst >= bulkBurstChunks {
+			// Take a few consecutive chunks from one reply before
+			// rotating: control replies still preempt between every
+			// chunk, so this only trades inter-bulk fairness for the
+			// streaming locality concurrent transfers need.
+			rr++
+			burst = 0
 		}
 	}
 }
 
+// takeReply routes one reply to the control batch or the bulk actives.
+func takeReply(r muxReply, batch *[]muxReply, active *[]*bulkFlight) {
+	if r.bulk != nil {
+		*active = append(*active, &bulkFlight{r: r, cur: r.bulk.Cursor()})
+		return
+	}
+	*batch = append(*batch, r)
+}
+
+// bulkReplyStep writes one frame of a streaming reply: its begin
+// header first, then one bounded chunk per turn. It reports whether
+// the reply is fully on the wire.
+func (s *Server) bulkReplyStep(conn net.Conn, bf *bulkFlight) (bool, error) {
+	if !bf.begun {
+		fb := bf.r.bulk.EncodeBegin()
+		//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
+		err := protocol.WriteMuxFrameBuf(conn, protocol.MsgBulkBegin, bf.r.seq, fb)
+		fb.Release()
+		if err != nil {
+			return false, err
+		}
+		bf.begun = true
+		return false, nil
+	}
+	//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
+	return bf.cur.WriteChunk(conn, bf.r.seq, protocol.DefaultBulkChunk)
+}
+
 // maxMuxWriteBatch bounds one coalesced reply write; see mux.maxWriteBatch.
 const maxMuxWriteBatch = 64
+
+// bulkBurstChunks mirrors the client writer's burst factor (see
+// internal/mux): consecutive chunks taken from one streaming reply
+// before the writer rotates to the next.
+const bulkBurstChunks = 4
 
 // stampReply stamps one reply's mux header, materializing an empty
 // buffer for payload-less replies (Pong).
@@ -200,47 +384,58 @@ func stampReply(r muxReply) *protocol.Buffer {
 }
 
 // muxErrReply builds a MsgError reply buffer (nil sent hook).
-func muxErrReply(code uint32, detail string) (protocol.MsgType, *protocol.Buffer, func()) {
+func muxErrReply(code uint32, detail string) (protocol.MsgType, *protocol.Buffer, *protocol.BulkMsg, func()) {
 	return muxErrReplyHint(code, detail, 0)
 }
 
 // muxErrReplyHint is muxErrReply carrying a retry-after hint on
 // overload rejections.
-func muxErrReplyHint(code uint32, detail string, retryAfterMillis uint32) (protocol.MsgType, *protocol.Buffer, func()) {
-	return protocol.MsgError, protocol.BufferFor(protocol.EncodeErrorReplyHint(code, detail, retryAfterMillis)), nil
+func muxErrReplyHint(code uint32, detail string, retryAfterMillis uint32) (protocol.MsgType, *protocol.Buffer, *protocol.BulkMsg, func()) {
+	return protocol.MsgError, protocol.BufferFor(protocol.EncodeErrorReplyHint(code, detail, retryAfterMillis)), nil, nil
 }
 
-// muxReplyFor services one sequenced request and returns its reply
-// frame. It owns fb and releases it once the payload is decoded. It
-// runs on a dispatch goroutine: any number of these proceed
-// concurrently on one connection, so nothing here may touch the
-// connection — replies go back through the serialized writer.
+// muxReplyFor services one sequenced request and returns its reply —
+// a complete frame buffer, or a BulkMsg for the writer to stream
+// chunked. It owns fb and releases it once the payload is decoded
+// (bulk requests included: admit copies every argument out of the
+// reassembly buffer). bulk carries the segment metadata of a
+// reassembled chunked request; bulkOK says the peer accepts chunked
+// replies. It runs on a dispatch goroutine: any number of these
+// proceed concurrently on one connection, so nothing here may touch
+// the connection — replies go back through the serialized writer.
 //
 // Blocking calls run without a callback invoker: the connection
 // carries interleaved sequenced frames, not the quiet parked stream
 // the §2.3 callback facility needs, so executables that call back get
 // ErrNoCallback (clients with registered callbacks stay on the
 // lockstep path).
-func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.Buffer) (protocol.MsgType, *protocol.Buffer, func()) {
+func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.Buffer, bulk *protocol.BulkInfo, bulkOK bool) (protocol.MsgType, *protocol.Buffer, *protocol.BulkMsg, func()) {
 	payload := fb.Payload()
+	if bulk != nil {
+		if typ != protocol.MsgCall && typ != protocol.MsgSubmit {
+			fb.Release()
+			return muxErrReply(protocol.CodeBadArguments, fmt.Sprintf("unexpected bulk frame %v", typ))
+		}
+		payload = bulk.Head()
+	}
 	switch typ {
 	case protocol.MsgPing:
 		fb.Release()
-		return protocol.MsgPong, nil, nil
+		return protocol.MsgPong, nil, nil, nil
 
 	case protocol.MsgList:
 		fb.Release()
 		reply := protocol.ListReply{Names: s.registry.Names()}
-		return protocol.MsgListReply, protocol.BufferFor(reply.Encode()), nil
+		return protocol.MsgListReply, protocol.BufferFor(reply.Encode()), nil, nil
 
 	case protocol.MsgStats:
 		fb.Release()
 		st := s.Stats()
-		return protocol.MsgStatsOK, protocol.BufferFor(st.Encode()), nil
+		return protocol.MsgStatsOK, protocol.BufferFor(st.Encode()), nil, nil
 
 	case protocol.MsgTrace:
 		fb.Release()
-		return protocol.MsgTraceOK, protocol.BufferFor(encodeTraces(s.Trace())), nil
+		return protocol.MsgTraceOK, protocol.BufferFor(encodeTraces(s.Trace())), nil, nil
 
 	case protocol.MsgInterface:
 		req, err := protocol.DecodeInterfaceRequest(payload)
@@ -256,10 +451,10 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 		if err != nil {
 			return muxErrReply(protocol.CodeInternal, err.Error())
 		}
-		return protocol.MsgInterfaceOK, protocol.BufferFor(p), nil
+		return protocol.MsgInterfaceOK, protocol.BufferFor(p), nil, nil
 
 	case protocol.MsgCall:
-		t, code, hint, err := s.admit(payload, false, nil, 0, client)
+		t, code, hint, err := s.admit(payload, bulk, false, nil, 0, client)
 		fb.Release() // arguments are decoded and copied by admit
 		if err != nil {
 			return muxErrReplyHint(code, err.Error(), hint)
@@ -268,11 +463,23 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 		if t.err != nil {
 			return muxErrReplyHint(t.failCode(), t.err.Error(), t.retryAfter)
 		}
+		if bulkOK {
+			// Large results stream back chunked; the BulkMsg's segment
+			// spans alias t.args, which stay live (and unmutated — the
+			// task is complete) until the writer finishes with them.
+			bm, err := protocol.EncodeCallReplyChunks(t.ex.Info, t.timings, t.args, s.bulkThreshold())
+			if err != nil {
+				return muxErrReply(protocol.CodeInternal, err.Error())
+			}
+			if bm != nil {
+				return protocol.MsgCallOK, nil, bm, nil
+			}
+		}
 		reply, err := protocol.EncodeCallReplyBuf(t.ex.Info, t.timings, t.args)
 		if err != nil {
 			return muxErrReply(protocol.CodeInternal, err.Error())
 		}
-		return protocol.MsgCallOK, reply, nil
+		return protocol.MsgCallOK, reply, nil, nil
 
 	case protocol.MsgSubmit:
 		key, rest, err := protocol.DecodeSubmitKey(payload)
@@ -280,13 +487,13 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 			fb.Release()
 			return muxErrReply(protocol.CodeBadArguments, err.Error())
 		}
-		t, code, hint, err := s.admit(rest, true, nil, key, client)
+		t, code, hint, err := s.admit(rest, bulk, true, nil, key, client)
 		fb.Release()
 		if err != nil {
 			return muxErrReplyHint(code, err.Error(), hint)
 		}
 		reply := protocol.SubmitReply{JobID: t.job.ID}
-		return protocol.MsgSubmitOK, protocol.BufferFor(reply.Encode()), nil
+		return protocol.MsgSubmitOK, protocol.BufferFor(reply.Encode()), nil, nil
 
 	case protocol.MsgFetch:
 		req, err := protocol.DecodeFetchRequest(payload)
@@ -294,7 +501,7 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 		if err != nil {
 			return muxErrReply(protocol.CodeBadArguments, err.Error())
 		}
-		return s.muxFetch(req)
+		return s.muxFetch(req, bulkOK)
 
 	default:
 		fb.Release()
@@ -307,9 +514,12 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 // lost with the session must leave the job fetchable for the client's
 // retried fetch on a fresh session. The writer owns the wire here, so
 // removal rides the reply's sent hook: muxWriteLoop runs it only
-// after a successful write. Wait:true degrades to not-ready polling,
-// as the client wire protocol always sets Wait:false.
-func (s *Server) muxFetch(req protocol.FetchRequest) (protocol.MsgType, *protocol.Buffer, func()) {
+// after a successful write. Large stored results stream back chunked
+// (the BulkMsg aliases the job's pre-encoded reply, which the sent
+// hook's job-table removal keeps live until written). Wait:true
+// degrades to not-ready polling, as the client wire protocol always
+// sets Wait:false.
+func (s *Server) muxFetch(req protocol.FetchRequest, bulkOK bool) (protocol.MsgType, *protocol.Buffer, *protocol.BulkMsg, func()) {
 	s.mu.Lock()
 	t, ok := s.jobs[req.JobID]
 	s.mu.Unlock()
@@ -327,11 +537,14 @@ func (s *Server) muxFetch(req protocol.FetchRequest) (protocol.MsgType, *protoco
 	if t.err != nil {
 		return muxErrReplyHint(t.failCode(), t.err.Error(), t.retryAfter)
 	}
-	reply := protocol.BufferFor(t.reply)
 	sent := func() {
 		s.mu.Lock()
 		s.removeJobLocked(req.JobID, t)
 		s.mu.Unlock()
 	}
-	return protocol.MsgFetchOK, reply, sent
+	if thr := s.bulkThreshold(); bulkOK && thr > 0 && len(t.reply) >= thr {
+		return protocol.MsgFetchOK, nil, protocol.RawBulkMsg(protocol.MsgFetchOK, t.reply), sent
+	}
+	reply := protocol.BufferFor(t.reply)
+	return protocol.MsgFetchOK, reply, nil, sent
 }

@@ -18,10 +18,11 @@ func muxSession(t *testing.T, s *Server) *mux.Session {
 	cc, sc := net.Pipe()
 	go s.ServeConn(sc)
 	t.Cleanup(func() { sc.Close() })
-	if err := mux.Negotiate(cc, 0); err != nil {
+	version, err := mux.Negotiate(cc, 0)
+	if err != nil {
 		t.Fatalf("negotiate: %v", err)
 	}
-	sess := mux.New(cc, 0)
+	sess := mux.New(cc, 0, version)
 	t.Cleanup(func() { sess.Close() })
 	return sess
 }
@@ -42,7 +43,7 @@ func TestMuxUpgradeAndPing(t *testing.T) {
 	s := New(Config{PEs: 2}, reg)
 	defer s.Close()
 	sess := muxSession(t, s)
-	rt, fb, err := sess.Roundtrip(context.Background(), protocol.MsgPing, emptyReq())
+	rt, fb, _, err := sess.Roundtrip(context.Background(), protocol.MsgPing, emptyReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestMuxNoHeadOfLineBlocking(t *testing.T) {
 	blockInfo := reg.Lookup("block").Info
 	callDone := make(chan error, 1)
 	go func() {
-		rt, fb, err := sess.Roundtrip(context.Background(), protocol.MsgCall,
+		rt, fb, _, err := sess.Roundtrip(context.Background(), protocol.MsgCall,
 			callReq(t, blockInfo, "block", []idl.Value{int64(1)}))
 		if err == nil {
 			fb.Release()
@@ -79,7 +80,7 @@ func TestMuxNoHeadOfLineBlocking(t *testing.T) {
 	// The ping must complete while the call is parked on `release`.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	rt, fb, err := sess.Roundtrip(ctx, protocol.MsgPing, emptyReq())
+	rt, fb, _, err := sess.Roundtrip(ctx, protocol.MsgPing, emptyReq())
 	if err != nil {
 		t.Fatalf("ping behind a blocking call: %v", err)
 	}
@@ -119,7 +120,7 @@ func TestMuxConcurrentCallsDemux(t *testing.T) {
 				v[k] = float64(i*100 + k)
 			}
 			vals := []idl.Value{int64(n), v, nil}
-			rt, fb, err := sess.Roundtrip(context.Background(), protocol.MsgCall,
+			rt, fb, _, err := sess.Roundtrip(context.Background(), protocol.MsgCall,
 				callReq(t, info, "double_it", vals))
 			if err != nil {
 				errs <- err
@@ -162,7 +163,7 @@ func TestMuxDisabledAnswersLikeLegacy(t *testing.T) {
 	defer cc.Close()
 	go s.ServeConn(sc)
 	defer sc.Close()
-	if err := mux.Negotiate(cc, 0); !errors.Is(err, mux.ErrLegacy) {
+	if _, err := mux.Negotiate(cc, 0); !errors.Is(err, mux.ErrLegacy) {
 		t.Fatalf("negotiate against DisableMux server = %v, want ErrLegacy", err)
 	}
 	// The connection must still carry lockstep traffic afterwards.
@@ -192,7 +193,7 @@ func TestMuxSubmitFetch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, fb, err := sess.Roundtrip(context.Background(), protocol.MsgSubmit, req)
+	rt, fb, _, err := sess.Roundtrip(context.Background(), protocol.MsgSubmit, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestMuxSubmitFetch(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		fr := protocol.FetchRequest{JobID: sr.JobID, Wait: false}
-		rt, fb, err := sess.Roundtrip(context.Background(), protocol.MsgFetch, fr.EncodeBuf())
+		rt, fb, _, err := sess.Roundtrip(context.Background(), protocol.MsgFetch, fr.EncodeBuf())
 		if err != nil {
 			t.Fatal(err)
 		}

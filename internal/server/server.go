@@ -80,6 +80,11 @@ type Config struct {
 	// MuxConcurrency bounds concurrently-dispatched requests per
 	// multiplexed connection (default DefaultMuxConcurrency).
 	MuxConcurrency int
+	// BulkThreshold is the reply payload size at which a bulk-capable
+	// mux connection streams results as chunked frames instead of one
+	// monolithic frame. 0 means protocol.DefaultBulkThreshold; negative
+	// disables chunked replies (requests may still arrive chunked).
+	BulkThreshold int
 	// MaxPerClient bounds one client's (connection's) share of the
 	// queue so a greedy client cannot starve the rest. 0 derives
 	// max(1, MaxQueue/2) when MaxQueue is set, unlimited otherwise;
@@ -422,8 +427,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 		err = s.dispatch(conn, client, typ, fb)
 		s.replyDone()
 		if err != nil {
-			if err == errUpgradeMux {
-				s.serveMux(conn, client)
+			var up *muxUpgrade
+			if errors.As(err, &up) {
+				s.serveMux(conn, client, up.version)
 				return
 			}
 			s.logf("ninf server: %v", err)
@@ -503,7 +509,7 @@ func (s *Server) dispatch(conn net.Conn, client string, typ protocol.MsgType, fb
 		// invoke client-registered functions over this connection
 		// while it runs (§2.3).
 		ctx := context.WithValue(s.baseCtx, callbackKey, s.connInvoker(conn))
-		t, code, hint, err := s.admit(payload, false, ctx, 0, client)
+		t, code, hint, err := s.admit(payload, nil, false, ctx, 0, client)
 		fb.Release() // arguments are decoded and copied by admit
 		if err != nil {
 			return s.sendErrorHint(conn, code, err.Error(), hint)
@@ -526,7 +532,7 @@ func (s *Server) dispatch(conn net.Conn, client string, typ protocol.MsgType, fb
 			fb.Release()
 			return s.sendError(conn, protocol.CodeBadArguments, err.Error())
 		}
-		t, code, hint, err := s.admit(rest, true, nil, key, client)
+		t, code, hint, err := s.admit(rest, nil, true, nil, key, client)
 		fb.Release()
 		if err != nil {
 			return s.sendErrorHint(conn, code, err.Error(), hint)
@@ -573,7 +579,13 @@ func (s *Server) sendErrorHint(conn net.Conn, code uint32, detail string, retryA
 // On rejection the third return is a retry-after hint in milliseconds
 // (nonzero only for overload rejections), sized from the current queue
 // depth and the observed per-job service time.
-func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key uint64, client string) (*task, uint32, uint32, error) {
+//
+// A non-nil bulk means payload came from a reassembled chunked
+// request: payload is then the XDR head (already sliced by the caller)
+// and bulk supplies the raw segments its marker words point into. The
+// decoded arguments are always copies, so the caller may release the
+// reassembly buffer as soon as admit returns.
+func (s *Server) admit(payload []byte, bulk *protocol.BulkInfo, twoPhase bool, ctx context.Context, key uint64, client string) (*task, uint32, uint32, error) {
 	if ctx == nil {
 		ctx = s.baseCtx
 	}
@@ -585,11 +597,15 @@ func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key u
 	if ex == nil {
 		return nil, protocol.CodeUnknownRoutine, 0, fmt.Errorf("no routine %q", name)
 	}
-	args, deadline, err := protocol.DecodeCallArgsDeadline(ex.Info, rest)
+	args, deadline, err := protocol.DecodeCallArgsDeadlineBulk(ex.Info, rest, bulk)
 	if err != nil {
 		return nil, protocol.CodeBadArguments, 0, err
 	}
 
+	reqBytes := int64(len(payload))
+	if bulk != nil {
+		reqBytes = int64(len(bulk.Base)) // head plus segments
+	}
 	pes := s.peAllocation(ex)
 	t := &task{
 		ex:       ex,
@@ -597,7 +613,7 @@ func (s *Server) admit(payload []byte, twoPhase bool, ctx context.Context, key u
 		ctx:      ctx,
 		done:     make(chan struct{}),
 		twoPhase: twoPhase,
-		reqBytes: int64(len(payload)),
+		reqBytes: reqBytes,
 		deadline: deadline,
 		client:   client,
 	}

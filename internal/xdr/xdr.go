@@ -420,6 +420,33 @@ func (d *Decoder) Float64s() []float64 {
 	if d.err != nil {
 		return nil
 	}
+	return d.Float64Vec(n)
+}
+
+// vecLen validates an externally-supplied element count against the
+// decoder's variable-length limit, for vectors whose count was read out
+// of band (the protocol layer's bulk-argument markers carry the count
+// separately from the element stream).
+func (d *Decoder) vecLen(n, elemSize int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 {
+		d.err = fmt.Errorf("%w: %d", ErrNegativeLen, n)
+		return false
+	}
+	if n > d.maxBytes/elemSize {
+		d.err = fmt.Errorf("%w: %d elements of %d bytes (limit %d bytes)", ErrTooLong, n, elemSize, d.maxBytes)
+		return false
+	}
+	return true
+}
+
+// Float64Vec decodes n doubles with no length prefix.
+func (d *Decoder) Float64Vec(n int) []float64 {
+	if !d.vecLen(n, 8) {
+		return nil
+	}
 	out := make([]float64, n)
 	d.readFloat64s(out)
 	return out
@@ -462,6 +489,14 @@ func (d *Decoder) readFloat64s(out []float64) {
 func (d *Decoder) Float32s() []float32 {
 	n := d.length(4)
 	if d.err != nil {
+		return nil
+	}
+	return d.Float32Vec(n)
+}
+
+// Float32Vec decodes n single-precision floats with no length prefix.
+func (d *Decoder) Float32Vec(n int) []float32 {
+	if !d.vecLen(n, 4) {
 		return nil
 	}
 	out := make([]float32, n)
@@ -512,6 +547,14 @@ func (d *Decoder) Int32s() []int32 {
 func (d *Decoder) Int64s() []int64 {
 	n := d.length(8)
 	if d.err != nil {
+		return nil
+	}
+	return d.Int64Vec(n)
+}
+
+// Int64Vec decodes n 64-bit integers with no length prefix.
+func (d *Decoder) Int64Vec(n int) []int64 {
+	if !d.vecLen(n, 8) {
 		return nil
 	}
 	out := make([]int64, n)

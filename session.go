@@ -135,7 +135,7 @@ func (c *Client) session(ctx context.Context) (*mux.Session, error) {
 	//lint:ninflint locknet — guardConn only registers a context callback; it performs no socket I/O
 	stop := guardConn(ctx, conn)
 	//lint:ninflint locknet — negotiation must finish before any verb uses the session; the guard (and Close) severs a black-holed handshake
-	err = mux.Negotiate(conn, c.maxPayload)
+	version, err := mux.Negotiate(conn, c.maxPayload)
 	if !stop() {
 		//lint:ninflint locknet — discard only closes the socket (non-blocking) and updates the pool books
 		c.pool.discard(conn)
@@ -157,7 +157,7 @@ func (c *Client) session(ctx context.Context) (*mux.Session, error) {
 		return nil, err
 	}
 	//lint:ninflint locknet — New only starts the session goroutines; it performs no blocking socket I/O itself
-	s := mux.New(conn, c.maxPayload)
+	s := mux.New(conn, c.maxPayload, version)
 	c.sess.sess, c.sess.conn = s, conn
 	return s, nil
 }
@@ -185,18 +185,20 @@ func (c *Client) dropSession(s *mux.Session) {
 // the exchange was attempted and req consumed; MsgError replies are
 // translated to *protocol.RemoteError like every lockstep round trip,
 // and transport faults (which fail the session) surface as retryable
-// errors so the enclosing withRetry dials a fresh session.
-func (c *Client) muxExchange(ctx context.Context, t protocol.MsgType, req *protocol.Buffer) (rt protocol.MsgType, fb *protocol.Buffer, used bool, err error) {
+// errors so the enclosing withRetry dials a fresh session. A non-nil
+// BulkInfo means the peer streamed the reply chunked.
+func (c *Client) muxExchange(ctx context.Context, t protocol.MsgType, req *protocol.Buffer) (rt protocol.MsgType, fb *protocol.Buffer, bulk *protocol.BulkInfo, used bool, err error) {
 	sess, err := c.session(ctx)
 	if err != nil {
 		req.Release()
-		return 0, nil, true, err
+		return 0, nil, nil, true, err
 	}
 	if sess == nil {
 		//lint:ninflint releasecheck — used=false hands req ownership back to the caller for the lockstep path
-		return 0, nil, false, nil
+		return 0, nil, nil, false, nil
 	}
-	return c.muxExchangeOn(ctx, sess, t, req)
+	rt, fb, bulk, err = c.muxExchangeOn(ctx, sess, t, req)
+	return rt, fb, bulk, true, err
 }
 
 // muxExchangeLive is muxExchange restricted to an already-established
@@ -209,52 +211,116 @@ func (c *Client) muxExchangeLive(ctx context.Context, t protocol.MsgType, req *p
 		//lint:ninflint releasecheck — used=false hands req ownership back to the caller for the lockstep path
 		return 0, nil, false, nil
 	}
-	return c.muxExchangeOn(ctx, sess, t, req)
+	rt, fb, _, err = c.muxExchangeOn(ctx, sess, t, req)
+	return rt, fb, true, err
 }
 
 // muxExchangeOn runs one sequenced exchange on sess, consuming req.
-func (c *Client) muxExchangeOn(ctx context.Context, sess *mux.Session, t protocol.MsgType, req *protocol.Buffer) (rt protocol.MsgType, fb *protocol.Buffer, used bool, err error) {
-	rt, fb, err = sess.Roundtrip(ctx, t, req)
+func (c *Client) muxExchangeOn(ctx context.Context, sess *mux.Session, t protocol.MsgType, req *protocol.Buffer) (protocol.MsgType, *protocol.Buffer, *protocol.BulkInfo, error) {
+	rt, fb, bulk, err := sess.Roundtrip(ctx, t, req)
+	return c.settleMux(sess, rt, fb, bulk, err)
+}
+
+// settleMux normalizes one session exchange's outcome: transport
+// faults drop the session for re-dial, and MsgError replies become
+// *protocol.RemoteError exactly as on the lockstep paths.
+func (c *Client) settleMux(sess *mux.Session, rt protocol.MsgType, fb *protocol.Buffer, bulk *protocol.BulkInfo, err error) (protocol.MsgType, *protocol.Buffer, *protocol.BulkInfo, error) {
 	if err != nil {
 		c.dropSession(sess)
-		return 0, nil, true, err
+		fb.Release() // nil on the error path by convention; Release is nil-safe
+		return 0, nil, nil, err
 	}
 	if rt == protocol.MsgError {
 		er, derr := protocol.DecodeErrorReply(fb.Payload())
 		fb.Release()
 		if derr != nil {
-			return 0, nil, true, derr
+			return 0, nil, nil, derr
 		}
-		return 0, nil, true, &protocol.RemoteError{Code: er.Code, Detail: er.Detail, RetryAfterMillis: er.RetryAfterMillis}
+		return 0, nil, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail, RetryAfterMillis: er.RetryAfterMillis}
 	}
-	return rt, fb, true, nil
+	return rt, fb, bulk, nil
 }
 
-// muxCall runs one blocking-call exchange over the session and
-// decodes the reply into the caller's destinations.
-func (c *Client) muxCall(ctx context.Context, info *idl.Info, vals []idl.Value, req *protocol.Buffer, args []any) (*Report, bool, error) {
-	rep := &Report{Routine: info.Name, Submit: time.Now(), BytesOut: int64(req.Len())}
-	rt, fb, used, err := c.muxExchange(ctx, protocol.MsgCall, req)
-	if !used {
-		//lint:ninflint releasecheck — used=false: no exchange ran, fb is nil, and req ownership stayed with the caller
-		return nil, false, nil
+// muxSend encodes one call or submit request for sess and runs the
+// exchange. When the session negotiated bulk streaming and an argument
+// crosses the client's threshold the request goes out chunked, its
+// bulk arrays written zero-copy from the caller's slices; otherwise it
+// is a monolithic frame. Encoding happens here — after the session's
+// capabilities are known — so nothing is marshalled twice and the
+// lockstep fallback (used=false upstream) never pre-encodes in vain.
+func (c *Client) muxSend(ctx context.Context, sess *mux.Session, t protocol.MsgType, info *idl.Info, creq *protocol.CallRequest, key uint64, rep *Report) (protocol.MsgType, *protocol.Buffer, *protocol.BulkInfo, error) {
+	if sess.Bulk() {
+		bm, err := encodeRequestChunks(t, info, creq, key, c.bulkThreshold())
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if bm != nil {
+			rep.BytesOut = int64(bm.Total())
+			rt, fb, bulk, err := sess.RoundtripBulk(ctx, bm)
+			return c.settleMux(sess, rt, fb, bulk, err)
+		}
 	}
+	req, err := encodeRequestBuf(t, info, creq, key)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	rep.BytesOut = int64(req.Len())
+	return c.muxExchangeOn(ctx, sess, t, req)
+}
+
+// encodeRequestChunks encodes a call or submit request chunked; nil
+// when no argument crosses the threshold.
+func encodeRequestChunks(t protocol.MsgType, info *idl.Info, creq *protocol.CallRequest, key uint64, threshold int) (*protocol.BulkMsg, error) {
+	if t == protocol.MsgSubmit {
+		return protocol.EncodeSubmitRequestChunks(info, creq, key, threshold)
+	}
+	return protocol.EncodeCallRequestChunks(info, creq, threshold)
+}
+
+// encodeRequestBuf encodes a call or submit request as one monolithic
+// frame payload.
+func encodeRequestBuf(t protocol.MsgType, info *idl.Info, creq *protocol.CallRequest, key uint64) (*protocol.Buffer, error) {
+	if t == protocol.MsgSubmit {
+		return protocol.EncodeSubmitRequestBuf(info, creq, key)
+	}
+	return protocol.EncodeCallRequestBuf(info, creq)
+}
+
+// muxCall runs one blocking-call exchange over the session and decodes
+// the reply into the caller's destinations. used=false means no
+// session is available; the caller encodes for and runs the lockstep
+// path itself.
+func (c *Client) muxCall(ctx context.Context, info *idl.Info, vals []idl.Value, args []any) (*Report, bool, error) {
+	sess, err := c.session(ctx)
 	if err != nil {
 		return nil, true, err
 	}
-	r, err := finishCall(rep, info, vals, args, rt, fb)
+	if sess == nil {
+		return nil, false, nil
+	}
+	creq := &protocol.CallRequest{Name: info.Name, Args: vals, Deadline: ctxDeadlineNanos(ctx)}
+	rep := &Report{Routine: info.Name, Submit: time.Now()}
+	rt, fb, bulk, err := c.muxSend(ctx, sess, protocol.MsgCall, info, creq, 0, rep)
+	if err != nil {
+		return nil, true, err
+	}
+	r, err := finishCall(rep, info, vals, args, rt, fb, bulk)
 	return r, true, err
 }
 
 // muxSubmit runs one submit exchange over the session; used=false
-// leaves req with the caller for the lockstep path.
-func (c *Client) muxSubmit(ctx context.Context, name string, info *idl.Info, args []any, vals []idl.Value, req *protocol.Buffer) (*Job, bool, error) {
-	rep := &Report{Routine: name, Submit: time.Now(), BytesOut: int64(req.Len())}
-	t, p, used, err := c.muxExchange(ctx, protocol.MsgSubmit, req)
-	if !used {
-		//lint:ninflint releasecheck — used=false: no exchange ran, p is nil, and req ownership stayed with the caller
+// means no session is available and the caller runs the lockstep path.
+func (c *Client) muxSubmit(ctx context.Context, name string, info *idl.Info, args []any, vals []idl.Value, key uint64) (*Job, bool, error) {
+	sess, err := c.session(ctx)
+	if err != nil {
+		return nil, true, err
+	}
+	if sess == nil {
 		return nil, false, nil
 	}
+	creq := &protocol.CallRequest{Name: name, Args: vals, Deadline: ctxDeadlineNanos(ctx)}
+	rep := &Report{Routine: name, Submit: time.Now()}
+	t, p, _, err := c.muxSend(ctx, sess, protocol.MsgSubmit, info, creq, key, rep)
 	if err != nil {
 		return nil, true, err
 	}
@@ -270,12 +336,13 @@ func (c *Client) muxSubmit(ctx context.Context, name string, info *idl.Info, arg
 }
 
 // muxFetch runs one fetch exchange over the session, mapping the
-// not-ready remote error like the lockstep path does.
+// not-ready remote error like the lockstep path does. Large stored
+// results arrive as chunked bulk replies from a level-3 server.
 func (j *Job) muxFetch(ctx context.Context) (*Report, bool, error) {
 	c := j.client
 	fr := protocol.FetchRequest{JobID: j.id, Wait: false}
 	req := fr.EncodeBuf()
-	t, p, used, err := c.muxExchange(ctx, protocol.MsgFetch, req)
+	t, p, bulk, used, err := c.muxExchange(ctx, protocol.MsgFetch, req)
 	if !used {
 		req.Release()
 		//lint:ninflint releasecheck — used=false: no exchange ran and p is nil
@@ -288,20 +355,26 @@ func (j *Job) muxFetch(ctx context.Context) (*Report, bool, error) {
 		}
 		return nil, true, err
 	}
-	rep, err := j.finishFetch(t, p)
+	rep, err := j.finishFetch(t, p, bulk)
 	return rep, true, err
 }
 
 // finishCall decodes one call reply (mux or lockstep) into the
-// caller's destinations, consuming the reply buffer.
-func finishCall(rep *Report, info *idl.Info, vals []idl.Value, args []any, t protocol.MsgType, reply *protocol.Buffer) (*Report, error) {
+// caller's destinations, consuming the reply buffer. A non-nil bulk
+// means the reply was a reassembled chunked message: the XDR head is
+// its prefix and marked arrays decode from raw segments.
+func finishCall(rep *Report, info *idl.Info, vals []idl.Value, args []any, t protocol.MsgType, reply *protocol.Buffer, bulk *protocol.BulkInfo) (*Report, error) {
 	defer reply.Release()
 	if t != protocol.MsgCallOK {
 		return nil, fmt.Errorf("ninf: unexpected reply %v to call", t)
 	}
 	rep.Received = time.Now()
 	rep.BytesIn = int64(reply.Len())
-	tm, out, err := protocol.DecodeCallReply(info, vals, reply.Payload())
+	p := reply.Payload()
+	if bulk != nil {
+		p = bulk.Head()
+	}
+	tm, out, err := protocol.DecodeCallReplyBulk(info, vals, p, bulk)
 	if err != nil {
 		return nil, err
 	}
