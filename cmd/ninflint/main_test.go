@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ninf/internal/analysis"
+	"ninf/internal/analysis/load"
+)
+
+// runFixGolden copies testdata/fix/<dir>/input.go to a temp dir, runs
+// the analyzer, applies the attached -fix edits in place, and compares
+// the result byte-for-byte against input.go.golden. A second analysis
+// of the fixed file must come back clean (the fix is convergent).
+func runFixGolden(t *testing.T, dir string, az *analysis.Analyzer, imports []string) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(dir, "input.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(t.TempDir(), "input.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func() []analysis.Diagnostic {
+		fset := token.NewFileSet()
+		imp, err := load.Importer(fset, imports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := load.Files(fset, imp, "fixpkg", []string{target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{az})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	diags := check()
+	if len(diags) == 0 {
+		t.Fatalf("%s: expected diagnostics on input.go, got none", dir)
+	}
+	fixed, err := applyFixes(diags)
+	if err != nil {
+		t.Fatalf("applyFixes: %v", err)
+	}
+	if fixed == 0 {
+		t.Fatalf("%s: no diagnostic carried an applicable fix", dir)
+	}
+
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "input.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: fixed output differs from golden\n--- got ---\n%s\n--- want ---\n%s", dir, got, want)
+	}
+	if again := check(); len(again) != 0 {
+		t.Errorf("%s: fixed file still has %d finding(s): %v", dir, len(again), again)
+	}
+}
+
+func TestFixErrClass(t *testing.T) {
+	runFixGolden(t, filepath.Join("testdata", "fix", "errclass"),
+		analysis.ErrClass, []string{"errors", "fmt"})
+}
+
+func TestFixReleaseCheck(t *testing.T) {
+	runFixGolden(t, filepath.Join("testdata", "fix", "releasecheck"),
+		analysis.ReleaseCheck, nil)
+}
+
+// TestApplyFixesRejectsOverlap exercises the driver-side guard: two
+// edits touching the same bytes must fail loudly rather than corrupt
+// the file.
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	target := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(target, []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []analysis.Diagnostic{
+		{Edits: []analysis.Edit{{Filename: target, Start: 0, End: 7, New: "x"}}},
+		{Edits: []analysis.Edit{{Filename: target, Start: 5, End: 9, New: "y"}}},
+	}
+	if _, err := applyFixes(diags); err == nil {
+		t.Fatal("overlapping edits applied without error")
+	}
+}

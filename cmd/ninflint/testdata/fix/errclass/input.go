@@ -1,0 +1,20 @@
+package fixpkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapOne(err error) error {
+	return fmt.Errorf("op failed: %v", err)
+}
+
+func wrapSecond(name string, err error) error {
+	return fmt.Errorf("op %s failed: %v", name, err)
+}
+
+func wrapString() error {
+	return fmt.Errorf("boom: %s", errBase)
+}

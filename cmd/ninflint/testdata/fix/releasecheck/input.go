@@ -1,0 +1,16 @@
+package fixpkg
+
+type buffer struct{ b []byte }
+
+func (b *buffer) Release() {}
+
+func acquire() *buffer { return &buffer{} }
+
+func earlyReturn(fail bool) int {
+	b := acquire()
+	if fail {
+		return -1
+	}
+	b.Release()
+	return 0
+}

@@ -27,8 +27,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one ninflint pass.
@@ -49,16 +51,26 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the cross-package summary store of the enclosing RunAll
+	// (nil for single-package drivers such as the vet unitchecker mode;
+	// every FactStore accessor tolerates a nil receiver).
+	Facts *FactStore
+
 	diags *[]Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
-		Pos:      p.Fset.Position(pos),
-		Message:  fmt.Sprintf(format, args...),
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// report records a fully built diagnostic, stamping the pass name.
+func (p *Pass) report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
 }
 
 // A Diagnostic is one finding.
@@ -66,6 +78,17 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Edits, if non-empty, is a mechanical fix ninflint -fix can apply:
+	// non-overlapping byte-range replacements within single files.
+	Edits []Edit
+}
+
+// An Edit is one textual replacement of a suggested fix: the bytes
+// [Start, End) of Filename are replaced by New (Start == End inserts).
+type Edit struct {
+	Filename   string
+	Start, End int
+	New        string
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -79,6 +102,12 @@ type Package struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Path and Imports (import paths, possibly including packages
+	// outside the analyzed set) drive RunAll's dependency-ordered
+	// scheduling; single-package drivers may leave them empty.
+	Path    string
+	Imports []string
 }
 
 // NewTypesInfo allocates the types.Info maps every pass relies on.
@@ -93,25 +122,101 @@ func NewTypesInfo() *types.Info {
 	}
 }
 
-// Run applies every analyzer to the package and returns the surviving
+// Run applies every analyzer to one package and returns the surviving
 // diagnostics: suppressed findings are dropped, the rest are sorted by
-// position.
+// position. It is the single-package form of RunAll.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Pkg,
-			TypesInfo: pkg.TypesInfo,
-			diags:     &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+	return RunAll([]*Package{pkg}, analyzers, Options{})
+}
+
+// Options configures a RunAll driver invocation.
+type Options struct {
+	// Facts is the cross-package summary store; nil allocates a fresh
+	// one. Supplying a store lets drivers chain RunAll calls (the
+	// analysistest runner propagates fixture-dependency summaries this
+	// way).
+	Facts *FactStore
+	// Workers bounds concurrent package analysis; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// AuditSuppressions emits a "suppaudit" diagnostic for every
+	// //lint:ninflint comment that suppressed nothing in this run, or
+	// that names a pass that does not exist. Only meaningful when every
+	// pass runs — a subset run would flag comments aimed at the passes
+	// left out — so drivers enable it in all-passes mode only.
+	AuditSuppressions bool
+}
+
+// suppAuditName is the pseudo-pass unused-suppression findings report
+// under. It is not an Analyzer: audit findings are produced by the
+// driver after suppression filtering, so they cannot themselves be
+// suppressed.
+const suppAuditName = "suppaudit"
+
+// RunAll analyzes the packages in dependency order — a package is
+// scheduled only after every listed import inside the set — so
+// cross-package facts (ownership summaries, gate requirements) are
+// complete before any dependent call site is inspected. Packages with
+// no ordering edge between them run in parallel, bounded by
+// opts.Workers. Diagnostics are merged and sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	facts := opts.Facts
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The first package to claim a path owns its done channel; Go
+	// forbids import cycles, so waiting on in-set imports terminates.
+	done := make(map[string]chan struct{})
+	owner := make(map[string]int)
+	for i, p := range pkgs {
+		if p.Path != "" {
+			if _, dup := done[p.Path]; !dup {
+				done[p.Path] = make(chan struct{})
+				owner[p.Path] = i
+			}
 		}
 	}
-	diags = filterSuppressed(pkg.Fset, pkg.Files, diags)
+
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range pkgs {
+		wg.Add(1)
+		go func(i int, p *Package) {
+			defer wg.Done()
+			defer func() {
+				if owner[p.Path] == i && p.Path != "" {
+					close(done[p.Path])
+				}
+			}()
+			for _, imp := range p.Imports {
+				if imp == p.Path {
+					continue
+				}
+				if ch, ok := done[imp]; ok {
+					<-ch
+				}
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i], errs[i] = runPackage(p, analyzers, facts, opts.AuditSuppressions)
+		}(i, pkgs[i])
+	}
+	wg.Wait()
+
+	var diags []Diagnostic
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		diags = append(diags, perPkg[i]...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -128,18 +233,84 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
+// runPackage records the package's facts, runs every analyzer, and
+// applies suppression filtering (optionally auditing the directives).
+func runPackage(pkg *Package, analyzers []*Analyzer, facts *FactStore, audit bool) ([]Diagnostic, error) {
+	computeFacts(pkg, facts)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			Facts:     facts,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags, unused := filterSuppressed(pkg.Fset, pkg.Files, diags)
+	if audit {
+		diags = append(diags, auditSuppressions(unused, analyzers)...)
+	}
+	return diags, nil
+}
+
+// auditSuppressions turns the suppressions that matched nothing (or
+// that name nonexistent passes) into suppaudit findings.
+func auditSuppressions(unused []*suppression, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, s := range unused {
+		var bogus []string
+		for _, name := range s.names {
+			if !known[name] {
+				bogus = append(bogus, name)
+			}
+		}
+		switch {
+		case len(bogus) > 0:
+			out = append(out, Diagnostic{
+				Analyzer: suppAuditName,
+				Pos:      s.pos,
+				Message:  fmt.Sprintf("suppression names unknown pass %s", strings.Join(bogus, ", ")),
+			})
+		default:
+			what := "any pass"
+			if len(s.names) > 0 {
+				what = strings.Join(s.names, ", ")
+			}
+			out = append(out, Diagnostic{
+				Analyzer: suppAuditName,
+				Pos:      s.pos,
+				Message:  fmt.Sprintf("stale suppression: no %s finding on this or the next line", what),
+			})
+		}
+	}
+	return out
+}
+
 // suppressionPrefix introduces a ninflint suppression comment.
 const suppressionPrefix = "//lint:ninflint"
 
 // suppression is one parsed //lint:ninflint comment.
 type suppression struct {
 	line   int
+	pos    token.Position  // the comment itself, for audit findings
+	names  []string        // declared pass list, in source order
 	passes map[string]bool // nil means all passes
+	used   bool            // matched at least one diagnostic this run
 }
 
 // parseSuppressions extracts the suppression directives of one file.
-func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
-	var sups []suppression
+func parseSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
+	var sups []*suppression
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := c.Text
@@ -159,12 +330,14 @@ func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 			if i := strings.Index(rest, "--"); i >= 0 {
 				rest = strings.TrimSpace(rest[:i])
 			}
-			s := suppression{line: fset.Position(c.Pos()).Line}
+			pos := fset.Position(c.Pos())
+			s := &suppression{line: pos.Line, pos: pos}
 			if rest != "" {
 				s.passes = make(map[string]bool)
 				for _, name := range strings.Split(rest, ",") {
 					if name = strings.TrimSpace(name); name != "" {
 						s.passes[name] = true
+						s.names = append(s.names, name)
 					}
 				}
 			}
@@ -175,18 +348,21 @@ func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 }
 
 // filterSuppressed drops diagnostics whose line (or the line below a
-// directive-only line) carries a matching //lint:ninflint comment.
-func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+// directive-only line) carries a matching //lint:ninflint comment, and
+// returns the suppressions that matched nothing for the audit.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) ([]Diagnostic, []*suppression) {
 	// filename -> line -> suppressions covering that line
-	covered := make(map[string]map[int][]suppression)
+	covered := make(map[string]map[int][]*suppression)
+	var all []*suppression
 	for _, f := range files {
 		pos := fset.Position(f.Pos())
 		m := covered[pos.Filename]
 		if m == nil {
-			m = make(map[int][]suppression)
+			m = make(map[int][]*suppression)
 			covered[pos.Filename] = m
 		}
 		for _, s := range parseSuppressions(fset, f) {
+			all = append(all, s)
 			// A directive suppresses findings on its own line and on
 			// the following line (for directives placed above the code).
 			m[s.line] = append(m[s.line], s)
@@ -198,15 +374,21 @@ func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic
 		suppressed := false
 		for _, s := range covered[d.Pos.Filename][d.Pos.Line] {
 			if s.passes == nil || s.passes[d.Analyzer] {
+				s.used = true
 				suppressed = true
-				break
 			}
 		}
 		if !suppressed {
 			out = append(out, d)
 		}
 	}
-	return out
+	var unused []*suppression
+	for _, s := range all {
+		if !s.used {
+			unused = append(unused, s)
+		}
+	}
+	return out, unused
 }
 
 // All returns every ninflint analyzer in reporting order.
@@ -218,6 +400,10 @@ func All() []*Analyzer {
 		LockNet,
 		SharedWrite,
 		CtxDeadline,
+		SeqLife,
+		FeatGate,
+		ErrClass,
+		HotAlloc,
 	}
 }
 

@@ -9,6 +9,12 @@
 // line must match one of them, and every want must be matched by a
 // diagnostic. Lines without a want comment must stay clean — which is
 // how fixtures also prove //lint:ninflint suppressions are honored.
+//
+// A fixture may be multi-package: subdirectories holding Go files are
+// loaded as dependency packages (in lexical order, so a later subdir
+// may import an earlier one) before the root package, all sharing one
+// fact store. The root files import them as "fixture/<dir>/<subdir>" —
+// which is how fixtures prove cross-package summary propagation.
 package analysistest
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -27,31 +34,93 @@ import (
 	"ninf/internal/analysis/load"
 )
 
-// Run analyzes the fixture package in dir with the given analyzers and
-// reports any mismatch against the // want comments via t.Errorf.
+// Run analyzes the fixture package tree rooted at dir with the given
+// analyzers and reports any mismatch against the // want comments via
+// t.Errorf.
 func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	files, err := fixtureFiles(dir)
-	if err != nil {
-		t.Fatalf("fixture %s: %v", dir, err)
-	}
-	if len(files) == 0 {
-		t.Fatalf("fixture %s: no Go files", dir)
-	}
-	fset := token.NewFileSet()
-	imp, err := load.Importer(fset, importsOf(t, files))
-	if err != nil {
-		t.Fatalf("fixture %s: resolving imports: %v", dir, err)
-	}
-	pkg, err := load.Files(fset, imp, "fixture/"+filepath.Base(dir), files)
-	if err != nil {
-		t.Fatalf("fixture %s: %v", dir, err)
-	}
-	diags, err := analysis.Run(pkg, analyzers)
+	pkgs, files := Load(t, dir)
+	diags, err := analysis.RunAll(pkgs, analyzers, analysis.Options{})
 	if err != nil {
 		t.Fatalf("fixture %s: %v", dir, err)
 	}
 	checkWants(t, files, diags)
+}
+
+// Load parses and type-checks a fixture tree: subdirectory packages
+// first (each importable by later ones and by the root under the path
+// "fixture/<base>/<subdir>"), the root package last. It returns the
+// packages in dependency order plus every fixture file, for want
+// scanning.
+func Load(t *testing.T, dir string) ([]*analysis.Package, []string) {
+	t.Helper()
+	rootFiles, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	subdirs, err := fixtureSubdirs(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	if len(rootFiles) == 0 && len(subdirs) == 0 {
+		t.Fatalf("fixture %s: no Go files", dir)
+	}
+
+	prefix := "fixture/" + filepath.Base(dir)
+	type unit struct {
+		path  string
+		files []string
+	}
+	var units []unit
+	var allFiles []string
+	for _, sub := range subdirs {
+		files, err := fixtureFiles(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatalf("fixture %s/%s: %v", dir, sub, err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		units = append(units, unit{path: prefix + "/" + sub, files: files})
+		allFiles = append(allFiles, files...)
+	}
+	if len(rootFiles) > 0 {
+		units = append(units, unit{path: prefix, files: rootFiles})
+		allFiles = append(allFiles, rootFiles...)
+	}
+
+	fset := token.NewFileSet()
+	std, err := load.Importer(fset, stdImportsOf(t, allFiles, prefix))
+	if err != nil {
+		t.Fatalf("fixture %s: resolving imports: %v", dir, err)
+	}
+	imp := &fixtureImporter{std: std, pkgs: make(map[string]*types.Package)}
+
+	var pkgs []*analysis.Package
+	for _, u := range units {
+		pkg, err := load.Files(fset, imp, u.path, u.files)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", dir, err)
+		}
+		pkg.Imports = fileImports(t, u.files)
+		imp.pkgs[u.path] = pkg.Pkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, allFiles
+}
+
+// fixtureImporter resolves fixture-local packages from the ones already
+// type-checked and everything else from build-cache export data.
+type fixtureImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	return fi.std.Import(path)
 }
 
 // fixtureFiles lists the non-test Go files of a fixture directory.
@@ -70,22 +139,31 @@ func fixtureFiles(dir string) ([]string, error) {
 	return files, nil
 }
 
-// importsOf collects the import paths of the fixture files so their
-// export data can be resolved.
-func importsOf(t *testing.T, files []string) []string {
+// fixtureSubdirs lists the subdirectories of a fixture directory, in
+// lexical order.
+func fixtureSubdirs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var subs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			subs = append(subs, e.Name())
+		}
+	}
+	sort.Strings(subs)
+	return subs, nil
+}
+
+// stdImportsOf collects the non-fixture import paths of the fixture
+// files so their export data can be resolved.
+func stdImportsOf(t *testing.T, files []string, localPrefix string) []string {
 	t.Helper()
 	seen := make(map[string]bool)
-	fset := token.NewFileSet()
-	for _, fn := range files {
-		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
-		if err != nil {
-			t.Fatalf("%s: %v", fn, err)
-		}
-		for _, imp := range f.Imports {
-			path := strings.Trim(imp.Path.Value, `"`)
-			if path != "C" {
-				seen[path] = true
-			}
+	for _, path := range fileImportsAll(t, files) {
+		if path != "C" && !strings.HasPrefix(path, localPrefix) {
+			seen[path] = true
 		}
 	}
 	var out []string
@@ -93,6 +171,38 @@ func importsOf(t *testing.T, files []string) []string {
 		out = append(out, p)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// fileImports returns the import paths of a file set, deduplicated and
+// sorted (the Package.Imports list RunAll schedules by).
+func fileImports(t *testing.T, files []string) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	for _, p := range fileImportsAll(t, files) {
+		seen[p] = true
+	}
+	var out []string
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fileImportsAll(t *testing.T, files []string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	var out []string
+	for _, fn := range files {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		for _, imp := range f.Imports {
+			out = append(out, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
 	return out
 }
 
@@ -136,7 +246,7 @@ func parseWants(file string) ([]want, error) {
 			}
 			re, err := regexp.Compile(pat)
 			if err != nil {
-				return nil, fmt.Errorf("%s:%d: bad want pattern: %v", file, line, err)
+				return nil, fmt.Errorf("%s:%d: bad want pattern: %w", file, line, err)
 			}
 			wants = append(wants, want{file: file, line: line, re: re, raw: pat})
 		}

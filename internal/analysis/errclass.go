@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrClass enforces error-classification hygiene at the client
+// transport boundary: the retry layer decides retryable vs terminal
+// with errors.Is/errors.As over sentinel and typed causes, so any wrap
+// that drops the error chain silently converts a retryable transport
+// failure into a terminal one (the class of bug PR 3's review fixed by
+// hand in the failover path). Two rules:
+//
+//  1. fmt.Errorf formatting an error argument must keep the chain:
+//     a constant format with no %w verb but at least one error-typed
+//     argument severs classification. The mechanical fix (-fix)
+//     rewrites the first error argument's verb to %w.
+//  2. errors must not be compared with == / != (except against nil):
+//     wrapped sentinels — exactly what rule 1 produces more of — never
+//     compare equal; use errors.Is.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "errors crossing the transport boundary must keep their class: " +
+		"wrap with %w, compare with errors.Is",
+	Run: runErrClass,
+}
+
+func runErrClass(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorIface reports whether t is the error interface (or an
+// interface extending it). Concrete types are excluded on purpose:
+// comparing two concrete pointers is identity by intent, and
+// formatting a concrete error field may be deliberate display.
+func isErrorIface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.Identical(t, errType) || types.Implements(t, errType.Underlying().(*types.Interface))
+}
+
+// checkErrorfWrap applies rule 1 to one call.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := funcOf(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Errorf" || pkgPathOf(fn) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	errArg := -1 // index into the variadic args (0 = first after format)
+	for i, arg := range call.Args[1:] {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isErrorIface(tv.Type) {
+			errArg = i
+			break
+		}
+	}
+	if errArg < 0 {
+		return
+	}
+	pass.report(Diagnostic{
+		Pos: pass.Fset.Position(call.Pos()),
+		Message: "fmt.Errorf drops the error chain (no %w): " +
+			"retry classification cannot see the cause; wrap the error argument with %w",
+		Edits: rewrapVerbEdit(pass.Fset, lit, errArg),
+	})
+}
+
+// rewrapVerbEdit builds the -fix edit replacing the verb consumed by
+// variadic argument argIdx with %w inside the quoted format literal.
+// Only simple %v / %s verbs are rewritten; anything fancier (indexed
+// arguments, flags, width) yields no edit and the finding is manual.
+func rewrapVerbEdit(fset *token.FileSet, lit *ast.BasicLit, argIdx int) []Edit {
+	src := lit.Value // quoted source text: verb bytes map 1:1 to file bytes
+	arg := 0
+	for i := 0; i < len(src)-1; i++ {
+		if src[i] != '%' {
+			continue
+		}
+		c := src[i+1]
+		if c == '%' {
+			i++
+			continue
+		}
+		if c == '[' || !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+			return nil // indexed/flagged verb: no mechanical fix
+		}
+		if arg == argIdx {
+			if c != 'v' && c != 's' {
+				return nil
+			}
+			base := fset.Position(lit.Pos()).Offset
+			return []Edit{{
+				Filename: fset.Position(lit.Pos()).Filename,
+				Start:    base + i + 1,
+				End:      base + i + 2,
+				New:      "w",
+			}}
+		}
+		arg++
+		i++
+	}
+	return nil
+}
+
+// checkErrCompare applies rule 2 to one comparison.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	isNilIdent := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNilIdent(be.X) || isNilIdent(be.Y) {
+		return
+	}
+	tx, okx := pass.TypesInfo.Types[be.X]
+	ty, oky := pass.TypesInfo.Types[be.Y]
+	if !okx || !oky || !isErrorIface(tx.Type) || !isErrorIface(ty.Type) {
+		return
+	}
+	pass.Reportf(be.OpPos,
+		"errors compared with %s never match wrapped causes; use errors.Is", be.Op)
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ninf/internal/analysis"
+	"ninf/internal/analysis/analysistest"
+)
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, "testdata/errclass", analysis.ErrClass)
+}

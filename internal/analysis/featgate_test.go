@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ninf/internal/analysis"
+	"ninf/internal/analysis/analysistest"
+)
+
+func TestFeatGate(t *testing.T) {
+	analysistest.Run(t, "testdata/featgate", analysis.FeatGate)
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the annotated hot paths — mux writer/reader loops,
+// XDR encode/decode, chunk reassembly — against per-iteration heap
+// traffic. The paper's throughput plateaus (§5–6) are reproduced with
+// steady-state loops that allocate nothing per frame; a stray
+// fmt.Sprintf or escaping &T{} in one of them shows up as GC pressure
+// under exactly the multi-client load being measured. The pass only
+// looks inside functions annotated //ninflint:hotpath, and only at
+// loop bodies within them; allocation in a block that exits the loop
+// (an error path ending in return/break/panic) is cold and exempt.
+//
+// Flagged shapes: &T{...} and new/make, []byte<->string conversions,
+// fmt.Sprint* calls, and function literals capturing enclosing
+// variables (a per-iteration closure allocation).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "//ninflint:hotpath functions must not allocate per loop " +
+		"iteration (escaping composites, conversions, Sprintf, capturing closures)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		dirs := funcDirectives(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(dirs[fd]) {
+				continue
+			}
+			hotStmts(pass, fd.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// hotStmts walks a statement list; inLoop marks statements executed
+// once per iteration of some enclosing loop.
+func hotStmts(pass *Pass, list []ast.Stmt, inLoop bool) {
+	for _, stmt := range list {
+		hotStmt(pass, stmt, inLoop)
+	}
+}
+
+func hotStmt(pass *Pass, stmt ast.Stmt, inLoop bool) {
+	switch s := stmt.(type) {
+	case *ast.ForStmt:
+		hotStmts(pass, s.Body.List, true)
+	case *ast.RangeStmt:
+		hotStmts(pass, s.Body.List, true)
+	case *ast.BlockStmt:
+		hotStmts(pass, s.List, inLoop)
+	case *ast.IfStmt:
+		// A branch that leaves the loop (or function) is a cold exit:
+		// it runs at most once per loop lifetime, so its allocations
+		// (error construction, teardown) don't count per iteration.
+		if !inLoop || !terminatesBlock(s.Body) {
+			hotStmts(pass, s.Body.List, inLoop)
+		}
+		if s.Else != nil {
+			hotStmt(pass, s.Else, inLoop)
+		}
+		if inLoop && s.Init != nil {
+			hotStmt(pass, s.Init, inLoop)
+		}
+		if inLoop {
+			checkHotExpr(pass, s.Cond)
+		}
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				if inLoop && terminatesStmts(cc.Body) {
+					continue
+				}
+				hotStmts(pass, cc.Body, inLoop)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				if inLoop && terminatesStmts(cc.Body) {
+					continue
+				}
+				hotStmts(pass, cc.Body, inLoop)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if inLoop && terminatesStmts(cc.Body) {
+					continue
+				}
+				hotStmts(pass, cc.Body, inLoop)
+			}
+		}
+	case *ast.LabeledStmt:
+		hotStmt(pass, s.Stmt, inLoop)
+	default:
+		if inLoop {
+			checkHotNode(pass, stmt)
+		}
+	}
+}
+
+// terminatesBlock reports whether the block's last statement leaves
+// the loop or function.
+func terminatesBlock(b *ast.BlockStmt) bool {
+	return terminatesStmts(b.List)
+}
+
+func terminatesStmts(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkHotExpr flags allocation shapes in one expression.
+func checkHotExpr(pass *Pass, e ast.Expr) {
+	if e != nil {
+		checkHotNode(pass, e)
+	}
+}
+
+// checkHotNode walks a statement or expression for per-iteration
+// allocation shapes.
+func checkHotNode(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "per-iteration heap allocation in hotpath: &composite literal escapes")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, x)
+		case *ast.FuncLit:
+			if capturesOuter(pass, x) {
+				pass.Reportf(x.Pos(), "per-iteration closure in hotpath captures enclosing variables (allocates each iteration)")
+			}
+			return false // inner bodies are the closure's problem
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	// Conversions: []byte(s) / string(b) copy per iteration.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := pass.TypesInfo.Types[call.Args[0]].Type
+		if from != nil {
+			if isByteSlice(to) && isString(from.Underlying()) {
+				pass.Reportf(call.Pos(), "per-iteration []byte(string) conversion in hotpath copies the payload")
+			}
+			if isString(to) && isByteSlice(from.Underlying()) {
+				pass.Reportf(call.Pos(), "per-iteration string([]byte) conversion in hotpath copies the payload")
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "make", "new":
+			if pass.TypesInfo.Uses[id] == nil || pass.TypesInfo.Uses[id].Parent() == types.Universe {
+				pass.Reportf(call.Pos(), "per-iteration %s in hotpath allocates each iteration; hoist or pool it", id.Name)
+			}
+		}
+		return
+	}
+	if fn := funcOf(pass.TypesInfo, call); fn != nil && pkgPathOf(fn) == "fmt" {
+		switch fn.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf":
+			pass.Reportf(call.Pos(), "per-iteration fmt.%s in hotpath allocates; move formatting off the hot loop", fn.Name())
+		}
+	}
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturesOuter reports whether the function literal references a
+// variable declared outside itself (a closure that must allocate its
+// environment).
+func capturesOuter(pass *Pass, fl *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, isv := obj.(*types.Var)
+		if !isv || v.IsField() {
+			return true
+		}
+		// Declared before the literal and used inside it: captured.
+		// (Package-level vars are static, not captured.)
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < fl.Pos() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

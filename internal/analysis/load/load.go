@@ -9,6 +9,7 @@ package load
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -19,7 +20,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
+	"sync"
 
 	"ninf/internal/analysis"
 )
@@ -33,6 +34,7 @@ type listedPkg struct {
 	DepOnly    bool
 	Standard   bool
 	GoFiles    []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
@@ -44,16 +46,16 @@ func golist(patterns []string) ([]listedPkg, error) {
 	cmd.Stdout = &out
 	cmd.Stderr = &errb
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, errb.String())
 	}
 	var pkgs []listedPkg
 	dec := json.NewDecoder(&out)
 	for {
 		var p listedPkg
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list output: %v", err)
+			return nil, fmt.Errorf("go list output: %w", err)
 		}
 		pkgs = append(pkgs, p)
 	}
@@ -79,7 +81,13 @@ func exportLookup(pkgs []listedPkg) func(path string) (io.ReadCloser, error) {
 }
 
 // Packages loads and type-checks every non-dependency package matched
-// by the patterns, in deterministic import-path order.
+// by the patterns, preserving `go list -deps` order — dependencies
+// before dependents — so analysis.RunAll can schedule fact propagation
+// without re-deriving the import graph. Each Package carries its
+// import path and import list for that scheduling. Parsing is
+// parallel per package (token.FileSet is internally locked); type
+// checking stays serial because the shared export-data importer is
+// not safe for concurrent use.
 func Packages(patterns ...string) ([]*analysis.Package, error) {
 	listed, err := golist(patterns)
 	if err != nil {
@@ -101,30 +109,40 @@ func Packages(patterns ...string) ([]*analysis.Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Path = p.ImportPath
+		pkg.Imports = append([]string(nil), p.Imports...)
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pkg.Path() < out[j].Pkg.Path() })
 	return out, nil
 }
 
 // Files type-checks one package given explicit file paths and an
 // importer — the entry point the analysistest fixture runner uses.
+// Files are parsed concurrently.
 func Files(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*analysis.Package, error) {
-	var files []*ast.File
-	for _, fn := range filenames {
-		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+	files := make([]*ast.File, len(filenames))
+	errs := make([]error, len(filenames))
+	var wg sync.WaitGroup
+	for i, fn := range filenames {
+		wg.Add(1)
+		go func(i int, fn string) {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
 	}
 	info := analysis.NewTypesInfo()
 	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
-	return &analysis.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+	return &analysis.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Path: path}, nil
 }
 
 func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*analysis.Package, error) {

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ninf/internal/analysis"
+	"ninf/internal/analysis/analysistest"
+)
+
+// TestOwnershipInterprocedural proves releasecheck consults the fact
+// store across package boundaries: the callee summaries (one inferred
+// consume, one annotated borrow) live in the bufpkg subpackage, and
+// the caller-side fixtures only pass when those summaries propagate.
+func TestOwnershipInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata/ownership", analysis.ReleaseCheck)
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // ReleaseCheck enforces the pooled-buffer ownership protocol of the
@@ -14,8 +15,13 @@ import (
 // Release call, an ownership transfer (returned, passed to a consuming
 // call, stored, sent, or captured by a closure), or a defer, on every
 // control-flow path, including early error returns. Functions taking
-// an owned buffer parameter inherit the same obligation; WriteFrameBuf
-// is the one borrower that does not consume its buffer.
+// an owned buffer parameter inherit the same obligation. Callee
+// behavior is interprocedural since v2: a callee annotated
+// //ninflint:owner borrow (or recorded as borrowing in the fact store)
+// does NOT discharge the caller's obligation, and a callee whose body
+// provably releases its parameter on every path is summarized as
+// consuming, so handing the buffer across internal/protocol ↔
+// internal/mux ↔ internal/server boundaries is tracked end to end.
 var ReleaseCheck = &Analyzer{
 	Name: "releasecheck",
 	Doc: "pooled frame buffers must be Released (or ownership transferred) " +
@@ -25,7 +31,11 @@ var ReleaseCheck = &Analyzer{
 
 // borrowerFuncs take a pooled buffer argument without consuming it:
 // the caller still owns the buffer afterwards. StampMux only writes
-// the version-2 header into the buffer's reserved prefix.
+// the version-2 header into the buffer's reserved prefix. This name
+// table predates the fact store and is kept as the fallback for
+// drivers that analyze one package with no cross-package facts (vet
+// unitchecker mode); //ninflint:owner annotations and inferred
+// summaries supersede it when a FactStore is present.
 var borrowerFuncs = map[string]bool{
 	"WriteFrameBuf":    true,
 	"WriteMuxFrameBuf": true,
@@ -37,16 +47,17 @@ var borrowerFuncs = map[string]bool{
 
 func runReleaseCheck(pass *Pass) error {
 	for _, f := range pass.Files {
+		dirs := funcDirectives(pass.Fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body == nil {
 					return true
 				}
-				checkOwnedParams(pass, fn.Type, fn.Body, fn.Recv, fn.Name.Name)
+				checkOwnedParams(pass, fn.Type, fn.Body, fn.Name.Name, dirs[fn])
 				scanForAcquisitions(pass, fn.Body.List, false)
 			case *ast.FuncLit:
-				checkOwnedParams(pass, fn.Type, fn.Body, nil, "")
+				checkOwnedParams(pass, fn.Type, fn.Body, "", nil)
 				scanForAcquisitions(pass, fn.Body.List, false)
 			}
 			return true
@@ -58,9 +69,14 @@ func runReleaseCheck(pass *Pass) error {
 // checkOwnedParams applies the release obligation to pooled-type
 // parameters: a function that accepts an owned buffer must dispose of
 // it on every path. Receivers are exempt (methods on the pooled type
-// itself), as are the declared borrower functions.
-func checkOwnedParams(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, recv *ast.FieldList, name string) {
+// itself), as are declared borrowers — by legacy name table or by a
+// //ninflint:owner borrow annotation, which shifts the obligation back
+// to every caller.
+func checkOwnedParams(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, name string, dirs []directive) {
 	if borrowerFuncs[name] || ft.Params == nil {
+		return
+	}
+	if role, ok := ownerDirective(dirs); ok && role == RoleBorrow {
 		return
 	}
 	for _, field := range ft.Params.List {
@@ -69,7 +85,7 @@ func checkOwnedParams(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, recv *a
 			if obj == nil || pname.Name == "_" || !isPooledType(obj.Type()) {
 				continue
 			}
-			tr := &tracker{pass: pass, obj: obj}
+			tr := newBufferTracker(pass, obj, nil, false)
 			out := tr.stmts(body.List, flowState{})
 			if !out.terminated && !out.released {
 				pass.Reportf(pname.Pos(),
@@ -104,7 +120,7 @@ func scanForAcquisitions(pass *Pass, stmts []ast.Stmt, inLoop bool) {
 	for i, stmt := range stmts {
 		if assign, ok := stmt.(*ast.AssignStmt); ok {
 			for _, acq := range acquisitionsIn(pass, assign) {
-				tr := &tracker{pass: pass, obj: acq.obj, errObj: acq.errObj, inLoopBody: inLoop}
+				tr := newBufferTracker(pass, acq.obj, acq.errObj, inLoop)
 				out := tr.stmts(stmts[i+1:], flowState{})
 				if !out.terminated && !out.released {
 					if inLoop {
@@ -220,309 +236,82 @@ func acquisitionsIn(pass *Pass, assign *ast.AssignStmt) []acquisition {
 	return acqs
 }
 
-// flowState is the per-path ownership state of one tracked variable.
-type flowState struct {
-	// released means the variable no longer carries an obligation on
-	// this path: it was Released, transferred, deferred, or is known
-	// nil (error-guard branch).
-	released bool
-}
-
-// outcome summarizes the analysis of a statement list.
-type outcome struct {
-	released   bool // ownership discharged at fall-through exit
-	terminated bool // no path falls through (return/branch on all paths)
-}
-
-// tracker runs the path-sensitive release analysis for one variable.
-type tracker struct {
+// bufPolicy supplies the pooled-buffer semantics to the engine tracker
+// for one tracked variable.
+type bufPolicy struct {
 	pass   *Pass
 	obj    types.Object
 	errObj types.Object
-	// inLoopBody marks a variable acquired inside a loop body: an
-	// unlabeled continue then re-enters the acquisition and abandons
-	// the live value, so the back edge carries the release obligation.
-	inLoopBody bool
-	// nestedLoop counts loops entered during the walk; a continue at
-	// depth > 0 targets an inner loop, not the acquiring one.
-	nestedLoop int
 }
 
-func (tr *tracker) stmts(list []ast.Stmt, st flowState) outcome {
-	for _, stmt := range list {
-		if st.released {
-			return outcome{released: true}
-		}
-		var term bool
-		st, term = tr.stmt(stmt, st)
-		if term {
-			return outcome{terminated: true}
-		}
-	}
-	return outcome{released: st.released}
-}
-
-// stmt applies one statement to the state, returning the new state and
-// whether every path through the statement terminates the enclosing
-// list (return, branch, or exhaustive terminating branches).
-func (tr *tracker) stmt(stmt ast.Stmt, st flowState) (flowState, bool) {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		return tr.applyExpr(s.X, st), false
-
-	case *ast.DeferStmt:
-		// A deferred Release (or consuming call, or capturing closure)
-		// discharges the obligation on every subsequent path.
-		return tr.applyExpr(s.Call, st), false
-
-	case *ast.GoStmt:
-		return tr.applyExpr(s.Call, st), false
-
-	case *ast.SendStmt:
-		if tr.valueUse(s.Value) {
-			st.released = true // handed to another goroutine
-		}
-		return tr.applyExpr(s.Chan, st), false
-
-	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			st = tr.applyExpr(rhs, st)
-			if !st.released && tr.valueUse(rhs) {
-				st.released = true // stored somewhere: ownership moved
-			}
-		}
-		for _, lhs := range s.Lhs {
-			if id, ok := lhs.(*ast.Ident); ok && tr.isVar(id) {
-				if !st.released {
-					tr.pass.Reportf(s.Pos(), "%s reassigned before Release", tr.obj.Name())
-				}
-				st.released = true // old value gone either way
-			} else {
-				st = tr.applyExpr(lhs, st) // index exprs etc.
-			}
-		}
-		return st, false
-
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						st = tr.applyExpr(v, st)
-						if !st.released && tr.valueUse(v) {
-							st.released = true
-						}
-					}
-				}
-			}
-		}
-		return st, false
-
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			if tr.valueUse(r) {
-				return st, true // returned to the caller: transferred
-			}
-			st = tr.applyExpr(r, st)
-		}
-		if !st.released {
-			tr.pass.Reportf(s.Pos(), "return without releasing %s", tr.obj.Name())
-		}
-		return st, true
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st, _ = tr.stmt(s.Init, st)
-		}
-		st = tr.applyExpr(s.Cond, st)
-		thenSt, elseSt := st, st
-		switch tr.guardKind(s.Cond) {
-		case guardErrNonNil:
-			thenSt.released = true // v is nil when err != nil
-		case guardErrNil:
-			elseSt.released = true
-		case guardValNil:
-			thenSt.released = true // v itself is nil in the then branch
-		case guardValNonNil:
-			// The chunked-encoder decline convention: below threshold the
-			// encoder returns nil and the caller falls through to the
-			// monolithic path with no obligation.
-			elseSt.released = true
-		}
-		thenOut := tr.stmts(s.Body.List, thenSt)
-		var elseOut outcome
-		switch e := s.Else.(type) {
-		case nil:
-			elseOut = outcome{released: elseSt.released}
-		case *ast.BlockStmt:
-			elseOut = tr.stmts(e.List, elseSt)
-		default: // else-if
-			elseOut = tr.stmts([]ast.Stmt{e}, elseSt)
-		}
-		return mergeBranches([]outcome{thenOut, elseOut})
-
-	case *ast.BlockStmt:
-		out := tr.stmts(s.List, st)
-		return flowState{released: out.released}, out.terminated
-
-	case *ast.LabeledStmt:
-		return tr.stmt(s.Stmt, st)
-
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			st, _ = tr.stmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			st = tr.applyExpr(s.Tag, st)
-		}
-		return tr.caseBodies(s.Body, st)
-
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			st, _ = tr.stmt(s.Init, st)
-		}
-		return tr.caseBodies(s.Body, st)
-
-	case *ast.SelectStmt:
-		var outs []outcome
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CommClause)
-			ccSt := st
-			if cc.Comm != nil {
-				ccSt, _ = tr.stmt(cc.Comm, ccSt)
-			}
-			outs = append(outs, tr.stmts(cc.Body, ccSt))
-		}
-		if len(outs) == 0 {
-			return st, false
-		}
-		return mergeBranches(outs)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st, _ = tr.stmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			st = tr.applyExpr(s.Cond, st)
-		}
-		tr.nestedLoop++
-		bodyOut := tr.stmts(s.Body.List, st)
-		tr.nestedLoop--
-		_ = bodyOut
-		if s.Cond == nil {
-			// for{}: code after the loop is unreachable (break edges
-			// are not modelled; no data-plane code needs them).
-			return st, true
-		}
-		return st, false // body may run zero times
-
-	case *ast.RangeStmt:
-		st = tr.applyExpr(s.X, st)
-		tr.nestedLoop++
-		tr.stmts(s.Body.List, st)
-		tr.nestedLoop--
-		return st, false
-
-	case *ast.BranchStmt:
-		// An unlabeled continue targeting the loop the value was
-		// acquired in re-runs the acquisition: a retry loop must
-		// release the pooled value on each failed attempt's path
-		// before backing off.
-		if s.Tok == token.CONTINUE && s.Label == nil &&
-			tr.inLoopBody && tr.nestedLoop == 0 && !st.released {
-			tr.pass.Reportf(s.Pos(), "continue without releasing %s", tr.obj.Name())
-		}
-		// break/goto (and labeled continue) leave this list; the
-		// target edge is not modelled, so treat the path as handled
-		// elsewhere.
-		return st, true
-
-	default:
-		return st, false
+// newBufferTracker wires a tracker with the pooled-buffer policy:
+// Release/release methods discharge, consuming calls transfer, value
+// uses move ownership, err/nil guards cancel the obligation, and leaks
+// report in releasecheck's PR 2 vocabulary. The return-leak diagnostic
+// carries a suggested fix (insert obj.Release() before the return) for
+// ninflint -fix.
+func newBufferTracker(pass *Pass, obj, errObj types.Object, inLoop bool) *tracker {
+	p := &bufPolicy{pass: pass, obj: obj, errObj: errObj}
+	return &tracker{
+		pass:        pass,
+		inLoopBody:  inLoop,
+		isVar:       p.isVar,
+		releases:    p.releases,
+		transfersIn: p.transfersIn,
+		valueUse:    p.valueUse,
+		captures:    p.captures,
+		guardKind:   p.guardKind,
+		onReturn: func(pos token.Pos) {
+			pass.report(Diagnostic{
+				Pos:     pass.Fset.Position(pos),
+				Message: "return without releasing " + obj.Name(),
+				Edits:   insertBefore(pass.Fset, pos, obj.Name()+".Release()"),
+			})
+		},
+		onContinue: func(pos token.Pos) {
+			pass.report(Diagnostic{
+				Pos:     pass.Fset.Position(pos),
+				Message: "continue without releasing " + obj.Name(),
+				Edits:   insertBefore(pass.Fset, pos, obj.Name()+".Release()"),
+			})
+		},
+		onReassign: func(pos token.Pos) {
+			pass.Reportf(pos, "%s reassigned before Release", obj.Name())
+		},
 	}
 }
 
-// caseBodies merges the branches of a switch body; a missing default
-// contributes an implicit fall-through path.
-func (tr *tracker) caseBodies(body *ast.BlockStmt, st flowState) (flowState, bool) {
-	var outs []outcome
-	hasDefault := false
-	for _, c := range body.List {
-		cc, ok := c.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		if cc.List == nil {
-			hasDefault = true
-		}
-		ccSt := st
-		for _, e := range cc.List {
-			ccSt = tr.applyExpr(e, ccSt)
-		}
-		outs = append(outs, tr.stmts(cc.Body, ccSt))
+// insertBefore builds the -fix edit that inserts stmt as a new line
+// directly above the statement at pos, reproducing its indentation.
+func insertBefore(fset *token.FileSet, pos token.Pos, stmt string) []Edit {
+	p := fset.Position(pos)
+	if !p.IsValid() || p.Column < 1 {
+		return nil
 	}
-	if !hasDefault {
-		outs = append(outs, outcome{released: st.released})
-	}
-	if len(outs) == 0 {
-		return st, false
-	}
-	return mergeBranches(outs)
+	indent := strings.Repeat("\t", p.Column-1)
+	return []Edit{{
+		Filename: p.Filename,
+		Start:    p.Offset,
+		End:      p.Offset,
+		New:      stmt + "\n" + indent,
+	}}
 }
 
-// mergeBranches combines sibling control-flow branches: paths that
-// terminate impose no fall-through obligation; every continuing path
-// must agree the value is released for the merged state to be
-// released.
-func mergeBranches(outs []outcome) (flowState, bool) {
-	allTerminated := true
-	allReleased := true
-	for _, o := range outs {
-		if !o.terminated {
-			allTerminated = false
-			if !o.released {
-				allReleased = false
-			}
-		}
+// isBorrower reports whether fn lends rather than takes its pooled
+// arguments: the legacy name table, a cross-package RoleBorrow fact
+// (annotation), but never an inferred-consume summary.
+func (b *bufPolicy) isBorrower(fn *types.Func) bool {
+	if fn == nil {
+		return false
 	}
-	if allTerminated {
-		return flowState{}, true
-	}
-	return flowState{released: allReleased}, false
-}
-
-// applyExpr folds release/transfer effects of an expression into the
-// state: an explicit v.Release() call, v passed to a consuming call,
-// or v captured by a function literal.
-func (tr *tracker) applyExpr(e ast.Expr, st flowState) flowState {
-	if e == nil || st.released {
-		return st
-	}
-	released := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if released {
-			return false
-		}
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if tr.releases(x) || tr.transfersIn(x) {
-				released = true
-				return false
-			}
-		case *ast.FuncLit:
-			if usesIdentOf(tr.pass.TypesInfo, x, tr.obj) {
-				released = true // closure capture: ownership escapes
-			}
-			return false
-		}
+	if borrowerFuncs[fn.Name()] {
 		return true
-	})
-	st.released = st.released || released
-	return st
+	}
+	return b.pass.Facts.Owner(fn) == RoleBorrow
 }
 
 // releases reports whether call is v.Release() / v.release().
-func (tr *tracker) releases(call *ast.CallExpr) bool {
+func (b *bufPolicy) releases(call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false
@@ -531,33 +320,37 @@ func (tr *tracker) releases(call *ast.CallExpr) bool {
 		return false
 	}
 	id, ok := ast.Unparen(sel.X).(*ast.Ident)
-	return ok && tr.isVar(id)
+	return ok && b.isVar(id)
 }
 
 // transfersIn reports whether the call consumes v: v appears as a
 // plain argument value (not as the receiver of a method call on v, and
-// not to a declared borrower function).
-func (tr *tracker) transfersIn(call *ast.CallExpr) bool {
-	if fn := funcOf(tr.pass.TypesInfo, call); fn != nil && borrowerFuncs[fn.Name()] {
+// not to a borrower).
+func (b *bufPolicy) transfersIn(call *ast.CallExpr) bool {
+	if b.isBorrower(funcOf(b.pass.TypesInfo, call)) {
 		return false
 	}
 	for _, arg := range call.Args {
-		if tr.valueUse(arg) {
+		if b.valueUse(arg) {
 			return true
 		}
 	}
 	return false
 }
 
+func (b *bufPolicy) captures(fl *ast.FuncLit) bool {
+	return usesIdentOf(b.pass.TypesInfo, fl, b.obj)
+}
+
 // valueUse reports whether expr mentions v as a value (rather than as
 // the base of a field access or method call, which merely borrows).
-func (tr *tracker) valueUse(expr ast.Expr) bool {
+func (b *bufPolicy) valueUse(expr ast.Expr) bool {
 	if expr == nil {
 		return false
 	}
 	// First pass: idents that are the direct base of a selector (v.f,
 	// v.M(...)) are borrows, not value uses — and so are arguments of
-	// declared borrower calls (WriteFrameBuf lends, it does not take).
+	// borrower calls (WriteFrameBuf lends, it does not take).
 	borrowBases := make(map[*ast.Ident]bool)
 	ast.Inspect(expr, func(n ast.Node) bool {
 		switch x := n.(type) {
@@ -566,7 +359,7 @@ func (tr *tracker) valueUse(expr ast.Expr) bool {
 				borrowBases[id] = true
 			}
 		case *ast.CallExpr:
-			if fn := funcOf(tr.pass.TypesInfo, x); fn != nil && borrowerFuncs[fn.Name()] {
+			if b.isBorrower(funcOf(b.pass.TypesInfo, x)) {
 				for _, arg := range x.Args {
 					ast.Inspect(arg, func(m ast.Node) bool {
 						if id, ok := m.(*ast.Ident); ok {
@@ -587,7 +380,7 @@ func (tr *tracker) valueUse(expr ast.Expr) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false // closure capture is handled by applyExpr
 		}
-		if id, ok := n.(*ast.Ident); ok && tr.isVar(id) && !borrowBases[id] {
+		if id, ok := n.(*ast.Ident); ok && b.isVar(id) && !borrowBases[id] {
 			found = true
 		}
 		return true
@@ -595,27 +388,17 @@ func (tr *tracker) valueUse(expr ast.Expr) bool {
 	return found
 }
 
-func (tr *tracker) isVar(id *ast.Ident) bool {
-	info := tr.pass.TypesInfo
-	return info.Uses[id] == tr.obj || info.Defs[id] == tr.obj
+func (b *bufPolicy) isVar(id *ast.Ident) bool {
+	info := b.pass.TypesInfo
+	return info.Uses[id] == b.obj || info.Defs[id] == b.obj
 }
-
-type guard int
-
-const (
-	guardNone guard = iota
-	guardErrNonNil
-	guardErrNil
-	guardValNonNil
-	guardValNil
-)
 
 // guardKind classifies nil-comparison conditions: against the error
 // variable paired with the acquisition (err != nil means the pooled
 // result is nil by convention), or against the tracked value itself
 // (a nil value carries no obligation — Release is nil-safe, and the
 // chunked encoders return nil below threshold by design).
-func (tr *tracker) guardKind(cond ast.Expr) guard {
+func (b *bufPolicy) guardKind(cond ast.Expr) guard {
 	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
 	if !ok {
 		return guardNone
@@ -637,13 +420,13 @@ func (tr *tracker) guardKind(cond ast.Expr) guard {
 	default:
 		return guardNone
 	}
-	if tr.errObj != nil && exprObj(tr.pass.TypesInfo, operand) == tr.errObj {
+	if b.errObj != nil && exprObj(b.pass.TypesInfo, operand) == b.errObj {
 		if be.Op == token.NEQ {
 			return guardErrNonNil
 		}
 		return guardErrNil
 	}
-	if id, ok := operand.(*ast.Ident); ok && tr.isVar(id) {
+	if id, ok := operand.(*ast.Ident); ok && b.isVar(id) {
 		if be.Op == token.NEQ {
 			return guardValNonNil
 		}

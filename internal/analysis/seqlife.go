@@ -1,0 +1,583 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeqLife is the per-Seq analogue of releasecheck: every mux sequence
+// number registered in a session/dispatch map (pending replies, open
+// reassemblies) must be removed on all paths — reply delivery,
+// context abandonment, session teardown, bulk abort. A leaked entry is
+// a leaked reply channel and an ever-growing map on a long-lived
+// connection, exactly the lifecycle bug class the multi-client runs
+// would only surface after hours.
+//
+// The pass works in two layers. Package hygiene: a seq-keyed map field
+// (map with an unsigned key, inserted into under a *seq* key) must
+// have both a delete site and a teardown (a nil/make reset or a range
+// sweep) somewhere in its package. Path tracking: a call that
+// registers a fresh seq and returns it (recognized by body shape and
+// recorded as a fact) starts an obligation in the caller, discharged
+// on every path by a deregistering call, a delete, receiving from the
+// paired reply channel, or handing the seq onward (returned or sent).
+var SeqLife = &Analyzer{
+	Name: "seqlife",
+	Doc: "mux sequences registered in session/dispatch maps must be removed " +
+		"on all paths (reply, abandon, teardown, bulk abort)",
+	Run: runSeqLife,
+}
+
+// seqMapUse inventories one seq-keyed map field within a package.
+type seqMapUse struct {
+	field     *types.Var
+	inserts   []token.Pos
+	deletes   int
+	teardowns int
+}
+
+// seqSummaries is the per-package function classification the path
+// layer consumes.
+type seqSummaries struct {
+	registers   map[*types.Func]*types.Var // inserts a fresh local key and returns it
+	deregisters map[*types.Func]*types.Var // deletes a param key or tears the map down
+}
+
+func runSeqLife(pass *Pass) error {
+	sums := &seqSummaries{
+		registers:   make(map[*types.Func]*types.Var),
+		deregisters: make(map[*types.Func]*types.Var),
+	}
+	inv := make(map[*types.Var]*seqMapUse)
+
+	// Layer 1: inventory every seq-map field and classify functions.
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			classifySeqFunc(pass, fd, inv, sums)
+		}
+	}
+
+	// Teardown by transitive call: Close() tears down by calling
+	// fail(). One fixpoint sweep over direct in-package calls.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pass.Files {
+			if isTestFile(pass, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil || sums.deregisters[fn] != nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := funcOf(pass.TypesInfo, call); callee != nil {
+						if fld := sums.deregisters[callee]; fld != nil {
+							sums.deregisters[fn] = fld
+							changed = true
+							return false
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Publish summaries for dependent packages.
+	for fn, fld := range sums.registers {
+		pass.Facts.SetSeqMap(funcKey(fn), fld.String(), "")
+	}
+	for fn, fld := range sums.deregisters {
+		pass.Facts.SetSeqMap(funcKey(fn), "", fld.String())
+	}
+
+	// Package-hygiene findings.
+	for fld, use := range inv {
+		switch {
+		case use.deletes == 0:
+			for _, pos := range use.inserts {
+				pass.Reportf(pos,
+					"seq registered in %s.%s is never deleted in this package (no delete site: reply, abandon, and abort paths all leak)",
+					fieldOwnerName(fld), fld.Name())
+			}
+		case use.teardowns == 0:
+			for _, pos := range use.inserts {
+				pass.Reportf(pos,
+					"seq map %s.%s has no teardown (nil/make reset or range sweep): entries in flight at close leak their waiters",
+					fieldOwnerName(fld), fld.Name())
+			}
+		}
+	}
+
+	// Layer 2: path-track register-style acquisitions in callers.
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanSeqAcquisitions(pass, sums, fn.Body.List, false)
+				}
+			case *ast.FuncLit:
+				scanSeqAcquisitions(pass, sums, fn.Body.List, false)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTestFile reports whether the file is a _test.go file; the runtime
+// invariants the protocol passes enforce do not bind test scaffolding
+// (tests legitimately leak seqs and skip gates to probe those paths).
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// fieldOwnerName names the struct type a field belongs to, for
+// diagnostics ("Session.pending").
+func fieldOwnerName(fld *types.Var) string {
+	if fld.Pkg() == nil {
+		return "?"
+	}
+	// Scan the package scope for the named type owning the field.
+	scope := fld.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				return tn.Name()
+			}
+		}
+	}
+	return fld.Pkg().Name()
+}
+
+// seqMapField resolves expr to a struct field of seq-map shape
+// (map with an unsigned basic key), or nil.
+func seqMapField(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[sel.Sel]
+	if s, found := info.Selections[sel]; found {
+		obj = s.Obj()
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	m, ok := v.Type().Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	b, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsUnsigned == 0 {
+		return nil
+	}
+	return v
+}
+
+// mentionsSeqIdent reports whether the expression mentions an
+// identifier whose name contains "seq" — the convention every
+// sequence-number variable in the data plane follows.
+func mentionsSeqIdent(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok &&
+			strings.Contains(strings.ToLower(id.Name), "seq") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// classifySeqFunc inventories one function's seq-map effects and
+// classifies it as a registering or deregistering function.
+func classifySeqFunc(pass *Pass, fd *ast.FuncDecl, inv map[*types.Var]*seqMapUse, sums *seqSummaries) {
+	info := pass.TypesInfo
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+
+	// Parameter (and receiver) objects, to tell locally created keys
+	// from caller-supplied ones.
+	params := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+
+	use := func(fld *types.Var) *seqMapUse {
+		u := inv[fld]
+		if u == nil {
+			u = &seqMapUse{field: fld}
+			inv[fld] = u
+		}
+		return u
+	}
+
+	var insertedLocalKey types.Object
+	var insertedField *types.Var
+	var deregField, teardownField *types.Var
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if fld := seqMapField(info, ix.X); fld != nil && mentionsSeqIdent(ix.Index) {
+						use(fld).inserts = append(use(fld).inserts, ix.Pos())
+						if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok {
+							if obj := exprObj(info, id); obj != nil && !params[obj] {
+								insertedLocalKey, insertedField = obj, fld
+							}
+						}
+					}
+					continue
+				}
+				// Teardown reset: field = nil, field = make(...).
+				if fld := seqMapField(info, lhs); fld != nil && i < len(s.Rhs) {
+					switch rhs := ast.Unparen(s.Rhs[i]).(type) {
+					case *ast.Ident:
+						if rhs.Name == "nil" {
+							use(fld).teardowns++
+							teardownField = fld
+						}
+					case *ast.CallExpr:
+						if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "make" {
+							use(fld).teardowns++
+						}
+					}
+				}
+				// Teardown by aliasing (waiters := s.pending; s.pending
+				// = nil) is covered by the nil reset above.
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "delete" && len(s.Args) == 2 {
+				if fld := seqMapField(info, s.Args[0]); fld != nil {
+					use(fld).deletes++
+					if obj := exprObj(info, s.Args[1]); obj != nil && params[obj] {
+						deregField = fld
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if fld := seqMapField(info, s.X); fld != nil {
+				use(fld).teardowns++
+				teardownField = fld
+			}
+		}
+		return true
+	})
+
+	if fn == nil {
+		return
+	}
+	if insertedLocalKey != nil && insertedField != nil && returnsObj(info, fd.Body, insertedLocalKey) {
+		sums.registers[fn] = insertedField
+	}
+	if deregField != nil {
+		sums.deregisters[fn] = deregField
+	} else if teardownField != nil {
+		sums.deregisters[fn] = teardownField
+	}
+}
+
+// returnsObj reports whether some return statement hands obj back to
+// the caller (directly in the top-level function body, not a nested
+// literal).
+func returnsObj(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && exprObj(info, id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// scanSeqAcquisitions walks a statement list for register-call
+// acquisitions (seq, ch, err := s.register(...)) and path-tracks each,
+// mirroring releasecheck's scan structure.
+func scanSeqAcquisitions(pass *Pass, sums *seqSummaries, stmts []ast.Stmt, inLoop bool) {
+	for i, stmt := range stmts {
+		if assign, ok := stmt.(*ast.AssignStmt); ok {
+			if acq := seqAcquisitionIn(pass, sums, assign); acq != nil {
+				tr := newSeqTracker(pass, sums, acq, inLoop)
+				out := tr.stmts(stmts[i+1:], flowState{})
+				if !out.terminated && !out.released {
+					pass.Reportf(acq.seqObj.Pos(),
+						"seq %s registered via %s is not deregistered (or its reply channel received from) on every path",
+						acq.seqObj.Name(), acq.src)
+				}
+			}
+		}
+		scanSeqNested(pass, sums, stmt, inLoop)
+	}
+}
+
+func scanSeqNested(pass *Pass, sums *seqSummaries, stmt ast.Stmt, inLoop bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		scanSeqAcquisitions(pass, sums, s.List, inLoop)
+	case *ast.IfStmt:
+		scanSeqAcquisitions(pass, sums, s.Body.List, inLoop)
+		if s.Else != nil {
+			scanSeqNested(pass, sums, s.Else, inLoop)
+		}
+	case *ast.ForStmt:
+		scanSeqAcquisitions(pass, sums, s.Body.List, true)
+	case *ast.RangeStmt:
+		scanSeqAcquisitions(pass, sums, s.Body.List, true)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanSeqAcquisitions(pass, sums, cc.Body, inLoop)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanSeqAcquisitions(pass, sums, cc.Body, inLoop)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanSeqAcquisitions(pass, sums, cc.Body, inLoop)
+			}
+		}
+	case *ast.LabeledStmt:
+		scanSeqNested(pass, sums, s.Stmt, inLoop)
+	}
+}
+
+// seqAcquisition is one registered sequence being tracked: the key
+// variable, its paired reply channel, and the error assigned alongside
+// (err != nil means no registration happened).
+type seqAcquisition struct {
+	seqObj types.Object
+	chObj  types.Object
+	errObj types.Object
+	src    string
+}
+
+// seqAcquisitionIn recognizes `seq, ch, err := x.register(...)` —
+// a single call on the right whose callee carries a register summary
+// (local classification or cross-package fact).
+func seqAcquisitionIn(pass *Pass, sums *seqSummaries, assign *ast.AssignStmt) *seqAcquisition {
+	if len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := funcOf(pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	if sums.registers[fn] == nil {
+		if reg, _ := pass.Facts.SeqMap(fn); reg == "" {
+			return nil
+		}
+	}
+	acq := &seqAcquisition{src: fn.Name()}
+	for _, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		switch t := obj.Type().Underlying().(type) {
+		case *types.Basic:
+			if t.Info()&types.IsUnsigned != 0 {
+				acq.seqObj = obj
+			}
+		case *types.Chan:
+			acq.chObj = obj
+		default:
+			if types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+				acq.errObj = obj
+			}
+		}
+	}
+	if acq.seqObj == nil {
+		return nil
+	}
+	return acq
+}
+
+// seqPolicy supplies sequence-registration semantics to the engine
+// tracker. Sequence numbers are plain values, so "mentions" is not
+// transfer: only returning or sending the bare seq/channel hands the
+// obligation onward. Discharges are a deregistering call (by summary),
+// a direct delete, a teardown call, or a receive from the paired reply
+// channel (the deliverer removed the entry before handing the result
+// over).
+type seqPolicy struct {
+	pass *Pass
+	sums *seqSummaries
+	acq  *seqAcquisition
+}
+
+func newSeqTracker(pass *Pass, sums *seqSummaries, acq *seqAcquisition, inLoop bool) *tracker {
+	p := &seqPolicy{pass: pass, sums: sums, acq: acq}
+	return &tracker{
+		pass:        pass,
+		inLoopBody:  inLoop,
+		isVar:       p.isVar,
+		releases:    p.releases,
+		transfersIn: func(*ast.CallExpr) bool { return false },
+		valueUse:    p.valueUse,
+		captures:    p.captures,
+		discharges:  p.discharges,
+		guardKind:   p.guardKind,
+		onReturn: func(pos token.Pos) {
+			pass.Reportf(pos, "return without deregistering seq %s (registered via %s)",
+				acq.seqObj.Name(), acq.src)
+		},
+		onContinue: func(pos token.Pos) {
+			pass.Reportf(pos, "continue without deregistering seq %s (registered via %s)",
+				acq.seqObj.Name(), acq.src)
+		},
+		onReassign: func(pos token.Pos) {
+			pass.Reportf(pos, "seq %s reassigned before deregistration", acq.seqObj.Name())
+		},
+	}
+}
+
+func (p *seqPolicy) isVar(id *ast.Ident) bool {
+	obj := p.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = p.pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && (obj == p.acq.seqObj || (p.acq.chObj != nil && obj == p.acq.chObj))
+}
+
+func (p *seqPolicy) mentionsSeq(expr ast.Expr) bool {
+	return usesIdentOf(p.pass.TypesInfo, expr, p.acq.seqObj)
+}
+
+func (p *seqPolicy) releases(call *ast.CallExpr) bool {
+	// delete(m, seq)
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+		return p.mentionsSeq(call.Args[1])
+	}
+	fn := funcOf(p.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if p.sums.deregisters[fn] != nil {
+		return true
+	}
+	_, dereg := p.pass.Facts.SeqMap(fn)
+	return dereg != ""
+}
+
+// valueUse: only the bare identifier counts — embedding the seq value
+// in a struct or passing it to a stamping call copies the number
+// without moving the registration obligation.
+func (p *seqPolicy) valueUse(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && p.isVar(id)
+}
+
+func (p *seqPolicy) captures(fl *ast.FuncLit) bool {
+	return usesIdentOf(p.pass.TypesInfo, fl, p.acq.seqObj)
+}
+
+// discharges recognizes a receive from the paired reply channel.
+func (p *seqPolicy) discharges(n ast.Node) bool {
+	ue, ok := n.(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW || p.acq.chObj == nil {
+		return false
+	}
+	id, ok := ast.Unparen(ue.X).(*ast.Ident)
+	return ok && exprObj(p.pass.TypesInfo, id) == p.acq.chObj
+}
+
+func (p *seqPolicy) guardKind(cond ast.Expr) guard {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return guardNone
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	var operand ast.Expr
+	switch {
+	case isNil(y):
+		operand = x
+	case isNil(x):
+		operand = y
+	default:
+		return guardNone
+	}
+	if p.acq.errObj != nil && exprObj(p.pass.TypesInfo, operand) == p.acq.errObj {
+		if be.Op == token.NEQ {
+			return guardErrNonNil
+		}
+		return guardErrNil
+	}
+	return guardNone
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ninf/internal/analysis"
+	"ninf/internal/analysis/analysistest"
+)
+
+func TestSeqLife(t *testing.T) {
+	analysistest.Run(t, "testdata/seqlife", analysis.SeqLife)
+}

@@ -1,0 +1,74 @@
+// Fixture for the errclass pass: errors crossing the transport
+// boundary must keep their class — wrap with %w so errors.Is can see
+// the cause, and never compare error values with == / != (wrapped
+// sentinels do not compare equal).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// Negative: the chain is kept.
+func goodWrap(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// Positive: %v severs the chain the retry layer classifies by.
+func badWrap(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `fmt.Errorf drops the error chain \(no %w\)`
+}
+
+// Positive: the error is the second argument; the verb index matters
+// for the -fix rewrite but not for the finding.
+func badWrapSecond(name string, err error) error {
+	return fmt.Errorf("op %s failed: %v", name, err) // want `fmt.Errorf drops the error chain \(no %w\)`
+}
+
+// Negative: no error argument, nothing to wrap.
+func goodNoError(name string, n int) error {
+	return fmt.Errorf("op %s failed after %d tries", name, n)
+}
+
+// Negative: a dynamic format cannot be checked mechanically.
+func goodDynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// Positive: wrapped sentinels never compare equal.
+func badCompare(err error) bool {
+	return err == errSentinel // want `errors compared with == never match wrapped causes; use errors.Is`
+}
+
+// Positive: same for inequality.
+func badCompareNeq(err error) bool {
+	return err != errSentinel // want `errors compared with != never match wrapped causes; use errors.Is`
+}
+
+// Negative: nil checks are the idiom, not a classification.
+func goodNilCheck(err error) bool {
+	return err != nil
+}
+
+// Negative: errors.Is is the fix, not a finding.
+func goodIs(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+// Negative: concrete-type identity is deliberate (only interface-typed
+// comparisons are flagged).
+type myErr struct{ code int }
+
+func (*myErr) Error() string { return "myErr" }
+
+func goodConcreteIdentity(a, b *myErr) bool {
+	return a == b
+}
+
+// Negative: suppressed identity check.
+func suppressedCompare(err error) bool {
+	//lint:ninflint errclass — identity semantics wanted here, not Is
+	return err == errSentinel
+}

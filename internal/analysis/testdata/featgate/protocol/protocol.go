@@ -1,0 +1,32 @@
+// Package protocol stands in for the wire package: it defines the
+// feature-gated roots. The defining package is exempt from its own
+// gates — encoders must build the messages they encode.
+package protocol
+
+type MsgType uint8
+
+const (
+	MsgCallReply MsgType = 2
+	MsgBulkBegin MsgType = 5
+	MsgBulkChunk MsgType = 6
+	MsgBulkAbort MsgType = 7
+)
+
+const (
+	MuxVersion     = 2
+	MuxVersionBulk = 3
+)
+
+type BulkMsg struct{ N int }
+
+// EncodeCallRequestChunks is a class-"bulk" root by name.
+func EncodeCallRequestChunks(n int) (*BulkMsg, error) {
+	return &BulkMsg{N: n}, nil
+}
+
+// WriteMsg is the send-side sink the fixture passes wire constants to.
+func WriteMsg(t MsgType, payload []byte) error {
+	_ = t
+	_ = payload
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package wrap holds a transparent-fallback wrapper: EncodeReq's
+// chunked-path use is ungated in its own body, but every in-package
+// call site is dominated by a gate, so it is clean here — and it is
+// published as gate-requiring, so importers inherit the obligation
+// through the fact store.
+package wrap
+
+import "fixture/featgate/protocol"
+
+type Conn struct{ level int }
+
+// Bulk is the capability accessor the gate recognizer looks for.
+func (c *Conn) Bulk() bool { return c.level >= protocol.MuxVersionBulk }
+
+// EncodeReq is the encodeRequestChunks shape: discharged one hop up.
+func EncodeReq(c *Conn, n int) (*protocol.BulkMsg, error) {
+	return protocol.EncodeCallRequestChunks(n)
+}
+
+func send(c *Conn, n int) error {
+	if c.Bulk() {
+		m, err := EncodeReq(c, n)
+		_ = m
+		return err
+	}
+	return nil
+}

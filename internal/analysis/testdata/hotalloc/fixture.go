@@ -1,0 +1,70 @@
+// Fixture for the hotalloc pass: only functions annotated
+// //ninflint:hotpath are inspected, and only their loop bodies;
+// cold exits (blocks that leave the loop) are exempt.
+package fixture
+
+import "fmt"
+
+type frameHdr struct{ n int }
+
+// Negative: identical body, no annotation — hotalloc stays out.
+func coldLoop(frames [][]byte) {
+	for _, f := range frames {
+		_ = string(f)
+		_ = make([]byte, len(f))
+	}
+}
+
+//ninflint:hotpath — steady-state frame loop (justification is stripped)
+func hotLoop(frames [][]byte, sink func(*frameHdr)) {
+	scratch := make([]byte, 64) // clean: hoisted above the loop
+	for _, f := range frames {
+		buf := make([]byte, len(f)) // want `per-iteration make in hotpath allocates each iteration; hoist or pool it`
+		copy(buf, f)
+		s := string(f) // want `per-iteration string\(\[\]byte\) conversion in hotpath copies the payload`
+		_ = s
+		h := &frameHdr{n: len(f)} // want `per-iteration heap allocation in hotpath: &composite literal escapes`
+		sink(h)
+		msg := fmt.Sprintf("frame %d", len(f)) // want `per-iteration fmt.Sprintf in hotpath allocates; move formatting off the hot loop`
+		_ = msg
+		if len(f) == 0 {
+			// Cold exit: the error path runs at most once per loop
+			// lifetime, so its allocations are exempt.
+			panic(fmt.Sprintf("empty frame with %d scratch bytes", len(scratch)))
+		}
+	}
+}
+
+//ninflint:hotpath
+func hotBytes(lines []string, out chan<- []byte) {
+	for _, l := range lines {
+		b := []byte(l) // want `per-iteration \[\]byte\(string\) conversion in hotpath copies the payload`
+		out <- b
+	}
+}
+
+//ninflint:hotpath
+func hotClosure(frames [][]byte, run func(func())) {
+	for _, f := range frames {
+		run(func() { _ = f }) // want `per-iteration closure in hotpath captures enclosing variables \(allocates each iteration\)`
+	}
+}
+
+// Negative: a closure capturing nothing is a static function value.
+//
+//ninflint:hotpath
+func hotStaticClosure(n int, run func(func())) {
+	for i := 0; i < n; i++ {
+		run(func() {})
+	}
+}
+
+// Negative: suppressed startup-path allocation.
+//
+//ninflint:hotpath
+func suppressedHot(frames [][]byte) {
+	for range frames {
+		//lint:ninflint hotalloc — warm-up iteration only, measured cold
+		_ = make([]byte, 1)
+	}
+}

@@ -1,0 +1,30 @@
+// Package bufpkg defines the pooled type plus callees whose ownership
+// summaries releasecheck consumes across the package boundary: Settle
+// is inferred RoleConsume from its body, Stamp is annotated borrow.
+package bufpkg
+
+type Buffer struct{ data []byte }
+
+func (b *Buffer) Release() {}
+func (b *Buffer) Len() int { return len(b.data) }
+
+func Acquire() *Buffer { return &Buffer{} }
+
+// Settle releases its argument on every path — including the nil
+// decline — so the fact prepass infers a consume summary for it.
+func Settle(b *Buffer) {
+	if b == nil {
+		return
+	}
+	b.Release()
+}
+
+// Stamp patches the buffer's header in place; the caller keeps
+// ownership. Without the annotation its own body would be flagged
+// (the parameter reaches the end unreleased) and callers would wrongly
+// treat the call as a transfer.
+//
+//ninflint:owner borrow — reads and patches in place, never releases
+func Stamp(b *Buffer) int {
+	return b.Len()
+}

@@ -1,0 +1,35 @@
+// Fixture for interprocedural ownership: the pooled type and the
+// callees live in the bufpkg subpackage, so every obligation here is
+// resolved through the fact store, not the legacy name table.
+package fixture
+
+import "fixture/ownership/bufpkg"
+
+// Negative: the buffer is released only inside the callee — the
+// inferred consume summary discharges the caller across the package
+// boundary.
+func goodCalleeReleases() {
+	b := bufpkg.Acquire()
+	bufpkg.Settle(b)
+}
+
+// Positive: Stamp is annotated borrow, so passing b transfers nothing;
+// the forgetful caller still owns the buffer at return.
+func badBorrowForgotten() int {
+	b := bufpkg.Acquire()
+	return bufpkg.Stamp(b) // want `return without releasing b`
+}
+
+// Negative: borrow then release is the contract.
+func goodBorrowThenRelease() int {
+	b := bufpkg.Acquire()
+	n := bufpkg.Stamp(b)
+	b.Release()
+	return n
+}
+
+// Positive: a borrowed buffer leaking through a fall-through exit.
+func badBorrowFallThrough() {
+	b := bufpkg.Acquire() // want `b acquired from Acquire is not Released \(or ownership-transferred\) on every path`
+	_ = bufpkg.Stamp(b)
+}

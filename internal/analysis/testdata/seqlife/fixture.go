@@ -1,0 +1,133 @@
+// Fixture for the seqlife pass: Sess mirrors the mux session — a
+// seq-keyed pending map with a registering call (fresh key inserted and
+// returned), a deregistering call, and a teardown sweep. The path layer
+// tracks each register-call acquisition; the hygiene layer checks every
+// seq-keyed map has delete and teardown sites somewhere in the package.
+package fixture
+
+import "errors"
+
+var errShut = errors.New("shut down")
+
+// Sess is the well-kept session: register/deregister/fail cover every
+// lifecycle edge, so its map draws no hygiene findings.
+type Sess struct {
+	next    uint32
+	pending map[uint32]chan int
+}
+
+// register inserts a fresh seq and hands it to the caller — the shape
+// the path layer recognizes as starting an obligation.
+func (s *Sess) register() (uint32, chan int, error) {
+	if s.pending == nil {
+		return 0, nil, errShut
+	}
+	seq := s.next
+	s.next++
+	ch := make(chan int, 1)
+	s.pending[seq] = ch
+	return seq, ch, nil
+}
+
+// deregister removes one entry: the abandon-path discharge.
+func (s *Sess) deregister(seq uint32) {
+	delete(s.pending, seq)
+}
+
+// fail sweeps every waiter: the teardown discharge.
+func (s *Sess) fail() {
+	for seq, ch := range s.pending {
+		delete(s.pending, seq)
+		close(ch)
+	}
+	s.pending = nil
+}
+
+// Close tears down by calling fail — the transitive-teardown fixpoint.
+func (s *Sess) Close() {
+	s.fail()
+}
+
+// stamp stands in for embedding the seq in a frame header: copying the
+// number does not move the registration obligation.
+type stamp struct{ id uint32 }
+
+// Negative: the roundtrip shape — the reply arm receives from the
+// paired channel (the deliverer already removed the entry), the abandon
+// arm deregisters by hand.
+func goodRoundtrip(s *Sess, done chan struct{}) (int, error) {
+	seq, ch, err := s.register()
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-done:
+		s.deregister(seq)
+		return 0, errShut
+	}
+}
+
+// Negative: session teardown discharges every registration, one call
+// hop away (Close -> fail).
+func goodTeardown(s *Sess) error {
+	seq, _, err := s.register()
+	if err != nil {
+		return err
+	}
+	_ = stamp{id: seq}
+	s.Close()
+	return nil
+}
+
+// Positive: the early return abandons the registration.
+func badEarlyReturn(s *Sess, decline bool) error {
+	seq, ch, err := s.register()
+	if err != nil {
+		return err
+	}
+	if decline {
+		return errShut // want `return without deregistering seq seq \(registered via register\)`
+	}
+	<-ch
+	s.deregister(seq)
+	return nil
+}
+
+// Positive: no path ever removes the entry.
+func badFallThrough(s *Sess) {
+	seq, _, _ := s.register() // want `seq seq registered via register is not deregistered \(or its reply channel received from\) on every path`
+	_ = stamp{id: seq}
+}
+
+// Negative: suppressed intentional leak — the driver honors
+// //lint:ninflint for seqlife findings too.
+func suppressedLeak(s *Sess) {
+	//lint:ninflint seqlife — fixture exercises the suppression syntax
+	seq, _, _ := s.register()
+	_ = stamp{id: seq}
+}
+
+// LeakyReg inserts but never deletes: every insert site is flagged.
+type LeakyReg struct {
+	open map[uint64]bool
+}
+
+func (r *LeakyReg) add(seq uint64) {
+	r.open[seq] = true // want `seq registered in LeakyReg.open is never deleted in this package`
+}
+
+// NoTear deletes per entry but has no teardown sweep or reset: entries
+// in flight at close leak their waiters.
+type NoTear struct {
+	open map[uint64]int
+}
+
+func (r *NoTear) add(seq uint64, v int) {
+	r.open[seq] = v // want `seq map NoTear.open has no teardown`
+}
+
+func (r *NoTear) remove(seq uint64) {
+	delete(r.open, seq)
+}

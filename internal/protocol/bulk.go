@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -459,7 +460,7 @@ func ReadMuxHeader(r io.Reader, maxPayload int) (MsgType, uint32, int, error) {
 	}
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return 0, 0, 0, io.EOF
 		}
 		return 0, 0, 0, fmt.Errorf("protocol: read mux header: %w", err)

@@ -261,7 +261,7 @@ func ReadFrameBuf(r io.Reader, maxPayload int) (MsgType, *Buffer, error) {
 	}
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return 0, nil, io.EOF
 		}
 		return 0, nil, fmt.Errorf("protocol: read header: %w", err)
@@ -330,7 +330,7 @@ func ReadFrame(r io.Reader, maxPayload int) (MsgType, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		// EOF between frames is a clean close; pass it through
 		// undecorated so callers can detect it.
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return 0, nil, io.EOF
 		}
 		return 0, nil, fmt.Errorf("protocol: read header: %w", err)

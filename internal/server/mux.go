@@ -114,6 +114,7 @@ func (s *Server) bulkThreshold() int {
 // Chunked bulk requests reassemble inline in the read loop (chunk data
 // is read straight into the per-sequence buffer) and dispatch once
 // complete, exactly like a monolithic frame plus segment metadata.
+//ninflint:hotpath
 func (s *Server) serveMux(conn net.Conn, client string, version int) {
 	bulkOK := version >= protocol.MuxVersionBulk
 	replies := make(chan muxReply, s.muxConcurrency())
@@ -154,7 +155,7 @@ read:
 	for {
 		typ, seq, n, err := protocol.ReadMuxHeader(br, s.cfg.MaxPayload)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("ninf server: mux read: %v", err)
 			}
 			break
@@ -181,8 +182,7 @@ read:
 				break read
 			}
 			if bd != nil {
-				bulk := bd.Bulk
-				dispatch(bd.Type, seq, bd.FB, &bulk)
+				dispatch(bd.Type, seq, bd.FB, &bd.Bulk)
 			}
 		case protocol.MsgBulkAbort:
 			// The client gave up mid-stream (context ended); drop the
@@ -236,6 +236,7 @@ type bulkFlight struct {
 // difference between one write per reply and one write per burst. With
 // bulk chunks pending the writer never yields; the chunk write itself
 // is the pause that lets replies accumulate.
+//ninflint:hotpath
 func (s *Server) muxWriteLoop(conn net.Conn, replies <-chan muxReply, outstanding func() int) {
 	batch := make([]muxReply, 0, maxMuxWriteBatch)
 	bufs := make([]*protocol.Buffer, 0, maxMuxWriteBatch)
@@ -279,7 +280,7 @@ func (s *Server) muxWriteLoop(conn net.Conn, replies <-chan muxReply, outstandin
 				bufs = append(bufs, stampReply(batch[i]))
 			}
 			if !broken {
-				//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
+				// muxWriteLoop is the connection's serialization point.
 				if err := protocol.WriteStampedFrames(conn, bufs); err != nil {
 					broken = true
 					s.logf("ninf server: mux write: %v", err)
@@ -350,7 +351,7 @@ func takeReply(r muxReply, batch *[]muxReply, active *[]*bulkFlight) {
 func (s *Server) bulkReplyStep(conn net.Conn, bf *bulkFlight) (bool, error) {
 	if !bf.begun {
 		fb := bf.r.bulk.EncodeBegin()
-		//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
+		//lint:ninflint sharedwrite,featgate — muxWriteLoop IS the serialization point; replies enter bulkq only via bulkOK-gated muxReplyFor
 		err := protocol.WriteMuxFrameBuf(conn, protocol.MsgBulkBegin, bf.r.seq, fb)
 		fb.Release()
 		if err != nil {
@@ -359,7 +360,7 @@ func (s *Server) bulkReplyStep(conn net.Conn, bf *bulkFlight) (bool, error) {
 		bf.begun = true
 		return false, nil
 	}
-	//lint:ninflint sharedwrite — muxWriteLoop IS the connection's serialization point
+	// muxWriteLoop is the connection's serialization point.
 	return bf.cur.WriteChunk(conn, bf.r.seq, protocol.DefaultBulkChunk)
 }
 

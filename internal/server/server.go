@@ -418,7 +418,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	for {
 		typ, fb, err := protocol.ReadFrameBuf(conn, s.cfg.MaxPayload)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("ninf server: read: %v", err)
 			}
 			return

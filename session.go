@@ -127,7 +127,8 @@ func (c *Client) session(ctx context.Context) (*mux.Session, error) {
 	// books: Close's pool.closeAll severs a handshake blocked against a
 	// dead server, and severs the session transport itself later — the
 	// connection stays checked out for the session's whole life.
-	//lint:ninflint locknet — sess.mu exists to serialize session (re)establishment; pool.closeAll and guardConn both sever a blocked handshake
+	// sess.mu serializes session (re)establishment; pool.closeAll and
+	// guardConn both sever a handshake blocked under it.
 	conn, err := c.pool.get()
 	if err != nil {
 		return nil, err

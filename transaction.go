@@ -297,7 +297,7 @@ func (tx *Transaction) fetchInterface(ctx context.Context, name string, args []a
 			if lastErr == nil {
 				lastErr = err
 			} else {
-				lastErr = fmt.Errorf("%v (after: %v)", err, lastErr)
+				lastErr = fmt.Errorf("%w (after: %v)", err, lastErr)
 			}
 			if attempt == tx.maxAttempts-1 {
 				return nil, lastErr
@@ -361,7 +361,7 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 			if lastErr == nil {
 				lastErr = err
 			} else {
-				lastErr = fmt.Errorf("%v (after: %v)", err, lastErr)
+				lastErr = fmt.Errorf("%w (after: %v)", err, lastErr)
 			}
 			if attempt == tx.maxAttempts-1 {
 				return nil, lastErr

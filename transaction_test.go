@@ -1,11 +1,14 @@
 package ninf_test
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"ninf"
 	"ninf/internal/linpack"
+	"ninf/internal/metaserver"
 	"ninf/internal/server"
 )
 
@@ -134,5 +137,37 @@ func TestTransactionDependencyFailurePropagates(t *testing.T) {
 	}
 	if errs[1] == nil {
 		t.Error("dependent dgesl did not inherit failure")
+	}
+}
+
+// noServerScheduler reports "no eligible server" on every placement,
+// the way the metaserver does while every breaker is open.
+type noServerScheduler struct{ places int }
+
+func (s *noServerScheduler) Place(ninf.SchedRequest) (ninf.Placement, error) {
+	s.places++
+	return ninf.Placement{}, metaserver.ErrNoServer
+}
+
+func (s *noServerScheduler) Observe(string, int64, time.Duration, bool) {}
+
+// Regression: chaining placement failures across retry attempts must
+// keep the sentinel reachable by errors.Is — an earlier version built
+// the chain with %v, so after the second attempt the retry and
+// failover layers could no longer classify the failure.
+func TestTransactionPlacementErrorKeepsClass(t *testing.T) {
+	sched := &noServerScheduler{}
+	tx := ninf.BeginTransaction(sched)
+	tx.SetMaxAttempts(3)
+	tx.Call("pi", 1)
+	err := tx.End()
+	if err == nil {
+		t.Fatal("End succeeded with no eligible server")
+	}
+	if !errors.Is(err, metaserver.ErrNoServer) {
+		t.Fatalf("placement failure lost its class after chained retries: %v", err)
+	}
+	if sched.places < 2 {
+		t.Fatalf("expected repeated placement attempts, got %d", sched.places)
 	}
 }
