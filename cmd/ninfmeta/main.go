@@ -6,12 +6,20 @@
 //
 //	ninfmeta [-addr :3100] [-policy bandwidth-aware|load-only|round-robin]
 //	         [-poll 5s] [-fail-threshold 3] [-breaker-cooldown 1s]
+//	         [-id meta-1] [-peers host2:3100,host3:3100] [-gossip 500ms]
 //	         server1:3000 server2:3000 ...
 //
 // Each positional argument is a computational server address; servers
 // are registered under their address as the name. Clients use
 // metaserver.NewRemoteScheduler (or the multiclient examples) to route
 // transactions through the daemon.
+//
+// With -peers the metaserver runs as one replica of a highly-available
+// set: registrations and per-server observations are gossiped to every
+// peer so any replica can answer placements, and clients given the
+// full replica list fail over transparently when one dies. -id names
+// this replica's gossip origin (defaults to the listen address) and
+// must be unique across the set.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"ninf/internal/metaserver"
@@ -32,6 +41,9 @@ func main() {
 	power := flag.Float64("power", 100, "assumed server compute rate in Mflops (uniform)")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures (calls or polls) that open a server's circuit breaker")
 	cooldown := flag.Duration("breaker-cooldown", time.Second, "how long an open breaker blocks placements before a half-open probe")
+	id := flag.String("id", "", "replica identity for gossip origin stamps (default: listen address)")
+	peers := flag.String("peers", "", "comma-separated peer metaserver addresses for replication")
+	gossip := flag.Duration("gossip", 500*time.Millisecond, "anti-entropy gossip interval when -peers is set")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -44,7 +56,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	origin := *id
+	if origin == "" {
+		origin = *addr
+	}
 	m := metaserver.New(metaserver.Config{
+		Origin:          origin,
 		Policy:          pol,
 		FailThreshold:   *failThreshold,
 		BreakerCooldown: *cooldown,
@@ -64,9 +81,30 @@ func main() {
 	stop := m.StartMonitor(*poll)
 	defer stop()
 
+	nPeers := 0
+	if *peers != "" {
+		for _, pa := range strings.Split(*peers, ",") {
+			pa = strings.TrimSpace(pa)
+			if pa == "" {
+				continue
+			}
+			if err := m.AddPeer(pa, nil); err != nil {
+				log.Fatal(err)
+			}
+			nPeers++
+		}
+	}
+	if nPeers > 0 {
+		stopGossip := m.StartGossip(*gossip)
+		defer stopGossip()
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if nPeers > 0 {
+		log.Printf("ninfmeta: replica %q gossiping with %d peers every %v", origin, nPeers, *gossip)
 	}
 	log.Printf("ninfmeta: listening on %s, %s policy, monitoring %d servers every %v",
 		l.Addr(), pol.Name(), flag.NArg(), *poll)

@@ -4,18 +4,27 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ninf"
 	"ninf/internal/protocol"
 )
 
+// daemonMaxPayload bounds any single frame the daemon accepts or a
+// replica exchanges: large enough for a full gossip batch, small
+// enough that a hostile or corrupted length word cannot balloon
+// memory.
+const daemonMaxPayload = 1 << 20
+
 // Serve runs the metaserver daemon protocol on a listener: clients
 // send MsgSchedule to obtain a placement, MsgObserve to report call
-// outcomes, and MsgPing for liveness. Serve returns when the listener
-// closes.
+// outcomes, and MsgPing for liveness; fellow replicas send MsgGossip.
+// Serve returns when the listener closes.
 func (m *Metaserver) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -32,11 +41,21 @@ func (m *Metaserver) Serve(l net.Listener) error {
 	}
 }
 
-// ServeConn handles one client connection.
+// ServeConn handles one client connection. Every frame is read under
+// Config.ConnReadTimeout — a peer that connects and then stalls (or
+// dies without a FIN) is severed instead of parking this goroutine
+// forever — and bounded by daemonMaxPayload. Protocol violations
+// (malformed payloads, unknown frame types, oversized frames) answer
+// one MsgError and close the connection; only application-level
+// refusals (no eligible server) keep it open.
 func (m *Metaserver) ServeConn(conn net.Conn) {
 	for {
-		typ, payload, err := protocol.ReadFrame(conn, 0)
+		conn.SetDeadline(time.Now().Add(m.cfg.ConnReadTimeout))
+		typ, payload, err := protocol.ReadFrame(conn, daemonMaxPayload)
 		if err != nil {
+			if errors.Is(err, protocol.ErrOversized) {
+				writeErr(conn, protocol.CodeBadArguments, err.Error())
+			}
 			return
 		}
 		switch typ {
@@ -47,10 +66,8 @@ func (m *Metaserver) ServeConn(conn net.Conn) {
 		case protocol.MsgSchedule:
 			req, err := protocol.DecodeScheduleRequest(payload)
 			if err != nil {
-				if writeErr(conn, protocol.CodeBadArguments, err.Error()) != nil {
-					return
-				}
-				continue
+				writeErr(conn, protocol.CodeBadArguments, err.Error())
+				return
 			}
 			pl, err := m.Place(ninf.SchedRequest{
 				Routine:  req.Routine,
@@ -72,27 +89,30 @@ func (m *Metaserver) ServeConn(conn net.Conn) {
 		case protocol.MsgObserve:
 			req, err := protocol.DecodeObserveRequest(payload)
 			if err != nil {
-				if writeErr(conn, protocol.CodeBadArguments, err.Error()) != nil {
-					return
-				}
-				continue
+				writeErr(conn, protocol.CodeBadArguments, err.Error())
+				return
 			}
-			if req.Overloaded {
-				// Reconstitute the overload rejection so the penalty
-				// path (breaker untouched, placement biased away)
-				// applies to remote observations too.
-				m.ObserveErr(req.Name, req.Bytes, time.Duration(req.Nanos),
-					&protocol.RemoteError{Code: protocol.CodeOverloaded, RetryAfterMillis: req.RetryAfterMillis})
-			} else {
-				m.Observe(req.Name, req.Bytes, time.Duration(req.Nanos), req.Failed)
-			}
+			m.ObserveRemote(req)
 			if protocol.WriteFrame(conn, protocol.MsgObserveOK, nil) != nil {
 				return
 			}
-		default:
-			if writeErr(conn, protocol.CodeInternal, fmt.Sprintf("unexpected frame %v", typ)) != nil {
+		case protocol.MsgGossip:
+			req, err := protocol.DecodeGossipRequest(payload)
+			if err != nil {
+				writeErr(conn, protocol.CodeBadArguments, err.Error())
 				return
 			}
+			reply := m.handleGossip(req)
+			fb := protocol.AcquireBuffer(reply.SizeHint())
+			reply.EncodeInto(fb.Encoder())
+			err = writeGossipFrame(conn, protocol.MsgGossipOK, fb)
+			fb.Release()
+			if err != nil {
+				return
+			}
+		default:
+			writeErr(conn, protocol.CodeInternal, fmt.Sprintf("unexpected frame %v", typ))
+			return
 		}
 	}
 }
@@ -110,62 +130,271 @@ func writeErr(conn io.Writer, code uint32, detail string) error {
 	return protocol.WriteFrame(conn, protocol.MsgError, protocol.EncodeErrorReply(code, detail))
 }
 
+// metaReplica is the client-side view of one metaserver address:
+// its persistent control connection and its failure accounting.
+type metaReplica struct {
+	addr string
+	dial func() (net.Conn, error)
+
+	// Guarded by RemoteScheduler.mu:
+	conn       net.Conn
+	fails      int       // consecutive transport failures
+	avoidUntil time.Time // backoff window after a failure
+	lastOK     time.Time
+}
+
+// cacheEntry is one server remembered from a successful placement,
+// usable while fresh if every metaserver becomes unreachable.
+type cacheEntry struct {
+	addr string
+	at   time.Time
+}
+
 // RemoteScheduler is the client side of the daemon protocol: a
 // ninf.Scheduler that forwards placement decisions to a metaserver
 // process over the network.
+//
+// Given several metaserver addresses it is highly available: requests
+// go to the current replica, and any transport error fails over to the
+// next, with a capped-jitter backoff window ordering unhealthy
+// replicas last. A replica being retried after failures must first
+// answer a MsgPing health check before it gets real traffic again.
+// Outcome reports are stamped with a per-scheduler origin and sequence
+// number, so a report replayed to a second replica after failover is
+// counted once by the replica set, not twice.
+//
+// When every metaserver is unreachable the scheduler degrades rather
+// than fails: placements fall back to a TTL'd cache of servers
+// recently handed out, rotated round-robin and honoring the request's
+// exclusions, with Placement.Degraded set so callers can see they ran
+// on possibly-stale routing.
 type RemoteScheduler struct {
-	// DialMeta opens a connection to the metaserver.
+	// DialMeta opens a connection to the (single) metaserver. It is
+	// the pre-HA configuration surface, used only when no addresses
+	// were given to NewRemoteScheduler.
 	DialMeta func() (net.Conn, error)
 	// DialServer opens a connection to a computational server given
 	// the address advertised by the metaserver. nil means net.Dial
 	// over TCP.
 	DialServer func(addr string) (net.Conn, error)
+	// CacheTTL bounds how long a cached placement may serve degraded
+	// mode (default 30s).
+	CacheTTL time.Duration
+	// Origin stamps outcome reports for idempotent replay; defaulted
+	// to a process-unique ID.
+	Origin string
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu       sync.Mutex
+	metas    []*metaReplica
+	cur      int // index of the currently preferred replica
+	seq      uint64
+	cache    map[string]cacheEntry
+	rrDeg    int // round-robin cursor for degraded placements
+	degraded int // degraded placements handed out
+	init     bool
 }
 
-// NewRemoteScheduler connects to a metaserver daemon at addr over TCP.
-func NewRemoteScheduler(addr string) *RemoteScheduler {
-	return &RemoteScheduler{
-		DialMeta: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+// NewRemoteScheduler connects to one or more metaserver daemons over
+// TCP. With several addresses the scheduler fails over between them;
+// the first is preferred initially.
+func NewRemoteScheduler(addrs ...string) *RemoteScheduler {
+	r := &RemoteScheduler{}
+	for _, a := range addrs {
+		a := a
+		r.metas = append(r.metas, &metaReplica{
+			addr: a,
+			dial: func() (net.Conn, error) { return net.Dial("tcp", a) },
+		})
 	}
+	return r
 }
 
+// AddMeta registers an additional metaserver replica reachable
+// through a custom dialer (nil means TCP to addr). Replicas are tried
+// in registration order; the first registered is preferred initially.
+func (r *RemoteScheduler) AddMeta(addr string, dial func() (net.Conn, error)) {
+	if dial == nil {
+		dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metas = append(r.metas, &metaReplica{addr: addr, dial: dial})
+}
+
+var clientOriginCounter uint64
+
+// ensureLocked finishes construction lazily so zero-value and
+// struct-literal schedulers keep working. Callers hold r.mu.
+func (r *RemoteScheduler) ensureLocked() {
+	if r.init {
+		return
+	}
+	r.init = true
+	if len(r.metas) == 0 && r.DialMeta != nil {
+		r.metas = append(r.metas, &metaReplica{addr: "metaserver", dial: r.DialMeta})
+	}
+	if r.CacheTTL <= 0 {
+		r.CacheTTL = 30 * time.Second
+	}
+	if r.Origin == "" {
+		r.Origin = fmt.Sprintf("client-%x-%d", time.Now().UnixNano(), atomic.AddUint64(&clientOriginCounter, 1))
+	}
+	r.cache = make(map[string]cacheEntry)
+}
+
+// metaBackoff sizes the avoidance window after the fails-th
+// consecutive transport failure: capped jitter, 50ms doubling to a 2s
+// ceiling, drawn uniformly from [d/2, d). Short enough that a revived
+// replica is retried promptly, long enough that a dead one is not
+// hammered on every placement.
+func metaBackoff(fails int) time.Duration {
+	// Shift only inside the doubling range: past it (or on a bogus
+	// count) the window is pinned at the ceiling, and an unclamped
+	// shift would overflow Duration once fails grows into the dozens.
+	d := 2 * time.Second
+	if fails >= 1 && fails <= 6 {
+		d = 50 * time.Millisecond << uint(fails-1)
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// errNoMetaserver reports a scheduler constructed with no way to reach
+// any metaserver.
+var errNoMetaserver = errors.New("metaserver: no metaserver configured")
+
+// roundTrip sends one request to the replica set: the preferred
+// replica first, then the others, replicas inside their backoff
+// window last (they are still tried, so a full outage probes everyone
+// before giving up). A MsgError reply is the daemon answering — it
+// converts to RemoteError and does not fail over.
 func (r *RemoteScheduler) roundTrip(typ protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.conn == nil {
-		conn, err := r.DialMeta()
+	r.ensureLocked()
+	if len(r.metas) == 0 {
+		return 0, nil, errNoMetaserver
+	}
+	n := len(r.metas)
+	now := time.Now()
+	order := make([]*metaReplica, 0, n)
+	var avoided []*metaReplica
+	for i := 0; i < n; i++ {
+		mr := r.metas[(r.cur+i)%n]
+		if now.Before(mr.avoidUntil) {
+			avoided = append(avoided, mr)
+			continue
+		}
+		order = append(order, mr)
+	}
+	order = append(order, avoided...)
+
+	var lastErr error
+	for _, mr := range order {
+		rt, rp, err := r.exchangeLocked(mr, typ, payload)
+		if err != nil {
+			lastErr = err
+			mr.fails++
+			mr.avoidUntil = time.Now().Add(metaBackoff(mr.fails))
+			continue
+		}
+		mr.fails = 0
+		mr.avoidUntil = time.Time{}
+		mr.lastOK = time.Now()
+		for i, x := range r.metas {
+			if x == mr {
+				r.cur = i
+			}
+		}
+		if rt == protocol.MsgError {
+			er, derr := protocol.DecodeErrorReply(rp)
+			if derr != nil {
+				return 0, nil, derr
+			}
+			return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail, RetryAfterMillis: er.RetryAfterMillis}
+		}
+		return rt, rp, nil
+	}
+	return 0, nil, fmt.Errorf("metaserver: all %d metaservers unreachable: %w", n, lastErr)
+}
+
+// exchangeLocked runs one request/reply on a replica. A failure on an
+// existing pooled connection (the daemon's idle timeout may have
+// severed it) is retried once on a fresh dial before the replica is
+// declared down; replays are safe because outcome reports carry
+// origin+seq and schedule requests are side-effect-light. Callers
+// hold r.mu.
+func (r *RemoteScheduler) exchangeLocked(mr *metaReplica, typ protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
+	if mr.conn != nil {
+		rt, rp, err := r.onceLocked(mr, typ, payload, false)
+		if err == nil {
+			return rt, rp, nil
+		}
+	}
+	return r.onceLocked(mr, typ, payload, mr.fails > 0)
+}
+
+// onceLocked performs a single attempt, dialing if needed. ping makes
+// a replica that previously failed prove liveness with a MsgPing round
+// trip before the real request. Callers hold r.mu.
+func (r *RemoteScheduler) onceLocked(mr *metaReplica, typ protocol.MsgType, payload []byte, ping bool) (protocol.MsgType, []byte, error) {
+	if mr.conn == nil {
+		conn, err := mr.dial()
 		if err != nil {
 			return 0, nil, err
 		}
-		r.conn = conn
-	}
-	//lint:ninflint locknet — r.mu serializes the scheduler's single control channel; requests would interleave without it
-	if err := protocol.WriteFrame(r.conn, typ, payload); err != nil {
-		r.conn.Close()
-		r.conn = nil
-		return 0, nil, err
-	}
-	//lint:ninflint locknet — reply must be read under the same serialization as the request above
-	rt, rp, err := protocol.ReadFrame(r.conn, 0)
-	if err != nil {
-		r.conn.Close()
-		r.conn = nil
-		return 0, nil, err
-	}
-	if rt == protocol.MsgError {
-		er, derr := protocol.DecodeErrorReply(rp)
-		if derr != nil {
-			return 0, nil, derr
+		mr.conn = conn
+		if ping {
+			if err := protocol.WriteFrame(mr.conn, protocol.MsgPing, nil); err != nil {
+				r.dropLocked(mr)
+				return 0, nil, err
+			}
+			pt, _, err := protocol.ReadFrame(mr.conn, daemonMaxPayload)
+			if err != nil {
+				r.dropLocked(mr)
+				return 0, nil, err
+			}
+			if pt != protocol.MsgPong {
+				r.dropLocked(mr)
+				return 0, nil, fmt.Errorf("metaserver: unexpected reply %v to ping", pt)
+			}
 		}
-		return 0, nil, &protocol.RemoteError{Code: er.Code, Detail: er.Detail}
+	}
+	if err := protocol.WriteFrame(mr.conn, typ, payload); err != nil {
+		r.dropLocked(mr)
+		return 0, nil, err
+	}
+	rt, rp, err := protocol.ReadFrame(mr.conn, daemonMaxPayload)
+	if err != nil {
+		r.dropLocked(mr)
+		return 0, nil, err
 	}
 	return rt, rp, nil
 }
 
-// Place implements ninf.Scheduler.
+// dropLocked discards a replica's pooled connection. Callers hold
+// r.mu.
+func (r *RemoteScheduler) dropLocked(mr *metaReplica) {
+	if mr.conn != nil {
+		mr.conn.Close()
+		mr.conn = nil
+	}
+}
+
+// serverDial builds the dialer a placement hands the transaction
+// layer.
+func (r *RemoteScheduler) serverDial(addr string) func() (net.Conn, error) {
+	dial := r.DialServer
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	return func() (net.Conn, error) { return dial(addr) }
+}
+
+// Place implements ninf.Scheduler. A transport-level failure of every
+// replica falls back to the degraded placement cache; an explicit
+// refusal from a reachable daemon (e.g. no eligible server) is
+// returned as-is.
 func (r *RemoteScheduler) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 	wire := protocol.ScheduleRequest{
 		Routine:  req.Routine,
@@ -176,7 +405,11 @@ func (r *RemoteScheduler) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 	}
 	typ, p, err := r.roundTrip(protocol.MsgSchedule, wire.Encode())
 	if err != nil {
-		return ninf.Placement{}, err
+		var re *protocol.RemoteError
+		if errors.As(err, &re) {
+			return ninf.Placement{}, err
+		}
+		return r.placeDegraded(req, err)
 	}
 	if typ != protocol.MsgScheduleOK {
 		return ninf.Placement{}, fmt.Errorf("metaserver: unexpected reply %v to schedule", typ)
@@ -185,27 +418,57 @@ func (r *RemoteScheduler) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 	if err != nil {
 		return ninf.Placement{}, err
 	}
-	dialServer := r.DialServer
-	if dialServer == nil {
-		dialServer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	r.mu.Lock()
+	r.ensureLocked()
+	r.cache[reply.Name] = cacheEntry{addr: reply.Addr, at: time.Now()}
+	r.mu.Unlock()
+	return ninf.Placement{Name: reply.Name, Dial: r.serverDial(reply.Addr)}, nil
+}
+
+// placeDegraded serves a placement from the cache of servers the
+// metaservers recently handed out: fresh entries minus the request's
+// exclusions, rotated round-robin. The per-call exclusion loop in the
+// transaction layer supplies the failure handling a live metaserver
+// would — a cached server that fails is excluded on the retry and the
+// rotation moves on.
+func (r *RemoteScheduler) placeDegraded(req ninf.SchedRequest, cause error) (ninf.Placement, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureLocked()
+	excluded := make(map[string]bool, len(req.Exclude))
+	for _, x := range req.Exclude {
+		excluded[x] = true
 	}
-	addr := reply.Addr
-	return ninf.Placement{
-		Name: reply.Name,
-		Dial: func() (net.Conn, error) { return dialServer(addr) },
-	}, nil
+	now := time.Now()
+	names := make([]string, 0, len(r.cache))
+	for name, ce := range r.cache {
+		if now.Sub(ce.at) > r.CacheTTL {
+			delete(r.cache, name)
+			continue
+		}
+		if excluded[name] {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return ninf.Placement{}, fmt.Errorf("metaserver: degraded and no usable cached server: %w", cause)
+	}
+	sort.Strings(names)
+	r.rrDeg++
+	name := names[r.rrDeg%len(names)]
+	r.degraded++
+	return ninf.Placement{Name: name, Dial: r.serverDial(r.cache[name].addr), Degraded: true}, nil
 }
 
 // Observe implements ninf.Scheduler.
 func (r *RemoteScheduler) Observe(serverName string, bytes int64, elapsed time.Duration, failed bool) {
-	wire := protocol.ObserveRequest{
+	r.observe(protocol.ObserveRequest{
 		Name:   serverName,
 		Bytes:  bytes,
 		Nanos:  int64(elapsed),
 		Failed: failed,
-	}
-	// Observations are advisory; errors are deliberately dropped.
-	r.roundTrip(protocol.MsgObserve, wire.Encode())
+	})
 }
 
 // ObserveErr forwards error-classified feedback: an overload rejection
@@ -223,19 +486,82 @@ func (r *RemoteScheduler) ObserveErr(serverName string, bytes int64, elapsed tim
 		wire.Overloaded = true
 		wire.RetryAfterMillis = re.RetryAfterMillis
 	}
+	r.observe(wire)
+}
+
+// observe stamps the report with this scheduler's origin and next
+// sequence number — the identity that keeps a replayed report from
+// being double-counted — and sends it. Observations are advisory;
+// errors are deliberately dropped (roundTrip has already retried every
+// replica).
+func (r *RemoteScheduler) observe(wire protocol.ObserveRequest) {
+	r.mu.Lock()
+	r.ensureLocked()
+	r.seq++
+	wire.Origin, wire.Seq = r.Origin, r.seq
+	r.mu.Unlock()
 	r.roundTrip(protocol.MsgObserve, wire.Encode())
 }
 
-// Close releases the metaserver connection.
+// MetaStatus is the client-side health view of one metaserver replica.
+type MetaStatus struct {
+	// Addr is the replica's configured address.
+	Addr string
+	// Current marks the replica requests currently prefer.
+	Current bool
+	// Fails is the consecutive transport-failure streak.
+	Fails int
+	// AvoidedUntil is the end of the failure backoff window (zero when
+	// healthy).
+	AvoidedUntil time.Time
+	// LastOK is when the replica last answered (zero if never).
+	LastOK time.Time
+}
+
+// SchedulerStatus is RemoteScheduler introspection: replica health and
+// degraded-mode accounting.
+type SchedulerStatus struct {
+	Metas []MetaStatus
+	// CachedServers is the current placement-cache population
+	// (including possibly-stale entries not yet pruned).
+	CachedServers int
+	// DegradedPlacements counts placements served from the cache while
+	// every metaserver was unreachable.
+	DegradedPlacements int
+}
+
+// Status reports replica health and degraded-mode accounting.
+func (r *RemoteScheduler) Status() SchedulerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureLocked()
+	st := SchedulerStatus{CachedServers: len(r.cache), DegradedPlacements: r.degraded}
+	for i, mr := range r.metas {
+		st.Metas = append(st.Metas, MetaStatus{
+			Addr:         mr.addr,
+			Current:      i == r.cur,
+			Fails:        mr.fails,
+			AvoidedUntil: mr.avoidUntil,
+			LastOK:       mr.lastOK,
+		})
+	}
+	return st
+}
+
+// Close releases all metaserver connections.
 func (r *RemoteScheduler) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.conn != nil {
-		err := r.conn.Close()
-		r.conn = nil
-		return err
+	var first error
+	for _, mr := range r.metas {
+		if mr.conn != nil {
+			if err := mr.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			mr.conn = nil
+		}
 	}
-	return nil
+	return first
 }
 
 var _ ninf.Scheduler = (*RemoteScheduler)(nil)

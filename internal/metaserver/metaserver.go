@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -61,6 +62,12 @@ type Snapshot struct {
 	TraceCompute map[string]time.Duration
 	// LastSeen is when the server last answered a poll.
 	LastSeen time.Time
+	// ObsCount is how many distinct call-outcome reports have been
+	// applied for this server, counting each client-stamped
+	// (origin, seq) report once regardless of how many times failover
+	// or gossip redelivered it. Replicas that have converged agree on
+	// it.
+	ObsCount int
 }
 
 // A Policy picks a server for one request. Only alive servers are
@@ -91,6 +98,21 @@ type Config struct {
 	// away from the server when it carried no retry-after hint
 	// (default 1s). A hint overrides it, capped at 30s.
 	OverloadPenalty time.Duration
+	// Origin identifies this replica in gossip records and must be
+	// unique across a replica set (default "meta" — fine standalone,
+	// wrong for replication).
+	Origin string
+	// DialServer reaches a computational server learned through gossip
+	// by its advertised address; nil means plain TCP.
+	DialServer func(addr string) (net.Conn, error)
+	// GossipInterval is the default anti-entropy period for StartGossip
+	// (default 500ms).
+	GossipInterval time.Duration
+	// ConnReadTimeout bounds how long the daemon waits for the next
+	// frame on an accepted connection before severing it (default 2m).
+	// It is the guard against half-dead clients parking read loops
+	// forever.
+	ConnReadTimeout time.Duration
 }
 
 // Metaserver monitors servers and places calls. It implements
@@ -104,6 +126,12 @@ type Metaserver struct {
 	order   []string
 	rr      int // round-robin cursor for tie-breaking
 	events  []BreakerEvent
+
+	// Replication state; see replica.go.
+	origin string
+	seq    uint64                // last locally issued gossip seq
+	log    map[string]*originLog // per-origin applied records
+	peers  []*peer
 }
 
 type entry struct {
@@ -138,11 +166,26 @@ func New(cfg Config) *Metaserver {
 	if cfg.OverloadPenalty <= 0 {
 		cfg.OverloadPenalty = time.Second
 	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 500 * time.Millisecond
+	}
+	if cfg.ConnReadTimeout <= 0 {
+		cfg.ConnReadTimeout = 2 * time.Minute
+	}
+	if cfg.Origin == "" {
+		cfg.Origin = "meta"
+	}
 	p := cfg.Policy
 	if p == nil {
 		p = BandwidthAware{}
 	}
-	return &Metaserver{cfg: cfg, policy: p, servers: make(map[string]*entry)}
+	return &Metaserver{
+		cfg:     cfg,
+		policy:  p,
+		servers: make(map[string]*entry),
+		origin:  cfg.Origin,
+		log:     make(map[string]*originLog),
+	}
 }
 
 // AddServer registers a computational server under a unique name.
@@ -166,6 +209,14 @@ func (m *Metaserver) AddServer(name, addr string, powerMflops float64, dial func
 	e.Bandwidth = m.cfg.InitialBandwidth
 	m.servers[name] = e
 	m.order = append(m.order, name)
+	// Registrations always enter the gossip log (a handful of records)
+	// so peers added later still learn every server.
+	m.recordLocked(protocol.GossipRecord{
+		Kind:  protocol.GossipRegister,
+		Name:  name,
+		Addr:  addr,
+		Power: powerMflops,
+	})
 	return nil
 }
 
@@ -176,6 +227,13 @@ func (m *Metaserver) RemoveServer(name string) {
 	if _, ok := m.servers[name]; !ok {
 		return
 	}
+	m.removeLocked(name)
+	m.recordLocked(protocol.GossipRecord{Kind: protocol.GossipDeregister, Name: name})
+}
+
+// removeLocked drops a server from the placement view. Callers hold
+// m.mu.
+func (m *Metaserver) removeLocked(name string) {
 	delete(m.servers, name)
 	for i, n := range m.order {
 		if n == name {
@@ -250,6 +308,17 @@ func (m *Metaserver) PollOnce() int {
 			e.brk.onSuccess(m.transition(e))
 			m.syncEntry(e)
 			e.refresh(now)
+			if len(m.peers) > 0 {
+				// Share the first-hand poll with peers; they apply it
+				// freshest-wins, so a replica partitioned from a server
+				// still sees its liveness through us.
+				m.recordLocked(protocol.GossipRecord{
+					Kind:        protocol.GossipStats,
+					Name:        e.Name,
+					AtUnixNanos: now.UnixNano(),
+					Stats:       results[i].Encode(),
+				})
+			}
 			ok++
 		} else {
 			e.brk.onFailure(now, m.cfg.FailThreshold, m.transition(e))
@@ -328,20 +397,39 @@ func pollStats(dial func() (net.Conn, error)) (protocol.Stats, map[string]time.D
 	return st, trace, nil
 }
 
-// StartMonitor polls all servers every interval until the returned
-// stop function is called.
+// StartMonitor polls all servers roughly every interval until the
+// returned stop function is called. The schedule is full-jitter
+// (uniform in [interval/2, 3·interval/2)) rather than a fixed ticker:
+// replicas of a metaserver all poll the same servers, and synchronized
+// tickers would land every replica's probe burst on the fleet in the
+// same instant.
 func (m *Metaserver) StartMonitor(interval time.Duration) (stop func()) {
+	return startJitteredLoop(interval, func() { m.PollOnce() })
+}
+
+// jitterInterval draws one full-jitter delay: uniform in [d/2, 3d/2).
+func jitterInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// startJitteredLoop runs fn on a full-jitter schedule around interval
+// until the returned stop function is called.
+func startJitteredLoop(interval time.Duration, fn func()) (stop func()) {
 	done := make(chan struct{})
 	var once sync.Once
 	go func() {
-		t := time.NewTicker(interval)
+		t := time.NewTimer(jitterInterval(interval))
 		defer t.Stop()
 		for {
 			select {
 			case <-done:
 				return
 			case <-t.C:
-				m.PollOnce()
+				fn()
+				t.Reset(jitterInterval(interval))
 			}
 		}
 	}()
@@ -414,12 +502,63 @@ func (m *Metaserver) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 // Observe implements ninf.Scheduler: feedback from completed calls
 // updates the bandwidth estimate and failure accounting.
 func (m *Metaserver) Observe(serverName string, bytes int64, elapsed time.Duration, failed bool) {
+	m.observeLocal(protocol.GossipRecord{
+		Kind:   protocol.GossipObserve,
+		Name:   serverName,
+		Bytes:  bytes,
+		Nanos:  int64(elapsed),
+		Failed: failed,
+	})
+}
+
+// observeLocal applies a first-hand observation (embedded scheduler or
+// a legacy client without origin stamping) and, when replicating,
+// enters it into the gossip log under this replica's own origin.
+func (m *Metaserver) observeLocal(rec protocol.GossipRecord) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	e, ok := m.servers[serverName]
-	if !ok {
+	if len(m.peers) > 0 {
+		m.recordLocked(rec)
+	}
+	m.applyRecordLocked(rec)
+}
+
+// ObserveRemote applies a client's outcome report received by the
+// daemon. Reports stamped with an origin and sequence number are
+// idempotent: a replay — the same report resent to this replica after
+// a failover, or relayed back through gossip — is recognized by
+// (origin, seq) and dropped, so one call outcome never advances a
+// breaker or the bandwidth EWMA twice. Unstamped reports come from
+// legacy clients and apply directly.
+func (m *Metaserver) ObserveRemote(req protocol.ObserveRequest) {
+	rec := protocol.GossipRecord{
+		Kind:             protocol.GossipObserve,
+		Name:             req.Name,
+		Bytes:            req.Bytes,
+		Nanos:            req.Nanos,
+		Failed:           req.Failed,
+		Overloaded:       req.Overloaded,
+		RetryAfterMillis: req.RetryAfterMillis,
+	}
+	if req.Origin == "" {
+		m.observeLocal(rec)
 		return
 	}
+	rec.Origin, rec.Seq = req.Origin, req.Seq
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.logLocked(rec.Origin)
+	if l.has(rec.Seq) {
+		return // duplicate delivery of an already-counted outcome
+	}
+	l.add(rec)
+	m.applyRecordLocked(rec)
+}
+
+// applyObserveLocked is the effect of one non-overload call outcome on
+// a server's accounting. Callers hold m.mu.
+func (m *Metaserver) applyObserveLocked(e *entry, bytes int64, elapsed time.Duration, failed bool) {
+	e.ObsCount++
 	if e.Stats.Queued > 0 {
 		e.Stats.Queued--
 	}
@@ -442,6 +581,29 @@ func (m *Metaserver) Observe(serverName string, bytes int64, elapsed time.Durati
 	}
 }
 
+// applyOverloadLocked is the effect of one overload rejection: a
+// placement-penalty window, never breaker advancement. Callers hold
+// m.mu.
+func (m *Metaserver) applyOverloadLocked(e *entry, retryAfterMillis uint32) {
+	e.ObsCount++
+	if e.Stats.Queued > 0 {
+		e.Stats.Queued--
+	}
+	cool := m.cfg.OverloadPenalty
+	if retryAfterMillis > 0 {
+		cool = time.Duration(retryAfterMillis) * time.Millisecond
+		if cool > 30*time.Second {
+			cool = 30 * time.Second
+		}
+	}
+	now := time.Now()
+	e.overloadUntil = now.Add(cool)
+	// Liveness, not failure: reset the consecutive-failure streak.
+	e.brk.onSuccess(m.transition(e))
+	m.syncEntry(e)
+	e.refresh(now)
+}
+
 // ObserveErr is Observe with the failure's error retained, so overload
 // rejections can be told apart from genuine failures. An overloaded
 // reply (CodeOverloaded RemoteError) proves the server is alive — it
@@ -455,28 +617,14 @@ func (m *Metaserver) Observe(serverName string, bytes int64, elapsed time.Durati
 func (m *Metaserver) ObserveErr(serverName string, bytes int64, elapsed time.Duration, callErr error) {
 	var re *protocol.RemoteError
 	if callErr != nil && errors.As(callErr, &re) && re.Code == protocol.CodeOverloaded {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		e, ok := m.servers[serverName]
-		if !ok {
-			return
-		}
-		if e.Stats.Queued > 0 {
-			e.Stats.Queued--
-		}
-		cool := m.cfg.OverloadPenalty
-		if re.RetryAfterMillis > 0 {
-			cool = time.Duration(re.RetryAfterMillis) * time.Millisecond
-			if cool > 30*time.Second {
-				cool = 30 * time.Second
-			}
-		}
-		now := time.Now()
-		e.overloadUntil = now.Add(cool)
-		// Liveness, not failure: reset the consecutive-failure streak.
-		e.brk.onSuccess(m.transition(e))
-		m.syncEntry(e)
-		e.refresh(now)
+		m.observeLocal(protocol.GossipRecord{
+			Kind:             protocol.GossipObserve,
+			Name:             serverName,
+			Bytes:            bytes,
+			Nanos:            int64(elapsed),
+			Overloaded:       true,
+			RetryAfterMillis: re.RetryAfterMillis,
+		})
 		return
 	}
 	m.Observe(serverName, bytes, elapsed, callErr != nil)

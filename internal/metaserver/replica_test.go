@@ -1,0 +1,253 @@
+package metaserver
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ninf"
+	"ninf/internal/protocol"
+	"ninf/internal/server"
+)
+
+// peerDial returns a dialer that reaches a metaserver in-process: each
+// dial produces a pipe served by the target's own daemon loop, so the
+// gossip path under test is the real wire protocol.
+func peerDial(target *Metaserver) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		c, s := net.Pipe()
+		go func() {
+			defer s.Close()
+			target.ServeConn(s)
+		}()
+		return c, nil
+	}
+}
+
+// twoReplicas builds a pair of peered metaservers sharing one real
+// computational server registered on A only, so gossip must carry the
+// registration to B.
+func twoReplicas(t *testing.T) (a, b *Metaserver, serverAddr string) {
+	t.Helper()
+	_, addr, dial := startServer(t, server.Config{Hostname: "s0"})
+	a = New(Config{Origin: "meta-a"})
+	b = New(Config{Origin: "meta-b"})
+	if err := a.AddServer("s0", addr, 100, dial); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer("b", peerDial(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer("a", peerDial(a)); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, addr
+}
+
+func TestGossipReplicatesRegistration(t *testing.T) {
+	a, b, addr := twoReplicas(t)
+	if got := len(b.Servers()); got != 0 {
+		t.Fatalf("b has %d servers before gossip", got)
+	}
+	if ok := a.GossipOnce(); ok != 1 {
+		t.Fatalf("GossipOnce = %d, want 1", ok)
+	}
+	snaps := b.Servers()
+	if len(snaps) != 1 || snaps[0].Name != "s0" || snaps[0].Addr != addr {
+		t.Fatalf("b servers after gossip = %+v", snaps)
+	}
+	// The gossiped entry must be schedulable end-to-end: B can place
+	// on it and its dialer reaches the real server.
+	pl, err := b.Place(ninf.SchedRequest{Routine: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Name != "s0" {
+		t.Fatalf("placed on %q", pl.Name)
+	}
+	if b.PollOnce() != 1 {
+		t.Error("b cannot poll the server it learned through gossip")
+	}
+}
+
+func TestGossipReplicatesDeregistration(t *testing.T) {
+	a, b, _ := twoReplicas(t)
+	a.GossipOnce()
+	if len(b.Servers()) != 1 {
+		t.Fatal("registration did not replicate")
+	}
+	a.RemoveServer("s0")
+	a.GossipOnce()
+	if got := b.Servers(); len(got) != 0 {
+		t.Fatalf("b still has %+v after replicated removal", got)
+	}
+}
+
+func TestObserveRemoteIdempotent(t *testing.T) {
+	m := New(Config{FailThreshold: 3})
+	_, addr, dial := startServer(t, server.Config{})
+	if err := m.AddServer("s0", addr, 100, dial); err != nil {
+		t.Fatal(err)
+	}
+	// The same failed-call report delivered three times — a client
+	// replaying to this replica after failovers — must count once.
+	rep := protocol.ObserveRequest{Name: "s0", Failed: true, Origin: "client-1", Seq: 1}
+	m.ObserveRemote(rep)
+	m.ObserveRemote(rep)
+	m.ObserveRemote(rep)
+	snaps := m.Servers()
+	if snaps[0].Fails != 1 {
+		t.Errorf("Fails = %d after replayed report, want 1", snaps[0].Fails)
+	}
+	if got := m.ObservationCount("s0"); got != 1 {
+		t.Errorf("ObservationCount = %d, want 1", got)
+	}
+	// A legacy report (no origin) has no replay identity and applies
+	// every delivery.
+	legacy := protocol.ObserveRequest{Name: "s0", Bytes: 8, Nanos: int64(time.Millisecond)}
+	m.ObserveRemote(legacy)
+	m.ObserveRemote(legacy)
+	if got := m.ObservationCount("s0"); got != 3 {
+		t.Errorf("ObservationCount = %d after two legacy reports, want 3", got)
+	}
+}
+
+func TestGossipConvergesSplitObservations(t *testing.T) {
+	// A client reports seqs 1..5 to A, then fails over and reports
+	// 6..8 to B. After anti-entropy both replicas have all eight,
+	// each exactly once, even though B first hears of seqs 1..5 only
+	// through A's digest (a mid-stream takeover: B's log for the
+	// origin starts at 6).
+	a, b, _ := twoReplicas(t)
+	a.GossipOnce() // replicate the registration first
+	for seq := uint64(1); seq <= 5; seq++ {
+		a.ObserveRemote(protocol.ObserveRequest{Name: "s0", Bytes: 8, Nanos: 1e6, Origin: "c", Seq: seq})
+	}
+	for seq := uint64(6); seq <= 8; seq++ {
+		b.ObserveRemote(protocol.ObserveRequest{Name: "s0", Bytes: 8, Nanos: 1e6, Origin: "c", Seq: seq})
+	}
+	// One round each direction converges both logs.
+	a.GossipOnce()
+	b.GossipOnce()
+	if got := a.ObservationCount("s0"); got != 8 {
+		t.Errorf("a ObservationCount = %d, want 8", got)
+	}
+	if got := b.ObservationCount("s0"); got != 8 {
+		t.Errorf("b ObservationCount = %d, want 8", got)
+	}
+	// Redundant rounds must not re-apply anything.
+	a.GossipOnce()
+	b.GossipOnce()
+	if got := b.ObservationCount("s0"); got != 8 {
+		t.Errorf("b ObservationCount = %d after extra rounds, want 8", got)
+	}
+}
+
+func TestGossipSharesPollLiveness(t *testing.T) {
+	// B cannot reach the server (its entry arrives via gossip but we
+	// kill its polls by breaker-failing it); A's successful poll,
+	// gossiped over, must revive B's view.
+	a, b, _ := twoReplicas(t)
+	a.GossipOnce()
+	// Fail the server on B until its breaker opens.
+	for i := 0; i < 3; i++ {
+		b.Observe("s0", 0, 0, true)
+	}
+	if b.Servers()[0].Alive {
+		t.Fatal("server still alive on b after failures")
+	}
+	// A polls first-hand (records a GossipStats entry because it has
+	// peers), then gossips it to B.
+	if a.PollOnce() != 1 {
+		t.Fatal("a cannot poll")
+	}
+	a.GossipOnce()
+	s := b.Servers()[0]
+	if !s.Alive {
+		t.Error("peer's successful poll did not revive the server on b")
+	}
+	if s.Stats.Hostname != "s0" {
+		t.Errorf("stats did not transfer: %+v", s.Stats)
+	}
+}
+
+func TestPeersHealth(t *testing.T) {
+	a, b, _ := twoReplicas(t)
+	if err := a.AddPeer("down", func() (net.Conn, error) {
+		return nil, errors.New("refused")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer("b", peerDial(b)); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if ok := a.GossipOnce(); ok != 1 {
+		t.Fatalf("GossipOnce = %d, want 1 (one live, one dead)", ok)
+	}
+	ps := a.Peers()
+	if len(ps) != 2 {
+		t.Fatalf("peers = %+v", ps)
+	}
+	if ps[0].Addr != "b" || !ps[0].Alive || ps[0].Fails != 0 || ps[0].LastExchange.IsZero() {
+		t.Errorf("live peer status = %+v", ps[0])
+	}
+	if ps[1].Addr != "down" || ps[1].Fails != 1 || !ps[1].LastExchange.IsZero() {
+		t.Errorf("dead peer status = %+v", ps[1])
+	}
+	for i := 0; i < 2; i++ {
+		a.GossipOnce()
+	}
+	if ps = a.Peers(); ps[1].Alive {
+		t.Errorf("dead peer still Alive after %d failures", ps[1].Fails)
+	}
+}
+
+func TestOriginLogPrunesButRemembers(t *testing.T) {
+	l := &originLog{recs: make(map[uint64]protocol.GossipRecord)}
+	n := uint64(maxLogPerOrigin + 100)
+	for seq := uint64(1); seq <= n; seq++ {
+		l.add(protocol.GossipRecord{Origin: "c", Seq: seq})
+	}
+	if len(l.recs) > maxLogPerOrigin {
+		t.Errorf("retained %d records, cap %d", len(l.recs), maxLogPerOrigin)
+	}
+	if l.low != n || l.max != n {
+		t.Errorf("low=%d max=%d, want both %d", l.low, l.max, n)
+	}
+	// Pruned records stay deduplicable through the watermark.
+	if !l.has(1) || !l.has(n) {
+		t.Error("pruned or present seq not recognized as applied")
+	}
+	if l.has(n + 1) {
+		t.Error("future seq claimed applied")
+	}
+}
+
+func TestJitterIntervalSpread(t *testing.T) {
+	const d = 100 * time.Millisecond
+	lo, hi := d/2, 3*d/2
+	seen := make(map[time.Duration]bool)
+	min, max := hi, time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		j := jitterInterval(d)
+		if j < lo || j >= hi {
+			t.Fatalf("jitter %v outside [%v, %v)", j, lo, hi)
+		}
+		seen[j] = true
+		if j < min {
+			min = j
+		}
+		if j > max {
+			max = j
+		}
+	}
+	// The schedule must actually spread: replicas drawing from the
+	// same clock tick land across the window, not on one instant.
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct delays in 1000 draws", len(seen))
+	}
+	if min > 3*d/4 || max < 5*d/4 {
+		t.Errorf("draws cover [%v, %v], want most of [%v, %v)", min, max, lo, hi)
+	}
+}

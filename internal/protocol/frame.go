@@ -103,6 +103,18 @@ func (t MsgType) String() string {
 		return "Trace"
 	case MsgTraceOK:
 		return "TraceOK"
+	case MsgSchedule:
+		return "Schedule"
+	case MsgScheduleOK:
+		return "ScheduleOK"
+	case MsgObserve:
+		return "Observe"
+	case MsgObserveOK:
+		return "ObserveOK"
+	case MsgGossip:
+		return "Gossip"
+	case MsgGossipOK:
+		return "GossipOK"
 	case MsgHello:
 		return "Hello"
 	case MsgHelloOK:

@@ -1,0 +1,80 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+)
+
+// normStats maps empty Stats blobs to nil so round-trip comparisons
+// don't distinguish nil from zero-length.
+func normStats(recs []GossipRecord) {
+	for i := range recs {
+		if len(recs[i].Stats) == 0 {
+			recs[i].Stats = nil
+		}
+	}
+}
+
+func TestGossipRequestRoundTrip(t *testing.T) {
+	st := Stats{Hostname: "s0", PEs: 4, LoadAverage: 1.5}
+	in := GossipRequest{
+		From: "meta-a",
+		Digest: []GossipDigest{
+			{Origin: "meta-a", Low: 10, Max: 10},
+			{Origin: "client-1", Low: 3, Max: 7},
+		},
+		Records: []GossipRecord{
+			{Origin: "meta-a", Seq: 9, Kind: GossipRegister, Name: "s0", Addr: "127.0.0.1:3000", Power: 100},
+			{Origin: "client-1", Seq: 7, Kind: GossipObserve, Name: "s0", Bytes: 512, Nanos: 1e6, Failed: true},
+			{Origin: "client-2", Seq: 1, Kind: GossipObserve, Name: "s0", Overloaded: true, RetryAfterMillis: 250},
+			{Origin: "meta-a", Seq: 10, Kind: GossipStats, Name: "s0", AtUnixNanos: 12345, Stats: st.Encode()},
+		},
+	}
+	out, err := DecodeGossipRequest(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	normStats(out.Records)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+	gotStats, err := DecodeStats(out.Records[3].Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != st {
+		t.Errorf("nested stats = %+v, want %+v", gotStats, st)
+	}
+}
+
+func TestGossipReplyRoundTrip(t *testing.T) {
+	in := GossipReply{
+		Digest: []GossipDigest{{Origin: "meta-b", Low: 4, Max: 9}},
+		Records: []GossipRecord{
+			{Origin: "meta-b", Seq: 5, Kind: GossipDeregister, Name: "s1"},
+		},
+	}
+	out, err := DecodeGossipReply(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	normStats(out.Records)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestGossipDecodeTruncated(t *testing.T) {
+	in := GossipRequest{
+		From:    "meta-a",
+		Records: []GossipRecord{{Origin: "meta-a", Seq: 1, Kind: GossipRegister, Name: "s0", Addr: "a:1"}},
+	}
+	p := in.Encode()
+	for cut := 1; cut < len(p); cut++ {
+		if _, err := DecodeGossipRequest(p[:cut]); err == nil {
+			// A prefix that still parses completely must at least not
+			// panic; most cuts land mid-field and must error.
+			continue
+		}
+	}
+}

@@ -145,10 +145,25 @@ func TestObserveRequestOverloadRoundTrip(t *testing.T) {
 		t.Errorf("got %+v, want %+v", out, in)
 	}
 
+	// A PR 5-era client stops after the overload trailer (no
+	// origin/seq); the new daemon decodes it with a zero Origin,
+	// marking a legacy, non-idempotent report.
+	p := in.Encode()
+	pr5 := p[:len(p)-12] // empty Origin (4) + Seq (8)
+	out, err = DecodeObserveRequest(pr5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Origin != "" || out.Seq != 0 {
+		t.Errorf("got %+v decoding PR5-format payload", out)
+	}
+	if !out.Overloaded || out.RetryAfterMillis != 120 {
+		t.Errorf("overload trailer corrupted: %+v", out)
+	}
+
 	// Old clients stop after Failed; the new daemon decodes the short
 	// payload with the overload fields zero.
-	p := in.Encode()
-	old := p[:len(p)-8]
+	old := p[:len(p)-20]
 	out, err = DecodeObserveRequest(old)
 	if err != nil {
 		t.Fatal(err)
@@ -158,5 +173,16 @@ func TestObserveRequestOverloadRoundTrip(t *testing.T) {
 	}
 	if !out.Failed || out.Name != "s0" {
 		t.Errorf("prefix fields corrupted: %+v", out)
+	}
+}
+
+func TestObserveRequestOriginSeqRoundTrip(t *testing.T) {
+	in := ObserveRequest{Name: "s1", Bytes: 3, Nanos: 5, Origin: "client-7", Seq: 42}
+	out, err := DecodeObserveRequest(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("got %+v, want %+v", out, in)
 	}
 }

@@ -102,17 +102,26 @@ type ObserveRequest struct {
 	Failed           bool   // the call errored (server suspect)
 	Overloaded       bool   // the failure was an overload rejection
 	RetryAfterMillis uint32 // server's back-pressure hint, 0 if none
+	// Origin and Seq, a second optional trailer, make the report
+	// idempotent: a client that resends an unacknowledged observation
+	// to another replica after a metaserver failover stamps both sends
+	// identically, so the replica set counts the outcome once, not per
+	// delivery. Zero Origin means a legacy (pre-HA) client.
+	Origin string
+	Seq    uint64
 }
 
 // Encode serializes the observation.
 func (m *ObserveRequest) Encode() []byte {
-	return encodePayload(xdr.SizeString(len(m.Name))+28, func(e *xdr.Encoder) {
+	return encodePayload(xdr.SizeString(len(m.Name))+xdr.SizeString(len(m.Origin))+36, func(e *xdr.Encoder) {
 		e.PutString(m.Name)
 		e.PutInt64(m.Bytes)
 		e.PutInt64(m.Nanos)
 		e.PutBool(m.Failed)
 		e.PutBool(m.Overloaded)
 		e.PutUint32(m.RetryAfterMillis)
+		e.PutString(m.Origin)
+		e.PutUint64(m.Seq)
 	})
 }
 
@@ -129,6 +138,10 @@ func DecodeObserveRequest(p []byte) (ObserveRequest, error) {
 	if d.Err() == nil && len(p)-int(d.Len()) >= 8 {
 		m.Overloaded = d.Bool()
 		m.RetryAfterMillis = d.Uint32()
+	}
+	if d.Err() == nil && len(p)-int(d.Len()) >= 12 {
+		m.Origin = d.String()
+		m.Seq = d.Uint64()
 	}
 	err := d.Err()
 	pd.release()

@@ -29,6 +29,10 @@ type SchedRequest struct {
 type Placement struct {
 	Name string
 	Dial func() (net.Conn, error)
+	// Degraded marks a placement made from a client-local cache while
+	// no scheduler authority (e.g. any metaserver replica) was
+	// reachable: the routing may be stale, but the call can still run.
+	Degraded bool
 }
 
 // A Scheduler places Ninf_calls on computational servers and receives
@@ -100,6 +104,7 @@ type Transaction struct {
 	clients   map[string]*Client
 	ended     bool
 	failovers int
+	degraded  int
 }
 
 type txCall struct {
@@ -160,6 +165,15 @@ func (tx *Transaction) Failovers() int {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	return tx.failovers
+}
+
+// DegradedPlacements reports how many of the transaction's placements
+// carried the Degraded marker — calls routed from a client-local cache
+// because no scheduler authority was reachable.
+func (tx *Transaction) DegradedPlacements() int {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.degraded
 }
 
 // Servers returns, per recorded call, the names of the servers the
@@ -308,6 +322,11 @@ func (tx *Transaction) fetchInterface(ctx context.Context, name string, args []a
 			}
 			continue
 		}
+		if pl.Degraded {
+			tx.mu.Lock()
+			tx.degraded++
+			tx.mu.Unlock()
+		}
 		c, err := tx.client(pl)
 		if err == nil {
 			callCtx, cancel := tx.callContext(ctx)
@@ -377,6 +396,9 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 		c.servers = append(c.servers, pl.Name)
 		if attempt > 0 {
 			tx.failovers++
+		}
+		if pl.Degraded {
+			tx.degraded++
 		}
 		tx.mu.Unlock()
 		client, err := tx.client(pl)
