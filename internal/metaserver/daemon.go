@@ -130,6 +130,25 @@ func writeErr(conn io.Writer, code uint32, detail string) error {
 	return protocol.WriteFrame(conn, protocol.MsgError, protocol.EncodeErrorReply(code, detail))
 }
 
+// Client control-path timeouts. The gossip path between replicas got
+// its own deadlines; the latency-critical client path needs them just
+// as much — a black-holed replica (partition or silent drop rather
+// than RST) must fail over as fast as a crashed one, not after the OS
+// TCP timeout. Vars, not consts, so tests can shrink them.
+var (
+	// metaDialTimeout bounds connection establishment to a replica.
+	metaDialTimeout = 5 * time.Second
+	// metaExchangeTimeout bounds one request/reply round trip
+	// (including the liveness ping, when one is owed).
+	metaExchangeTimeout = 5 * time.Second
+)
+
+// metaConnIdle is how long a pooled control connection may sit unused
+// before it is preemptively redialed: the daemon severs idle
+// connections (Config.ConnReadTimeout), and sending a non-idempotent
+// request down a likely-dead conn forces the replay question below.
+const metaConnIdle = 30 * time.Second
+
 // metaReplica is the client-side view of one metaserver address:
 // its persistent control connection and its failure accounting.
 type metaReplica struct {
@@ -203,7 +222,7 @@ func NewRemoteScheduler(addrs ...string) *RemoteScheduler {
 		a := a
 		r.metas = append(r.metas, &metaReplica{
 			addr: a,
-			dial: func() (net.Conn, error) { return net.Dial("tcp", a) },
+			dial: func() (net.Conn, error) { return net.DialTimeout("tcp", a, metaDialTimeout) },
 		})
 	}
 	return r
@@ -214,7 +233,7 @@ func NewRemoteScheduler(addrs ...string) *RemoteScheduler {
 // in registration order; the first registered is preferred initially.
 func (r *RemoteScheduler) AddMeta(addr string, dial func() (net.Conn, error)) {
 	if dial == nil {
-		dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, metaDialTimeout) }
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -318,58 +337,86 @@ func (r *RemoteScheduler) roundTrip(typ protocol.MsgType, payload []byte) (proto
 	return 0, nil, fmt.Errorf("metaserver: all %d metaservers unreachable: %w", n, lastErr)
 }
 
+// idempotentMsg reports whether a frame is safe to execute twice
+// server-side: pings are stateless and outcome reports carry
+// origin+seq dedup. MsgSchedule is not — each execution bumps the
+// placed server's optimistic queue depth, balanced by exactly one
+// later Observe decrement.
+func idempotentMsg(t protocol.MsgType) bool {
+	return t == protocol.MsgObserve || t == protocol.MsgPing
+}
+
 // exchangeLocked runs one request/reply on a replica. A failure on an
 // existing pooled connection (the daemon's idle timeout may have
 // severed it) is retried once on a fresh dial before the replica is
-// declared down; replays are safe because outcome reports carry
-// origin+seq and schedule requests are side-effect-light. Callers
-// hold r.mu.
+// declared down — but only when the replay cannot execute the request
+// twice server-side: either the pooled write itself failed (a partial
+// frame is unparseable, so nothing ran) or the frame is idempotent.
+// A non-idempotent frame whose write was accepted before the
+// connection died may already have executed; replaying it would
+// double-run it, so the attempt fails and ordinary failover takes
+// over. Idle connections are preemptively redialed so the ambiguous
+// case stays rare. Callers hold r.mu.
 func (r *RemoteScheduler) exchangeLocked(mr *metaReplica, typ protocol.MsgType, payload []byte) (protocol.MsgType, []byte, error) {
+	if mr.conn != nil && time.Since(mr.lastOK) > metaConnIdle {
+		r.dropLocked(mr)
+	}
 	if mr.conn != nil {
-		rt, rp, err := r.onceLocked(mr, typ, payload, false)
+		rt, rp, sent, err := r.onceLocked(mr, typ, payload, false)
 		if err == nil {
 			return rt, rp, nil
 		}
+		if sent && !idempotentMsg(typ) {
+			return 0, nil, err
+		}
 	}
-	return r.onceLocked(mr, typ, payload, mr.fails > 0)
+	rt, rp, _, err := r.onceLocked(mr, typ, payload, mr.fails > 0)
+	return rt, rp, err
 }
 
 // onceLocked performs a single attempt, dialing if needed. ping makes
 // a replica that previously failed prove liveness with a MsgPing round
-// trip before the real request. Callers hold r.mu.
-func (r *RemoteScheduler) onceLocked(mr *metaReplica, typ protocol.MsgType, payload []byte, ping bool) (protocol.MsgType, []byte, error) {
+// trip before the real request. sent reports whether the request frame
+// was fully handed to the transport (and so may have been executed
+// even when the reply never arrived). Callers hold r.mu.
+func (r *RemoteScheduler) onceLocked(mr *metaReplica, typ protocol.MsgType, payload []byte, ping bool) (rt protocol.MsgType, rp []byte, sent bool, err error) {
+	fresh := false
 	if mr.conn == nil {
 		conn, err := mr.dial()
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, false, err
 		}
 		mr.conn = conn
-		if ping {
-			if err := protocol.WriteFrame(mr.conn, protocol.MsgPing, nil); err != nil {
-				r.dropLocked(mr)
-				return 0, nil, err
-			}
-			pt, _, err := protocol.ReadFrame(mr.conn, daemonMaxPayload)
-			if err != nil {
-				r.dropLocked(mr)
-				return 0, nil, err
-			}
-			if pt != protocol.MsgPong {
-				r.dropLocked(mr)
-				return 0, nil, fmt.Errorf("metaserver: unexpected reply %v to ping", pt)
-			}
+		fresh = true
+	}
+	// The whole exchange runs under a deadline: a replica that accepts
+	// and then black-holes must fail over as fast as one that crashed.
+	mr.conn.SetDeadline(time.Now().Add(metaExchangeTimeout))
+	if fresh && ping {
+		if err := protocol.WriteFrame(mr.conn, protocol.MsgPing, nil); err != nil {
+			r.dropLocked(mr)
+			return 0, nil, false, err
+		}
+		pt, _, err := protocol.ReadFrame(mr.conn, daemonMaxPayload)
+		if err != nil {
+			r.dropLocked(mr)
+			return 0, nil, false, err
+		}
+		if pt != protocol.MsgPong {
+			r.dropLocked(mr)
+			return 0, nil, false, fmt.Errorf("metaserver: unexpected reply %v to ping", pt)
 		}
 	}
 	if err := protocol.WriteFrame(mr.conn, typ, payload); err != nil {
 		r.dropLocked(mr)
-		return 0, nil, err
+		return 0, nil, false, err
 	}
-	rt, rp, err := protocol.ReadFrame(mr.conn, daemonMaxPayload)
+	rt, rp, err = protocol.ReadFrame(mr.conn, daemonMaxPayload)
 	if err != nil {
 		r.dropLocked(mr)
-		return 0, nil, err
+		return 0, nil, true, err
 	}
-	return rt, rp, nil
+	return rt, rp, true, nil
 }
 
 // dropLocked discards a replica's pooled connection. Callers hold

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -360,6 +361,132 @@ func TestRemoteSchedulerCacheTTLExpires(t *testing.T) {
 	time.Sleep(80 * time.Millisecond)
 	if _, err := rs.Place(ninf.SchedRequest{Routine: "x"}); err == nil {
 		t.Error("stale cache entry served past its TTL")
+	}
+}
+
+func TestStalledReplicaFailsOverViaDeadline(t *testing.T) {
+	// A replica that accepts connections and then black-holes (a
+	// partition that drops packets instead of resetting) must fail over
+	// within the exchange deadline, not after the OS TCP timeout —
+	// before per-exchange deadlines, every Place in the process stalled
+	// for minutes on it.
+	old := metaExchangeTimeout
+	metaExchangeTimeout = 100 * time.Millisecond
+	t.Cleanup(func() { metaExchangeTimeout = old })
+
+	bh, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bh.Close() })
+	var mu sync.Mutex
+	var held []net.Conn
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	})
+	go func() {
+		for {
+			c, err := bh.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, c) // keep open, never answer
+			mu.Unlock()
+		}
+	}()
+
+	_, addr, sdial := startServer(t, server.Config{Hostname: "s0"})
+	m := New(Config{})
+	if err := m.AddServer("s0", addr, 100, sdial); err != nil {
+		t.Fatal(err)
+	}
+	d := startMetaDaemon(t, m)
+
+	rs := NewRemoteScheduler(bh.Addr().String(), d.addr)
+	t.Cleanup(func() { rs.Close() })
+	start := time.Now()
+	pl, err := rs.Place(ninf.SchedRequest{Routine: "x"})
+	elapsed := time.Since(start)
+	if err != nil || pl.Name != "s0" {
+		t.Fatalf("place through stalled primary: %+v, %v", pl, err)
+	}
+	if pl.Degraded {
+		t.Error("failover placement marked degraded (replica b was reachable)")
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("failover took %v; the deadline did not bite", elapsed)
+	}
+}
+
+func TestScheduleNotReplayedAfterDeliveredWrite(t *testing.T) {
+	// A MsgSchedule delivered to the daemon right before the connection
+	// dies may already have executed (bumping placement bookkeeping
+	// that only one Observe will balance). The client must not
+	// automatically replay it on a fresh dial to the same replica —
+	// only idempotent frames get that retry.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var scheduled int32
+	serve := func(conn net.Conn, answerFirst bool) {
+		defer conn.Close()
+		answered := false
+		for {
+			typ, _, err := protocol.ReadFrame(conn, daemonMaxPayload)
+			if err != nil {
+				return
+			}
+			if typ != protocol.MsgSchedule {
+				continue
+			}
+			if atomic.AddInt32(&scheduled, 1); answerFirst && !answered {
+				answered = true
+				reply := protocol.ScheduleReply{Name: "s0", Addr: "127.0.0.1:1"}
+				if protocol.WriteFrame(conn, protocol.MsgScheduleOK, reply.Encode()) != nil {
+					return
+				}
+				continue
+			}
+			// Request accepted, then the replica dies without replying.
+			return
+		}
+	}
+	go func() {
+		first := true
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go serve(conn, first)
+			first = false
+		}
+	}()
+
+	rs := NewRemoteScheduler(l.Addr().String())
+	t.Cleanup(func() { rs.Close() })
+	if _, err := rs.Place(ninf.SchedRequest{Routine: "x"}); err != nil {
+		t.Fatalf("first place: %v", err)
+	}
+	// Second place: the pooled conn accepts the write, then dies. The
+	// cache is warm, so the non-replayed attempt degrades instead of
+	// failing.
+	pl, err := rs.Place(ninf.SchedRequest{Routine: "x"})
+	if err != nil {
+		t.Fatalf("second place: %v", err)
+	}
+	if !pl.Degraded {
+		t.Error("placement after replica death not marked degraded")
+	}
+	if got := atomic.LoadInt32(&scheduled); got != 2 {
+		t.Errorf("daemon saw %d MsgSchedule frames, want 2 (no replay of a possibly-executed request)", got)
 	}
 }
 

@@ -132,6 +132,7 @@ type Metaserver struct {
 	seq    uint64                // last locally issued gossip seq
 	log    map[string]*originLog // per-origin applied records
 	peers  []*peer
+	tombs  map[string]int64 // server name → deregistration unix nanos
 }
 
 type entry struct {
@@ -142,6 +143,10 @@ type entry struct {
 	// overloadUntil ends the placement-penalty window opened by an
 	// overloaded reply; Snapshot.Overloaded is derived from it.
 	overloadUntil time.Time
+	// registeredAt is the winning registration record's timestamp,
+	// compared against deregistration tombstones so membership
+	// conflicts resolve identically on every replica.
+	registeredAt int64
 }
 
 // refresh re-derives the snapshot's time-dependent fields.
@@ -185,6 +190,7 @@ func New(cfg Config) *Metaserver {
 		servers: make(map[string]*entry),
 		origin:  cfg.Origin,
 		log:     make(map[string]*originLog),
+		tombs:   make(map[string]int64),
 	}
 }
 
@@ -201,7 +207,14 @@ func (m *Metaserver) AddServer(name, addr string, powerMflops float64, dial func
 	if _, dup := m.servers[name]; dup {
 		return fmt.Errorf("metaserver: server %q already registered", name)
 	}
-	e := &entry{dial: dial}
+	// Stamp the registration for tombstone conflict resolution; an
+	// operator re-adding a server they just removed must beat the local
+	// tombstone even on a coarse clock.
+	at := time.Now().UnixNano()
+	if t, ok := m.tombs[name]; ok && at <= t {
+		at = t + 1
+	}
+	e := &entry{dial: dial, registeredAt: at}
 	e.Name = name
 	e.Addr = addr
 	e.Alive = true
@@ -212,23 +225,35 @@ func (m *Metaserver) AddServer(name, addr string, powerMflops float64, dial func
 	// Registrations always enter the gossip log (a handful of records)
 	// so peers added later still learn every server.
 	m.recordLocked(protocol.GossipRecord{
-		Kind:  protocol.GossipRegister,
-		Name:  name,
-		Addr:  addr,
-		Power: powerMflops,
+		Kind:        protocol.GossipRegister,
+		Name:        name,
+		Addr:        addr,
+		Power:       powerMflops,
+		AtUnixNanos: at,
 	})
 	return nil
 }
 
-// RemoveServer drops a server from scheduling.
+// RemoveServer drops a server from scheduling. The removal leaves a
+// timestamped tombstone so a register record for the same server still
+// circulating through gossip cannot resurrect it on any replica.
 func (m *Metaserver) RemoveServer(name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.servers[name]; !ok {
+	e, ok := m.servers[name]
+	if !ok {
 		return
 	}
+	at := time.Now().UnixNano()
+	if at <= e.registeredAt {
+		at = e.registeredAt + 1
+	}
+	if at > m.tombs[name] {
+		m.tombs[name] = at
+	}
+	m.pruneTombsLocked(time.Now())
 	m.removeLocked(name)
-	m.recordLocked(protocol.GossipRecord{Kind: protocol.GossipDeregister, Name: name})
+	m.recordLocked(protocol.GossipRecord{Kind: protocol.GossipDeregister, Name: name, AtUnixNanos: at})
 }
 
 // removeLocked drops a server from the placement view. Callers hold

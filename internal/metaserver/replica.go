@@ -35,6 +35,18 @@ const (
 	// maxGossipBatch bounds the records shipped in one exchange; the
 	// remainder goes next round.
 	maxGossipBatch = 1024
+	// gapHorizon is how long a hole in an origin's seq stream may stall
+	// the contiguous watermark before it is declared permanent. Holes
+	// are normally transient — a client failed over mid-stream and the
+	// early records arrive from a peer within a round or two — but a
+	// seq consumed while every replica was unreachable was never
+	// delivered anywhere and never will be. Healing over it keeps the
+	// digest Low advancing, which is what lets peers stop re-sending
+	// retained records and lets pruning keep the log bounded.
+	gapHorizon = 15 * time.Second
+	// tombRetention is how long a deregistration tombstone is kept to
+	// refuse older register records still circulating through gossip.
+	tombRetention = time.Hour
 )
 
 // originLog holds one origin's records. All seqs <= low have been
@@ -46,6 +58,10 @@ type originLog struct {
 	low    uint64
 	max    uint64
 	pruned uint64
+	// gapSince is when low was first seen stalled below max (zero while
+	// the stream is contiguous); healGaps closes holes older than
+	// gapHorizon.
+	gapSince time.Time
 }
 
 // has reports whether the record identified by seq was already
@@ -59,23 +75,93 @@ func (l *originLog) has(seq uint64) bool {
 }
 
 // add stores an applied record, advances the contiguous watermark over
-// any gap it closes, and prunes the retained set down to the cap.
+// any gap it closes, and prunes the retained set down to the cap. The
+// cap is strict: when the watermark is stalled at a hole in the stream
+// and nothing below it is prunable, the lowest retained record is
+// evicted and the hole is treated as applied, so a permanent gap (a
+// seq its origin consumed but never delivered — e.g. a client burned a
+// seq on a report dropped during a total outage) can never grow the
+// log without bound.
 //ninflint:hotpath — watermark advance and pruning run per applied record
 func (l *originLog) add(rec protocol.GossipRecord) {
 	l.recs[rec.Seq] = rec
 	if rec.Seq > l.max {
 		l.max = rec.Seq
 	}
+	l.advance()
+	for len(l.recs) > maxLogPerOrigin {
+		if l.pruned < l.low {
+			l.pruned++
+			delete(l.recs, l.pruned)
+			continue
+		}
+		// low is stalled at a hole with the cap exceeded: evict the
+		// lowest retained seq and advance the watermark over the hole.
+		// If the missing records ever materialize they are dropped as
+		// duplicates — losing a straggler observation is the price of
+		// bounded retention.
+		min := uint64(0)
+		for seq := range l.recs {
+			if min == 0 || seq < min {
+				min = seq
+			}
+		}
+		delete(l.recs, min)
+		if min > l.low {
+			l.low = min
+		}
+		l.pruned = min
+		l.advance()
+	}
+}
+
+// advance moves the contiguous watermark over retained records and
+// clears the stall clock once the stream is whole.
+func (l *originLog) advance() {
 	for {
 		if _, ok := l.recs[l.low+1]; !ok {
 			break
 		}
 		l.low++
 	}
-	for len(l.recs) > maxLogPerOrigin && l.pruned < l.low {
-		l.pruned++
-		delete(l.recs, l.pruned)
+	if l.low >= l.max {
+		l.gapSince = time.Time{}
 	}
+}
+
+// healGaps declares a stream hole permanent once it has stalled the
+// contiguous watermark past gapHorizon, advancing low over it so the
+// digest keeps moving, peers stop re-sending records above it, and
+// pruning stays unblocked. It reports whether a hole was closed.
+func (l *originLog) healGaps(now time.Time) bool {
+	if l.low >= l.max {
+		l.gapSince = time.Time{}
+		return false
+	}
+	if l.gapSince.IsZero() {
+		l.gapSince = now
+		return false
+	}
+	if now.Sub(l.gapSince) < gapHorizon {
+		return false
+	}
+	// Jump to just below the lowest retained seq above the watermark;
+	// the hole's seqs count as applied from here on (a record that
+	// materializes later is dropped as a duplicate).
+	next := uint64(0)
+	for seq := range l.recs {
+		if seq > l.low && (next == 0 || seq < next) {
+			next = seq
+		}
+	}
+	if next == 0 {
+		l.low = l.max
+	} else {
+		l.low = next - 1
+		l.advance()
+	}
+	l.gapSince = time.Time{}
+	return true
 }
 
 // logLocked returns the origin's log, creating it on first use.
@@ -87,6 +173,29 @@ func (m *Metaserver) logLocked(origin string) *originLog {
 		m.log[origin] = l
 	}
 	return l
+}
+
+// sweepLocked runs once per gossip round: it heals stream holes older
+// than gapHorizon so digests (and therefore pruning and peer re-sends)
+// never freeze on a permanently lost seq, and expires deregistration
+// tombstones past their retention. Callers hold m.mu.
+func (m *Metaserver) sweepLocked(now time.Time) {
+	for _, l := range m.log {
+		l.healGaps(now)
+	}
+	m.pruneTombsLocked(now)
+}
+
+// pruneTombsLocked drops deregistration tombstones old enough that no
+// register record predating them can still be circulating. Callers
+// hold m.mu.
+func (m *Metaserver) pruneTombsLocked(now time.Time) {
+	cutoff := now.Add(-tombRetention).UnixNano()
+	for name, at := range m.tombs {
+		if at < cutoff {
+			delete(m.tombs, name)
+		}
+	}
 }
 
 // recordLocked stamps a locally originated record with this replica's
@@ -182,9 +291,21 @@ func (m *Metaserver) applyLocked(recs []protocol.GossipRecord) int {
 
 // applyRecordLocked applies one record's effect to the placement view.
 // Callers hold m.mu and have already deduplicated.
+//
+// Register and deregister have no causal order across origins, so
+// membership conflicts resolve by registration timestamp against a
+// deregistration tombstone — the same latest-wins rule on every
+// replica, whichever order the records arrive in: a register older
+// than the tombstone is refused (an operator's removal racing the
+// original registration through gossip must not resurrect the server
+// anywhere), a register newer than it wins (the operator re-added the
+// server), and on equal stamps the deregister wins.
 func (m *Metaserver) applyRecordLocked(rec protocol.GossipRecord) {
 	switch rec.Kind {
 	case protocol.GossipRegister:
+		if t, ok := m.tombs[rec.Name]; ok && rec.AtUnixNanos <= t {
+			return // deregistered at or after this registration
+		}
 		if e, ok := m.servers[rec.Name]; ok {
 			// Already known (both replicas were told directly, or a
 			// re-registration): refresh the advertised coordinates.
@@ -192,9 +313,12 @@ func (m *Metaserver) applyRecordLocked(rec protocol.GossipRecord) {
 			if rec.Power > 0 {
 				e.PowerMflops = rec.Power
 			}
+			if rec.AtUnixNanos > e.registeredAt {
+				e.registeredAt = rec.AtUnixNanos
+			}
 			return
 		}
-		e := &entry{dial: m.serverDialer(rec.Addr)}
+		e := &entry{dial: m.serverDialer(rec.Addr), registeredAt: rec.AtUnixNanos}
 		e.Name = rec.Name
 		e.Addr = rec.Addr
 		e.Alive = true
@@ -203,6 +327,14 @@ func (m *Metaserver) applyRecordLocked(rec protocol.GossipRecord) {
 		m.servers[rec.Name] = e
 		m.order = append(m.order, rec.Name)
 	case protocol.GossipDeregister:
+		// Unstamped records come from a pre-tombstone replica and leave
+		// no tombstone — legacy remove-only semantics.
+		if rec.AtUnixNanos > 0 && rec.AtUnixNanos > m.tombs[rec.Name] {
+			m.tombs[rec.Name] = rec.AtUnixNanos
+		}
+		if e, ok := m.servers[rec.Name]; ok && rec.AtUnixNanos < e.registeredAt {
+			return // a newer registration outlives this removal
+		}
 		m.removeLocked(rec.Name)
 	case protocol.GossipObserve:
 		e, ok := m.servers[rec.Name]
@@ -330,6 +462,7 @@ func (m *Metaserver) ObservationCount(name string) int {
 // network I/O.
 func (m *Metaserver) GossipOnce() int {
 	m.mu.Lock()
+	m.sweepLocked(time.Now())
 	peers := append([]*peer(nil), m.peers...)
 	reqs := make([]protocol.GossipRequest, len(peers))
 	for i, p := range peers {
@@ -413,6 +546,7 @@ func exchangeGossip(dial func() (net.Conn, error), req protocol.GossipRequest) (
 func (m *Metaserver) handleGossip(req protocol.GossipRequest) protocol.GossipReply {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.sweepLocked(time.Now())
 	m.applyLocked(req.Records)
 	return protocol.GossipReply{
 		Digest:  m.digestLocked(),

@@ -224,6 +224,164 @@ func TestOriginLogPrunesButRemembers(t *testing.T) {
 	}
 }
 
+func TestOriginLogBoundedWithPermanentGap(t *testing.T) {
+	// Seq 1 was consumed by its origin but never delivered anywhere (a
+	// client burned the seq on a report dropped during a total outage):
+	// the stream starts at 2 and the hole never closes. Retention must
+	// stay bounded anyway — before strict eviction, a stalled watermark
+	// blocked pruning and the log grew without bound.
+	l := &originLog{recs: make(map[uint64]protocol.GossipRecord)}
+	n := uint64(maxLogPerOrigin + 500)
+	for seq := uint64(2); seq <= n; seq++ {
+		l.add(protocol.GossipRecord{Origin: "c", Seq: seq})
+	}
+	if len(l.recs) > maxLogPerOrigin {
+		t.Errorf("retained %d records with a stream hole, cap %d", len(l.recs), maxLogPerOrigin)
+	}
+	if l.low == 0 {
+		t.Error("watermark still frozen at the hole after eviction")
+	}
+	// Evicted and healed-over seqs stay deduplicable via the watermark.
+	if !l.has(1) || !l.has(2) || !l.has(l.low) {
+		t.Errorf("low=%d: evicted/healed seq not recognized as applied", l.low)
+	}
+	if l.has(n + 1) {
+		t.Error("future seq claimed applied")
+	}
+}
+
+func TestOriginLogHealsGapAfterHorizon(t *testing.T) {
+	l := &originLog{recs: make(map[uint64]protocol.GossipRecord)}
+	l.add(protocol.GossipRecord{Origin: "c", Seq: 2})
+	l.add(protocol.GossipRecord{Origin: "c", Seq: 3})
+	now := time.Now()
+	// First sight of the stall arms the clock; within the horizon the
+	// hole is presumed transient (the record may be on a peer).
+	if l.healGaps(now) {
+		t.Error("hole healed on first sight")
+	}
+	if l.healGaps(now.Add(gapHorizon / 2)) {
+		t.Error("hole healed inside the horizon")
+	}
+	if l.low != 0 {
+		t.Fatalf("low = %d before healing, want 0", l.low)
+	}
+	// Past the horizon it is declared permanent and the watermark jumps
+	// over it.
+	if !l.healGaps(now.Add(gapHorizon + time.Second)) {
+		t.Fatal("hole not healed past the horizon")
+	}
+	if l.low != 3 {
+		t.Errorf("low = %d after healing, want 3", l.low)
+	}
+	if !l.has(1) {
+		t.Error("healed-over seq not recognized as applied")
+	}
+	// A whole stream keeps healGaps quiet.
+	if l.healGaps(now.Add(2 * gapHorizon)) {
+		t.Error("healGaps reported a close on a whole stream")
+	}
+}
+
+func TestHealedGapStopsGossipResend(t *testing.T) {
+	// A peer whose digest Low is stuck below a permanent hole receives
+	// every retained record above it again on every round. Once the
+	// peer heals the hole, its digest advances and the re-send stream
+	// must dry up.
+	a, b, _ := twoReplicas(t)
+	a.GossipOnce()
+	for seq := uint64(2); seq <= 4; seq++ {
+		a.ObserveRemote(protocol.ObserveRequest{Name: "s0", Bytes: 8, Nanos: 1e6, Origin: "c", Seq: seq})
+	}
+	a.GossipOnce()
+	if got := b.ObservationCount("s0"); got != 3 {
+		t.Fatalf("b ObservationCount = %d, want 3", got)
+	}
+	now := time.Now()
+	b.mu.Lock()
+	b.sweepLocked(now) // arms the stall clock (if gossip has not already)
+	b.sweepLocked(now.Add(gapHorizon + time.Second))
+	b.mu.Unlock()
+	a.GossipOnce() // a learns b's healed digest from the reply
+	a.mu.Lock()
+	var digest []protocol.GossipDigest
+	for _, p := range a.peers {
+		if p.addr == "b" {
+			digest = p.lastDigest
+		}
+	}
+	miss := a.missingLocked(digest)
+	a.mu.Unlock()
+	for _, rec := range miss {
+		if rec.Origin == "c" {
+			t.Errorf("still re-sending %+v after the peer healed its hole", rec)
+		}
+	}
+}
+
+func TestMembershipTombstoneCommutes(t *testing.T) {
+	// A register and a (newer) deregister from different origins have
+	// no causal order: whichever arrives second, every replica must end
+	// with the server removed — before tombstones, the replica that
+	// applied the register last resurrected it and diverged forever.
+	reg := protocol.GossipRecord{Origin: "meta-b", Seq: 1, Kind: protocol.GossipRegister,
+		Name: "s9", Addr: "127.0.0.1:9", Power: 10, AtUnixNanos: 100}
+	dereg := protocol.GossipRecord{Origin: "meta-c", Seq: 1, Kind: protocol.GossipDeregister,
+		Name: "s9", AtUnixNanos: 101}
+
+	apply := func(m *Metaserver, recs ...protocol.GossipRecord) {
+		t.Helper()
+		for _, rec := range recs {
+			m.mu.Lock()
+			m.applyLocked([]protocol.GossipRecord{rec})
+			m.mu.Unlock()
+		}
+	}
+	regFirst, deregFirst := New(Config{Origin: "x"}), New(Config{Origin: "y"})
+	apply(regFirst, reg, dereg)
+	apply(deregFirst, dereg, reg)
+	if got := regFirst.Servers(); len(got) != 0 {
+		t.Errorf("register-then-deregister left %+v", got)
+	}
+	if got := deregFirst.Servers(); len(got) != 0 {
+		t.Errorf("deregister-then-register resurrected %+v", got)
+	}
+
+	// A registration genuinely newer than the tombstone (the operator
+	// re-added the server) wins in either order.
+	reg2 := reg
+	reg2.Seq, reg2.AtUnixNanos = 2, 102
+	apply(regFirst, reg2)
+	deregFirst2 := New(Config{Origin: "z"})
+	apply(deregFirst2, reg2, dereg)
+	for name, m := range map[string]*Metaserver{"tomb-then-reg2": regFirst, "reg2-then-tomb": deregFirst2} {
+		if got := m.Servers(); len(got) != 1 || got[0].Name != "s9" {
+			t.Errorf("%s: newer registration lost, servers = %+v", name, got)
+		}
+	}
+}
+
+func TestReRegisterAfterRemoveReplicates(t *testing.T) {
+	// End-to-end over the wire: removal replicates, the tombstone does
+	// not block a genuine re-registration, and the re-registration
+	// replicates too.
+	a, b, _ := twoReplicas(t)
+	a.GossipOnce()
+	a.RemoveServer("s0")
+	a.GossipOnce()
+	if got := b.Servers(); len(got) != 0 {
+		t.Fatalf("b still has %+v after replicated removal", got)
+	}
+	_, addr2, dial := startServer(t, server.Config{Hostname: "s0"})
+	if err := a.AddServer("s0", addr2, 100, dial); err != nil {
+		t.Fatal(err)
+	}
+	a.GossipOnce()
+	if got := b.Servers(); len(got) != 1 || got[0].Name != "s0" {
+		t.Fatalf("re-registration did not replicate: %+v", got)
+	}
+}
+
 func TestJitterIntervalSpread(t *testing.T) {
 	const d = 100 * time.Millisecond
 	lo, hi := d/2, 3*d/2
