@@ -70,6 +70,126 @@ type Client struct {
 	// observable the overload chaos test bounds.
 	budget   retryBudget
 	attempts atomic.Int64
+
+	// Argument-cache state (feature level 4; see session.go). warm
+	// holds the digests this client believes are resident in the
+	// server's cache — optimistic knowledge that lets repeated calls
+	// skip the warmth query; a CodeCacheMiss reply clears it.
+	noArgCache atomic.Bool // SetArgCache(false)
+	retainRes  atomic.Bool // SetRetainResults(true)
+	warmMu     sync.Mutex
+	warm       map[protocol.Digest]struct{}
+}
+
+// maxWarmDigests bounds the client's warm-digest set; past it the set
+// resets rather than growing without bound (the next calls re-query).
+const maxWarmDigests = 4096
+
+// SetArgCache toggles content-addressed argument references (feature
+// level 4). On by default, it takes effect only against a server
+// advertising an enabled argument cache; turning it off pins the
+// client to plain level-3 framing regardless of what the server
+// offers.
+func (c *Client) SetArgCache(on bool) {
+	c.noArgCache.Store(!on)
+	if !on {
+		c.forgetWarm()
+	}
+}
+
+// SetRetainResults asks cache-enabled servers to keep this client's
+// large call results resident after the reply, so a later call on the
+// same server can pass them back by digest without re-uploading —
+// the data-handle chaining transactions use. A no-op below feature
+// level 4.
+func (c *Client) SetRetainResults(on bool) { c.retainRes.Store(on) }
+
+// warmKnown reports digs as all-warm only when every entry is in the
+// client's warm set; nil forces a server warmth query.
+func (c *Client) warmKnown(digs []protocol.Digest) []bool {
+	c.warmMu.Lock()
+	defer c.warmMu.Unlock()
+	if len(c.warm) == 0 {
+		return nil
+	}
+	for _, d := range digs {
+		if _, ok := c.warm[d]; !ok {
+			return nil
+		}
+	}
+	out := make([]bool, len(digs))
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// markWarm records digests the server is now known to hold.
+func (c *Client) markWarm(digs []protocol.Digest) {
+	c.warmMu.Lock()
+	if c.warm == nil || len(c.warm) > maxWarmDigests {
+		c.warm = make(map[protocol.Digest]struct{}, len(digs))
+	}
+	for _, d := range digs {
+		c.warm[d] = struct{}{}
+	}
+	c.warmMu.Unlock()
+}
+
+// forgetWarm drops all optimistic warmth knowledge, e.g. after a
+// CodeCacheMiss showed the server evicted behind our back.
+func (c *Client) forgetWarm() {
+	c.warmMu.Lock()
+	c.warm = nil
+	c.warmMu.Unlock()
+}
+
+// A DataHandle names a server-resident cached value by content digest
+// — the persistent remote data handle of feature level 4. Handles are
+// content-addressed: any call whose retained result (or uploaded
+// argument) had these bytes yields the same handle.
+type DataHandle struct {
+	dig protocol.Digest
+}
+
+// HandleFor computes the data handle of an array value ([]float64,
+// []float32 or []int64); ok is false for non-array values. The handle
+// is computed locally — whether a given server holds the value is only
+// known when the handle is used.
+func HandleFor(v any) (DataHandle, bool) {
+	d, ok := protocol.DigestValue(v)
+	return DataHandle{dig: d}, ok
+}
+
+// FetchData retrieves a server-resident cached value by handle into
+// dst (*[]float64, *[]float32 or *[]int64). It requires a feature
+// level 4 session against a cache-enabled server; an evicted (or never
+// cached) handle fails with a CodeCacheMiss remote error.
+func (c *Client) FetchData(ctx context.Context, h DataHandle, dst any) error {
+	sess, err := c.session(ctx)
+	if err != nil {
+		return err
+	}
+	cacheok := sess != nil && c.cacheOn(sess)
+	if !cacheok {
+		return errors.New("ninf: server offers no argument cache")
+	}
+	rt, fb, _, err := c.muxExchangeOn(ctx, sess, protocol.MsgDataHandle, protocol.EncodeDataHandleRequestBuf(h.dig))
+	if err != nil {
+		return err
+	}
+	defer fb.Release()
+	if rt != protocol.MsgDataHandleOK {
+		return fmt.Errorf("ninf: unexpected reply %v to data-handle fetch", rt)
+	}
+	d, b, err := protocol.DecodeDataHandleReply(fb.Payload())
+	if err != nil {
+		return err
+	}
+	if d != h.dig {
+		return fmt.Errorf("ninf: data-handle reply names %v, requested %v", d, h.dig)
+	}
+	return protocol.DecodeLEInto(b, dst)
 }
 
 var errClientClosed = errors.New("ninf: client closed")
@@ -892,41 +1012,73 @@ func (j *Job) Fetch(wait bool) (*Report, error) {
 // connection.
 const fetchPollCap = 250 * time.Millisecond
 
+// fetchPollHintCap bounds how far a server overload hint can stretch
+// the poll schedule, so one pathological hint cannot park a fetch for
+// the full 5-second hint ceiling.
+const fetchPollHintCap = 2 * time.Second
+
+// nextFetchDelay folds one poll outcome into the backoff schedule:
+// sleep is the wait before the next poll and next the schedule carried
+// forward. Without a hint the schedule doubles up to fetchPollCap. A
+// server overload hint observed during the poll becomes the schedule's
+// new baseline (capped at fetchPollHintCap): the poll after the hint
+// expires continues backing off from the hint instead of dropping back
+// to the millisecond floor and hammering the still-draining server.
+func nextFetchDelay(pollDelay, hint time.Duration) (sleep, next time.Duration) {
+	if hint > fetchPollHintCap {
+		hint = fetchPollHintCap
+	}
+	if hint > pollDelay {
+		pollDelay = hint
+	}
+	next = pollDelay
+	if next < fetchPollCap {
+		next *= 2
+		if next > fetchPollCap {
+			next = fetchPollCap
+		}
+	}
+	return pollDelay, next
+}
+
 // FetchContext is Fetch bounded by ctx. Waiting is client-driven:
 // rather than parking a connection in the server's fetch queue (where
 // a dying server would strand it), the job is polled with exponential
 // backoff capped at fetchPollCap, each poll on a pooled connection.
-// Cancelling ctx abandons the wait; transport faults during a poll are
-// retried per the client's RetryPolicy.
+// Overload hints honored during a poll carry into the schedule (see
+// nextFetchDelay). Cancelling ctx abandons the wait; transport faults
+// during a poll are retried per the client's RetryPolicy.
 func (j *Job) FetchContext(ctx context.Context, wait bool) (*Report, error) {
 	pollDelay := time.Millisecond
 	for {
-		rep, err := j.fetchOnce(ctx)
+		rep, hint, err := j.fetchOnce(ctx)
 		if err == nil {
 			return rep, nil
 		}
 		if !errors.Is(err, ErrNotReady) || !wait {
 			return nil, err
 		}
-		if serr := sleepCtx(ctx, pollDelay); serr != nil {
+		var sleep time.Duration
+		sleep, pollDelay = nextFetchDelay(pollDelay, hint)
+		if serr := sleepCtx(ctx, sleep); serr != nil {
 			return nil, serr
-		}
-		if pollDelay < fetchPollCap {
-			pollDelay *= 2
-			if pollDelay > fetchPollCap {
-				pollDelay = fetchPollCap
-			}
 		}
 	}
 }
 
 // fetchOnce performs one non-blocking fetch exchange, with transport
-// faults retried under the client's policy.
-func (j *Job) fetchOnce(ctx context.Context) (*Report, error) {
+// faults retried under the client's policy. The second return is the
+// largest overload hint the server sent during the poll's attempts, so
+// the enclosing poll loop can respect it.
+func (j *Job) fetchOnce(ctx context.Context) (*Report, time.Duration, error) {
 	var rep *Report
+	var hint time.Duration
 	err := j.client.withRetry(ctx, fmt.Sprintf("fetch job %d", j.id), func() error {
 		var aerr error
 		rep, aerr = j.attemptFetch(ctx)
+		if h, ok := overloadHint(aerr); ok && h > hint {
+			hint = h
+		}
 		if errors.Is(aerr, ErrNotReady) {
 			// Not a fault: the job is just still running. Surface it
 			// past the retry loop untouched.
@@ -935,9 +1087,9 @@ func (j *Job) fetchOnce(ctx context.Context) (*Report, error) {
 		return aerr
 	})
 	if err == nil && rep == nil {
-		return nil, ErrNotReady
+		return nil, hint, ErrNotReady
 	}
-	return rep, err
+	return rep, hint, err
 }
 
 // attemptFetch is one fetch exchange over the multiplexed session,

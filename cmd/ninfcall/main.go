@@ -30,6 +30,7 @@ import (
 
 func main() {
 	serverAddr := flag.String("server", "localhost:3000", "computational server address")
+	noArgCache := flag.Bool("no-arg-cache", false, "never send digest references for large arguments, even to a cache-enabled level-4 server (full operand bytes on every call)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "ninfcall: need a subcommand: list, interface, stats, trace, linsolve, ep, dos")
@@ -41,6 +42,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	if *noArgCache {
+		c.SetArgCache(false)
+	}
 
 	sub := flag.Arg(0)
 	args := flag.Args()[1:]
@@ -69,6 +73,11 @@ func main() {
 		}
 		fmt.Printf("host %s: %d PEs, %d running, %d queued, %d total calls, load %.2f, cpu %.1f%%\n",
 			st.Hostname, st.PEs, st.Running, st.Queued, st.TotalCalls, st.LoadAverage, st.CPUUtil*100)
+		if st.CacheBudget > 0 {
+			fmt.Printf("arg cache: %d/%d bytes used (%d pinned), %d hits, %d misses, %d evictions\n",
+				st.CacheUsedBytes, st.CacheBudget, st.CachePinnedBytes,
+				st.CacheHits, st.CacheMisses, st.CacheEvictions)
+		}
 
 	case "trace":
 		ts, err := c.Trace()

@@ -6,7 +6,7 @@
 //
 //	ninfserver [-addr :3000] [-pes 4] [-mode task|data] [-policy fcfs|sjf|fpfs|fpmpfs]
 //	           [-hostname name] [-maxqueue n] [-maxperclient n] [-drain-timeout 30s]
-//	           [-bulk-threshold n]
+//	           [-bulk-threshold n] [-cache-budget bytes]
 //
 // The server answers Ninf RPC on the given address; point ninfcall, the
 // examples, or a metaserver at it. On SIGTERM or SIGINT the server
@@ -41,6 +41,7 @@ func main() {
 	maxPerClient := flag.Int("maxperclient", 0, "cap one client's share of the queue to this many jobs (0 = fair share of maxqueue)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight work before forcing shutdown")
 	bulkThreshold := flag.Int("bulk-threshold", 0, "stream replies at or above this many payload bytes as chunked bulk frames (0 = default 256 KiB, negative = never)")
+	cacheBudget := flag.Int64("cache-budget", 0, "argument-cache byte budget for content-addressed operands and retained results (0 = cache off, protocol stays level 3 on the wire)")
 	flag.Parse()
 
 	var execMode server.ExecMode
@@ -75,6 +76,7 @@ func main() {
 		MaxQueue:      *maxQueue,
 		MaxPerClient:  *maxPerClient,
 		BulkThreshold: *bulkThreshold,
+		CacheBudget:   *cacheBudget,
 		Logger:        log.New(os.Stderr, "", log.LstdFlags),
 	}, reg)
 

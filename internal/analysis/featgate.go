@@ -57,6 +57,15 @@ var featRoots = map[string]string{
 	"WriteMuxFrameBuf":   "mux",
 	"WriteStampedFrames": "mux",
 	"ReadMuxFrameBuf":    "mux",
+
+	"EncodeCallRequestDigest":    "cache",
+	"CallRequestDigests":         "cache",
+	"EncodeDigestQueryBuf":       "cache",
+	"EncodeDataHandleRequestBuf": "cache",
+	"MsgCallDigest":              "cache",
+	"MsgDigestStatus":            "cache",
+	"MsgDataHandle":              "cache",
+	"MsgDataHandleOK":            "cache",
 }
 
 // muxPlanePkgs are package names exempt from class "mux": they are the
@@ -214,7 +223,12 @@ func (w *featWalker) gateClassesOf(cond ast.Expr) map[string]bool {
 			// version >= MuxVersionBulk (and friends). A comparison that
 			// mentions the level constant is treated as a gate of its
 			// class; the pass checks presence, not direction — the
-			// convention in-repo is always `have >= needed`.
+			// convention in-repo is always `have >= needed`. Level 4
+			// implies the lower levels, so a cache gate discharges bulk
+			// and mux obligations too.
+			if mentionsName(e, "MuxVersionCache") {
+				return map[string]bool{"cache": true, "bulk": true, "mux": true}
+			}
 			if mentionsName(e, "MuxVersionBulk") {
 				return map[string]bool{"bulk": true}
 			}
@@ -231,9 +245,15 @@ func (w *featWalker) gateClassesOf(cond ast.Expr) map[string]bool {
 				if fun.Sel.Name == "Bulk" {
 					return map[string]bool{"bulk": true, "mux": true}
 				}
+				if fun.Sel.Name == "Cache" {
+					return map[string]bool{"cache": true, "bulk": true, "mux": true}
+				}
 			case *ast.Ident:
 				if fun.Name == "Bulk" {
 					return map[string]bool{"bulk": true, "mux": true}
+				}
+				if fun.Name == "Cache" {
+					return map[string]bool{"cache": true, "bulk": true, "mux": true}
 				}
 			}
 		}
@@ -246,9 +266,15 @@ func (w *featWalker) gateClassesOf(cond ast.Expr) map[string]bool {
 		if strings.Contains(strings.ToLower(e.Name), "bulkok") {
 			return map[string]bool{"bulk": true, "mux": true}
 		}
+		if strings.Contains(strings.ToLower(e.Name), "cacheok") {
+			return map[string]bool{"cache": true, "bulk": true, "mux": true}
+		}
 	case *ast.SelectorExpr:
 		if strings.Contains(strings.ToLower(e.Sel.Name), "bulkok") {
 			return map[string]bool{"bulk": true, "mux": true}
+		}
+		if strings.Contains(strings.ToLower(e.Sel.Name), "cacheok") {
+			return map[string]bool{"cache": true, "bulk": true, "mux": true}
 		}
 	}
 	return nil

@@ -111,3 +111,51 @@ func suppressed(n int) error {
 	_ = m
 	return err
 }
+
+// Cache is the level-4 capability accessor.
+func (s *Sess) Cache() bool { return s.level >= protocol.MuxVersionCache }
+
+// Positive: digest framing built with no level-4 gate.
+func badUngatedDigest(digs []protocol.Digest) error {
+	return protocol.WriteMsg(protocol.MsgCallDigest, protocol.EncodeDigestQueryBuf(digs).B()) // want `MsgCallDigest requires negotiated feature level "cache" but no gate` `EncodeDigestQueryBuf requires negotiated feature level "cache" but no gate`
+}
+
+// Negative: dominated by the level-4 capability accessor. A cache gate
+// also discharges bulk obligations — level 4 implies level 3.
+func goodGatedDigest(s *Sess, n int, digs []protocol.Digest) error {
+	if s.Cache() {
+		if err := protocol.WriteMsg(protocol.MsgCallDigest, protocol.EncodeDigestQueryBuf(digs).B()); err != nil {
+			return err
+		}
+		m, _, err := protocol.EncodeCallRequestDigest(n, digs)
+		_ = m
+		return err
+	}
+	return nil
+}
+
+// Negative: cacheok gate variable with the early-return form.
+func goodCacheEarlyReturn(version int, digs []protocol.Digest) error {
+	cacheok := version >= protocol.MuxVersionCache
+	if !cacheok {
+		return nil
+	}
+	return protocol.WriteMsg(protocol.MsgDataHandle, protocol.EncodeDigestQueryBuf(digs).B())
+}
+
+// Positive: a bulk-only gate does not license level-4 framing.
+func badBulkGateOnly(s *Sess, digs []protocol.Digest) error {
+	if s.Bulk() {
+		return protocol.WriteMsg(protocol.MsgCallDigest, protocol.EncodeDigestQueryBuf(digs).B()) // want `MsgCallDigest requires negotiated feature level "cache" but no gate` `EncodeDigestQueryBuf requires negotiated feature level "cache" but no gate`
+	}
+	return nil
+}
+
+// Negative: receive-side classification of cache frames.
+func goodCacheReceive(t protocol.MsgType) string {
+	switch t {
+	case protocol.MsgDigestStatus, protocol.MsgDataHandle:
+		return "cache"
+	}
+	return "other"
+}

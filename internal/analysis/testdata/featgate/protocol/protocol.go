@@ -6,15 +6,19 @@ package protocol
 type MsgType uint8
 
 const (
-	MsgCallReply MsgType = 2
-	MsgBulkBegin MsgType = 5
-	MsgBulkChunk MsgType = 6
-	MsgBulkAbort MsgType = 7
+	MsgCallReply    MsgType = 2
+	MsgBulkBegin    MsgType = 5
+	MsgBulkChunk    MsgType = 6
+	MsgBulkAbort    MsgType = 7
+	MsgCallDigest   MsgType = 10
+	MsgDataHandle   MsgType = 11
+	MsgDigestStatus MsgType = 12
 )
 
 const (
-	MuxVersion     = 2
-	MuxVersionBulk = 3
+	MuxVersion      = 2
+	MuxVersionBulk  = 3
+	MuxVersionCache = 4
 )
 
 type BulkMsg struct{ N int }
@@ -22,6 +26,23 @@ type BulkMsg struct{ N int }
 // EncodeCallRequestChunks is a class-"bulk" root by name.
 func EncodeCallRequestChunks(n int) (*BulkMsg, error) {
 	return &BulkMsg{N: n}, nil
+}
+
+type Digest struct{ Hi, Lo uint64 }
+
+type Buffer struct{ b []byte }
+
+// B exposes the buffer's payload bytes.
+func (f *Buffer) B() []byte { return f.b }
+
+// EncodeDigestQueryBuf is a class-"cache" root by name.
+func EncodeDigestQueryBuf(digs []Digest) *Buffer {
+	return &Buffer{b: make([]byte, 16*len(digs))}
+}
+
+// EncodeCallRequestDigest is a class-"cache" root by name.
+func EncodeCallRequestDigest(n int, digs []Digest) (*BulkMsg, *Buffer, error) {
+	return &BulkMsg{N: n}, nil, nil
 }
 
 // WriteMsg is the send-side sink the fixture passes wire constants to.

@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"meta-ha", "multiclient-mux", "overload",
 		"table3-lan-1pe", "table4-lan-4pe", "table5-lan-smp",
 		"table6-wan-1pe", "table7-wan-4pe", "table8-ep",
+		"wan-cache",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -75,6 +75,7 @@ func (m *Metaserver) ServeConn(conn net.Conn) {
 				OutBytes: req.OutBytes,
 				Ops:      req.Ops,
 				Exclude:  req.Exclude,
+				Affinity: req.Affinity,
 			})
 			if err != nil {
 				if writeErr(conn, protocol.CodeOverloaded, err.Error()) != nil {
@@ -449,6 +450,7 @@ func (r *RemoteScheduler) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 		OutBytes: req.OutBytes,
 		Ops:      req.Ops,
 		Exclude:  req.Exclude,
+		Affinity: req.Affinity,
 	}
 	typ, p, err := r.roundTrip(protocol.MsgSchedule, wire.Encode())
 	if err != nil {

@@ -503,6 +503,21 @@ func (m *Metaserver) Place(req ninf.SchedRequest) (ninf.Placement, error) {
 	if len(snaps) == 0 {
 		return ninf.Placement{}, ErrNoServer
 	}
+	// A cache-affinity hint short-circuits the policy when the hinted
+	// server is eligible: the caller knows its argument bytes (or a
+	// chained upstream result) are resident there, and re-shipping them
+	// over the WAN dwarfs any load imbalance a single placement causes.
+	// An ineligible or unknown hint falls through to normal placement.
+	if req.Affinity != "" {
+		for i, s := range snaps {
+			if s.Name == req.Affinity {
+				chosen := entries[i]
+				chosen.brk.markProbe()
+				chosen.Stats.Queued++
+				return ninf.Placement{Name: chosen.Name, Dial: chosen.dial}, nil
+			}
+		}
+	}
 	// Rotate candidates so equal-cost servers spread round-robin.
 	m.rr++
 	off := m.rr % len(snaps)

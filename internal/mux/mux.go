@@ -65,31 +65,40 @@ var errSessionClosed = fmt.Errorf("mux: session closed: %w", net.ErrClosed)
 // exchange and is technically still in sync, but callers are expected
 // to close it and fall back. Any other error is a transport fault.
 func Negotiate(conn net.Conn, maxPayload int) (int, error) {
-	req := protocol.HelloRequest{MaxVersion: protocol.MuxVersionBulk}
+	v, _, err := NegotiateFlags(conn, maxPayload)
+	return v, err
+}
+
+// NegotiateFlags is Negotiate returning also the server's capability
+// flags from the HelloReply trailer (zero from pre-cache servers):
+// HelloFlagArgCache says the peer runs an enabled argument cache, the
+// precondition for the session to emit digest references.
+func NegotiateFlags(conn net.Conn, maxPayload int) (int, uint32, error) {
+	req := protocol.HelloRequest{MaxVersion: protocol.MuxVersionCache}
 	if err := protocol.WriteFrame(conn, protocol.MsgHello, req.Encode()); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	t, p, err := protocol.ReadFrame(conn, maxPayload)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	switch t {
 	case protocol.MsgHelloOK:
 		rep, err := protocol.DecodeHelloReply(p)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		if rep.Version < protocol.MuxVersion || rep.Version > protocol.MuxVersionBulk {
-			return 0, fmt.Errorf("mux: peer chose unsupported version %d", rep.Version)
+		if rep.Version < protocol.MuxVersion || rep.Version > protocol.MuxVersionCache {
+			return 0, 0, fmt.Errorf("mux: peer chose unsupported version %d", rep.Version)
 		}
-		return int(rep.Version), nil
+		return int(rep.Version), rep.Flags, nil
 	case protocol.MsgError:
 		// A pre-mux server rejects the unknown frame type; a post-mux
 		// server never answers Hello with an error. Either way the
 		// lockstep path is the one to use.
-		return 0, ErrLegacy
+		return 0, 0, ErrLegacy
 	default:
-		return 0, fmt.Errorf("mux: unexpected reply %v to hello", t)
+		return 0, 0, fmt.Errorf("mux: unexpected reply %v to hello", t)
 	}
 }
 
@@ -188,6 +197,11 @@ func New(conn net.Conn, maxPayload, version int) *Session {
 
 // Bulk reports whether the peer negotiated chunked bulk streaming.
 func (s *Session) Bulk() bool { return s.version >= protocol.MuxVersionBulk }
+
+// Cache reports whether the peer negotiated content-addressed argument
+// caching (feature level 4). The caller must additionally check the
+// server's HelloFlagArgCache advertisement before emitting digests.
+func (s *Session) Cache() bool { return s.version >= protocol.MuxVersionCache }
 
 // Broken reports whether the session has failed and must be replaced.
 func (s *Session) Broken() bool {

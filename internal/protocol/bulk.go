@@ -38,6 +38,12 @@ const (
 	// frames may appear on a mux connection.
 	MuxVersionBulk = 3
 
+	// MuxVersionCache is the negotiated feature level at which
+	// content-addressed digest references and data handles may appear
+	// (see digest.go). Below this level the wire is bit-identical to a
+	// level-3 connection.
+	MuxVersionCache = 4
+
 	// DefaultBulkThreshold is the payload size at or above which
 	// requests and replies switch to chunked bulk frames.
 	DefaultBulkThreshold = 256 << 10
@@ -64,6 +70,13 @@ const (
 	// bulkFlagLE in MsgBulkBegin flags says segment data is
 	// little-endian; clear means big-endian.
 	bulkFlagLE = 1 << 0
+
+	// bulkDigestFlag, set together with bulkArgFlag on a count word,
+	// says the array's bytes are NOT in this message: two u64 words
+	// follow holding the content digest of the (absent) segment, and
+	// the receiver resolves them from its argument cache. Level ≥ 4
+	// only; a lower-level decode rejects the marker.
+	bulkDigestFlag = 1 << 30
 )
 
 // Bulk frame types (v2 framing only, never spoken before negotiation).
@@ -232,6 +245,13 @@ type BulkInfo struct {
 	Base    []byte
 	HeadLen int
 	LE      bool
+
+	// Resolver, when non-nil, supplies the bytes behind digest markers
+	// (level-4 frames only): it returns the cached little-endian
+	// element bytes for a digest, or ErrDigestMiss when the entry is
+	// gone. A nil Resolver rejects digest markers, so pre-cache decode
+	// paths are untouched.
+	Resolver DigestResolver
 }
 
 // Head returns the sequentially-decoded portion of the payload.

@@ -274,6 +274,41 @@ func decodeBulkArray(d *xdr.Decoder, p *idl.Param, count int, bulk *BulkInfo) (i
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	if n&bulkArgFlag != 0 && n&bulkDigestFlag != 0 {
+		// Digest marker: the bytes are not in this message. Two u64
+		// words carry the content digest, resolved from the receiver's
+		// argument cache (level ≥ 4 with a non-nil Resolver only).
+		cnt := int(n &^ (bulkArgFlag | bulkDigestFlag))
+		dig := Digest{Hi: d.Uint64(), Lo: d.Uint64()}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if cnt != count {
+			return nil, fmt.Errorf("array length %d, IDL dimensions give %d", cnt, count)
+		}
+		if bulk.Resolver == nil {
+			return nil, fmt.Errorf("digest marker %v on a connection without an argument cache", dig)
+		}
+		elem := bulkElemSize(p.Type)
+		src, ok := bulk.Resolver.ResolveDigest(dig)
+		if !ok {
+			return nil, fmt.Errorf("%w: %v", ErrDigestMiss, dig)
+		}
+		if len(src) != cnt*elem {
+			return nil, fmt.Errorf("cached entry %v holds %d bytes, marker wants %d×%d", dig, len(src), cnt, elem)
+		}
+		// Cached bytes are normalized to little-endian at insert.
+		switch p.Type {
+		case idl.Double:
+			return decodeRawFloat64s(src, true), nil
+		case idl.Float:
+			return decodeRawFloat32s(src, true), nil
+		case idl.Int:
+			return decodeRawInt64s(src, true), nil
+		default:
+			return nil, fmt.Errorf("unsupported bulk array type %v", p.Type)
+		}
+	}
 	if n&bulkArgFlag != 0 {
 		cnt := int(n &^ bulkArgFlag)
 		off := int(d.Uint32())
@@ -288,6 +323,12 @@ func decodeBulkArray(d *xdr.Decoder, p *idl.Param, count int, bulk *BulkInfo) (i
 			return nil, fmt.Errorf("bulk segment at %d (%d×%d bytes) out of range", off, cnt, elem)
 		}
 		src := bulk.Base[off : off+cnt*elem]
+		if bulk.Resolver != nil {
+			// A cache-enabled receiver retains the uploaded bytes so
+			// the next call can reference them by digest. The resolver
+			// copies; src aliases the reassembly buffer.
+			bulk.Resolver.RetainSegment(src, bulk.LE, elem)
+		}
 		switch p.Type {
 		case idl.Double:
 			return decodeRawFloat64s(src, bulk.LE), nil

@@ -125,6 +125,14 @@ func (t MsgType) String() string {
 		return "BulkChunk"
 	case MsgBulkAbort:
 		return "BulkAbort"
+	case MsgCallDigest:
+		return "CallDigest"
+	case MsgDigestStatus:
+		return "DigestStatus"
+	case MsgDataHandle:
+		return "DataHandle"
+	case MsgDataHandleOK:
+		return "DataHandleOK"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint32(t))
 	}
@@ -396,6 +404,11 @@ const (
 	CodeUnknownJob
 	CodeNotReady
 	CodeInternal
+	// CodeCacheMiss rejects a digest-referencing call whose referenced
+	// cache entry is gone (evicted between the client's warmth check and
+	// the call, or never present). The call was NOT executed; the client
+	// retries with the full bytes.
+	CodeCacheMiss
 )
 
 // EncodeErrorReply serializes an error reply payload.

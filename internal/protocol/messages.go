@@ -136,12 +136,22 @@ type CallRequest struct {
 	// and ignore the trailer, old clients simply never emit it, so the
 	// field is compatible in both directions under v1 and v2 framing.
 	Deadline int64
+	// Retain asks a cache-enabled server to keep this call's large
+	// out/inout results resident in its argument cache after the reply,
+	// so a later call on the same server can reference them by digest.
+	// It rides as a second magic-tagged trailer after the deadline;
+	// pre-cache servers skip it.
+	Retain bool
 }
 
 // callDeadlineMagic tags the optional deadline trailer on MsgCall and
 // MsgSubmit payloads ("NFDL"). A bare trailing 12 bytes without the
 // tag is not mistaken for a deadline.
 const callDeadlineMagic uint32 = 0x4e46444c
+
+// callRetainMagic tags the optional result-retention trailer ("NFRT"):
+// the magic word plus a u32 flag. Encoded after any deadline trailer.
+const callRetainMagic uint32 = 0x4e465254
 
 // argSize returns the encoded size in bytes of one argument, used to
 // pre-size frame buffers so steady-state calls stay in one size class.
@@ -200,6 +210,9 @@ func encodeCallRequestBuf(info *idl.Info, req *CallRequest, keyed bool, key uint
 	if req.Deadline != 0 {
 		size += 12
 	}
+	if req.Retain {
+		size += 8
+	}
 	for i := range info.Params {
 		p := &info.Params[i]
 		if p.Mode.Ships(false) {
@@ -225,6 +238,10 @@ func encodeCallRequestBuf(info *idl.Info, req *CallRequest, keyed bool, key uint
 	if req.Deadline != 0 {
 		e.PutUint32(callDeadlineMagic)
 		e.PutInt64(req.Deadline)
+	}
+	if req.Retain {
+		e.PutUint32(callRetainMagic)
+		e.PutUint32(1)
 	}
 	if err := e.Err(); err != nil {
 		fb.Release()
@@ -285,6 +302,17 @@ func DecodeCallArgsDeadline(info *idl.Info, rest []byte) ([]idl.Value, int64, er
 // supplies the full payload that marker offsets resolve against. With a
 // nil bulk it decodes monolithic payloads and rejects markers.
 func DecodeCallArgsDeadlineBulk(info *idl.Info, rest []byte, bulk *BulkInfo) ([]idl.Value, int64, error) {
+	return decodeCallArgsExt(info, rest, bulk, nil)
+}
+
+// DecodeCallArgsDeadlineRetainBulk is DecodeCallArgsDeadlineBulk plus
+// the optional result-retention trailer, stored through retainOut
+// (left false when the client sent none).
+func DecodeCallArgsDeadlineRetainBulk(info *idl.Info, rest []byte, bulk *BulkInfo, retainOut *bool) ([]idl.Value, int64, error) {
+	return decodeCallArgsExt(info, rest, bulk, retainOut)
+}
+
+func decodeCallArgsExt(info *idl.Info, rest []byte, bulk *BulkInfo, retainOut *bool) ([]idl.Value, int64, error) {
 	pd := acquireDecoder(rest)
 	defer pd.release()
 	d := &pd.d
@@ -318,16 +346,38 @@ func DecodeCallArgsDeadlineBulk(info *idl.Info, rest []byte, bulk *BulkInfo) ([]
 		}
 		args[i] = zeroValue(p, count)
 	}
-	// Optional deadline trailer: a magic word plus the absolute
-	// deadline, appended by deadline-aware clients after the args.
+	// Optional magic-tagged trailers after the args: the caller
+	// deadline ("NFDL", 12 bytes) and the result-retention flag
+	// ("NFRT", 8 bytes), in that encode order. Unknown magics end the
+	// scan, so future trailers are skipped, not misparsed.
 	var deadline int64
-	if d.Err() == nil && len(rest)-int(d.Len()) >= 12 {
-		if d.Uint32() == callDeadlineMagic {
-			deadline = d.Int64()
+	var retain bool
+trailers:
+	for d.Err() == nil {
+		switch rem := len(rest) - int(d.Len()); {
+		case rem >= 12:
+			switch d.Uint32() {
+			case callDeadlineMagic:
+				deadline = d.Int64()
+			case callRetainMagic:
+				retain = d.Uint32() != 0
+			default:
+				break trailers
+			}
+		case rem >= 8:
+			if d.Uint32() != callRetainMagic {
+				break trailers
+			}
+			retain = d.Uint32() != 0
+		default:
+			break trailers
 		}
 	}
 	if err := d.Err(); err != nil {
 		return nil, 0, err
+	}
+	if retainOut != nil {
+		*retainOut = retain
 	}
 	return args, deadline, nil
 }
@@ -493,11 +543,22 @@ type Stats struct {
 	// optional trailing word — old pollers ignore it, old servers
 	// never send it (leaving it false).
 	Draining bool
+	// Argument-cache counters (level-4 servers), riding as a second
+	// optional trailer after Draining. All zero on cache-less servers;
+	// old pollers ignore them, old servers never send them. The
+	// metaserver gossips them with the rest of the snapshot, so every
+	// replica sees which servers run warm caches.
+	CacheHits        int64
+	CacheMisses      int64
+	CacheEvictions   int64
+	CachePinnedBytes int64
+	CacheUsedBytes   int64
+	CacheBudget      int64
 }
 
 // Encode serializes the stats.
 func (m *Stats) Encode() []byte {
-	return encodePayload(xdr.SizeString(len(m.Hostname))+52, func(e *xdr.Encoder) {
+	return encodePayload(xdr.SizeString(len(m.Hostname))+100, func(e *xdr.Encoder) {
 		e.PutString(m.Hostname)
 		e.PutInt64(m.PEs)
 		e.PutInt64(m.Running)
@@ -506,6 +567,12 @@ func (m *Stats) Encode() []byte {
 		e.PutFloat64(m.LoadAverage)
 		e.PutFloat64(m.CPUUtil)
 		e.PutBool(m.Draining)
+		e.PutInt64(m.CacheHits)
+		e.PutInt64(m.CacheMisses)
+		e.PutInt64(m.CacheEvictions)
+		e.PutInt64(m.CachePinnedBytes)
+		e.PutInt64(m.CacheUsedBytes)
+		e.PutInt64(m.CacheBudget)
 	})
 }
 
@@ -524,6 +591,14 @@ func DecodeStats(p []byte) (Stats, error) {
 	}
 	if d.Err() == nil && len(p)-int(d.Len()) >= 4 {
 		m.Draining = d.Bool()
+	}
+	if d.Err() == nil && len(p)-int(d.Len()) >= 48 {
+		m.CacheHits = d.Int64()
+		m.CacheMisses = d.Int64()
+		m.CacheEvictions = d.Int64()
+		m.CachePinnedBytes = d.Int64()
+		m.CacheUsedBytes = d.Int64()
+		m.CacheBudget = d.Int64()
 	}
 	err := d.Err()
 	pd.release()

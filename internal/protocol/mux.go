@@ -71,16 +71,33 @@ func DecodeHelloRequest(p []byte) (HelloRequest, error) {
 	return m, err
 }
 
+// HelloFlagArgCache in HelloReply flags advertises that the server
+// runs an enabled argument cache, so a level-4 client may send digest
+// references and retain requests. Absent (or a cache-less server), a
+// level-4 connection behaves bit-identically to level 3.
+const HelloFlagArgCache uint32 = 1 << 0
+
 // HelloReply is the payload of MsgHelloOK.
 type HelloReply struct {
 	// Version is the protocol version the connection switches to.
 	Version uint32
+	// Flags advertises optional server capabilities at the negotiated
+	// version. It rides as an optional trailing word: pre-cache servers
+	// never send it and pre-cache clients never read it.
+	Flags uint32
 }
 
 // Encode serializes the reply.
 func (m *HelloReply) Encode() []byte {
-	return encodePayload(4, func(e *xdr.Encoder) {
+	size := 4
+	if m.Flags != 0 {
+		size += 4
+	}
+	return encodePayload(size, func(e *xdr.Encoder) {
 		e.PutUint32(m.Version)
+		if m.Flags != 0 {
+			e.PutUint32(m.Flags)
+		}
 	})
 }
 
@@ -88,6 +105,9 @@ func (m *HelloReply) Encode() []byte {
 func DecodeHelloReply(p []byte) (HelloReply, error) {
 	pd := acquireDecoder(p)
 	m := HelloReply{Version: pd.d.Uint32()}
+	if pd.d.Err() == nil && len(p)-int(pd.d.Len()) >= 4 {
+		m.Flags = pd.d.Uint32()
+	}
 	err := pd.d.Err()
 	pd.release()
 	return m, err

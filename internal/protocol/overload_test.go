@@ -122,16 +122,38 @@ func TestStatsDrainingRoundTrip(t *testing.T) {
 		t.Errorf("got %+v", out)
 	}
 
-	// An old server's stats payload lacks the trailing word; the new
-	// decoder must default Draining to false.
+	// An old server's stats payload lacks the cache counters and the
+	// draining word; the new decoder must default both trailers.
 	p := in.Encode()
-	old := p[:len(p)-4]
+	old := p[:len(p)-52] // 48 cache-counter bytes + 4 draining bytes
 	out, err = DecodeStats(old)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Draining {
 		t.Error("Draining = true decoding an old-format payload")
+	}
+
+	// A PR 8-era payload carries Draining but no cache counters.
+	mid := p[:len(p)-48]
+	out, err = DecodeStats(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Draining || out.CacheHits != 0 {
+		t.Errorf("mid-format decode: got %+v", out)
+	}
+}
+
+func TestStatsCacheCountersRoundTrip(t *testing.T) {
+	in := Stats{Hostname: "h", PEs: 2, CacheHits: 10, CacheMisses: 3,
+		CacheEvictions: 1, CachePinnedBytes: 4096, CacheUsedBytes: 1 << 20, CacheBudget: 1 << 24}
+	out, err := DecodeStats(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("got %+v, want %+v", out, in)
 	}
 }
 

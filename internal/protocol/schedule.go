@@ -29,18 +29,31 @@ type ScheduleRequest struct {
 	// Exclude lists server names the client wants avoided, used for
 	// fault-tolerant retry on a different server.
 	Exclude []string
+	// Affinity names the server whose argument cache is warm for this
+	// call (a transaction dependency's executing server), so placement
+	// can bind downstream calls to the data. It rides as an optional
+	// trailer after Exclude — old daemons ignore it, old clients never
+	// send it. Advisory: an ineligible affinity server is skipped.
+	Affinity string
 }
 
 // Encode serializes the request.
 func (m *ScheduleRequest) Encode() []byte {
-	return encodePayload(xdr.SizeString(len(m.Routine))+28, func(e *xdr.Encoder) {
+	size := xdr.SizeString(len(m.Routine)) + 28
+	if m.Affinity != "" {
+		size += xdr.SizeString(len(m.Affinity))
+	}
+	return encodePayload(size, func(e *xdr.Encoder) {
 		e.PutString(m.Routine)
 		e.PutInt64(m.InBytes)
 		e.PutInt64(m.OutBytes)
 		e.PutInt64(m.Ops)
 		e.PutUint32(uint32(len(m.Exclude)))
-		for _, x := range m.Exclude {
-			e.PutString(x)
+		for i := range m.Exclude {
+			e.PutString(m.Exclude[i])
+		}
+		if m.Affinity != "" {
+			e.PutString(m.Affinity)
 		}
 	})
 }
@@ -62,6 +75,9 @@ func DecodeScheduleRequest(p []byte) (ScheduleRequest, error) {
 	}
 	for i := 0; i < n && i < 1024; i++ {
 		m.Exclude = append(m.Exclude, d.String())
+	}
+	if d.Err() == nil && len(p)-int(d.Len()) >= 4 {
+		m.Affinity = d.String()
 	}
 	return m, d.Err()
 }

@@ -77,10 +77,16 @@ func (s *Server) hello(conn net.Conn, payload []byte) error {
 			fmt.Sprintf("unexpected frame %v", protocol.MsgHello))
 	}
 	version := req.MaxVersion
-	if version > protocol.MuxVersionBulk {
-		version = protocol.MuxVersionBulk
+	if version > protocol.MuxVersionCache {
+		version = protocol.MuxVersionCache
 	}
 	rep := protocol.HelloReply{Version: version}
+	if version >= protocol.MuxVersionCache && s.cache != nil {
+		// Digest references are only legal once the server says its
+		// cache is live; without the flag a level-4 connection is
+		// bit-identical to level 3.
+		rep.Flags |= protocol.HelloFlagArgCache
+	}
 	if err := protocol.WriteFrame(conn, protocol.MsgHelloOK, rep.Encode()); err != nil {
 		return err
 	}
@@ -117,6 +123,7 @@ func (s *Server) bulkThreshold() int {
 //ninflint:hotpath
 func (s *Server) serveMux(conn net.Conn, client string, version int) {
 	bulkOK := version >= protocol.MuxVersionBulk
+	cacheOK := version >= protocol.MuxVersionCache && s.cache != nil
 	replies := make(chan muxReply, s.muxConcurrency())
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -138,7 +145,7 @@ func (s *Server) serveMux(conn net.Conn, client string, version int) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			t, rb, bm, sent := s.muxReplyFor(client, typ, fb, bulk, bulkOK)
+			t, rb, bm, sent := s.muxReplyFor(client, typ, fb, bulk, bulkOK, cacheOK)
 			replies <- muxReply{seq: seq, t: t, fb: rb, bulk: bm, sent: sent}
 		}()
 	}
@@ -410,7 +417,7 @@ func muxErrReplyHint(code uint32, detail string, retryAfterMillis uint32) (proto
 // the §2.3 callback facility needs, so executables that call back get
 // ErrNoCallback (clients with registered callbacks stay on the
 // lockstep path).
-func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.Buffer, bulk *protocol.BulkInfo, bulkOK bool) (protocol.MsgType, *protocol.Buffer, *protocol.BulkMsg, func()) {
+func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.Buffer, bulk *protocol.BulkInfo, bulkOK, cacheOK bool) (protocol.MsgType, *protocol.Buffer, *protocol.BulkMsg, func()) {
 	payload := fb.Payload()
 	if bulk != nil {
 		if typ != protocol.MsgCall && typ != protocol.MsgSubmit {
@@ -455,6 +462,7 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 		return protocol.MsgInterfaceOK, protocol.BufferFor(p), nil, nil
 
 	case protocol.MsgCall:
+		bulk = s.attachCache(bulk, payload, cacheOK)
 		t, code, hint, err := s.admit(payload, bulk, false, nil, 0, client)
 		fb.Release() // arguments are decoded and copied by admit
 		if err != nil {
@@ -488,6 +496,7 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 			fb.Release()
 			return muxErrReply(protocol.CodeBadArguments, err.Error())
 		}
+		bulk = s.attachCache(bulk, rest, cacheOK)
 		t, code, hint, err := s.admit(rest, bulk, true, nil, key, client)
 		fb.Release()
 		if err != nil {
@@ -504,10 +513,58 @@ func (s *Server) muxReplyFor(client string, typ protocol.MsgType, fb *protocol.B
 		}
 		return s.muxFetch(req, bulkOK)
 
+	case protocol.MsgCallDigest:
+		digs, err := protocol.DecodeDigestQuery(payload)
+		fb.Release()
+		if err != nil {
+			return muxErrReply(protocol.CodeBadArguments, err.Error())
+		}
+		if !cacheOK {
+			return muxErrReply(protocol.CodeInternal, "argument cache disabled")
+		}
+		warm := make([]bool, len(digs))
+		for i, d := range digs {
+			warm[i] = s.cache.contains(d)
+		}
+		return protocol.MsgDigestStatus, protocol.EncodeDigestStatusBuf(warm), nil, nil
+
+	case protocol.MsgDataHandle:
+		d, err := protocol.DecodeDataHandleRequest(payload)
+		fb.Release()
+		if err != nil {
+			return muxErrReply(protocol.CodeBadArguments, err.Error())
+		}
+		if !cacheOK {
+			return muxErrReply(protocol.CodeInternal, "argument cache disabled")
+		}
+		b, ok := s.cache.get(d)
+		if !ok {
+			return muxErrReply(protocol.CodeCacheMiss, fmt.Sprintf("no cached value %v", d))
+		}
+		return protocol.MsgDataHandleOK, protocol.EncodeDataHandleReplyBuf(d, b), nil, nil
+
 	default:
 		fb.Release()
 		return muxErrReply(protocol.CodeInternal, fmt.Sprintf("unexpected frame %v", typ))
 	}
+}
+
+// attachCache gives a level-4 call's decode a per-call cache view: the
+// resolver that answers digest markers (pinning what it resolves) and
+// retains uploaded segments. A monolithic frame gets a synthesized
+// BulkInfo — digest markers carry no offsets, so a head-only Base is
+// sound, and inline arrays take the non-marker decode path untouched.
+// Below level 4 (or with the cache off) bulk passes through unchanged
+// and decode rejects any digest marker.
+func (s *Server) attachCache(bulk *protocol.BulkInfo, head []byte, cacheOK bool) *protocol.BulkInfo {
+	if !cacheOK {
+		return bulk
+	}
+	if bulk == nil {
+		bulk = &protocol.BulkInfo{Base: head, HeadLen: len(head)}
+	}
+	bulk.Resolver = &callPins{c: s.cache}
+	return bulk
 }
 
 // muxFetch is fetch for the mux path. Like the lockstep fetch it must

@@ -94,6 +94,11 @@ type Config struct {
 	// dispatch-time shedding of expired jobs — the A/B switch the
 	// overload experiment measures against.
 	DisableShedding bool
+	// CacheBudget bounds the content-addressed argument/result cache
+	// (feature level 4) in bytes. 0 or negative disables caching: the
+	// server then negotiates level 4 without the cache flag and the
+	// byte stream stays bit-identical to level 3.
+	CacheBudget int64
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
@@ -105,6 +110,7 @@ type Server struct {
 	policy   sched.Policy
 	acct     *accounting
 	trace    *tracer
+	cache    *argCache // nil unless Config.CacheBudget > 0
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -166,6 +172,22 @@ type task struct {
 	key      uint64 // submit idempotency key (0 = none)
 	reply    []byte
 	expire   time.Time
+
+	// Argument-cache bookkeeping (level 4). pins holds the cache
+	// entries this call resolved by digest, released on every terminal
+	// path so eviction is never blocked by a finished call. retain asks
+	// the server to cache large results for later digest reference.
+	pins   *callPins
+	retain bool
+}
+
+// releasePins unpins this task's resolved cache entries. Called on
+// every terminal path; idempotent.
+func (t *task) releasePins() {
+	if t.pins != nil {
+		t.pins.release()
+		t.pins = nil
+	}
 }
 
 // failCode is the MsgError code for a failed task.
@@ -203,6 +225,9 @@ func New(cfg Config, reg *Registry) *Server {
 		clientQueued: make(map[string]int),
 		listeners:    make(map[net.Listener]struct{}),
 		conns:        make(map[net.Conn]struct{}),
+	}
+	if cfg.CacheBudget > 0 {
+		s.cache = newArgCache(cfg.CacheBudget)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
@@ -369,7 +394,7 @@ func (s *Server) Stats() protocol.Stats {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	return protocol.Stats{
+	st := protocol.Stats{
 		Hostname:    s.cfg.Hostname,
 		PEs:         int64(s.cfg.PEs),
 		Running:     int64(running),
@@ -379,6 +404,37 @@ func (s *Server) Stats() protocol.Stats {
 		CPUUtil:     util,
 		Draining:    draining,
 	}
+	if s.cache != nil {
+		cs := s.cache.stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheEvictions = cs.Evictions
+		st.CachePinnedBytes = cs.PinnedBytes
+		st.CacheUsedBytes = cs.UsedBytes
+		st.CacheBudget = cs.Budget
+	}
+	return st
+}
+
+// CacheCounters reports the argument cache's hit/miss/eviction and
+// byte counters; zeros when caching is disabled.
+func (s *Server) CacheCounters() (hits, misses, evictions, pinnedBytes, usedBytes int64) {
+	if s.cache == nil {
+		return 0, 0, 0, 0, 0
+	}
+	cs := s.cache.stats()
+	return cs.Hits, cs.Misses, cs.Evictions, cs.PinnedBytes, cs.UsedBytes
+}
+
+// cacheThreshold is the minimum encoded size for digest-addressed
+// retention, mirroring the client's bulk threshold so both ends agree
+// on which arguments are cache-worthy even when chunked replies are
+// disabled.
+func (s *Server) cacheThreshold() int {
+	if thr := s.bulkThreshold(); thr > 0 {
+		return thr
+	}
+	return protocol.DefaultBulkThreshold
 }
 
 // OverloadStats counts the overload-control decisions the server has
@@ -589,6 +645,19 @@ func (s *Server) admit(payload []byte, bulk *protocol.BulkInfo, twoPhase bool, c
 	if ctx == nil {
 		ctx = s.baseCtx
 	}
+	// Cache entries resolved (and pinned) during decode belong to the
+	// admitted task; every path that does not hand them to a task must
+	// unpin, or a rejected call would block eviction forever.
+	var pins *callPins
+	if bulk != nil {
+		pins, _ = bulk.Resolver.(*callPins)
+	}
+	adopted := false
+	defer func() {
+		if !adopted && pins != nil {
+			pins.release()
+		}
+	}()
 	name, rest, err := protocol.DecodeCallName(payload)
 	if err != nil {
 		return nil, protocol.CodeBadArguments, 0, err
@@ -597,8 +666,15 @@ func (s *Server) admit(payload []byte, bulk *protocol.BulkInfo, twoPhase bool, c
 	if ex == nil {
 		return nil, protocol.CodeUnknownRoutine, 0, fmt.Errorf("no routine %q", name)
 	}
-	args, deadline, err := protocol.DecodeCallArgsDeadlineBulk(ex.Info, rest, bulk)
+	var retain bool
+	args, deadline, err := protocol.DecodeCallArgsDeadlineRetainBulk(ex.Info, rest, bulk, &retain)
 	if err != nil {
+		if errors.Is(err, protocol.ErrDigestMiss) {
+			// The referenced cache entry was evicted between the client's
+			// warmth check and this call. Not executed; the client retries
+			// with the full bytes.
+			return nil, protocol.CodeCacheMiss, 0, err
+		}
 		return nil, protocol.CodeBadArguments, 0, err
 	}
 
@@ -616,6 +692,8 @@ func (s *Server) admit(payload []byte, bulk *protocol.BulkInfo, twoPhase bool, c
 		reqBytes: reqBytes,
 		deadline: deadline,
 		client:   client,
+		pins:     pins,
+		retain:   retain && s.cache != nil,
 	}
 	t.job.PEs = pes
 	if ops, ok := ex.Info.PredictedOps(args); ok {
@@ -698,6 +776,7 @@ func (s *Server) admit(payload []byte, bulk *protocol.BulkInfo, twoPhase bool, c
 	s.acct.jobQueued(now)
 	s.schedule()
 	s.mu.Unlock()
+	adopted = true
 	return t, 0, 0, nil
 }
 
@@ -783,6 +862,7 @@ func (s *Server) schedule() {
 				t.err = errors.New("server: shut down before execution")
 				s.acct.jobAbandoned(time.Now())
 				s.clientDequeuedLocked(t)
+				t.releasePins()
 				close(t.done)
 			}
 			s.queue = nil
@@ -835,6 +915,7 @@ func (s *Server) shedExpiredLocked() {
 			t.expire = time.Now().Add(s.cfg.JobTTL)
 			t.args = nil
 		}
+		t.releasePins()
 		close(t.done)
 		shed = true
 	}
@@ -856,6 +937,12 @@ func (s *Server) run(t *task) {
 	now := time.Now()
 	t.timings.Complete = now.UnixNano()
 	t.err = err
+	if err == nil && t.retain && s.cache != nil {
+		// The client asked for result retention: cache large out/inout
+		// arrays so its next call here can reference them by digest
+		// (transaction handle chaining) before twoPhase drops t.args.
+		s.cache.retainResults(t.ex.Info, t.args, s.cacheThreshold())
+	}
 	s.trace.record(t.ex.Info.Name,
 		time.Duration(t.timings.Dequeue-t.timings.Enqueue),
 		time.Duration(t.timings.Complete-t.timings.Dequeue),
@@ -889,6 +976,7 @@ func (s *Server) run(t *task) {
 	s.schedule()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	t.releasePins()
 	close(t.done)
 }
 

@@ -134,7 +134,10 @@ func Retryable(err error) bool {
 		// A momentarily full queue (or draining server) is transient
 		// by construction: the server said "come back later", not
 		// "this call cannot work".
-		return re.Code == protocol.CodeOverloaded
+		// CodeCacheMiss is retryable by design: the call was not
+		// executed, and the retry re-uploads the evicted argument bytes
+		// (the client cleared its warm set when the miss surfaced).
+		return re.Code == protocol.CodeOverloaded || re.Code == protocol.CodeCacheMiss
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false

@@ -31,6 +31,7 @@ type sessionState struct {
 	conn   net.Conn // the session's transport, checked out of the pool so closeAll severs it
 	legacy bool     // peer answered Hello as a version-1 server; sticky until SetMultiplexing(true)
 	off    bool     // SetMultiplexing(false)
+	flags  uint32   // HelloReply capability flags of the live session
 }
 
 // SetMultiplexing toggles the multiplexed session layer. It is on by
@@ -136,7 +137,7 @@ func (c *Client) session(ctx context.Context) (*mux.Session, error) {
 	//lint:ninflint locknet — guardConn only registers a context callback; it performs no socket I/O
 	stop := guardConn(ctx, conn)
 	//lint:ninflint locknet — negotiation must finish before any verb uses the session; the guard (and Close) severs a black-holed handshake
-	version, err := mux.Negotiate(conn, c.maxPayload)
+	version, flags, err := mux.NegotiateFlags(conn, c.maxPayload)
 	if !stop() {
 		//lint:ninflint locknet — discard only closes the socket (non-blocking) and updates the pool books
 		c.pool.discard(conn)
@@ -159,8 +160,22 @@ func (c *Client) session(ctx context.Context) (*mux.Session, error) {
 	}
 	//lint:ninflint locknet — New only starts the session goroutines; it performs no blocking socket I/O itself
 	s := mux.New(conn, c.maxPayload, version)
-	c.sess.sess, c.sess.conn = s, conn
+	c.sess.sess, c.sess.conn, c.sess.flags = s, conn, flags
 	return s, nil
+}
+
+// cacheOn reports whether sess negotiated feature level 4 against a
+// server advertising a live argument cache, with digest references
+// enabled on this client. Only then may digest or retain framing
+// appear on the wire; anywhere below, the byte stream is bit-identical
+// to level 3.
+func (c *Client) cacheOn(sess *mux.Session) bool {
+	if c.noArgCache.Load() || !sess.Cache() {
+		return false
+	}
+	c.sess.mu.Lock()
+	defer c.sess.mu.Unlock()
+	return c.sess.sess == sess && c.sess.flags&protocol.HelloFlagArgCache != 0
 }
 
 // dropSession retires s if it is still the client's current session
@@ -250,6 +265,18 @@ func (c *Client) settleMux(sess *mux.Session, rt protocol.MsgType, fb *protocol.
 // capabilities are known — so nothing is marshalled twice and the
 // lockstep fallback (used=false upstream) never pre-encodes in vain.
 func (c *Client) muxSend(ctx context.Context, sess *mux.Session, t protocol.MsgType, info *idl.Info, creq *protocol.CallRequest, key uint64, rep *Report) (protocol.MsgType, *protocol.Buffer, *protocol.BulkInfo, error) {
+	cacheok := c.cacheOn(sess)
+	if cacheok {
+		creq.Retain = c.retainRes.Load()
+		//lint:ninflint releasecheck — handled=true transfers fb to the caller; handled=false returns a nil fb
+		rt, fb, bulk, handled, err := c.muxSendDigest(ctx, sess, t, info, creq, key, rep)
+		if handled {
+			return rt, fb, bulk, err
+		}
+		// Nothing digest-eligible (or the warmth query degraded): fall
+		// through to the plain encoders. creq.Retain stays set — the
+		// monolithic encoder still carries the retention trailer.
+	}
 	if sess.Bulk() {
 		bm, err := encodeRequestChunks(t, info, creq, key, c.bulkThreshold())
 		if err != nil {
@@ -267,6 +294,83 @@ func (c *Client) muxSend(ctx context.Context, sess *mux.Session, t protocol.MsgT
 	}
 	rep.BytesOut = int64(req.Len())
 	return c.muxExchangeOn(ctx, sess, t, req)
+}
+
+// muxSendDigest runs one level-4 call or submit: hash the
+// bulk-eligible arguments, learn which digests the server's cache
+// holds (from the client's warm set, else one small MsgCallDigest
+// round trip), then send warm arguments as 20-byte digest markers and
+// only the cold ones as chunked bulk segments. handled=false means
+// nothing was digest-eligible or the warmth query degraded; the caller
+// falls back to the plain level-3 encoders. On success every digest is
+// remembered as warm — the server pinned resolved entries for the call
+// and retained uploaded segments. A CodeCacheMiss reply (eviction
+// raced the warmth knowledge) clears the warm set; the error is
+// retryable, and the retry re-queries and re-uploads.
+func (c *Client) muxSendDigest(ctx context.Context, sess *mux.Session, t protocol.MsgType, info *idl.Info, creq *protocol.CallRequest, key uint64, rep *Report) (protocol.MsgType, *protocol.Buffer, *protocol.BulkInfo, bool, error) {
+	thr := c.bulkThreshold()
+	digs, err := protocol.CallRequestDigests(info, creq, thr)
+	if err != nil || len(digs) == 0 {
+		return 0, nil, nil, false, nil
+	}
+	warm := c.warmKnown(digs)
+	if warm == nil {
+		qt, qfb, _, qerr := sess.Roundtrip(ctx, protocol.MsgCallDigest, protocol.EncodeDigestQueryBuf(digs))
+		qt, qfb, _, qerr = c.settleMux(sess, qt, qfb, nil, qerr)
+		if qerr != nil {
+			var re *protocol.RemoteError
+			if errors.As(qerr, &re) {
+				// The server answered but will not play (e.g. its cache
+				// was disabled across a restart): degrade to plain level 3
+				// for this call.
+				return 0, nil, nil, false, nil
+			}
+			return 0, nil, nil, true, qerr
+		}
+		if qt != protocol.MsgDigestStatus {
+			qfb.Release()
+			return 0, nil, nil, true, fmt.Errorf("ninf: unexpected reply %v to digest query", qt)
+		}
+		warm, err = protocol.DecodeDigestStatus(qfb.Payload())
+		qfb.Release()
+		if err != nil {
+			return 0, nil, nil, true, err
+		}
+		if len(warm) != len(digs) {
+			return 0, nil, nil, true, fmt.Errorf("ninf: digest status answers %d of %d digests", len(warm), len(digs))
+		}
+	}
+	warmSet := make(map[protocol.Digest]bool, len(digs))
+	for i, d := range digs {
+		warmSet[d] = warmSet[d] || warm[i]
+	}
+	bm, buf, err := protocol.EncodeCallRequestDigest(info, creq, t == protocol.MsgSubmit, key, thr, digs,
+		func(d protocol.Digest) bool { return warmSet[d] })
+	if err != nil {
+		return 0, nil, nil, true, err
+	}
+	var rt protocol.MsgType
+	//lint:ninflint releasecheck — settleMux releases fb on error paths; success transfers it to the caller
+	var fb *protocol.Buffer
+	var bulk *protocol.BulkInfo
+	if bm != nil {
+		rep.BytesOut = int64(bm.Total())
+		rt, fb, bulk, err = sess.RoundtripBulk(ctx, bm)
+	} else {
+		rep.BytesOut = int64(buf.Len())
+		rt, fb, bulk, err = sess.Roundtrip(ctx, t, buf)
+	}
+	rt, fb, bulk, err = c.settleMux(sess, rt, fb, bulk, err)
+	if err != nil {
+		var re *protocol.RemoteError
+		if errors.As(err, &re) && re.Code == protocol.CodeCacheMiss {
+			c.forgetWarm()
+		}
+		return 0, nil, nil, true, err
+	}
+	c.markWarm(digs)
+	//lint:ninflint releasecheck — exactly one of bm/buf is non-nil and the taken Roundtrip consumed it
+	return rt, fb, bulk, true, nil
 }
 
 // encodeRequestChunks encodes a call or submit request chunked; nil

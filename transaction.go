@@ -23,6 +23,12 @@ type SchedRequest struct {
 	OutBytes int64
 	Ops      int64
 	Exclude  []string
+	// Affinity names the server whose argument cache already holds this
+	// call's input data (the server that executed a dependency whose
+	// output this call reads), so placement can bind the call to the
+	// data instead of re-shipping it. Advisory: schedulers ignore an
+	// ineligible or excluded affinity server.
+	Affinity string
 }
 
 // Placement names a chosen server and how to reach it.
@@ -118,6 +124,13 @@ type txCall struct {
 	report  *Report
 	err     error
 	servers []string // servers tried, for exclusion on retry
+
+	// execOn is the server that executed the call (set before the
+	// call's done channel closes); affinity is the data-producing
+	// dependency's execOn, preferred at placement so the downstream
+	// call lands where its operands are already cached.
+	execOn   string
+	affinity string
 }
 
 // BeginTransaction opens a transaction over the given scheduler.
@@ -283,6 +296,11 @@ func (tx *Transaction) EndContext(ctx context.Context) error {
 					c.err = fmt.Errorf("ninf: dependency %s failed: %w", calls[d].name, calls[d].err)
 					return
 				}
+				// Data flows from d into this call: prefer the server
+				// whose cache just produced (and retained) the operand.
+				if calls[d].execOn != "" && intersects(calls[d].writes, c.reads) {
+					c.affinity = calls[d].execOn
+				}
 			}
 			c.report, c.err = tx.execute(ctx, infos[c.name], c)
 		}(i, c)
@@ -368,7 +386,7 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 		}
 		pl, err := tx.sched.Place(SchedRequest{
 			Routine: c.name, InBytes: inB, OutBytes: outB, Ops: ops,
-			Exclude: excluded,
+			Exclude: excluded, Affinity: c.affinity,
 		})
 		if err != nil {
 			// No eligible server right now — likely every breaker is
@@ -418,6 +436,7 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 			continue
 		}
 		tx.sched.Observe(pl.Name, rep.BytesOut+rep.BytesIn, rep.Total(), false)
+		c.execOn = pl.Name
 		return rep, nil
 	}
 	return nil, fmt.Errorf("ninf: %s failed on %d servers: %w", c.name, tx.maxAttempts, lastErr)
@@ -456,6 +475,12 @@ func (tx *Transaction) client(pl Placement) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Transactions always ask for result retention: a cache-enabled
+	// server keeps each call's large results resident, so a dependent
+	// call placed there (via SchedRequest.Affinity) passes them back by
+	// digest instead of round-tripping the bytes through the client.
+	// A no-op against cache-less or pre-level-4 servers.
+	c.SetRetainResults(true)
 	if tx.haveRetry {
 		c.SetRetryPolicy(tx.retry)
 	}
