@@ -79,6 +79,13 @@ type Client struct {
 	retainRes  atomic.Bool // SetRetainResults(true)
 	warmMu     sync.Mutex
 	warm       map[protocol.Digest]struct{}
+
+	// srvEpoch is the server incarnation epoch last observed in a hello
+	// negotiation or Stats poll (0 until a journal-enabled server has
+	// been seen). An observed change means the server restarted: its
+	// argument cache came back empty, so warmth knowledge and data
+	// handles minted against the old incarnation are void.
+	srvEpoch atomic.Uint64
 }
 
 // maxWarmDigests bounds the client's warm-digest set; past it the set
@@ -144,22 +151,70 @@ func (c *Client) forgetWarm() {
 	c.warmMu.Unlock()
 }
 
+// noteEpoch folds one observation of the server's incarnation epoch
+// into the client. Journal-less servers report 0 and are never tracked.
+// A change from a previously observed epoch means the server restarted
+// with an empty cache: all warm-digest knowledge is dropped, and data
+// handles stamped with the old epoch start failing fast with
+// ErrStaleHandle.
+func (c *Client) noteEpoch(e uint64) {
+	if e == 0 {
+		return
+	}
+	if old := c.srvEpoch.Swap(e); old != 0 && old != e {
+		c.forgetWarm()
+	}
+}
+
+// ServerEpoch reports the server incarnation epoch last observed by
+// this client: 0 until a hello negotiation or Stats poll against a
+// journal-enabled server (see internal/server/journal). The epoch
+// increases by at least one per server restart, so two unequal
+// observations bracket a crash.
+func (c *Client) ServerEpoch() uint64 { return c.srvEpoch.Load() }
+
 // A DataHandle names a server-resident cached value by content digest
 // — the persistent remote data handle of feature level 4. Handles are
 // content-addressed: any call whose retained result (or uploaded
 // argument) had these bytes yields the same handle.
 type DataHandle struct {
 	dig protocol.Digest
+	// epoch is the server incarnation the handle was minted against
+	// (Client.HandleFor); 0 means unbound — package-level handles carry
+	// no incarnation and rely on the server-side cache-miss reply alone.
+	epoch uint64
 }
 
 // HandleFor computes the data handle of an array value ([]float64,
 // []float32 or []int64); ok is false for non-array values. The handle
 // is computed locally — whether a given server holds the value is only
-// known when the handle is used.
+// known when the handle is used. A handle from this package-level
+// function is not bound to a server incarnation; prefer
+// Client.HandleFor, whose handles fail fast with ErrStaleHandle after
+// the server restarts instead of surfacing a cache miss.
 func HandleFor(v any) (DataHandle, bool) {
 	d, ok := protocol.DigestValue(v)
 	return DataHandle{dig: d}, ok
 }
+
+// HandleFor computes the data handle of an array value and stamps it
+// with the server incarnation epoch the client has last observed. If
+// the server restarts (its cache restarting empty), FetchData on the
+// stamped handle returns ErrStaleHandle without a round trip, telling
+// the caller to re-upload the value rather than retry the fetch.
+// Against journal-less servers — no epoch on the wire — the stamp is 0
+// and the handle behaves exactly like a package-level one.
+func (c *Client) HandleFor(v any) (DataHandle, bool) {
+	d, ok := protocol.DigestValue(v)
+	return DataHandle{dig: d, epoch: c.srvEpoch.Load()}, ok
+}
+
+// ErrStaleHandle is returned by FetchData for a data handle minted
+// against a previous incarnation of the server: the server restarted
+// and its cache restarted empty, so the handle's value is gone and
+// must be re-uploaded (e.g. by re-running the call that produced it).
+// Terminal: retrying the fetch cannot help.
+var ErrStaleHandle = errors.New("ninf: data handle from a previous server incarnation")
 
 // FetchData retrieves a server-resident cached value by handle into
 // dst (*[]float64, *[]float32 or *[]int64). It requires a feature
@@ -173,6 +228,12 @@ func (c *Client) FetchData(ctx context.Context, h DataHandle, dst any) error {
 	cacheok := sess != nil && c.cacheOn(sess)
 	if !cacheok {
 		return errors.New("ninf: server offers no argument cache")
+	}
+	// session() above refreshed the observed epoch if it (re)negotiated,
+	// so an epoch-stamped handle that survived a server restart is
+	// caught here before the exchange.
+	if cur := c.srvEpoch.Load(); h.epoch != 0 && cur != 0 && h.epoch != cur {
+		return fmt.Errorf("%w (minted at epoch %d, server at %d)", ErrStaleHandle, h.epoch, cur)
 	}
 	rt, fb, _, err := c.muxExchangeOn(ctx, sess, protocol.MsgDataHandle, protocol.EncodeDataHandleRequestBuf(h.dig))
 	if err != nil {
@@ -453,7 +514,11 @@ func (c *Client) Stats() (protocol.Stats, error) {
 	if t != protocol.MsgStatsOK {
 		return protocol.Stats{}, fmt.Errorf("ninf: unexpected reply %v to stats", t)
 	}
-	return protocol.DecodeStats(p)
+	s, err := protocol.DecodeStats(p)
+	if err == nil {
+		c.noteEpoch(s.Epoch)
+	}
+	return s, err
 }
 
 // Interface returns the compiled IDL of a routine, fetching it from
@@ -913,6 +978,12 @@ type Job struct {
 	args   []any
 	vals   []idl.Value
 	report *Report
+	// name and key identify the submission itself (not the server-side
+	// job): key is the idempotency key every attempt carried, kept so
+	// Resubmit can re-enter the same submission after the server forgot
+	// the job (ErrJobNotFound) without risking a second execution.
+	name string
+	key  uint64
 }
 
 // ID returns the server-assigned job identity.
@@ -992,11 +1063,39 @@ func (c *Client) attemptSubmit(ctx context.Context, name string, args []any, key
 	if err != nil {
 		return nil, err
 	}
-	return &Job{client: c, id: sr.JobID, info: info, args: args, vals: vals, report: rep}, nil
+	return &Job{client: c, id: sr.JobID, info: info, args: args, vals: vals, report: rep, name: name, key: key}, nil
 }
 
 // ErrNotReady is returned by Fetch(false) while the job is running.
 var ErrNotReady = errors.New("ninf: job not ready")
+
+// ErrJobNotFound is returned by Fetch when the server does not know the
+// job: it restarted without a journal (or the journal never saw the
+// submission), the job was already fetched once, or its unfetched
+// result aged out. Terminal for the fetch — retrying cannot help — but
+// not for the submission: Resubmit re-enters it under the original
+// idempotency key, so recovery stays exactly-once.
+var ErrJobNotFound = errors.New("ninf: job not found on server")
+
+// Resubmit re-submits a job the server has forgotten (Fetch returned
+// ErrJobNotFound) and rebinds the handle to the new server-side job.
+// The submission reuses the original idempotency key, so a server that
+// does still know the job — a race, or a journal replay finishing late
+// — answers with the existing job instead of executing twice. After a
+// successful Resubmit the job can be fetched again as usual.
+func (j *Job) Resubmit(ctx context.Context) error {
+	var nj *Job
+	err := j.client.withRetry(ctx, "resubmit "+j.name, func() error {
+		var aerr error
+		nj, aerr = j.client.attemptSubmit(ctx, j.name, j.args, j.key)
+		return aerr
+	})
+	if err != nil {
+		return err
+	}
+	j.id, j.info, j.vals, j.report = nj.id, nj.info, nj.vals, nj.report
+	return nil
+}
 
 // Fetch collects the results of a submitted job, filling the argument
 // slices/pointers passed to Submit. With wait true it blocks until the
@@ -1108,13 +1207,27 @@ func (j *Job) attemptFetch(ctx context.Context) (*Report, error) {
 	t, p, err := roundTripBufOn(conn, c.maxPayload, protocol.MsgFetch, req.EncodeBuf())
 	err = c.releaseGuarded(ctx, conn, stop, err)
 	if err != nil {
-		var re *protocol.RemoteError
-		if errors.As(err, &re) && re.Code == protocol.CodeNotReady {
-			return nil, ErrNotReady
-		}
-		return nil, err
+		return nil, classifyFetchErr(err)
 	}
 	return j.finishFetch(t, p, nil)
+}
+
+// classifyFetchErr maps the fetch protocol's remote error codes onto
+// the client's sentinel errors: CodeNotReady (poll again) and
+// CodeUnknownJob (the server has no such job — restarted without its
+// journal, already fetched, or expired; see ErrJobNotFound). Both are
+// deliberate answers, not faults, so neither is retryable.
+func classifyFetchErr(err error) error {
+	var re *protocol.RemoteError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case protocol.CodeNotReady:
+			return ErrNotReady
+		case protocol.CodeUnknownJob:
+			return fmt.Errorf("%w (%s)", ErrJobNotFound, re.Detail)
+		}
+	}
+	return err
 }
 
 // finishFetch decodes one fetch reply (mux or lockstep) into the

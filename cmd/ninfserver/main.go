@@ -7,12 +7,22 @@
 //	ninfserver [-addr :3000] [-pes 4] [-mode task|data] [-policy fcfs|sjf|fpfs|fpmpfs]
 //	           [-hostname name] [-maxqueue n] [-maxperclient n] [-drain-timeout 30s]
 //	           [-bulk-threshold n] [-cache-budget bytes]
+//	           [-journal-dir dir] [-fsync interval|always|never]
 //
 // The server answers Ninf RPC on the given address; point ninfcall, the
 // examples, or a metaserver at it. On SIGTERM or SIGINT the server
 // drains: new work is rejected with overloaded-plus-retry-after,
 // queued and running jobs finish, replies flush, and the process exits
 // 0 — so a supervisor rollout never silently loses accepted calls.
+//
+// With -journal-dir the server keeps a write-ahead submit journal in
+// the directory and mints a new incarnation epoch each start: after a
+// crash (kill -9, OOM, power loss) the next start replays the journal,
+// re-queues unfinished two-phase jobs and re-serves completed-but-
+// unfetched results, so clients recover by re-attaching instead of
+// losing work. -fsync trades durability against submit latency; see
+// internal/server/journal. Without -journal-dir the server behaves
+// exactly as before: volatile, no fsyncs, no files, epoch 0.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 
 	"ninf/internal/library"
 	"ninf/internal/server"
+	"ninf/internal/server/journal"
 	"ninf/internal/server/sched"
 )
 
@@ -42,6 +53,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight work before forcing shutdown")
 	bulkThreshold := flag.Int("bulk-threshold", 0, "stream replies at or above this many payload bytes as chunked bulk frames (0 = default 256 KiB, negative = never)")
 	cacheBudget := flag.Int64("cache-budget", 0, "argument-cache byte budget for content-addressed operands and retained results (0 = cache off, protocol stays level 3 on the wire)")
+	journalDir := flag.String("journal-dir", "", "directory for the crash-recovery submit journal and incarnation epoch (empty = volatile server, no journal)")
+	fsyncPolicy := flag.String("fsync", "interval", "journal durability: interval (batched fsync), always (fsync per record), never (page cache only)")
 	flag.Parse()
 
 	var execMode server.ExecMode
@@ -79,6 +92,20 @@ func main() {
 		CacheBudget:   *cacheBudget,
 		Logger:        log.New(os.Stderr, "", log.LstdFlags),
 	}, reg)
+
+	if *journalDir != "" {
+		pol, err := journal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ninfserver:", err)
+			os.Exit(2)
+		}
+		rec, err := s.AttachJournal(*journalDir, journal.Options{Fsync: pol})
+		if err != nil {
+			log.Fatalf("ninfserver: journal: %v", err)
+		}
+		log.Printf("ninfserver: journal %s (fsync %s): epoch %d, replay requeued %d jobs, restored %d results, dropped %d records",
+			*journalDir, pol, rec.Epoch, rec.Requeued, rec.Restored, rec.Dropped)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -251,3 +251,44 @@ func badChunkDeclineLeak(n int) error {
 	}
 	return errBoom // want `return without releasing m`
 }
+
+// --- write-ahead journal shapes (crash recovery) ---
+
+// walRecord stands in for protocol.JournalRecord: the WAL keeps its
+// own copy of a submission's bytes, never pooled memory.
+type walRecord struct{ payload []byte }
+
+// appendWAL borrows the record by value; the journal takes no buffer
+// ownership.
+func appendWAL(r walRecord) error { return r.check() }
+
+func (r walRecord) check() error {
+	if r.payload == nil {
+		return errBoom
+	}
+	return nil
+}
+
+// Negative: the journal shape — the submission is encoded into a
+// pooled frame buffer, drained into the record's own copy, and the
+// buffer released before the append; the WAL never retains pooled
+// memory.
+func goodJournalCopyOut() error {
+	fb := Acquire()
+	rec := walRecord{payload: append([]byte(nil), fb.data...)}
+	fb.Release()
+	return appendWAL(rec)
+}
+
+// Positive: journaling the pooled bytes directly and bailing on the
+// append error leaks the frame buffer — and the WAL now aliases pooled
+// memory the next acquire will scribble over.
+func badJournalRetainPooled() error {
+	fb := Acquire()
+	rec := walRecord{payload: fb.data}
+	if err := appendWAL(rec); err != nil {
+		return err // want `return without releasing fb`
+	}
+	fb.Release()
+	return nil
+}

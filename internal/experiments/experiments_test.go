@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10-multisite", "fig11-ep-metaserver",
 		"fig3-lan-single-sparc", "fig4-lan-single-alpha", "fig5-throughput",
 		"fig7-lan-surface", "fig8-wan-surface",
-		"meta-ha", "multiclient-mux", "overload",
+		"meta-ha", "multiclient-mux", "overload", "restart",
 		"table3-lan-1pe", "table4-lan-4pe", "table5-lan-smp",
 		"table6-wan-1pe", "table7-wan-4pe", "table8-ep",
 		"wan-cache",

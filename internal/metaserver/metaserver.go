@@ -323,9 +323,11 @@ func (m *Metaserver) PollOnce() int {
 			continue
 		}
 		if results[i] != nil {
+			prevEpoch := e.Stats.Epoch
 			e.Stats = *results[i]
 			e.TraceCompute = traces[i]
 			e.LastSeen = now
+			m.noteStatsEpochLocked(e, prevEpoch)
 			// A successful poll is a liveness probe: it closes the
 			// breaker even when it was opened by call failures, so
 			// polling and call feedback revive a server
@@ -364,6 +366,28 @@ func (m *Metaserver) transition(e *entry) func(from, to BreakerState) {
 			m.events = append(m.events[:0], m.events[len(m.events)-maxEvents:]...)
 		}
 	}
+}
+
+// noteStatsEpochLocked detects a server restart between two applied
+// Stats self-reports — the incarnation epoch advanced (see
+// internal/server/journal) — and resets the evidence this replica
+// accumulated against the previous incarnation: the overload penalty
+// window (the queue that caused it died with the old process), the
+// bandwidth observation flag (the next completed call replaces the
+// estimate instead of blending with the dead process's figure), and
+// the consecutive-failure streak (those failures indicted a process
+// that no longer exists; this very report proves the new one answers).
+// Journal-less servers report epoch 0 and are never treated as
+// restarted. Callers hold m.mu, have already stored the new Stats, and
+// pass the epoch seen before the assignment.
+func (m *Metaserver) noteStatsEpochLocked(e *entry, prevEpoch uint64) {
+	if prevEpoch == 0 || e.Stats.Epoch == 0 || e.Stats.Epoch == prevEpoch {
+		return
+	}
+	e.overloadUntil = time.Time{}
+	e.observed = false
+	e.brk.fails = 0
+	e.brk.probing = false
 }
 
 // syncEntry refreshes the snapshot's breaker-derived fields. Callers

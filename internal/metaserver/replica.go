@@ -359,8 +359,10 @@ func (m *Metaserver) applyRecordLocked(rec protocol.GossipRecord) {
 		if err != nil {
 			return
 		}
+		prevEpoch := e.Stats.Epoch
 		e.Stats = st
 		e.LastSeen = at
+		m.noteStatsEpochLocked(e, prevEpoch)
 		// A peer's successful poll is liveness evidence as good as our
 		// own: it revives a server our polls could not reach.
 		e.brk.onSuccess(m.transition(e))

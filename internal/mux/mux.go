@@ -74,31 +74,41 @@ func Negotiate(conn net.Conn, maxPayload int) (int, error) {
 // HelloFlagArgCache says the peer runs an enabled argument cache, the
 // precondition for the session to emit digest references.
 func NegotiateFlags(conn net.Conn, maxPayload int) (int, uint32, error) {
+	rep, err := NegotiateHello(conn, maxPayload)
+	return int(rep.Version), rep.Flags, err
+}
+
+// NegotiateHello performs the MsgHello exchange and returns the
+// server's full reply: the chosen version, the capability flags, and —
+// from crash-recovery journal servers — the incarnation epoch, which
+// lets the caller detect a server restart across reconnects (epoch 0
+// means the server does not advertise one).
+func NegotiateHello(conn net.Conn, maxPayload int) (protocol.HelloReply, error) {
 	req := protocol.HelloRequest{MaxVersion: protocol.MuxVersionCache}
 	if err := protocol.WriteFrame(conn, protocol.MsgHello, req.Encode()); err != nil {
-		return 0, 0, err
+		return protocol.HelloReply{}, err
 	}
 	t, p, err := protocol.ReadFrame(conn, maxPayload)
 	if err != nil {
-		return 0, 0, err
+		return protocol.HelloReply{}, err
 	}
 	switch t {
 	case protocol.MsgHelloOK:
 		rep, err := protocol.DecodeHelloReply(p)
 		if err != nil {
-			return 0, 0, err
+			return protocol.HelloReply{}, err
 		}
 		if rep.Version < protocol.MuxVersion || rep.Version > protocol.MuxVersionCache {
-			return 0, 0, fmt.Errorf("mux: peer chose unsupported version %d", rep.Version)
+			return protocol.HelloReply{}, fmt.Errorf("mux: peer chose unsupported version %d", rep.Version)
 		}
-		return int(rep.Version), rep.Flags, nil
+		return rep, nil
 	case protocol.MsgError:
 		// A pre-mux server rejects the unknown frame type; a post-mux
 		// server never answers Hello with an error. Either way the
 		// lockstep path is the one to use.
-		return 0, 0, ErrLegacy
+		return protocol.HelloReply{}, ErrLegacy
 	default:
-		return 0, 0, fmt.Errorf("mux: unexpected reply %v to hello", t)
+		return protocol.HelloReply{}, fmt.Errorf("mux: unexpected reply %v to hello", t)
 	}
 }
 
@@ -418,6 +428,7 @@ func finishBulk(bs *bulkSend) {
 // added latency: with no recently-woken callers outstanding there is
 // nobody worth waiting for. With bulk chunks pending the loop never
 // yields — the chunk write itself gives the crowd time to enqueue.
+//
 //ninflint:hotpath
 func (s *Session) writeLoop() {
 	defer s.wg.Done()
@@ -589,6 +600,7 @@ var errPeerAborted = fmt.Errorf("mux: peer aborted reply: %w", io.ErrUnexpectedE
 // data read straight from the buffered reader into the per-sequence
 // reassembly buffer; replies to abandoned sequences reassemble in
 // discard mode so the stream stays in sync without holding memory.
+//
 //ninflint:hotpath
 func (s *Session) readLoop() {
 	defer s.wg.Done()

@@ -1,0 +1,107 @@
+package protocol
+
+import (
+	"fmt"
+
+	"ninf/internal/xdr"
+)
+
+// Journal records are the wire-independent encoding of the server's
+// crash-recovery write-ahead log (internal/server/journal). Each record
+// describes one transition in a two-phase job's life: admitted
+// (JournalSubmit), finished (JournalComplete), delivered or expired
+// (JournalFetched). Replaying the surviving records after a crash
+// reconstructs exactly the jobs a client could still legitimately ask
+// about — queued work re-executes, completed-but-unfetched results are
+// re-served under their original job IDs and idempotency keys, and
+// everything already delivered stays gone.
+//
+// The codec lives here rather than in the journal package because the
+// payloads it wraps are protocol payloads (a plain-encoded call
+// request, a pre-encoded MsgFetchOK reply), and because the framing
+// fuzz targets for every other on-the-wire decoder already live in
+// this package.
+
+// JournalKind discriminates journal records.
+type JournalKind uint32
+
+// Journal record kinds.
+const (
+	// JournalSubmit records an admitted two-phase job: its server job
+	// ID, the client's idempotency key, the fair-queueing client tag,
+	// and the call request re-encoded in plain (digest-free, monolithic)
+	// form so replay can decode it against an empty argument cache.
+	JournalSubmit JournalKind = 1
+	// JournalComplete records a finished job: the pre-encoded
+	// MsgFetchOK reply when the result fit the journal's size cap (an
+	// empty payload means it did not, and replay re-executes the job),
+	// or the terminal error code and detail when execution failed.
+	JournalComplete JournalKind = 2
+	// JournalFetched records that the job's result was delivered to the
+	// client (or expired); replay drops the job entirely.
+	JournalFetched JournalKind = 3
+)
+
+// JournalRecord is one entry in the submit journal.
+type JournalRecord struct {
+	Kind  JournalKind
+	JobID uint64
+	// Key is the submit idempotency key (JournalSubmit; 0 = none).
+	Key uint64
+	// Client is the admitting connection's fair-queueing identity
+	// (JournalSubmit). Restored so per-client accounting survives
+	// replay.
+	Client string
+	// ErrCode and ErrDetail record a failed execution
+	// (JournalComplete); ErrCode 0 means success.
+	ErrCode   uint32
+	ErrDetail string
+	// Payload is kind-dependent: the plain call-request bytes
+	// (JournalSubmit) or the pre-encoded reply (JournalComplete).
+	Payload []byte
+}
+
+// Encode serializes the record.
+func (r *JournalRecord) Encode() []byte {
+	size := 4 + 8 + 8 + xdr.SizeString(len(r.Client)) + 4 +
+		xdr.SizeString(len(r.ErrDetail)) + 4 + len(r.Payload) + 3
+	return encodePayload(size, func(e *xdr.Encoder) {
+		e.PutUint32(uint32(r.Kind))
+		e.PutUint64(r.JobID)
+		e.PutUint64(r.Key)
+		e.PutString(r.Client)
+		e.PutUint32(r.ErrCode)
+		e.PutString(r.ErrDetail)
+		e.PutOpaque(r.Payload)
+	})
+}
+
+// DecodeJournalRecord parses one journal record body. The returned
+// record owns its byte slices (nothing aliases p).
+func DecodeJournalRecord(p []byte) (JournalRecord, error) {
+	pd := acquireDecoder(p)
+	d := &pd.d
+	r := JournalRecord{
+		Kind:  JournalKind(d.Uint32()),
+		JobID: d.Uint64(),
+		Key:   d.Uint64(),
+	}
+	r.Client = d.String()
+	r.ErrCode = d.Uint32()
+	r.ErrDetail = d.String()
+	r.Payload = d.Opaque()
+	err := d.Err()
+	pd.release()
+	if err != nil {
+		return JournalRecord{}, err
+	}
+	switch r.Kind {
+	case JournalSubmit, JournalComplete, JournalFetched:
+	default:
+		return JournalRecord{}, fmt.Errorf("protocol: unknown journal record kind %d", r.Kind)
+	}
+	if r.JobID == 0 {
+		return JournalRecord{}, fmt.Errorf("protocol: journal record without job ID")
+	}
+	return r, nil
+}

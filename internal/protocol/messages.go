@@ -554,11 +554,19 @@ type Stats struct {
 	CachePinnedBytes int64
 	CacheUsedBytes   int64
 	CacheBudget      int64
+	// Epoch is the server's incarnation epoch (crash-recovery journal
+	// servers mint a new one per start; see internal/server/journal).
+	// It rides as a third optional trailer after the cache counters and
+	// is omitted when zero, so journal-less servers keep today's byte
+	// stream exactly. A changed epoch tells pollers the server
+	// restarted and its volatile state (cache, breakers' evidence,
+	// un-journaled jobs) is gone.
+	Epoch uint64
 }
 
 // Encode serializes the stats.
 func (m *Stats) Encode() []byte {
-	return encodePayload(xdr.SizeString(len(m.Hostname))+100, func(e *xdr.Encoder) {
+	return encodePayload(xdr.SizeString(len(m.Hostname))+108, func(e *xdr.Encoder) {
 		e.PutString(m.Hostname)
 		e.PutInt64(m.PEs)
 		e.PutInt64(m.Running)
@@ -573,6 +581,9 @@ func (m *Stats) Encode() []byte {
 		e.PutInt64(m.CachePinnedBytes)
 		e.PutInt64(m.CacheUsedBytes)
 		e.PutInt64(m.CacheBudget)
+		if m.Epoch != 0 {
+			e.PutUint64(m.Epoch)
+		}
 	})
 }
 
@@ -599,6 +610,9 @@ func DecodeStats(p []byte) (Stats, error) {
 		m.CachePinnedBytes = d.Int64()
 		m.CacheUsedBytes = d.Int64()
 		m.CacheBudget = d.Int64()
+	}
+	if d.Err() == nil && len(p)-int(d.Len()) >= 8 {
+		m.Epoch = d.Uint64()
 	}
 	err := d.Err()
 	pd.release()

@@ -85,18 +85,35 @@ type HelloReply struct {
 	// version. It rides as an optional trailing word: pre-cache servers
 	// never send it and pre-cache clients never read it.
 	Flags uint32
+	// Epoch is the server's incarnation epoch, minted per start by
+	// crash-recovery journal servers (see internal/server/journal). It
+	// rides as a second optional trailer after Flags — journal-less
+	// servers omit it (keeping their byte stream exactly as before) and
+	// pre-epoch clients never read it. A client that sees the epoch
+	// change across reconnects knows the server restarted: warm-digest
+	// sets and data handles minted against the old incarnation are
+	// stale.
+	Epoch uint64
 }
 
 // Encode serializes the reply.
 func (m *HelloReply) Encode() []byte {
+	// The epoch trailer is positional after Flags, so a nonzero epoch
+	// forces the Flags word onto the wire even when zero.
 	size := 4
-	if m.Flags != 0 {
+	if m.Flags != 0 || m.Epoch != 0 {
 		size += 4
+	}
+	if m.Epoch != 0 {
+		size += 8
 	}
 	return encodePayload(size, func(e *xdr.Encoder) {
 		e.PutUint32(m.Version)
-		if m.Flags != 0 {
+		if m.Flags != 0 || m.Epoch != 0 {
 			e.PutUint32(m.Flags)
+		}
+		if m.Epoch != 0 {
+			e.PutUint64(m.Epoch)
 		}
 	})
 }
@@ -107,6 +124,9 @@ func DecodeHelloReply(p []byte) (HelloReply, error) {
 	m := HelloReply{Version: pd.d.Uint32()}
 	if pd.d.Err() == nil && len(p)-int(pd.d.Len()) >= 4 {
 		m.Flags = pd.d.Uint32()
+	}
+	if pd.d.Err() == nil && len(p)-int(pd.d.Len()) >= 8 {
+		m.Epoch = pd.d.Uint64()
 	}
 	err := pd.d.Err()
 	pd.release()

@@ -1,0 +1,418 @@
+// Package journal implements the computational server's crash-recovery
+// write-ahead log and incarnation-epoch store.
+//
+// A server started with a journal directory appends one record per
+// two-phase job transition — admitted, completed, delivered — to an
+// append-only log (wal.log). After a crash, Open replays the log:
+// records for delivered jobs cancel out, and what survives is exactly
+// the set of jobs a client could still legitimately ask about. The
+// server re-queues unfinished submits for execution and re-serves
+// completed-but-unfetched results under their original job IDs and
+// idempotency keys, so a client's retried Submit or Fetch lands on the
+// same job across the crash (GridFTP's restart-marker idea applied to
+// RPC jobs rather than transfers).
+//
+// Open also mints the incarnation epoch: a monotonic counter persisted
+// beside the log (epoch file), incremented once per open. The epoch
+// rides in hello negotiation and Stats so clients and the metaserver
+// can tell "same server, still alive" from "restarted, volatile state
+// gone".
+//
+// On-disk format. The log is a stream of length-prefixed,
+// CRC-protected records:
+//
+//	file header:  "NINFWAL1" (8 bytes)
+//	record:       u32 body length | u32 CRC-32 (IEEE) of body | body
+//
+// Body encoding is protocol.JournalRecord (XDR). A torn tail — a
+// partial record from a crash mid-append — fails the length or CRC
+// check; replay stops there and the file is truncated to the last
+// whole record, which is the correct recovery: the append that tore
+// never acknowledged its SubmitOK. On every open the log is compacted:
+// surviving records are rewritten to a temporary file that atomically
+// replaces the old log, so delivered jobs do not accrete forever.
+//
+// Durability is configurable (Options.Fsync): FsyncAlways flushes
+// after every append and loses nothing a crash-stopped kernel had
+// acknowledged; FsyncInterval (the default) bounds loss to the
+// configured window; FsyncNever leaves flushing to the OS. The journal
+// never retains caller buffers: Append copies the encoded record into
+// its own scratch buffer before writing.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ninf/internal/protocol"
+)
+
+// Policy selects when appends reach stable storage.
+type Policy int
+
+// Fsync policies.
+const (
+	// FsyncInterval flushes at most once per Options.SyncEvery; a crash
+	// loses at most that window of acknowledged submits. The default.
+	FsyncInterval Policy = iota
+	// FsyncAlways flushes after every append, before the caller
+	// acknowledges the client. Durable, and on the admission path.
+	FsyncAlways
+	// FsyncNever never calls fsync; the OS flushes when it pleases. A
+	// process crash (the common case) still loses nothing — the
+	// written bytes survive in the page cache — but a machine crash
+	// can lose acknowledged work.
+	FsyncNever
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParsePolicy parses a -fsync flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Options parameterizes a journal. The zero value is usable.
+type Options struct {
+	// Fsync is the durability policy (default FsyncInterval).
+	Fsync Policy
+	// SyncEvery bounds how stale the log may be under FsyncInterval
+	// (default 100ms).
+	SyncEvery time.Duration
+	// ResultCap is the largest completed result (encoded reply bytes)
+	// journaled inline (default 1 MiB). Bigger results are recorded as
+	// completed-without-payload, and replay re-executes the job instead
+	// of re-serving it.
+	ResultCap int
+}
+
+const (
+	fileHeader       = "NINFWAL1"
+	walName          = "wal.log"
+	epochName        = "epoch"
+	defaultSyncEvery = 100 * time.Millisecond
+	// DefaultResultCap is the default Options.ResultCap.
+	DefaultResultCap = 1 << 20
+	// maxRecord bounds one record body, a corruption guard for the
+	// replay scanner: plainly impossible lengths stop the scan rather
+	// than attempting a multi-gigabyte allocation.
+	maxRecord = 64 << 20
+)
+
+// Journal is an open write-ahead log. Append is safe for concurrent
+// use; in the server every append happens under the server mutex, so
+// the log's record order is the order the server observed.
+type Journal struct {
+	dir   string
+	opts  Options
+	epoch uint64
+
+	mu       sync.Mutex
+	f        *os.File
+	scratch  []byte // header+body assembly, reused across appends
+	lastSync time.Time
+	closed   bool
+}
+
+// Open creates (or opens) the journal in dir, advances and persists
+// the incarnation epoch, compacts the existing log, and returns the
+// surviving records in log order for the server to replay.
+func Open(dir string, opts Options) (*Journal, []protocol.JournalRecord, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
+	if opts.ResultCap <= 0 {
+		opts.ResultCap = DefaultResultCap
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	epoch, err := advanceEpoch(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := readLog(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, nil, err
+	}
+	live := compact(recs)
+	if err := rewriteLog(dir, live); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, epoch: epoch, f: f, lastSync: time.Now()}
+	return j, live, nil
+}
+
+// Epoch returns the incarnation epoch minted by Open (always >= 1).
+func (j *Journal) Epoch() uint64 { return j.epoch }
+
+// ResultCap returns the resolved inline-result size cap.
+func (j *Journal) ResultCap() int { return j.opts.ResultCap }
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append encodes and writes one record, flushing per the fsync policy.
+// The record's byte slices are copied before the call returns; the
+// caller keeps ownership of whatever they alias.
+func (j *Journal) Append(rec *protocol.JournalRecord) error {
+	body := rec.Encode()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	need := 8 + len(body)
+	if cap(j.scratch) < need {
+		j.scratch = make([]byte, 0, need)
+	}
+	b := j.scratch[:8]
+	binary.BigEndian.PutUint32(b[0:], uint32(len(body)))
+	binary.BigEndian.PutUint32(b[4:], crc32.ChecksumIEEE(body))
+	b = append(b, body...)
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	switch j.opts.Fsync {
+	case FsyncAlways:
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	case FsyncInterval:
+		if now := time.Now(); now.Sub(j.lastSync) >= j.opts.SyncEvery {
+			if err := j.f.Sync(); err != nil {
+				return fmt.Errorf("journal: sync: %w", err)
+			}
+			j.lastSync = now
+		}
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close flushes and closes the log. The epoch file stays; the next
+// Open mints the next incarnation.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// advanceEpoch reads, increments, and atomically rewrites the epoch
+// file. A missing or corrupt file restarts the count at 1 — epochs
+// need only change across restarts, not be gap-free.
+func advanceEpoch(dir string) (uint64, error) {
+	path := filepath.Join(dir, epochName)
+	var prev uint64
+	if b, err := os.ReadFile(path); err == nil {
+		if v, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64); perr == nil {
+			prev = v
+		}
+	}
+	next := prev + 1
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, []byte(strconv.FormatUint(next, 10)+"\n")); err != nil {
+		return 0, fmt.Errorf("journal: epoch: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("journal: epoch: %w", err)
+	}
+	syncDir(dir)
+	return next, nil
+}
+
+// writeFileSync writes b to path and fsyncs it before closing.
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash;
+// best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// readLog scans the log, decoding whole records until EOF, a torn
+// tail, or corruption; scanning stops at the first bad record (all
+// later bytes are unreachable by the append-only writer's ordering).
+func readLog(path string) ([]protocol.JournalRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	recs, _ := ScanRecords(b)
+	return recs, nil
+}
+
+// ScanRecords decodes the record stream of a journal file (header plus
+// length/CRC-framed bodies), stopping at the first torn or corrupt
+// record. It returns the whole records and the byte offset where the
+// clean prefix ends. Exported for the fuzz target and tests; the
+// scanner must never panic or over-allocate on adversarial input.
+func ScanRecords(b []byte) ([]protocol.JournalRecord, int) {
+	if len(b) < len(fileHeader) || string(b[:len(fileHeader)]) != fileHeader {
+		return nil, 0
+	}
+	off := len(fileHeader)
+	var recs []protocol.JournalRecord
+	for {
+		if len(b)-off < 8 {
+			return recs, off
+		}
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		sum := binary.BigEndian.Uint32(b[off+4:])
+		if n < 0 || n > maxRecord || len(b)-off-8 < n {
+			return recs, off
+		}
+		body := b[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(body) != sum {
+			return recs, off
+		}
+		rec, err := protocol.DecodeJournalRecord(body)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+}
+
+// compact reduces a record stream to the records still worth
+// replaying: jobs with a fetched record vanish entirely, and each
+// surviving job keeps its submit record and (when present) its last
+// completion record, in original log order.
+func compact(recs []protocol.JournalRecord) []protocol.JournalRecord {
+	fetched := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.Kind == protocol.JournalFetched {
+			fetched[r.JobID] = true
+		}
+	}
+	var out []protocol.JournalRecord
+	seen := make(map[uint64]protocol.JournalKind)
+	for _, r := range recs {
+		if fetched[r.JobID] || r.Kind == protocol.JournalFetched {
+			continue
+		}
+		if prev, dup := seen[r.JobID]; dup && prev == r.Kind {
+			continue // duplicated kind (e.g. replayed append); first wins
+		}
+		seen[r.JobID] = r.Kind
+		out = append(out, r)
+	}
+	return out
+}
+
+// rewriteLog atomically replaces the log with exactly recs.
+func rewriteLog(dir string, recs []protocol.JournalRecord) error {
+	path := filepath.Join(dir, walName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	err = writeRecords(f, recs)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// writeRecords writes the file header and framed records.
+func writeRecords(w io.Writer, recs []protocol.JournalRecord) error {
+	if _, err := io.WriteString(w, fileHeader); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	for i := range recs {
+		body := recs[i].Encode()
+		binary.BigEndian.PutUint32(hdr[0:], uint32(len(body)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}

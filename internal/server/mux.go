@@ -80,7 +80,7 @@ func (s *Server) hello(conn net.Conn, payload []byte) error {
 	if version > protocol.MuxVersionCache {
 		version = protocol.MuxVersionCache
 	}
-	rep := protocol.HelloReply{Version: version}
+	rep := protocol.HelloReply{Version: version, Epoch: s.epoch.Load()}
 	if version >= protocol.MuxVersionCache && s.cache != nil {
 		// Digest references are only legal once the server says its
 		// cache is live; without the flag a level-4 connection is
@@ -120,6 +120,7 @@ func (s *Server) bulkThreshold() int {
 // Chunked bulk requests reassemble inline in the read loop (chunk data
 // is read straight into the per-sequence buffer) and dispatch once
 // complete, exactly like a monolithic frame plus segment metadata.
+//
 //ninflint:hotpath
 func (s *Server) serveMux(conn net.Conn, client string, version int) {
 	bulkOK := version >= protocol.MuxVersionBulk
@@ -243,6 +244,7 @@ type bulkFlight struct {
 // difference between one write per reply and one write per burst. With
 // bulk chunks pending the writer never yields; the chunk write itself
 // is the pause that lets replies accumulate.
+//
 //ninflint:hotpath
 func (s *Server) muxWriteLoop(conn net.Conn, replies <-chan muxReply, outstanding func() int) {
 	batch := make([]muxReply, 0, maxMuxWriteBatch)

@@ -25,6 +25,7 @@ import (
 
 	"ninf/internal/idl"
 	"ninf/internal/protocol"
+	"ninf/internal/server/journal"
 	"ninf/internal/server/sched"
 )
 
@@ -111,6 +112,13 @@ type Server struct {
 	acct     *accounting
 	trace    *tracer
 	cache    *argCache // nil unless Config.CacheBudget > 0
+
+	// journal is the crash-recovery write-ahead log (nil unless
+	// AttachJournal was called); epoch is the incarnation epoch it
+	// minted, 0 for journal-less servers. Appends happen under mu, so
+	// the log's record order is the order the server observed.
+	journal *journal.Journal
+	epoch   atomic.Uint64
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -237,6 +245,214 @@ func New(cfg Config, reg *Registry) *Server {
 // Registry exposes the server's registry, e.g. for late registration.
 func (s *Server) Registry() *Registry { return s.registry }
 
+// Epoch returns the server's incarnation epoch: 0 for a journal-less
+// (volatile) server, otherwise the monotonic count of starts minted by
+// the attached journal. It rides in hello negotiation and Stats so
+// clients and the metaserver can tell a restart from continued life.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// Recovery summarizes one journal replay.
+type Recovery struct {
+	// Epoch is the incarnation epoch minted for this start.
+	Epoch uint64
+	// Requeued counts unfinished journaled jobs re-entered into the run
+	// queue for (re-)execution.
+	Requeued int
+	// Restored counts completed-but-unfetched jobs whose retained
+	// results (or terminal errors) are fetchable again.
+	Restored int
+	// Dropped counts journaled jobs that could not be reconstructed
+	// (routine no longer registered, undecodable arguments).
+	Dropped int
+}
+
+// AttachJournal opens (creating if needed) the crash-recovery journal
+// in dir, mints this incarnation's epoch, and replays the surviving
+// records: unfinished submits re-enter the queue for execution, and
+// completed-but-unfetched results become fetchable again under their
+// original job IDs and idempotency keys — so a client's retried Submit
+// or Fetch lands on the same job across the crash. Subsequent
+// two-phase admissions, completions, and deliveries are appended to
+// the log.
+//
+// Must be called once, before Serve. Without it the server behaves
+// exactly as before journals existed: no files, no fsyncs, epoch 0.
+func (s *Server) AttachJournal(dir string, opts journal.Options) (Recovery, error) {
+	j, recs, err := journal.Open(dir, opts)
+	if err != nil {
+		return Recovery{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		j.Close()
+		return Recovery{}, errors.New("server: closed")
+	case s.journal != nil:
+		j.Close()
+		return Recovery{}, errors.New("server: journal already attached")
+	case len(s.jobs) > 0 || len(s.queue) > 0:
+		j.Close()
+		return Recovery{}, errors.New("server: attach the journal before admitting work")
+	}
+	s.journal = j
+	s.epoch.Store(j.Epoch())
+	rec := Recovery{Epoch: j.Epoch()}
+
+	// Group the compacted log per job: at most one submit and one
+	// completion each survive compaction.
+	type jobRecs struct {
+		submit, complete *protocol.JournalRecord
+	}
+	byID := make(map[uint64]*jobRecs)
+	var order []uint64
+	maxID := uint64(0)
+	for i := range recs {
+		r := &recs[i]
+		if r.JobID > maxID {
+			maxID = r.JobID
+		}
+		jr := byID[r.JobID]
+		if jr == nil {
+			jr = &jobRecs{}
+			byID[r.JobID] = jr
+			order = append(order, r.JobID)
+		}
+		switch r.Kind {
+		case protocol.JournalSubmit:
+			jr.submit = r
+		case protocol.JournalComplete:
+			jr.complete = r
+		}
+	}
+	now := time.Now()
+	for _, id := range order {
+		jr := byID[id]
+		switch {
+		case jr.complete != nil && (jr.complete.ErrCode != 0 || len(jr.complete.Payload) > 0):
+			// Done: re-serve the retained reply (or terminal error).
+			t := &task{twoPhase: true, done: make(chan struct{}), expire: now.Add(s.cfg.JobTTL)}
+			if jr.submit != nil {
+				t.key = jr.submit.Key
+				t.client = jr.submit.Client
+			}
+			if jr.complete.ErrCode != 0 {
+				t.err = errors.New(jr.complete.ErrDetail)
+				t.errCode = jr.complete.ErrCode
+			} else {
+				t.reply = jr.complete.Payload
+			}
+			close(t.done)
+			t.job.ID = id
+			s.jobs[id] = t
+			if t.key != 0 {
+				s.submitKeys[t.key] = id
+			}
+			rec.Restored++
+		case jr.submit != nil:
+			// Unfinished (or finished with a result too big to journal):
+			// decode the plain-encoded request and re-queue it.
+			t, err := s.replayTaskLocked(jr.submit)
+			if err != nil {
+				s.logf("ninf server: journal: drop job %d: %v", id, err)
+				rec.Dropped++
+				continue
+			}
+			t.job.ID = id
+			s.seq++
+			t.job.Seq = s.seq
+			t.timings.Enqueue = now.UnixNano()
+			s.queue = append(s.queue, t)
+			if t.client != "" {
+				s.clientQueued[t.client]++
+			}
+			s.jobs[id] = t
+			if t.key != 0 {
+				s.submitKeys[t.key] = id
+			}
+			s.acct.jobQueued(now)
+			rec.Requeued++
+		default:
+			rec.Dropped++
+		}
+	}
+	if maxID > s.nextJob.Load() {
+		s.nextJob.Store(maxID)
+	}
+	s.schedule()
+	return rec, nil
+}
+
+// replayTaskLocked reconstructs a queued task from a journaled submit
+// record, exactly as admit would have built it. Callers hold mu.
+func (s *Server) replayTaskLocked(r *protocol.JournalRecord) (*task, error) {
+	name, rest, err := protocol.DecodeCallName(r.Payload)
+	if err != nil {
+		return nil, err
+	}
+	ex := s.registry.Lookup(name)
+	if ex == nil {
+		return nil, fmt.Errorf("no routine %q", name)
+	}
+	var retain bool
+	args, deadline, err := protocol.DecodeCallArgsDeadlineRetainBulk(ex.Info, rest, nil, &retain)
+	if err != nil {
+		return nil, err
+	}
+	t := &task{
+		ex:       ex,
+		args:     args,
+		ctx:      s.baseCtx,
+		done:     make(chan struct{}),
+		twoPhase: true,
+		reqBytes: int64(len(r.Payload)),
+		deadline: deadline,
+		client:   r.Client,
+		key:      r.Key,
+		retain:   retain && s.cache != nil,
+	}
+	t.job.PEs = s.peAllocation(ex)
+	if ops, ok := ex.Info.PredictedOps(args); ok {
+		t.job.PredictedOps = ops
+	} else if d := s.trace.predictCompute(name); d > 0 {
+		t.job.PredictedOps = int64(d)
+	}
+	return t, nil
+}
+
+// journalSubmitRecord re-encodes an admitted submission in plain form
+// (digest references resolved, bulk segments folded in) so replay can
+// decode it against an empty cache, and copies the encoded bytes out
+// of the pooled frame buffer into the record.
+//
+//ninflint:owner borrow — fb is drained into the record's copy and Released here; the WAL never retains it
+func journalSubmitRecord(info *idl.Info, req *protocol.CallRequest, key uint64, client string) (*protocol.JournalRecord, error) {
+	fb, err := protocol.EncodeCallRequestBuf(info, req)
+	if err != nil {
+		return nil, err
+	}
+	payload := append([]byte(nil), fb.Payload()...)
+	fb.Release()
+	return &protocol.JournalRecord{
+		Kind:    protocol.JournalSubmit,
+		Key:     key,
+		Client:  client,
+		Payload: payload,
+	}, nil
+}
+
+// journalAppendLocked appends one record, best-effort: a failing log
+// (disk full, torn device) degrades durability, not availability.
+// Callers hold mu.
+func (s *Server) journalAppendLocked(rec *protocol.JournalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.logf("ninf server: journal: %v", err)
+	}
+}
+
 // logf logs through the configured logger, if any.
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logger != nil {
@@ -313,6 +529,13 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.cancelBase()
 	s.wg.Wait()
+	// All runners are done, so no append can race the close. The final
+	// flush makes everything acknowledged so far replayable.
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.logf("ninf server: journal: close: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -403,6 +626,7 @@ func (s *Server) Stats() protocol.Stats {
 		LoadAverage: load,
 		CPUUtil:     util,
 		Draining:    draining,
+		Epoch:       s.epoch.Load(),
 	}
 	if s.cache != nil {
 		cs := s.cache.stats()
@@ -682,6 +906,20 @@ func (s *Server) admit(payload []byte, bulk *protocol.BulkInfo, twoPhase bool, c
 	if bulk != nil {
 		reqBytes = int64(len(bulk.Base)) // head plus segments
 	}
+	// Build the WAL record before taking the lock: the re-encode is the
+	// expensive part, and the append itself must happen under mu (after
+	// the job ID is assigned, before the job can complete) so the log
+	// order matches the server's.
+	var jrec *protocol.JournalRecord
+	if twoPhase && s.journal != nil {
+		var jerr error
+		jrec, jerr = journalSubmitRecord(ex.Info,
+			&protocol.CallRequest{Name: name, Args: args, Deadline: deadline, Retain: retain},
+			key, client)
+		if jerr != nil {
+			s.logf("ninf server: journal: encode submit: %v", jerr)
+		}
+	}
 	pes := s.peAllocation(ex)
 	t := &task{
 		ex:       ex,
@@ -771,6 +1009,10 @@ func (s *Server) admit(payload []byte, bulk *protocol.BulkInfo, twoPhase bool, c
 		s.jobs[t.job.ID] = t
 		if key != 0 {
 			s.submitKeys[key] = t.job.ID
+		}
+		if jrec != nil {
+			jrec.JobID = t.job.ID
+			s.journalAppendLocked(jrec)
 		}
 	}
 	s.acct.jobQueued(now)
@@ -972,6 +1214,18 @@ func (s *Server) run(t *task) {
 			}
 		}
 		t.args = nil
+		if s.journal != nil {
+			jrec := &protocol.JournalRecord{Kind: protocol.JournalComplete, JobID: t.job.ID}
+			if t.err != nil {
+				jrec.ErrCode = t.failCode()
+				jrec.ErrDetail = t.err.Error()
+			} else if len(t.reply) <= s.journal.ResultCap() {
+				jrec.Payload = t.reply
+			}
+			// An oversized success journals as completed-without-payload;
+			// replay re-executes the job rather than bloating the WAL.
+			s.journalAppendLocked(jrec)
+		}
 	}
 	s.schedule()
 	s.cond.Broadcast()
@@ -1036,6 +1290,7 @@ func (s *Server) removeJobLocked(id uint64, t *task) {
 	if t.key != 0 && s.submitKeys[t.key] == id {
 		delete(s.submitKeys, t.key)
 	}
+	s.journalAppendLocked(&protocol.JournalRecord{Kind: protocol.JournalFetched, JobID: id})
 }
 
 // ExpireJobs drops completed two-phase jobs whose TTL passed; servers

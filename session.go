@@ -137,7 +137,7 @@ func (c *Client) session(ctx context.Context) (*mux.Session, error) {
 	//lint:ninflint locknet — guardConn only registers a context callback; it performs no socket I/O
 	stop := guardConn(ctx, conn)
 	//lint:ninflint locknet — negotiation must finish before any verb uses the session; the guard (and Close) severs a black-holed handshake
-	version, flags, err := mux.NegotiateFlags(conn, c.maxPayload)
+	hello, err := mux.NegotiateHello(conn, c.maxPayload)
 	if !stop() {
 		//lint:ninflint locknet — discard only closes the socket (non-blocking) and updates the pool books
 		c.pool.discard(conn)
@@ -158,9 +158,15 @@ func (c *Client) session(ctx context.Context) (*mux.Session, error) {
 		c.pool.discard(conn)
 		return nil, err
 	}
+	// The hello reply carries the server's incarnation epoch (0 from
+	// journal-less or pre-epoch servers); noting it here is how the
+	// client detects a restart at the first exchange after a re-dial,
+	// before any digest reference or data handle can hit the reborn
+	// (empty) cache.
+	c.noteEpoch(hello.Epoch)
 	//lint:ninflint locknet — New only starts the session goroutines; it performs no blocking socket I/O itself
-	s := mux.New(conn, c.maxPayload, version)
-	c.sess.sess, c.sess.conn, c.sess.flags = s, conn, flags
+	s := mux.New(conn, c.maxPayload, int(hello.Version))
+	c.sess.sess, c.sess.conn, c.sess.flags = s, conn, hello.Flags
 	return s, nil
 }
 
@@ -437,7 +443,7 @@ func (c *Client) muxSubmit(ctx context.Context, name string, info *idl.Info, arg
 	if err != nil {
 		return nil, true, err
 	}
-	return &Job{client: c, id: sr.JobID, info: info, args: args, vals: vals, report: rep}, true, nil
+	return &Job{client: c, id: sr.JobID, info: info, args: args, vals: vals, report: rep, name: name, key: key}, true, nil
 }
 
 // muxFetch runs one fetch exchange over the session, mapping the
@@ -454,11 +460,7 @@ func (j *Job) muxFetch(ctx context.Context) (*Report, bool, error) {
 		return nil, false, nil
 	}
 	if err != nil {
-		var re *protocol.RemoteError
-		if errors.As(err, &re) && re.Code == protocol.CodeNotReady {
-			return nil, true, ErrNotReady
-		}
-		return nil, true, err
+		return nil, true, classifyFetchErr(err)
 	}
 	rep, err := j.finishFetch(t, p, bulk)
 	return rep, true, err

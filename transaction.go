@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ninf/internal/idl"
+	"ninf/internal/protocol"
 )
 
 // SchedRequest describes one pending Ninf_call for placement by a
@@ -433,6 +434,16 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 		if err != nil {
 			observeErr(tx.sched, pl.Name, err)
 			lastErr = err
+			if staleData(err) {
+				// The server answered but its resident data is gone — a
+				// cache miss or stale handle after the server restarted
+				// with a fresh incarnation. The server itself is healthy;
+				// only the cached operands evaporated. Un-exclude it so
+				// re-placement (affinity included) may land back there,
+				// where the retry re-uploads the operands, instead of
+				// abandoning the best-placed server over lost cache state.
+				excluded = excluded[:len(excluded)-1]
+			}
 			continue
 		}
 		tx.sched.Observe(pl.Name, rep.BytesOut+rep.BytesIn, rep.Total(), false)
@@ -440,6 +451,19 @@ func (tx *Transaction) execute(ctx context.Context, info *idl.Info, c *txCall) (
 		return rep, nil
 	}
 	return nil, fmt.Errorf("ninf: %s failed on %d servers: %w", c.name, tx.maxAttempts, lastErr)
+}
+
+// staleData reports whether a call failed only because server-resident
+// data vanished: a stale data handle or a cache miss, the two
+// signatures of a server restart (incarnation epoch change) observed
+// mid-transaction. Such a failure indicts the cached operands, not the
+// server.
+func staleData(err error) bool {
+	if errors.Is(err, ErrStaleHandle) {
+		return true
+	}
+	var re *protocol.RemoteError
+	return errors.As(err, &re) && re.Code == protocol.CodeCacheMiss
 }
 
 // placementBackoff is how long a call waits before re-asking the
