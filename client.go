@@ -153,16 +153,31 @@ func (c *Client) forgetWarm() {
 
 // noteEpoch folds one observation of the server's incarnation epoch
 // into the client. Journal-less servers report 0 and are never tracked.
-// A change from a previously observed epoch means the server restarted
-// with an empty cache: all warm-digest knowledge is dropped, and data
-// handles stamped with the old epoch start failing fast with
-// ErrStaleHandle.
+// A newly observed epoch means the server restarted with an empty
+// cache: all warm-digest knowledge is dropped, and data handles
+// stamped with the old epoch start failing fast with ErrStaleHandle.
+//
+// The fold is monotonic: observations race (an in-flight Stats reply
+// can decode after a reconnect hello already saw the restarted
+// server's epoch), and letting a delayed older observation roll
+// srvEpoch back would both un-stale dead handles and spuriously stale
+// fresh ones. Server epochs only ever advance, so a smaller value here
+// is always the stale message, never the newer server state.
 func (c *Client) noteEpoch(e uint64) {
 	if e == 0 {
 		return
 	}
-	if old := c.srvEpoch.Swap(e); old != 0 && old != e {
-		c.forgetWarm()
+	for {
+		old := c.srvEpoch.Load()
+		if e <= old {
+			return // duplicate or delayed older observation
+		}
+		if c.srvEpoch.CompareAndSwap(old, e) {
+			if old != 0 {
+				c.forgetWarm()
+			}
+			return
+		}
 	}
 }
 
@@ -984,6 +999,12 @@ type Job struct {
 	// the job (ErrJobNotFound) without risking a second execution.
 	name string
 	key  uint64
+	// done marks a result as delivered through this handle. A fetched
+	// job is consumed at the API level — further fetches are a caller
+	// bug (ErrJobDone) — even though the server lets the job linger
+	// briefly so a reply lost in transit can be re-fetched by the
+	// retry machinery underneath.
+	done bool
 }
 
 // ID returns the server-assigned job identity.
@@ -1077,6 +1098,11 @@ var ErrNotReady = errors.New("ninf: job not ready")
 // idempotency key, so recovery stays exactly-once.
 var ErrJobNotFound = errors.New("ninf: job not found on server")
 
+// ErrJobDone is returned by Fetch on a handle whose result was already
+// delivered: results are filled into the caller's arguments exactly
+// once, so a second fetch has nowhere meaningful to go.
+var ErrJobDone = errors.New("ninf: job result already fetched")
+
 // Resubmit re-submits a job the server has forgotten (Fetch returned
 // ErrJobNotFound) and rebinds the handle to the new server-side job.
 // The submission reuses the original idempotency key, so a server that
@@ -1094,13 +1120,15 @@ func (j *Job) Resubmit(ctx context.Context) error {
 		return err
 	}
 	j.id, j.info, j.vals, j.report = nj.id, nj.info, nj.vals, nj.report
+	j.done = false
 	return nil
 }
 
 // Fetch collects the results of a submitted job, filling the argument
 // slices/pointers passed to Submit. With wait true it blocks until the
 // job completes; otherwise it returns ErrNotReady if still running.
-// A job can be fetched once.
+// A job can be fetched once; a handle that already delivered its
+// result answers ErrJobDone.
 func (j *Job) Fetch(wait bool) (*Report, error) {
 	return j.FetchContext(context.Background(), wait)
 }
@@ -1148,10 +1176,14 @@ func nextFetchDelay(pollDelay, hint time.Duration) (sleep, next time.Duration) {
 // nextFetchDelay). Cancelling ctx abandons the wait; transport faults
 // during a poll are retried per the client's RetryPolicy.
 func (j *Job) FetchContext(ctx context.Context, wait bool) (*Report, error) {
+	if j.done {
+		return nil, ErrJobDone
+	}
 	pollDelay := time.Millisecond
 	for {
 		rep, hint, err := j.fetchOnce(ctx)
 		if err == nil {
+			j.done = true
 			return rep, nil
 		}
 		if !errors.Is(err, ErrNotReady) || !wait {

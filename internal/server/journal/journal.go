@@ -38,6 +38,18 @@
 // configured window; FsyncNever leaves flushing to the OS. The journal
 // never retains caller buffers: Append copies the encoded record into
 // its own scratch buffer before writing.
+//
+// Open holds a POSIX fcntl lock (lock file) for the journal's
+// lifetime, so a second server *process* pointed at the same directory
+// fails fast instead of corrupting the log; the kernel releases the
+// lock on process death, so a crash never wedges the directory. The
+// lock is per-process: reopening the journal within one process (an
+// in-process restart, as tests do) is allowed.
+//
+// Recovery is exactly-once-effect only for results the journal could
+// retain inline: a completed result above Options.ResultCap journals
+// payload-less, and replay re-executes the job — repeating its side
+// effects — to recover the reply (see Options.ResultCap).
 package journal
 
 import (
@@ -110,7 +122,10 @@ type Options struct {
 	// ResultCap is the largest completed result (encoded reply bytes)
 	// journaled inline (default 1 MiB). Bigger results are recorded as
 	// completed-without-payload, and replay re-executes the job instead
-	// of re-serving it.
+	// of re-serving it — an at-least-once caveat: the re-execution
+	// repeats any side effects the routine has, so recovery is
+	// exactly-once-effect only for replies at or below the cap. Size
+	// ResultCap above the largest reply of side-effecting routines.
 	ResultCap int
 }
 
@@ -118,6 +133,7 @@ const (
 	fileHeader       = "NINFWAL1"
 	walName          = "wal.log"
 	epochName        = "epoch"
+	lockName         = "lock"
 	defaultSyncEvery = 100 * time.Millisecond
 	// DefaultResultCap is the default Options.ResultCap.
 	DefaultResultCap = 1 << 20
@@ -137,7 +153,8 @@ type Journal struct {
 
 	mu       sync.Mutex
 	f        *os.File
-	scratch  []byte // header+body assembly, reused across appends
+	lock     *os.File // held fcntl lock on the directory's lock file
+	scratch  []byte   // header+body assembly, reused across appends
 	lastSync time.Time
 	closed   bool
 }
@@ -155,23 +172,34 @@ func Open(dir string, opts Options) (*Journal, []protocol.JournalRecord, error) 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
+	// Exclude other server processes before touching epoch or log: two
+	// servers sharing a directory would both mint epochs, interleave
+	// appends, and double-replay (and re-execute) the same jobs.
+	lock, err := lockFile(filepath.Join(dir, lockName))
+	if err != nil {
+		return nil, nil, err
+	}
 	epoch, err := advanceEpoch(dir)
 	if err != nil {
+		lock.Close()
 		return nil, nil, err
 	}
 	recs, err := readLog(filepath.Join(dir, walName))
 	if err != nil {
+		lock.Close()
 		return nil, nil, err
 	}
 	live := compact(recs)
 	if err := rewriteLog(dir, live); err != nil {
+		lock.Close()
 		return nil, nil, err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		lock.Close()
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	j := &Journal{dir: dir, opts: opts, epoch: epoch, f: f, lastSync: time.Now()}
+	j := &Journal{dir: dir, opts: opts, epoch: epoch, f: f, lock: lock, lastSync: time.Now()}
 	return j, live, nil
 }
 
@@ -242,6 +270,9 @@ func (j *Journal) Close() error {
 	j.closed = true
 	serr := j.f.Sync()
 	cerr := j.f.Close()
+	if j.lock != nil {
+		j.lock.Close() // releases the fcntl directory lock
+	}
 	if serr != nil {
 		return serr
 	}
@@ -347,25 +378,41 @@ func ScanRecords(b []byte) ([]protocol.JournalRecord, int) {
 
 // compact reduces a record stream to the records still worth
 // replaying: jobs with a fetched record vanish entirely, and each
-// surviving job keeps its submit record and (when present) its last
-// completion record, in original log order.
+// surviving job keeps its first submit record and (when present) its
+// last completion record, in original log order. Last wins for
+// completions because a job can legitimately complete more than once —
+// an oversized result journals payload-less, the replay re-executes,
+// and the re-execution appends a fresh completion; only the newest one
+// (possibly a terminal error, or a reply that now fits the cap)
+// reflects the job's final state.
 func compact(recs []protocol.JournalRecord) []protocol.JournalRecord {
 	fetched := make(map[uint64]bool)
-	for _, r := range recs {
-		if r.Kind == protocol.JournalFetched {
+	lastComplete := make(map[uint64]int)
+	for i, r := range recs {
+		switch r.Kind {
+		case protocol.JournalFetched:
 			fetched[r.JobID] = true
+		case protocol.JournalComplete:
+			lastComplete[r.JobID] = i
 		}
 	}
 	var out []protocol.JournalRecord
-	seen := make(map[uint64]protocol.JournalKind)
-	for _, r := range recs {
+	seenSubmit := make(map[uint64]bool)
+	for i, r := range recs {
 		if fetched[r.JobID] || r.Kind == protocol.JournalFetched {
 			continue
 		}
-		if prev, dup := seen[r.JobID]; dup && prev == r.Kind {
-			continue // duplicated kind (e.g. replayed append); first wins
+		switch r.Kind {
+		case protocol.JournalSubmit:
+			if seenSubmit[r.JobID] {
+				continue // duplicated submit (e.g. replayed append); first wins
+			}
+			seenSubmit[r.JobID] = true
+		case protocol.JournalComplete:
+			if lastComplete[r.JobID] != i {
+				continue
+			}
 		}
-		seen[r.JobID] = r.Kind
 		out = append(out, r)
 	}
 	return out

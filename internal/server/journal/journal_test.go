@@ -1,8 +1,11 @@
 package journal
 
 import (
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -105,6 +108,88 @@ func TestFetchedJobsCompactAway(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("after compaction replay got %d records, want 2", len(recs))
 	}
+}
+
+// TestCompactKeepsLastCompletion pins last-wins for completion
+// records. A job can complete more than once — an oversized result
+// journals payload-less, replay re-executes, and the re-execution
+// appends a fresh completion — and only the newest record reflects the
+// job's final state: keeping the first would re-execute the job on
+// every subsequent restart even after it reached a terminal error.
+func TestCompactKeepsLastCompletion(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{Fsync: FsyncAlways})
+	j.Append(&protocol.JournalRecord{Kind: protocol.JournalSubmit, JobID: 1, Key: 11, Payload: []byte("req")})
+	// Oversized success: completed-without-payload.
+	j.Append(&protocol.JournalRecord{Kind: protocol.JournalComplete, JobID: 1})
+	// Re-execution after a restart ends in a terminal error.
+	j.Append(&protocol.JournalRecord{Kind: protocol.JournalComplete, JobID: 1, ErrCode: 3, ErrDetail: "boom"})
+	j.Close()
+
+	j, recs := openT(t, dir, Options{})
+	j.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want submit+last completion: %+v", len(recs), recs)
+	}
+	if recs[0].Kind != protocol.JournalSubmit {
+		t.Fatalf("first surviving record = %+v, want the submit", recs[0])
+	}
+	if recs[1].Kind != protocol.JournalComplete || recs[1].ErrCode != 3 || recs[1].ErrDetail != "boom" {
+		t.Fatalf("surviving completion = %+v, want the later terminal error, not the payload-less first", recs[1])
+	}
+}
+
+// TestLockExcludesSecondProcess proves two server processes cannot
+// share a journal directory: the child process (this test binary
+// re-run with the directory in the environment) must fail to Open
+// while the parent holds the lock, and succeed once it is released.
+func TestLockExcludesSecondProcess(t *testing.T) {
+	if dir := os.Getenv("NINF_JOURNAL_LOCK_DIR"); dir != "" {
+		// Child mode: report the Open outcome on stdout for the parent.
+		j, _, err := Open(dir, Options{})
+		if err != nil {
+			fmt.Println("CHILD-LOCKED")
+			return
+		}
+		j.Close()
+		fmt.Println("CHILD-ACQUIRED")
+		return
+	}
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{})
+	child := func() string {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestLockExcludesSecondProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), "NINF_JOURNAL_LOCK_DIR="+dir)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("child process: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	if out := child(); !strings.Contains(out, "CHILD-LOCKED") {
+		t.Fatalf("second process opened a held journal directory:\n%s", out)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if out := child(); !strings.Contains(out, "CHILD-ACQUIRED") {
+		t.Fatalf("lock not released by Close:\n%s", out)
+	}
+}
+
+// TestLockAllowsSameProcessReopen pins the fcntl lock's per-process
+// scope: reopening the directory within one process — how the chaos
+// suite and the restart experiment simulate a crash+restart while the
+// abandoned journal's descriptors are still open — must succeed.
+func TestLockAllowsSameProcessReopen(t *testing.T) {
+	dir := t.TempDir()
+	j1, _ := openT(t, dir, Options{})
+	defer j1.Close()
+	j2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("same-process reopen: %v", err)
+	}
+	j2.Close()
 }
 
 func TestTornTailStopsReplay(t *testing.T) {

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op on platforms without POSIX record locks: the
+// journal still works, but two processes sharing a directory are not
+// excluded. All deployment targets are unix.
+func lockFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// lockFile takes the journal directory's advisory writer lock: a POSIX
+// fcntl record lock on the lock file, held for the life of the journal
+// and released by the kernel the moment the owning process exits — so
+// a crash never leaves a stale lock behind, which is the whole point
+// of a crash-recovery log. fcntl locks are per-process, not per-file-
+// descriptor: a second Open in the same process (an in-process restart,
+// as the chaos suite and the restart experiment do) succeeds, while a
+// second server *process* pointed at the same -journal-dir fails fast
+// instead of interleaving appends and double-replaying jobs.
+func lockFile(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: lock: %w", err)
+	}
+	lk := syscall.Flock_t{Type: syscall.F_WRLCK, Whence: io.SeekStart}
+	if err := syscall.FcntlFlock(f.Fd(), syscall.F_SETLK, &lk); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: directory locked by another server process: %w", err)
+	}
+	return f, nil
+}

@@ -222,6 +222,81 @@ func TestJournalOversizedResultReexecutes(t *testing.T) {
 	}
 }
 
+// TestJournalJobIDsNotReusedAcrossRestart pins incarnation-scoped job
+// IDs. A delivered job's records compact away (and under interval
+// fsync the newest acknowledged submits may never hit disk), so a
+// counter reseeded from the journal's survivors alone could re-mint an
+// ID already issued before the crash — and a pre-crash client's
+// retried Fetch on that ID would silently read another job's result.
+// The restarted server must instead answer CodeUnknownJob.
+func TestJournalJobIDsNotReusedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg, _ := testRegistry(t)
+	s1 := New(Config{}, reg)
+	t.Cleanup(func() { s1.Close() })
+	attach(t, s1, dir, journal.Options{})
+	conn := pipeConn(t, s1)
+	typ, rp := call(t, conn, protocol.MsgSubmit, submitPayload(11, encodeCall(t, reg, "double_it", int64(1), []float64{1}, nil)))
+	if typ != protocol.MsgSubmitOK {
+		t.Fatalf("submit → %v", typ)
+	}
+	sr1, err := protocol.DecodeSubmitReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver the result: the fetched record makes the whole job compact
+	// away, leaving the journal with no trace the ID was ever issued.
+	fr := protocol.FetchRequest{JobID: sr1.JobID, Wait: true}
+	if typ, _ = call(t, conn, protocol.MsgFetch, fr.Encode()); typ != protocol.MsgFetchOK {
+		t.Fatalf("fetch → %v", typ)
+	}
+	// The fetched record is appended after the reply frame is written;
+	// it has hit the log (FsyncAlways, under mu with the delivery mark)
+	// once the job reads as delivered.
+	waitFor(t, func() bool {
+		s1.mu.Lock()
+		jt := s1.jobs[sr1.JobID]
+		delivered := jt != nil && jt.delivered
+		s1.mu.Unlock()
+		return delivered
+	}, "fetched record journaled")
+
+	// Crash and restart from the (now job-free) journal.
+	s2 := New(Config{}, reg)
+	t.Cleanup(func() { s2.Close() })
+	rec := attach(t, s2, dir, journal.Options{})
+	if rec.Restored != 0 || rec.Requeued != 0 {
+		t.Fatalf("recovery = %+v, want empty (job was delivered)", rec)
+	}
+
+	conn2 := pipeConn(t, s2)
+	typ, rp = call(t, conn2, protocol.MsgSubmit, submitPayload(22, encodeCall(t, reg, "double_it", int64(1), []float64{2}, nil)))
+	if typ != protocol.MsgSubmitOK {
+		t.Fatalf("submit after restart → %v", typ)
+	}
+	sr2, err := protocol.DecodeSubmitReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr2.JobID == sr1.JobID {
+		t.Fatalf("restarted server re-minted pre-crash job ID %d", sr1.JobID)
+	}
+	if got, want := sr2.JobID>>jobIDEpochShift, rec.Epoch; got != want {
+		t.Fatalf("new job ID %d carries epoch %d, want %d", sr2.JobID, got, want)
+	}
+
+	// The pre-crash client's stale fetch must terminate, not alias onto
+	// the new incarnation's job.
+	stale := protocol.FetchRequest{JobID: sr1.JobID, Wait: false}
+	typ, rp = call(t, conn2, protocol.MsgFetch, stale.Encode())
+	if typ != protocol.MsgError {
+		t.Fatalf("stale fetch → %v, want an error", typ)
+	}
+	if er, _ := protocol.DecodeErrorReply(rp); er.Code != protocol.CodeUnknownJob {
+		t.Errorf("stale fetch code = %d, want unknown job", er.Code)
+	}
+}
+
 // TestJournalEpochVisible proves the minted epoch reaches the two
 // places clients and the metaserver read it: Stats and the hello reply.
 func TestJournalEpochVisible(t *testing.T) {

@@ -570,15 +570,17 @@ func (s *Server) attachCache(bulk *protocol.BulkInfo, head []byte, cacheOK bool)
 }
 
 // muxFetch is fetch for the mux path. Like the lockstep fetch it must
-// not remove the job until the reply frame is on the wire — a reply
-// lost with the session must leave the job fetchable for the client's
-// retried fetch on a fresh session. The writer owns the wire here, so
-// removal rides the reply's sent hook: muxWriteLoop runs it only
-// after a successful write. Large stored results stream back chunked
-// (the BulkMsg aliases the job's pre-encoded reply, which the sent
-// hook's job-table removal keeps live until written). Wait:true
-// degrades to not-ready polling, as the client wire protocol always
-// sets Wait:false.
+// not mark the job delivered until the reply frame is on the wire — a
+// reply lost with the session must leave the job fully fetchable for
+// the client's retried fetch on a fresh session. The writer owns the
+// wire here, so delivery rides the reply's sent hook: muxWriteLoop
+// runs it only after a successful write, and the job then lingers
+// re-fetchable for DeliveredTTL (see markDeliveredLocked) to cover a
+// written-but-lost reply. Large stored results stream back chunked
+// (the BulkMsg aliases the job's pre-encoded reply, which the linger
+// keeps live until well past the write). Wait:true degrades to
+// not-ready polling, as the client wire protocol always sets
+// Wait:false.
 func (s *Server) muxFetch(req protocol.FetchRequest, bulkOK bool) (protocol.MsgType, *protocol.Buffer, *protocol.BulkMsg, func()) {
 	s.mu.Lock()
 	t, ok := s.jobs[req.JobID]
@@ -599,7 +601,7 @@ func (s *Server) muxFetch(req protocol.FetchRequest, bulkOK bool) (protocol.MsgT
 	}
 	sent := func() {
 		s.mu.Lock()
-		s.removeJobLocked(req.JobID, t)
+		s.markDeliveredLocked(req.JobID, t)
 		s.mu.Unlock()
 	}
 	if thr := s.bulkThreshold(); bulkOK && thr > 0 && len(t.reply) >= thr {

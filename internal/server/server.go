@@ -72,6 +72,16 @@ type Config struct {
 	// JobTTL bounds how long two-phase results are retained after
 	// completion before being dropped (default 5 minutes).
 	JobTTL time.Duration
+	// DeliveredTTL bounds how long a fetched two-phase result lingers
+	// re-fetchable after its reply frame was written (default 30s,
+	// capped at JobTTL). The linger covers the lost-reply window: a
+	// write that succeeded locally can still be eaten by the network
+	// before the client reads it, and the retried fetch must re-read
+	// the retained result — were the job consumed on write, the retry
+	// would get CodeUnknownJob and the client's idempotent re-Submit
+	// (its key released with the job) would execute the work a second
+	// time on the same incarnation.
+	DeliveredTTL time.Duration
 	// MaxPayload bounds incoming frame payloads (default 1 GiB).
 	MaxPayload int
 	// DisableMux refuses the MsgHello protocol upgrade, keeping every
@@ -135,6 +145,14 @@ type Server struct {
 	clientQueued   map[string]int // queued jobs per client identity
 	svcNanos       float64        // EWMA of per-job service time
 
+	// nextJob mints two-phase job IDs. On a journal-less server it
+	// counts from 0 (IDs 1, 2, 3, …), exactly as before journals
+	// existed. AttachJournal rebases it to epoch<<jobIDEpochShift so
+	// journaled job IDs are incarnation-scoped: an ID minted by one
+	// incarnation can never be re-minted by a later one — even when the
+	// journal records that proved it was issued were compacted away or
+	// never fsynced — so a pre-crash client's stale Fetch maps to
+	// CodeUnknownJob instead of silently reading another job's result.
 	nextJob  atomic.Uint64
 	failNext atomic.Int64  // fault injection: calls to fail
 	connSeq  atomic.Uint64 // client identity serial per connection
@@ -176,10 +194,11 @@ type task struct {
 	retryAfter uint32
 
 	// two-phase bookkeeping
-	twoPhase bool
-	key      uint64 // submit idempotency key (0 = none)
-	reply    []byte
-	expire   time.Time
+	twoPhase  bool
+	key       uint64 // submit idempotency key (0 = none)
+	reply     []byte
+	expire    time.Time
+	delivered bool // reply frame written at least once (under server mu)
 
 	// Argument-cache bookkeeping (level 4). pins holds the cache
 	// entries this call resolved by digest, released on every terminal
@@ -213,6 +232,12 @@ func New(cfg Config, reg *Registry) *Server {
 	}
 	if cfg.JobTTL <= 0 {
 		cfg.JobTTL = 5 * time.Minute
+	}
+	if cfg.DeliveredTTL <= 0 {
+		cfg.DeliveredTTL = 30 * time.Second
+	}
+	if cfg.DeliveredTTL > cfg.JobTTL {
+		cfg.DeliveredTTL = cfg.JobTTL
 	}
 	if cfg.Hostname == "" {
 		cfg.Hostname = "ninf-server"
@@ -274,6 +299,11 @@ type Recovery struct {
 // or Fetch lands on the same job across the crash. Subsequent
 // two-phase admissions, completions, and deliveries are appended to
 // the log.
+//
+// Recovery is exactly-once-effect for every job whose result fit the
+// journal's inline cap; a larger completed result was journaled
+// payload-less and is recovered by re-executing the job, repeating its
+// side effects (see journal.Options.ResultCap).
 //
 // Must be called once, before Serve. Without it the server behaves
 // exactly as before journals existed: no files, no fsyncs, epoch 0.
@@ -376,12 +406,32 @@ func (s *Server) AttachJournal(dir string, opts journal.Options) (Recovery, erro
 			rec.Dropped++
 		}
 	}
-	if maxID > s.nextJob.Load() {
-		s.nextJob.Store(maxID)
+	// Rebase the job-ID counter into this incarnation's range. Seeding
+	// from the journal's max surviving ID alone would not do: delivered
+	// jobs compact away and (under interval fsync) the newest
+	// acknowledged submits may have no record at all, so a counter
+	// restarted from the survivors can re-mint IDs already issued to
+	// pre-crash clients, whose retried Fetch would then silently read a
+	// different job's result.
+	base := j.Epoch() << jobIDEpochShift
+	if maxID > base {
+		// Only possible when the epoch file was reset (corrupt, deleted)
+		// while higher-epoch IDs survive in the WAL; stay above the
+		// survivors so replayed and re-minted IDs cannot collide.
+		base = maxID
 	}
+	s.nextJob.Store(base)
 	s.schedule()
 	return rec, nil
 }
+
+// jobIDEpochShift places the incarnation epoch in the high 24 bits of
+// a journaled server's job IDs, leaving a 40-bit per-incarnation
+// counter (~10^12 jobs per start, ~16M restarts — both unreachable in
+// practice). Clients treat job IDs as opaque uint64s, so the split is
+// invisible on the wire; replayed jobs keep their original (old-epoch)
+// IDs, which sort strictly below every new-incarnation ID.
+const jobIDEpochShift = 40
 
 // replayTaskLocked reconstructs a queued task from a journaled submit
 // record, exactly as admit would have built it. Callers hold mu.
@@ -1248,11 +1298,12 @@ func (s *Server) execute(t *task) (err error) {
 }
 
 // fetch answers a MsgFetch: not-ready, error, or the retained reply.
-// The job is dropped from the table only after its reply frame was
-// written successfully: a reply lost to a transport fault (reset,
-// partial write) leaves the job fetchable, so the client's retried
-// fetch re-reads the retained result instead of getting CodeUnknownJob
-// and losing it forever.
+// A delivered job is not consumed on the spot: a locally successful
+// write can still be lost in transit, so the job lingers re-fetchable
+// for Config.DeliveredTTL (see markDeliveredLocked) and only then
+// leaves the table, so the client's retried fetch re-reads the
+// retained result instead of getting CodeUnknownJob and re-executing
+// the work through an idempotent re-Submit.
 func (s *Server) fetch(conn net.Conn, req protocol.FetchRequest) error {
 	s.mu.Lock()
 	t, ok := s.jobs[req.JobID]
@@ -1278,19 +1329,42 @@ func (s *Server) fetch(conn net.Conn, req protocol.FetchRequest) error {
 		return werr
 	}
 	s.mu.Lock()
-	s.removeJobLocked(req.JobID, t)
+	s.markDeliveredLocked(req.JobID, t)
 	s.mu.Unlock()
 	return nil
 }
 
+// markDeliveredLocked records that a job's reply frame was written:
+// the journal learns the job is done with (the fetched record compacts
+// it away on the next open — a post-crash retry re-submits, which is
+// one execution on the new incarnation), while in memory the job
+// lingers re-fetchable until the shortened DeliveredTTL expiry covers
+// the window where the written reply was lost in transit. Idempotent;
+// callers hold mu.
+func (s *Server) markDeliveredLocked(id uint64, t *task) {
+	if t.delivered {
+		return
+	}
+	t.delivered = true
+	if exp := time.Now().Add(s.cfg.DeliveredTTL); exp.Before(t.expire) {
+		t.expire = exp
+	}
+	s.journalAppendLocked(&protocol.JournalRecord{Kind: protocol.JournalFetched, JobID: id})
+}
+
 // removeJobLocked drops a completed two-phase job and its submit
-// idempotency key. Callers hold mu.
+// idempotency key. Jobs that were never delivered (TTL expiry of an
+// unfetched result) journal their fetched record here so replay does
+// not resurrect them; delivered jobs already journaled it. Callers
+// hold mu.
 func (s *Server) removeJobLocked(id uint64, t *task) {
 	delete(s.jobs, id)
 	if t.key != 0 && s.submitKeys[t.key] == id {
 		delete(s.submitKeys, t.key)
 	}
-	s.journalAppendLocked(&protocol.JournalRecord{Kind: protocol.JournalFetched, JobID: id})
+	if !t.delivered {
+		s.journalAppendLocked(&protocol.JournalRecord{Kind: protocol.JournalFetched, JobID: id})
+	}
 }
 
 // ExpireJobs drops completed two-phase jobs whose TTL passed; servers

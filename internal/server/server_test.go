@@ -355,10 +355,21 @@ func TestTwoPhaseSubmitFetch(t *testing.T) {
 		t.Fatalf("fetch → %v", typ)
 	}
 
-	// Job is consumed: second fetch is unknown.
+	// Delivery does not consume the job on the spot: it lingers
+	// re-fetchable for DeliveredTTL, covering a reply lost in transit
+	// after a locally successful write.
+	typ, _ = call(t, conn, protocol.MsgFetch, fr.Encode())
+	if typ != protocol.MsgFetchOK {
+		t.Fatalf("refetch during delivered linger → %v, want the retained result", typ)
+	}
+
+	// Once the linger expires the job is gone for good.
+	if n := s.ExpireJobs(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("expired %d jobs, want the delivered one", n)
+	}
 	typ, p = call(t, conn, protocol.MsgFetch, fr.Encode())
 	if typ != protocol.MsgError {
-		t.Fatalf("refetch → %v", typ)
+		t.Fatalf("refetch after linger → %v", typ)
 	}
 	if er, _ := protocol.DecodeErrorReply(p); er.Code != protocol.CodeUnknownJob {
 		t.Errorf("code = %d, want unknown job", er.Code)
@@ -368,8 +379,11 @@ func TestTwoPhaseSubmitFetch(t *testing.T) {
 // TestSubmitIdempotencyKeyDedupe proves the exactly-once admission
 // contract of the two-phase protocol: re-sending a submission under
 // the same idempotency key (the client's transport-fault retry) is
-// answered with the already-admitted job, not executed again — and
-// once the job is fetched, the key is released with it.
+// answered with the already-admitted job, not executed again — through
+// the delivered linger too, so a client whose FetchOK was lost and who
+// re-submits under its original key re-attaches instead of executing
+// the work a second time. Only once the linger expires is the key
+// released for a fresh admission.
 func TestSubmitIdempotencyKeyDedupe(t *testing.T) {
 	reg, _ := testRegistry(t)
 	s := New(Config{}, reg)
@@ -408,8 +422,8 @@ func TestSubmitIdempotencyKeyDedupe(t *testing.T) {
 		t.Fatalf("fetch → %v", typ)
 	}
 
-	// The fetch consumed the job, releasing its key: the same key now
-	// admits a fresh job.
+	// During the delivered linger the key still dedupes: a re-submit
+	// (the lost-FetchOK recovery) re-attaches to the delivered job.
 	typ, rp = call(t, conn, protocol.MsgSubmit, p)
 	if typ != protocol.MsgSubmitOK {
 		t.Fatalf("post-fetch submit → %v", typ)
@@ -418,8 +432,27 @@ func TestSubmitIdempotencyKeyDedupe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sr3.JobID == sr1.JobID {
-		t.Fatalf("key 77 still pinned to consumed job %d", sr1.JobID)
+	if sr3.JobID != sr1.JobID {
+		t.Fatalf("re-submit during delivered linger admitted a new job: %d, want %d", sr3.JobID, sr1.JobID)
+	}
+	if total := s.Stats().TotalCalls; total != 1 {
+		t.Fatalf("lost-reply re-submit executed again: %d total calls", total)
+	}
+
+	// Linger expiry releases the key: the same key now admits fresh.
+	if n := s.ExpireJobs(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("expired %d jobs, want 1", n)
+	}
+	typ, rp = call(t, conn, protocol.MsgSubmit, p)
+	if typ != protocol.MsgSubmitOK {
+		t.Fatalf("post-expiry submit → %v", typ)
+	}
+	sr4, err := protocol.DecodeSubmitReply(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr4.JobID == sr1.JobID {
+		t.Fatalf("key 77 still pinned to expired job %d", sr1.JobID)
 	}
 }
 
